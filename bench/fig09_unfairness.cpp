@@ -1,0 +1,47 @@
+//===- bench/fig09_unfairness.cpp - Paper Figure 9 ----------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 9: average system unfairness of standard OpenCL, EK
+/// and accelOS for 2/4/8 concurrent requests on both platforms. Paper
+/// reference (NVIDIA): standard 8.43/19.65/43.42 vs accelOS
+/// 1.24/1.89/3.54.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace accel;
+using namespace accel::bench;
+
+int main() {
+  WorkloadSets Sets = makeWorkloadSets();
+  raw_ostream &OS = outs();
+  OS << "=== Figure 9: average system unfairness (lower is better) "
+        "===\n\n";
+
+  for (PlatformRun &P : makePlatforms()) {
+    OS << "--- " << P.Label << " ---\n";
+    harness::TextTable T({"Requests", "Standard", "EK", "accelOS"});
+    const std::vector<workloads::Workload> *SetList[] = {
+        &Sets.Pairs, &Sets.Quads, &Sets.Octets};
+    const char *SetNames[] = {"2", "4", "8"};
+    for (int I = 0; I != 3; ++I) {
+      SchemeAggregate Base = aggregateBaseline(P.Driver, *SetList[I]);
+      SchemeAggregate EK = aggregate(
+          P.Driver, SchedulerKind::ElasticKernels, *SetList[I]);
+      SchemeAggregate AOS = aggregate(
+          P.Driver, SchedulerKind::AccelOSOptimized, *SetList[I]);
+      T.addRow({SetNames[I], fmt(Base.Unfairness.mean()),
+                fmt(EK.Unfairness.mean()), fmt(AOS.Unfairness.mean())});
+    }
+    T.print(OS);
+    OS << "\n";
+  }
+  OS << "Paper reference (NVIDIA): Standard 8.43/19.65/43.42, accelOS "
+        "1.24/1.89/3.54.\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+//===- bench/fig14_throughput_individual.cpp - Paper Figure 14 -----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regenerates Fig. 14: the distribution of per-workload throughput
+/// speedups. Paper reference: range 0.52x-4.8x; <5% slowdowns for
+/// accelOS vs 54% for EK.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace accel;
+using namespace accel::bench;
+
+static void printDistribution(raw_ostream &OS, const char *Label,
+                              const SampleStats &S) {
+  OS << Label << ": min " << fmt(S.min()) << "  p25 "
+     << fmt(S.percentile(0.25)) << "  median " << fmt(S.percentile(0.5))
+     << "  p75 " << fmt(S.percentile(0.75)) << "  max " << fmt(S.max())
+     << "  slowdowns(<1x) "
+     << pct(S.fraction([](double V) { return V < 1.0; })) << "\n";
+}
+
+int main() {
+  WorkloadSets Sets = makeWorkloadSets();
+  raw_ostream &OS = outs();
+  OS << "=== Figure 14: throughput speedup distributions ===\n\n";
+
+  for (PlatformRun &P : makePlatforms()) {
+    OS << "--- " << P.Label << " ---\n";
+    const std::vector<workloads::Workload> *SetList[] = {
+        &Sets.Pairs, &Sets.Quads, &Sets.Octets};
+    const char *SetNames[] = {"2-kernel", "4-kernel", "8-kernel"};
+    SampleStats AllAOS, AllEK;
+    for (int I = 0; I != 3; ++I) {
+      SchemeAggregate EK = aggregate(
+          P.Driver, SchedulerKind::ElasticKernels, *SetList[I]);
+      SchemeAggregate AOS = aggregate(
+          P.Driver, SchedulerKind::AccelOSOptimized, *SetList[I]);
+      OS << SetNames[I] << " (" << SetList[I]->size() << " samples):\n";
+      printDistribution(OS, "  accelOS", AOS.ThroughputSpeedup);
+      printDistribution(OS, "  EK     ", EK.ThroughputSpeedup);
+      for (double V : AOS.ThroughputSpeedup.samples())
+        AllAOS.add(V);
+      for (double V : EK.ThroughputSpeedup.samples())
+        AllEK.add(V);
+    }
+    OS << "all workloads:\n";
+    printDistribution(OS, "  accelOS", AllAOS);
+    printDistribution(OS, "  EK     ", AllEK);
+    OS << "\n";
+  }
+  OS << "Paper reference: range 0.52x-4.8x; accelOS <5% slowdowns, EK "
+        "54%.\n";
+  return 0;
+}

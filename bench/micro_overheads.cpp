@@ -1,0 +1,84 @@
+//===- bench/micro_overheads.cpp - Infrastructure micro-benchmarks -------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-benchmarks of the accelOS infrastructure
+/// itself: MiniCL JIT compilation (front end + cleanup + scheduling
+/// transform), the Sec. 3 resource solver, and one timing-engine
+/// simulation — the host-side costs the paper folds into "negligible
+/// communication overhead".
+///
+//===----------------------------------------------------------------------===//
+
+#include "accelos/ResourceSolver.h"
+#include "harness/Experiment.h"
+#include "kir/Module.h"
+#include "minicl/Frontend.h"
+#include "passes/AccelOSTransform.h"
+#include "passes/ConstantFold.h"
+#include "passes/DCE.h"
+#include "passes/Inliner.h"
+#include "passes/Pass.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace accel;
+
+static void BM_FrontendCompile(benchmark::State &State) {
+  const workloads::KernelSpec &Spec = workloads::findKernel("sgemm");
+  for (auto _ : State) {
+    auto M = minicl::compileSource(Spec.Id, Spec.Source);
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_FrontendCompile);
+
+static void BM_FullJitPipeline(benchmark::State &State) {
+  const workloads::KernelSpec &Spec = workloads::findKernel("sgemm");
+  for (auto _ : State) {
+    auto M = cantFail(minicl::compileSource(Spec.Id, Spec.Source));
+    passes::PassManager PM(/*VerifyEach=*/false);
+    PM.addPass(std::make_unique<passes::InlinerPass>());
+    PM.addPass(std::make_unique<passes::ConstantFoldPass>());
+    PM.addPass(std::make_unique<passes::DCEPass>());
+    PM.addPass(std::make_unique<passes::AccelOSTransform>());
+    cantFail(PM.run(*M));
+    benchmark::DoNotOptimize(M);
+  }
+}
+BENCHMARK(BM_FullJitPipeline);
+
+static void BM_ResourceSolver(benchmark::State &State) {
+  accelos::ResourceCaps Caps =
+      accelos::ResourceCaps::fromDevice(sim::DeviceSpec::nvidiaK20m());
+  std::vector<accelos::KernelDemand> Ds;
+  for (int I = 0; I < 8; ++I) {
+    accelos::KernelDemand D;
+    D.WGThreads = 64 << (I % 3);
+    D.LocalMemPerWG = 1024 * (I % 4);
+    D.RegsPerThread = 16 + I;
+    D.RequestedWGs = 256;
+    Ds.push_back(D);
+  }
+  for (auto _ : State) {
+    auto Shares = accelos::solveFairShares(Caps, Ds);
+    benchmark::DoNotOptimize(Shares);
+  }
+}
+BENCHMARK(BM_ResourceSolver);
+
+static void BM_EnginePairSimulation(benchmark::State &State) {
+  static harness::ExperimentDriver Driver(sim::DeviceSpec::nvidiaK20m());
+  workloads::Workload W = {21, 24}; // sgemm + tpacf
+  for (auto _ : State) {
+    auto R = Driver.runWorkload(harness::SchedulerKind::AccelOSOptimized,
+                                W);
+    benchmark::DoNotOptimize(R);
+  }
+}
+BENCHMARK(BM_EnginePairSimulation);
+
+BENCHMARK_MAIN();

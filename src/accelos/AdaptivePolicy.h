@@ -1,0 +1,55 @@
+//===- accelos/AdaptivePolicy.h - Adaptive dequeue batching -----*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's adaptive scheduling policy (Sec. 6.4): short kernels pay
+/// proportionally more for the atomic dequeue, so the runtime assigns
+/// several virtual groups per scheduling operation — 8 when the kernel
+/// has fewer than 10 IR instructions, 6 below 20, 4 below 30, 2 below
+/// 40, and 1 otherwise. The "naive" accelOS variant evaluated in
+/// Fig. 15 always dequeues a single group.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_ACCELOS_ADAPTIVEPOLICY_H
+#define ACCEL_ACCELOS_ADAPTIVEPOLICY_H
+
+#include <cstdint>
+
+namespace accel {
+namespace accelos {
+
+/// accelOS runtime variants (paper Sec. 8.5).
+enum class SchedulingMode {
+  Naive,    ///< One virtual group per dequeue.
+  Optimized ///< Instruction-count-driven batching (the default).
+};
+
+/// \returns the Sec. 6.4 batch size for a kernel of \p InstCount IR
+/// instructions.
+inline uint64_t adaptiveBatchSize(uint64_t InstCount) {
+  if (InstCount < 10)
+    return 8;
+  if (InstCount < 20)
+    return 6;
+  if (InstCount < 30)
+    return 4;
+  if (InstCount < 40)
+    return 2;
+  return 1;
+}
+
+/// \returns the batch size for \p Mode.
+inline uint64_t batchSizeFor(SchedulingMode Mode, uint64_t InstCount) {
+  if (Mode == SchedulingMode::Naive)
+    return 1;
+  return adaptiveBatchSize(InstCount);
+}
+
+} // namespace accelos
+} // namespace accel
+
+#endif // ACCEL_ACCELOS_ADAPTIVEPOLICY_H

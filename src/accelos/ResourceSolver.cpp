@@ -1,0 +1,108 @@
+//===- accelos/ResourceSolver.cpp - Fair resource sharing -------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "accelos/ResourceSolver.h"
+
+#include "sim/DeviceSpec.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace accel;
+using namespace accel::accelos;
+
+ResourceCaps ResourceCaps::fromDevice(const sim::DeviceSpec &Spec) {
+  ResourceCaps Caps;
+  Caps.Threads = Spec.totalThreads();
+  Caps.LocalMem = Spec.totalLocalMem();
+  Caps.Regs = Spec.totalRegs();
+  Caps.WGSlots = Spec.totalWGSlots();
+  return Caps;
+}
+
+namespace {
+
+/// \returns true when assigning \p Shares stays within \p Caps.
+bool fits(const ResourceCaps &Caps, const std::vector<KernelDemand> &Ks,
+          const std::vector<uint64_t> &Shares) {
+  uint64_t Threads = 0, Local = 0, Regs = 0, Slots = 0;
+  for (size_t I = 0; I != Ks.size(); ++I) {
+    Threads += Shares[I] * Ks[I].WGThreads;
+    Local += Shares[I] * Ks[I].LocalMemPerWG;
+    Regs += Shares[I] * Ks[I].WGThreads * Ks[I].RegsPerThread;
+    Slots += Shares[I];
+  }
+  return Threads <= Caps.Threads && Local <= Caps.LocalMem &&
+         Regs <= Caps.Regs && Slots <= Caps.WGSlots;
+}
+
+} // namespace
+
+std::vector<uint64_t>
+accelos::solveFairShares(const ResourceCaps &Caps,
+                         const std::vector<KernelDemand> &Ks,
+                         const SolverOptions &Opts) {
+  assert(!Ks.empty() && "solver needs at least one kernel");
+  size_t K = Ks.size();
+
+  double TotalWeight = 0;
+  for (const KernelDemand &D : Ks)
+    TotalWeight += D.Weight;
+  assert(TotalWeight > 0 && "weights must be positive");
+
+  std::vector<uint64_t> Shares(K, 0);
+  for (size_t I = 0; I != K; ++I) {
+    const KernelDemand &D = Ks[I];
+    assert(D.WGThreads > 0 && "zero-thread work group");
+    // The kernel's fraction of each resource; equal sharing (paper
+    // default) corresponds to Weight == 1 for all kernels, giving the
+    // exact Sec. 3 divisors of K.
+    double Frac = D.Weight / TotalWeight;
+
+    uint64_t X = static_cast<uint64_t>(
+        static_cast<double>(Caps.Threads) * Frac /
+        static_cast<double>(D.WGThreads));
+    uint64_t Y =
+        D.LocalMemPerWG
+            ? static_cast<uint64_t>(static_cast<double>(Caps.LocalMem) *
+                                    Frac /
+                                    static_cast<double>(D.LocalMemPerWG))
+            : UINT64_MAX;
+    uint64_t RegsPerWG = D.WGThreads * D.RegsPerThread;
+    uint64_t Z = RegsPerWG
+                     ? static_cast<uint64_t>(
+                           static_cast<double>(Caps.Regs) * Frac /
+                           static_cast<double>(RegsPerWG))
+                     : UINT64_MAX;
+    uint64_t SlotShare = static_cast<uint64_t>(
+        static_cast<double>(Caps.WGSlots) * Frac);
+
+    uint64_t N = std::min(std::min(X, Y), std::min(Z, SlotShare));
+    N = std::max<uint64_t>(N, 1);
+    N = std::min(N, D.RequestedWGs ? D.RequestedWGs : 1);
+    Shares[I] = N;
+  }
+
+  if (!Opts.GreedySaturation)
+    return Shares;
+
+  // Greedy saturation (Sec. 3): grow shares round-robin until no kernel
+  // can take another work group.
+  for (bool Progress = true; Progress;) {
+    Progress = false;
+    for (size_t I = 0; I != K; ++I) {
+      if (Shares[I] >= Ks[I].RequestedWGs)
+        continue;
+      ++Shares[I];
+      if (fits(Caps, Ks, Shares)) {
+        Progress = true;
+      } else {
+        --Shares[I];
+      }
+    }
+  }
+  return Shares;
+}

@@ -1,0 +1,70 @@
+//===- accelos/ResourceSolver.h - Fair resource sharing ---------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's resource-sharing algorithm (Sec. 3): determine a number
+/// of work groups per concurrent kernel execution so that all kernels
+/// get approximately equal shares of the three constrained resources —
+/// hardware threads (T), local memory (L) and registers (R):
+///
+///   x_i = T / (K * w_i),  y_i = L / (K * m_i),  z_i = R / (K * r_i)
+///
+/// with the final share min(x_i, y_i, z_i). Because the Diophantine
+/// solutions are conservative, a greedy pass grows shares round-robin
+/// until resource saturation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_ACCELOS_RESOURCESOLVER_H
+#define ACCEL_ACCELOS_RESOURCESOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace accel {
+
+namespace sim {
+struct DeviceSpec;
+}
+
+namespace accelos {
+
+/// Per-kernel demand terms of the Sec. 3 constraint system.
+struct KernelDemand {
+  uint64_t WGThreads = 0;     ///< w_i: work-group size in threads.
+  uint64_t LocalMemPerWG = 0; ///< m_i: local memory per work group.
+  uint64_t RegsPerThread = 0; ///< r_i / w_i: registers per thread.
+  uint64_t RequestedWGs = 0;  ///< Original NDRange group count (cap).
+  /// Relative share weight (paper Sec. 2.2: non-equal sharing ratios).
+  double Weight = 1.0;
+};
+
+/// Device capacity terms.
+struct ResourceCaps {
+  uint64_t Threads = 0;  ///< T.
+  uint64_t LocalMem = 0; ///< L.
+  uint64_t Regs = 0;     ///< R.
+  uint64_t WGSlots = 0;  ///< Device-wide resident work-group limit.
+
+  static ResourceCaps fromDevice(const sim::DeviceSpec &Spec);
+};
+
+/// Options controlling the solver (the greedy phase can be disabled for
+/// the ablation study).
+struct SolverOptions {
+  bool GreedySaturation = true;
+};
+
+/// Computes the number of physical work groups per kernel. Every kernel
+/// receives at least one work group; shares never exceed RequestedWGs.
+std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
+                                      const std::vector<KernelDemand> &Ks,
+                                      const SolverOptions &Opts = {});
+
+} // namespace accelos
+} // namespace accel
+
+#endif // ACCEL_ACCELOS_RESOURCESOLVER_H

@@ -1,0 +1,209 @@
+//===- accelos/Runtime.cpp - The accelOS host runtime ------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "accelos/Runtime.h"
+
+#include "accelos/VirtualNDRange.h"
+#include "kir/RtLayout.h"
+#include "kir/Module.h"
+#include "passes/ConstantFold.h"
+#include "passes/DCE.h"
+#include "passes/Inliner.h"
+#include "passes/Pass.h"
+#include "passes/RegisterEstimator.h"
+
+#include <algorithm>
+
+using namespace accel;
+using namespace accel::accelos;
+
+//===----------------------------------------------------------------------===//
+// MemoryManager
+//===----------------------------------------------------------------------===//
+
+Expected<ocl::Buffer> MemoryManager::allocate(int AppId, uint64_t Size) {
+  Expected<ocl::Buffer> Buf = ocl::Buffer::create(*Dev, Size);
+  if (!Buf) {
+    // Paper Sec. 5: when accelerator memory cannot serve every
+    // application, some are paused until space frees up.
+    Paused.insert(AppId);
+    return makeError("application " + std::to_string(AppId) +
+                     " paused: " + Buf.message());
+  }
+  Usage[AppId] += Size;
+  return Buf;
+}
+
+void MemoryManager::released(int AppId, uint64_t Size) {
+  auto It = Usage.find(AppId);
+  if (It != Usage.end())
+    It->second -= Size < It->second ? Size : It->second;
+  // Optimistically resume everyone; their next allocation re-checks.
+  Paused.clear();
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime: JIT path (FSM (a))
+//===----------------------------------------------------------------------===//
+
+Expected<ocl::Program *> Runtime::createProgram(int AppId,
+                                                const std::string &Source) {
+  ++Stats.ProgramsJitted;
+  auto Prog = std::make_unique<ocl::Program>(*Dev, Source);
+  // Front end ("OpenCL C -> IR", Fig. 7b).
+  if (Error E = Prog->build())
+    return Expected<ocl::Program *>(std::move(E));
+
+  // accelOS JIT pipeline: GPU-compiler-style cleanups, then the
+  // scheduling transformation, linked against the runtime built-ins.
+  passes::PassManager PM;
+  PM.addPass(std::make_unique<passes::InlinerPass>());
+  PM.addPass(std::make_unique<passes::ConstantFoldPass>());
+  PM.addPass(std::make_unique<passes::DCEPass>());
+  auto Transform = std::make_unique<passes::AccelOSTransform>();
+  auto *TPtr = Transform.get();
+  PM.addPass(std::move(Transform));
+  if (Error E = PM.run(*Prog->module()))
+    return Expected<ocl::Program *>(std::move(E));
+
+  JittedProgram JP;
+  JP.Prog = std::move(Prog);
+  JP.Info = TPtr->info();
+  JP.AppId = AppId;
+  Programs.push_back(std::move(JP));
+  return Programs.back().Prog.get();
+}
+
+const passes::TransformedKernelInfo *
+Runtime::kernelInfo(const ocl::Program *Prog,
+                    const std::string &Name) const {
+  for (const JittedProgram &JP : Programs) {
+    if (JP.Prog.get() != Prog)
+      continue;
+    auto It = JP.Info.find(Name);
+    return It == JP.Info.end() ? nullptr : &It->second;
+  }
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime: Kernel Scheduler (FSM (b))
+//===----------------------------------------------------------------------===//
+
+Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
+                             const kir::NDRangeCfg &Range) {
+  ++Stats.KernelsScheduled;
+  if (Memory.isPaused(AppId))
+    return makeError("application " + std::to_string(AppId) +
+                     " is paused for memory pressure");
+  if (kernelInfo(&K.program(), K.name()) == nullptr)
+    return makeError("kernel '" + K.name() +
+                     "' was not compiled through accelOS");
+  for (unsigned D = 0; D != 3; ++D) {
+    if (Range.LocalSize[D] == 0)
+      return makeError("zero local size");
+    if (Range.GlobalSize[D] % Range.LocalSize[D] != 0)
+      return makeError("global size not divisible by local size");
+  }
+  PendingExecution P;
+  P.AppId = AppId;
+  P.Kernel = &K;
+  P.Range = Range;
+  Round.push_back(P);
+  return Error::success();
+}
+
+Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
+  using RetT = Expected<std::vector<ScheduledExecution>>;
+  std::vector<ScheduledExecution> Results;
+  if (Round.empty())
+    return Results;
+
+  // Build the Sec. 3 demand terms for the K concurrent requests.
+  std::vector<KernelDemand> Demands;
+  for (const PendingExecution &P : Round) {
+    const passes::TransformedKernelInfo *Info =
+        kernelInfo(&P.Kernel->program(), P.Kernel->name());
+    kir::Function *Comp =
+        P.Kernel->program().module()->getFunction(Info->ComputeFnName);
+    KernelDemand D;
+    D.WGThreads = P.Range.workGroupSize();
+    D.LocalMemPerWG =
+        Info->LocalMemBytes + kir::rtlayout::schedDescBytes();
+    D.RegsPerThread = passes::estimateRegisters(*Comp);
+    D.RequestedWGs = P.Range.totalGroups();
+    auto WIt = Weights.find(P.AppId);
+    D.Weight = WIt == Weights.end() ? 1.0 : WIt->second;
+    Demands.push_back(D);
+  }
+
+  std::vector<uint64_t> Shares = solveFairShares(
+      ResourceCaps::fromDevice(Dev->spec()), Demands);
+
+  // Launch each request on its reduced range.
+  for (size_t I = 0; I != Round.size(); ++I) {
+    const PendingExecution &P = Round[I];
+    const passes::TransformedKernelInfo *Info =
+        kernelInfo(&P.Kernel->program(), P.Kernel->name());
+
+    // Batching must never starve physical work groups of work: cap it
+    // so every physical WG can dequeue at least one batch.
+    uint64_t MaxBatch = std::max<uint64_t>(
+        1,
+        P.Range.totalGroups() / (4 * std::max<uint64_t>(1, Shares[I])));
+    uint64_t Batch =
+        std::min(batchSizeFor(Mode, Info->ComputeInstCount), MaxBatch);
+    Expected<uint64_t> Rt =
+        writeVirtualNDRange(Dev->memory(), P.Range, Batch);
+    if (!Rt) {
+      Round.clear();
+      return RetT(Rt.takeError());
+    }
+
+    // Alter the global size to the reduced number of work groups; the
+    // work-group size and dimensionality are preserved (Sec. 5). The
+    // reduced physical groups are laid out along dimension 0.
+    kir::NDRangeCfg Reduced;
+    Reduced.WorkDim = P.Range.WorkDim;
+    for (unsigned D = 0; D != 3; ++D) {
+      Reduced.LocalSize[D] = P.Range.LocalSize[D];
+      Reduced.GlobalSize[D] = P.Range.LocalSize[D];
+    }
+    Reduced.GlobalSize[0] = Shares[I] * P.Range.LocalSize[0];
+
+    // The scheduling kernel takes the original arguments plus rt.
+    unsigned RtArgIndex = P.Kernel->function()->numArguments() - 1;
+    if (Error E = P.Kernel->setArg(RtArgIndex,
+                                   ocl::KernelArg::scalarI64(
+                                       static_cast<int64_t>(*Rt)))) {
+      Round.clear();
+      return RetT(std::move(E));
+    }
+    Expected<std::vector<uint64_t>> Args = P.Kernel->packedArgs();
+    if (!Args) {
+      Round.clear();
+      return RetT(Args.takeError());
+    }
+    Expected<kir::ExecStats> Stats =
+        Dev->interpreter().run(*P.Kernel->function(), *Args, Reduced);
+    releaseVirtualNDRange(Dev->memory(), *Rt);
+    if (!Stats) {
+      Round.clear();
+      return RetT(Stats.takeError());
+    }
+
+    ScheduledExecution R;
+    R.KernelName = P.Kernel->name();
+    R.AppId = P.AppId;
+    R.PhysicalWGs = Shares[I];
+    R.OriginalWGs = P.Range.totalGroups();
+    R.Batch = Batch;
+    R.Stats = Stats.take();
+    Results.push_back(std::move(R));
+  }
+  Round.clear();
+  return Results;
+}

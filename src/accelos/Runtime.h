@@ -1,0 +1,154 @@
+//===- accelos/Runtime.h - The accelOS host runtime -------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The accelOS core (level 1 of the paper's Fig. 5): the Application
+/// Monitor finite state machine (Fig. 6), the JIT compilation pipeline
+/// (Fig. 7b: front end -> accelOS kernel transformation -> scheduling
+/// library linkage), the Kernel Scheduler with the Sec. 3 resource
+/// solver, and the memory manager that pauses applications when device
+/// memory is oversubscribed.
+///
+/// Concurrency model: kernel execution requests from multiple
+/// applications accumulate into the current scheduling round;
+/// flushRound() sizes them against each other (K = round size), writes
+/// their Virtual NDRanges and executes them functionally. The timing
+/// dimension of concurrency is handled by sim::Engine in the harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_ACCELOS_RUNTIME_H
+#define ACCEL_ACCELOS_RUNTIME_H
+
+#include "accelos/AdaptivePolicy.h"
+#include "accelos/ResourceSolver.h"
+#include "ocl/Ocl.h"
+#include "passes/AccelOSTransform.h"
+#include "support/Error.h"
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace accelos {
+
+/// Application Monitor FSM transition counters (paper Fig. 6).
+struct MonitorStats {
+  uint64_t ProgramsJitted = 0;   ///< (a) new clProgram -> JIT compiler.
+  uint64_t KernelsScheduled = 0; ///< (b) new kernel exec -> scheduler.
+  uint64_t Passthrough = 0;      ///< (c) any other request.
+};
+
+/// Tracks per-application device-memory usage and pauses applications
+/// whose allocations cannot be served (paper Sec. 5, Memory Management).
+class MemoryManager {
+public:
+  explicit MemoryManager(ocl::Device &Dev) : Dev(&Dev) {}
+
+  /// Attempts an allocation for \p AppId. On exhaustion the application
+  /// is paused and an error describing the pause is returned.
+  Expected<ocl::Buffer> allocate(int AppId, uint64_t Size);
+
+  /// Records that \p AppId released \p Size bytes (the Buffer frees the
+  /// storage itself); resumes paused applications that now fit.
+  void released(int AppId, uint64_t Size);
+
+  bool isPaused(int AppId) const { return Paused.count(AppId) != 0; }
+  uint64_t usageOf(int AppId) const {
+    auto It = Usage.find(AppId);
+    return It == Usage.end() ? 0 : It->second;
+  }
+
+private:
+  ocl::Device *Dev;
+  std::map<int, uint64_t> Usage;
+  std::set<int> Paused;
+};
+
+/// One kernel execution request waiting in the current scheduling round.
+struct PendingExecution {
+  int AppId = 0;
+  ocl::Kernel *Kernel = nullptr;
+  kir::NDRangeCfg Range;
+};
+
+/// Result of one scheduled kernel execution.
+struct ScheduledExecution {
+  std::string KernelName;
+  int AppId = 0;
+  uint64_t PhysicalWGs = 0; ///< Work groups after resource sharing.
+  uint64_t OriginalWGs = 0;
+  uint64_t Batch = 0;       ///< Adaptive dequeue batch (Sec. 6.4).
+  kir::ExecStats Stats;     ///< Functional execution statistics.
+};
+
+/// The accelOS background runtime bound to one accelerator.
+class Runtime {
+public:
+  /// \p Mode selects the naive or optimized scheduling variant
+  /// (Sec. 8.5); per-kernel weights default to equal sharing.
+  explicit Runtime(ocl::Device &Dev,
+                   SchedulingMode Mode = SchedulingMode::Optimized)
+      : Dev(&Dev), Mode(Mode), Memory(Dev) {}
+
+  ocl::Device &device() { return *Dev; }
+  MemoryManager &memory() { return Memory; }
+  const MonitorStats &stats() const { return Stats; }
+  SchedulingMode mode() const { return Mode; }
+
+  /// FSM path (a): builds \p Source through the accelOS JIT pipeline
+  /// (inline, fold, DCE, scheduling transform) and retains ownership of
+  /// the program.
+  Expected<ocl::Program *> createProgram(int AppId,
+                                         const std::string &Source);
+
+  /// \returns transform metadata for kernel \p Name of \p Prog, or null.
+  const passes::TransformedKernelInfo *
+  kernelInfo(const ocl::Program *Prog, const std::string &Name) const;
+
+  /// FSM path (b): queues a kernel execution request into the current
+  /// scheduling round. The kernel's user-visible arguments must already
+  /// be bound; the runtime fills the appended rt argument at launch.
+  Error enqueueKernel(int AppId, ocl::Kernel &K,
+                      const kir::NDRangeCfg &Range);
+
+  /// FSM path (c): any other intercepted request passes through.
+  void otherRequest() { ++Stats.Passthrough; }
+
+  /// Sets the sharing weight used for \p AppId's requests (paper
+  /// Sec. 2.2: sharing ratios other than equal).
+  void setAppWeight(int AppId, double Weight) { Weights[AppId] = Weight; }
+
+  /// Sizes every request in the round against the others (K = round
+  /// size), writes the Virtual NDRanges, and runs the scheduling
+  /// kernels. Clears the round.
+  Expected<std::vector<ScheduledExecution>> flushRound();
+
+  size_t pendingRequests() const { return Round.size(); }
+
+private:
+  struct JittedProgram {
+    std::unique_ptr<ocl::Program> Prog;
+    std::map<std::string, passes::TransformedKernelInfo> Info;
+    int AppId = 0;
+  };
+
+  ocl::Device *Dev;
+  SchedulingMode Mode;
+  MemoryManager Memory;
+  MonitorStats Stats;
+  std::vector<JittedProgram> Programs;
+  std::vector<PendingExecution> Round;
+  std::map<int, double> Weights;
+};
+
+} // namespace accelos
+} // namespace accel
+
+#endif // ACCEL_ACCELOS_RUNTIME_H

@@ -1,0 +1,46 @@
+//===- accelos/VirtualNDRange.cpp - Virtual NDRange construction ------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "accelos/VirtualNDRange.h"
+
+#include "kir/DeviceMemory.h"
+#include "kir/RtLayout.h"
+
+using namespace accel;
+using namespace accel::accelos;
+using namespace accel::kir::rtlayout;
+
+Expected<uint64_t> accelos::writeVirtualNDRange(kir::DeviceMemory &Mem,
+                                                const kir::NDRangeCfg &Orig,
+                                                uint64_t Batch) {
+  if (Batch == 0)
+    return makeError("virtual NDRange batch size must be positive");
+  Expected<uint64_t> Addr = Mem.allocate(virtualNDRangeBytes());
+  if (!Addr)
+    return Addr;
+  uint64_t Rt = *Addr;
+  Mem.writeU64(Rt + 8 * RTW_Magic, VirtualNDRangeMagic);
+  Mem.writeU64(Rt + 8 * RTW_TotalGroups, Orig.totalGroups());
+  Mem.writeU64(Rt + 8 * RTW_Next, 0);
+  Mem.writeU64(Rt + 8 * RTW_Batch, Batch);
+  Mem.writeU64(Rt + 8 * RTW_WorkDim, Orig.WorkDim);
+  for (unsigned D = 0; D != 3; ++D) {
+    Mem.writeU64(Rt + 8 * (RTW_NumGroups0 + D), Orig.numGroups(D));
+    Mem.writeU64(Rt + 8 * (RTW_LocalSize0 + D), Orig.LocalSize[D]);
+    Mem.writeU64(Rt + 8 * (RTW_GlobalSize0 + D), Orig.GlobalSize[D]);
+  }
+  return Rt;
+}
+
+void accelos::resetVirtualNDRange(kir::DeviceMemory &Mem, uint64_t Addr) {
+  assert(Mem.readU64(Addr + 8 * RTW_Magic) == VirtualNDRangeMagic &&
+         "resetting a non-descriptor");
+  Mem.writeU64(Addr + 8 * RTW_Next, 0);
+}
+
+void accelos::releaseVirtualNDRange(kir::DeviceMemory &Mem, uint64_t Addr) {
+  Mem.release(Addr);
+}

@@ -1,0 +1,47 @@
+//===- accelos/VirtualNDRange.h - Virtual NDRange construction --*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Host-side construction of the Virtual NDRange descriptor the Kernel
+/// Scheduler places in accelerator memory (paper Sec. 5): the original
+/// execution range re-expressed as a software queue of virtual groups
+/// that the device-side scheduling library dequeues from.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_ACCELOS_VIRTUALNDRANGE_H
+#define ACCEL_ACCELOS_VIRTUALNDRANGE_H
+
+#include "kir/Interpreter.h"
+#include "support/Error.h"
+
+#include <cstdint>
+
+namespace accel {
+
+namespace kir {
+class DeviceMemory;
+}
+
+namespace accelos {
+
+/// Allocates and fills a Virtual NDRange descriptor for the original
+/// range \p Orig with dequeue batch \p Batch. \returns its device
+/// address.
+Expected<uint64_t> writeVirtualNDRange(kir::DeviceMemory &Mem,
+                                       const kir::NDRangeCfg &Orig,
+                                       uint64_t Batch);
+
+/// Rewinds the dequeue cursor so the descriptor can drive a re-launch.
+void resetVirtualNDRange(kir::DeviceMemory &Mem, uint64_t Addr);
+
+/// Releases the descriptor at \p Addr.
+void releaseVirtualNDRange(kir::DeviceMemory &Mem, uint64_t Addr);
+
+} // namespace accelos
+} // namespace accel
+
+#endif // ACCEL_ACCELOS_VIRTUALNDRANGE_H

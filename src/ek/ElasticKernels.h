@@ -1,0 +1,55 @@
+//===- ek/ElasticKernels.h - Elastic Kernels baseline -----------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reimplementation of the Elastic Kernels comparison point (Pai et al.,
+/// ASPLOS'13; paper Sec. 7.3). EK statically merges the batch of
+/// concurrent kernels: each kernel's grid is elastically resized to a
+/// fixed slice of the device decided once at merge time from *thread
+/// occupancy only*, and every resized work group serially executes a
+/// statically pre-assigned contiguous chunk of the original work groups.
+///
+/// The contrasts with accelOS that the paper measures fall out of this
+/// construction: the slice ignores local-memory/register demands and
+/// workload durations (unfairness); the chunk assignment is static (no
+/// load balancing); and the allocation cannot adapt when kernels finish
+/// (throughput loss at higher request counts).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_EK_ELASTICKERNELS_H
+#define ACCEL_EK_ELASTICKERNELS_H
+
+#include "sim/Engine.h"
+
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace ek {
+
+/// Inputs describing one kernel of the merged batch.
+struct EKKernelDesc {
+  std::string Name;
+  int AppId = 0;
+  uint64_t WGThreads = 0;
+  uint64_t LocalMemPerWG = 0;
+  uint64_t RegsPerThread = 0;
+  double IssueEfficiency = 1.0;
+  /// Per-original-work-group costs in thread-cycles.
+  std::vector<double> WGCosts;
+};
+
+/// Plans the merged launch: \returns one Static-mode launch descriptor
+/// per kernel, sharing a merge group so they co-dispatch.
+std::vector<sim::KernelLaunchDesc>
+planMergedLaunch(const sim::DeviceSpec &Spec,
+                 const std::vector<EKKernelDesc> &Kernels);
+
+} // namespace ek
+} // namespace accel
+
+#endif // ACCEL_EK_ELASTICKERNELS_H

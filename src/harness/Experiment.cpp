@@ -1,0 +1,207 @@
+//===- harness/Experiment.cpp - Experiment driver ----------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include "accelos/AdaptivePolicy.h"
+#include "accelos/ResourceSolver.h"
+#include "ek/ElasticKernels.h"
+#include "kir/Module.h"
+#include "kir/RtLayout.h"
+#include "metrics/Metrics.h"
+#include "minicl/Frontend.h"
+#include "passes/ConstantFold.h"
+#include "passes/DCE.h"
+#include "passes/Inliner.h"
+#include "passes/Pass.h"
+#include "passes/RegisterEstimator.h"
+
+#include <cstdlib>
+
+using namespace accel;
+using namespace accel::harness;
+
+const char *harness::schedulerName(SchedulerKind Kind) {
+  switch (Kind) {
+  case SchedulerKind::Baseline:
+    return "Standard";
+  case SchedulerKind::ElasticKernels:
+    return "EK";
+  case SchedulerKind::AccelOSNaive:
+    return "accelOS-naive";
+  case SchedulerKind::AccelOSOptimized:
+    return "accelOS";
+  }
+  accel_unreachable("bad scheduler kind");
+}
+
+double harness::reproScale() {
+  const char *Env = std::getenv("ACCELOS_REPRO_SCALE");
+  if (!Env)
+    return 1.0;
+  double V = std::atof(Env);
+  return V > 0 ? V : 1.0;
+}
+
+ExperimentDriver::ExperimentDriver(const sim::DeviceSpec &Spec)
+    : Spec(Spec) {
+  // Compile every suite kernel once through the front end and the GPU
+  // cleanup pipeline; the solver/batching inputs come from the IR.
+  for (const workloads::KernelSpec &WS : workloads::parboilSuite()) {
+    Expected<std::unique_ptr<kir::Module>> M =
+        minicl::compileSource(WS.Id, WS.Source);
+    if (!M)
+      reportFatalError(("workload kernel '" + WS.Id +
+                        "' failed to compile: " + M.message())
+                           .c_str());
+    passes::PassManager PM;
+    PM.addPass(std::make_unique<passes::InlinerPass>());
+    PM.addPass(std::make_unique<passes::ConstantFoldPass>());
+    PM.addPass(std::make_unique<passes::DCEPass>());
+    cantFail(PM.run(**M));
+
+    kir::Function *K = (*M)->getFunction(WS.KernelName);
+    if (!K)
+      reportFatalError(("kernel entry '" + WS.KernelName +
+                        "' missing in workload '" + WS.Id + "'")
+                           .c_str());
+    CompiledKernel CK;
+    CK.Spec = &WS;
+    CK.InstCount = K->instructionCount();
+    CK.RegsPerThread = passes::estimateRegisters(*K);
+    CK.LocalMemBytes = K->localMemoryBytes();
+    CK.WGCosts = workloads::generateWGCosts(WS);
+    Kernels.push_back(std::move(CK));
+  }
+}
+
+sim::KernelLaunchDesc ExperimentDriver::baselineDesc(size_t Idx,
+                                                     int AppId) const {
+  const CompiledKernel &CK = Kernels[Idx];
+  sim::KernelLaunchDesc L;
+  L.Name = CK.Spec->Id;
+  L.AppId = AppId;
+  L.WGThreads = CK.Spec->WGSize;
+  L.LocalMemPerWG = CK.LocalMemBytes;
+  L.RegsPerThread = CK.RegsPerThread;
+  L.IssueEfficiency = CK.Spec->IssueEfficiency;
+  L.Mode = sim::KernelLaunchDesc::ModeKind::Static;
+  L.StaticCosts = CK.WGCosts;
+  return L;
+}
+
+std::vector<sim::KernelLaunchDesc>
+ExperimentDriver::buildLaunches(SchedulerKind Kind,
+                                const workloads::Workload &W) const {
+  std::vector<sim::KernelLaunchDesc> Launches;
+
+  switch (Kind) {
+  case SchedulerKind::Baseline: {
+    for (size_t I = 0; I != W.size(); ++I)
+      Launches.push_back(baselineDesc(W[I], static_cast<int>(I)));
+    return Launches;
+  }
+  case SchedulerKind::ElasticKernels: {
+    std::vector<ek::EKKernelDesc> Descs;
+    for (size_t I = 0; I != W.size(); ++I) {
+      const CompiledKernel &CK = Kernels[W[I]];
+      ek::EKKernelDesc D;
+      D.Name = CK.Spec->Id;
+      D.AppId = static_cast<int>(I);
+      D.WGThreads = CK.Spec->WGSize;
+      D.LocalMemPerWG = CK.LocalMemBytes;
+      D.RegsPerThread = CK.RegsPerThread;
+      D.IssueEfficiency = CK.Spec->IssueEfficiency;
+      D.WGCosts = CK.WGCosts;
+      Descs.push_back(std::move(D));
+    }
+    return ek::planMergedLaunch(Spec, Descs);
+  }
+  case SchedulerKind::AccelOSNaive:
+  case SchedulerKind::AccelOSOptimized: {
+    accelos::SchedulingMode Mode =
+        Kind == SchedulerKind::AccelOSNaive
+            ? accelos::SchedulingMode::Naive
+            : accelos::SchedulingMode::Optimized;
+
+    // The Kernel Scheduler's Sec. 3 sizing across the K concurrent
+    // requests.
+    std::vector<accelos::KernelDemand> Demands;
+    for (size_t I = 0; I != W.size(); ++I) {
+      const CompiledKernel &CK = Kernels[W[I]];
+      accelos::KernelDemand D;
+      D.WGThreads = CK.Spec->WGSize;
+      D.LocalMemPerWG =
+          CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
+      D.RegsPerThread = CK.RegsPerThread;
+      D.RequestedWGs = CK.Spec->NumWGs;
+      Demands.push_back(D);
+    }
+    std::vector<uint64_t> Shares = accelos::solveFairShares(
+        accelos::ResourceCaps::fromDevice(Spec), Demands);
+
+    for (size_t I = 0; I != W.size(); ++I) {
+      const CompiledKernel &CK = Kernels[W[I]];
+      sim::KernelLaunchDesc L;
+      L.Name = CK.Spec->Id;
+      L.AppId = static_cast<int>(I);
+      L.WGThreads = CK.Spec->WGSize;
+      L.LocalMemPerWG =
+          CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
+      L.RegsPerThread = CK.RegsPerThread;
+      L.IssueEfficiency = CK.Spec->IssueEfficiency;
+      L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
+      L.VirtualCosts = CK.WGCosts;
+      L.PhysicalWGs = Shares[I];
+      // Batching must never starve physical work groups of work: cap it
+      // so every physical WG gets at least one batch.
+      uint64_t MaxBatch = std::max<uint64_t>(
+          1, CK.Spec->NumWGs / (4 * std::max<uint64_t>(1, Shares[I])));
+      L.Batch = std::min(accelos::batchSizeFor(Mode, CK.InstCount),
+                         MaxBatch);
+      Launches.push_back(std::move(L));
+    }
+    return Launches;
+  }
+  }
+  accel_unreachable("bad scheduler kind");
+}
+
+double ExperimentDriver::isolatedDuration(SchedulerKind Kind, size_t Idx) {
+  auto Key = std::make_pair(static_cast<int>(Kind), Idx);
+  auto It = IsolatedCache.find(Key);
+  if (It != IsolatedCache.end())
+    return It->second;
+
+  workloads::Workload Solo = {Idx};
+  sim::Engine Engine(Spec);
+  sim::SimResult R = Engine.run(buildLaunches(Kind, Solo));
+  double D = R.Kernels[0].duration();
+  IsolatedCache.emplace(Key, D);
+  return D;
+}
+
+WorkloadOutcome ExperimentDriver::runWorkload(SchedulerKind Kind,
+                                              const workloads::Workload &W) {
+  sim::Engine Engine(Spec);
+  sim::SimResult R = Engine.run(buildLaunches(Kind, W));
+
+  WorkloadOutcome Out;
+  Out.Makespan = R.Makespan;
+  std::vector<metrics::Interval> Intervals;
+  for (size_t I = 0; I != W.size(); ++I) {
+    const sim::KernelExecResult &K = R.Kernels[I];
+    double Alone = isolatedDuration(SchedulerKind::Baseline, W[I]);
+    // T(s) is the turnaround from (common, t=0) submission, so queueing
+    // delay behind earlier requests counts against fairness — this is
+    // what serializing schedulers are punished for.
+    Out.Slowdowns.push_back(metrics::individualSlowdown(K.EndTime, Alone));
+    Intervals.push_back({K.StartTime, K.EndTime});
+  }
+  Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
+  Out.Overlap = metrics::executionOverlap(Intervals);
+  return Out;
+}

@@ -1,0 +1,95 @@
+//===- harness/Experiment.h - Experiment driver -----------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the paper's experiments: compiles the 25-kernel suite once
+/// through the real front end and JIT cleanup pipeline (so instruction
+/// counts, register estimates, and local-memory footprints that feed the
+/// Sec. 3 solver and Sec. 6.4 batching come from actual IR), then runs
+/// workloads through the timing engine under the four schedulers:
+/// standard OpenCL (Baseline), Elastic Kernels, and accelOS in naive and
+/// optimized modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_HARNESS_EXPERIMENT_H
+#define ACCEL_HARNESS_EXPERIMENT_H
+
+#include "sim/Engine.h"
+#include "workloads/KernelSpec.h"
+#include "workloads/Sampler.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace harness {
+
+/// The schemes compared throughout Sec. 8.
+enum class SchedulerKind {
+  Baseline,         ///< Standard OpenCL stack.
+  ElasticKernels,   ///< Static merging baseline [31].
+  AccelOSNaive,     ///< accelOS, one virtual group per dequeue.
+  AccelOSOptimized  ///< accelOS with adaptive batching (default).
+};
+
+/// \returns a short printable name.
+const char *schedulerName(SchedulerKind Kind);
+
+/// A suite kernel with its compiler-derived facts and generated costs.
+struct CompiledKernel {
+  const workloads::KernelSpec *Spec = nullptr;
+  uint64_t InstCount = 0;     ///< IR instructions (drives batching).
+  uint64_t RegsPerThread = 0; ///< r_i for the solver.
+  uint64_t LocalMemBytes = 0; ///< m_i for the solver.
+  std::vector<double> WGCosts;
+};
+
+/// Per-workload metric bundle.
+struct WorkloadOutcome {
+  std::vector<double> Slowdowns; ///< IS_i vs. isolated baseline runs.
+  double Unfairness = 1;         ///< U = max IS / min IS.
+  double Overlap = 0;            ///< O = T(c) / T(t).
+  double Makespan = 0;
+};
+
+/// Runs workloads on one device model.
+class ExperimentDriver {
+public:
+  explicit ExperimentDriver(const sim::DeviceSpec &Spec);
+
+  /// Number of suite kernels.
+  size_t numKernels() const { return Kernels.size(); }
+
+  const CompiledKernel &kernel(size_t Idx) const { return Kernels[Idx]; }
+
+  const sim::DeviceSpec &device() const { return Spec; }
+
+  /// Runs one multi-kernel workload under \p Kind.
+  WorkloadOutcome runWorkload(SchedulerKind Kind,
+                              const workloads::Workload &W);
+
+  /// Duration of kernel \p Idx running alone under \p Kind (cached).
+  double isolatedDuration(SchedulerKind Kind, size_t Idx);
+
+private:
+  sim::KernelLaunchDesc baselineDesc(size_t Idx, int AppId) const;
+  std::vector<sim::KernelLaunchDesc>
+  buildLaunches(SchedulerKind Kind, const workloads::Workload &W) const;
+
+  sim::DeviceSpec Spec;
+  std::vector<CompiledKernel> Kernels;
+  std::map<std::pair<int, size_t>, double> IsolatedCache;
+};
+
+/// \returns the bench scale factor from ACCELOS_REPRO_SCALE (default 1).
+double reproScale();
+
+} // namespace harness
+} // namespace accel
+
+#endif // ACCEL_HARNESS_EXPERIMENT_H

@@ -1,0 +1,39 @@
+//===- harness/Table.cpp - Plain-text table rendering ------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Table.h"
+
+#include "support/RawOstream.h"
+#include "support/StringUtil.h"
+
+using namespace accel;
+using namespace accel::harness;
+
+void TextTable::print(raw_ostream &OS) const {
+  std::vector<size_t> Widths(Headers.size(), 0);
+  for (size_t C = 0; C != Headers.size(); ++C)
+    Widths[C] = Headers[C].size();
+  for (const auto &Row : Rows)
+    for (size_t C = 0; C != Row.size() && C != Widths.size(); ++C)
+      Widths[C] = Row[C].size() > Widths[C] ? Row[C].size() : Widths[C];
+
+  auto PrintRow = [&](const std::vector<std::string> &Row) {
+    for (size_t C = 0; C != Row.size(); ++C) {
+      if (C)
+        OS << "  ";
+      OS << padRight(Row[C], Widths[C]);
+    }
+    OS << "\n";
+  };
+
+  PrintRow(Headers);
+  size_t Total = 0;
+  for (size_t C = 0; C != Widths.size(); ++C)
+    Total += Widths[C] + (C ? 2 : 0);
+  OS << std::string(Total, '-') << "\n";
+  for (const auto &Row : Rows)
+    PrintRow(Row);
+}

@@ -1,0 +1,46 @@
+//===- harness/Table.h - Plain-text table rendering -------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny column-aligned table printer used by every bench binary to
+/// emit the rows/series of the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_HARNESS_TABLE_H
+#define ACCEL_HARNESS_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace accel {
+
+class raw_ostream;
+
+namespace harness {
+
+/// Accumulates rows and prints them column-aligned.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row) {
+    Rows.push_back(std::move(Row));
+  }
+
+  /// Renders with a header underline and two-space gutters.
+  void print(raw_ostream &OS) const;
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace harness
+} // namespace accel
+
+#endif // ACCEL_HARNESS_TABLE_H

@@ -1,0 +1,162 @@
+//===- kir/IRBuilder.h - Convenience IR construction ------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A builder that appends instructions to an insertion block, mirroring
+/// llvm::IRBuilder. Used by the MiniCL code generator and by the accelOS
+/// JIT transform when it synthesises scheduling kernels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_IRBUILDER_H
+#define ACCEL_KIR_IRBUILDER_H
+
+#include "kir/Module.h"
+
+#include <memory>
+
+namespace accel {
+namespace kir {
+
+/// Appends instructions to a current insertion point.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function *F) : F(F), BB(nullptr) {}
+
+  Function *function() const { return F; }
+
+  void setInsertPoint(BasicBlock *Block) { BB = Block; }
+  BasicBlock *insertBlock() const { return BB; }
+
+  /// Creates a block in the current function without moving the
+  /// insertion point.
+  BasicBlock *createBlock(const std::string &Name) {
+    return F->createBlock(Name);
+  }
+
+  Constant *i32Const(int32_t V) {
+    return F->getIntConstant(Type::i32(), V);
+  }
+  Constant *i64Const(int64_t V) {
+    return F->getIntConstant(Type::i64(), V);
+  }
+  Constant *f32Const(float V) { return F->getFloatConstant(V); }
+  Constant *boolConst(bool V) { return F->getBoolConstant(V); }
+
+  Value *binary(BinOpKind Op, Value *LHS, Value *RHS,
+                const std::string &Name = "") {
+    assert(LHS->type() == RHS->type() && "binary operand type mismatch");
+    return insert(std::make_unique<BinaryInst>(Op, LHS, RHS), Name);
+  }
+
+  Value *add(Value *L, Value *R, const std::string &Name = "") {
+    return binary(BinOpKind::Add, L, R, Name);
+  }
+  Value *sub(Value *L, Value *R, const std::string &Name = "") {
+    return binary(BinOpKind::Sub, L, R, Name);
+  }
+  Value *mul(Value *L, Value *R, const std::string &Name = "") {
+    return binary(BinOpKind::Mul, L, R, Name);
+  }
+
+  Value *cmp(CmpPred Pred, Value *LHS, Value *RHS,
+             const std::string &Name = "") {
+    return insert(std::make_unique<CmpInst>(Pred, LHS, RHS), Name);
+  }
+
+  Value *select(Value *Cond, Value *TrueVal, Value *FalseVal,
+                const std::string &Name = "") {
+    return insert(std::make_unique<SelectInst>(Cond, TrueVal, FalseVal),
+                  Name);
+  }
+
+  Value *cast(CastKind CK, Value *Src, Type DstTy,
+              const std::string &Name = "") {
+    if (Src->type() == DstTy)
+      return Src;
+    return insert(std::make_unique<CastInst>(CK, Src, DstTy), Name);
+  }
+
+  /// Coerces an integer value to i64 (no-op when already i64).
+  Value *toI64(Value *V, const std::string &Name = "") {
+    if (V->type().kind() == Type::Kind::I64)
+      return V;
+    assert(V->type().kind() == Type::Kind::I32 && "toI64 on non-int");
+    return cast(CastKind::SExt, V, Type::i64(), Name);
+  }
+
+  Value *allocaVar(Type::Kind ElemKind, uint64_t Count,
+                   const std::string &Name = "") {
+    return insert(std::make_unique<AllocaInst>(ElemKind, Count), Name);
+  }
+
+  Value *localAddr(Type::Kind ElemKind, unsigned SlotIndex,
+                   const std::string &Name = "") {
+    return insert(std::make_unique<LocalAddrInst>(ElemKind, SlotIndex),
+                  Name);
+  }
+
+  Value *load(Value *Ptr, const std::string &Name = "") {
+    assert(Ptr->type().isPtr() && "load from non-pointer");
+    return insert(std::make_unique<LoadInst>(Ptr), Name);
+  }
+
+  void store(Value *Ptr, Value *Val) {
+    assert(Ptr->type().isPtr() && "store to non-pointer");
+    insert(std::make_unique<StoreInst>(Ptr, Val), "");
+  }
+
+  Value *gep(Value *Ptr, Value *Index, const std::string &Name = "") {
+    return insert(std::make_unique<GepInst>(Ptr, Index), Name);
+  }
+
+  Value *call(Function *Callee, std::vector<Value *> Args,
+              const std::string &Name = "") {
+    return insert(std::make_unique<CallInst>(Callee, Callee->returnType(),
+                                             std::move(Args)),
+                  Name);
+  }
+
+  Value *builtin(BuiltinKind BK, Type RetTy, std::vector<Value *> Args,
+                 const std::string &Name = "") {
+    return insert(std::make_unique<BuiltinInst>(BK, RetTy, std::move(Args)),
+                  Name);
+  }
+
+  /// Emits barrier(CLK_LOCAL_MEM_FENCE).
+  void barrier() {
+    builtin(BuiltinKind::Barrier, Type::voidTy(), {});
+  }
+
+  void br(BasicBlock *Target) {
+    insert(std::make_unique<BrInst>(Target), "");
+  }
+
+  void condBr(Value *Cond, BasicBlock *TrueTarget, BasicBlock *FalseTarget) {
+    insert(std::make_unique<BrInst>(Cond, TrueTarget, FalseTarget), "");
+  }
+
+  void retVoid() { insert(std::make_unique<RetInst>(), ""); }
+
+  void ret(Value *V) { insert(std::make_unique<RetInst>(V), ""); }
+
+private:
+  Value *insert(std::unique_ptr<Instruction> Inst, const std::string &Name) {
+    assert(BB && "no insertion point set");
+    assert(!BB->terminator() && "inserting into terminated block");
+    if (!Name.empty())
+      Inst->setName(Name);
+    return BB->append(std::move(Inst));
+  }
+
+  Function *F;
+  BasicBlock *BB;
+};
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_IRBUILDER_H

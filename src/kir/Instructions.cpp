@@ -1,0 +1,168 @@
+//===- kir/Instructions.cpp - Instruction name tables ---------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/Instructions.h"
+
+using namespace accel;
+using namespace accel::kir;
+
+const char *kir::binOpName(BinOpKind Op) {
+  switch (Op) {
+  case BinOpKind::Add:
+    return "add";
+  case BinOpKind::Sub:
+    return "sub";
+  case BinOpKind::Mul:
+    return "mul";
+  case BinOpKind::SDiv:
+    return "sdiv";
+  case BinOpKind::SRem:
+    return "srem";
+  case BinOpKind::And:
+    return "and";
+  case BinOpKind::Or:
+    return "or";
+  case BinOpKind::Xor:
+    return "xor";
+  case BinOpKind::Shl:
+    return "shl";
+  case BinOpKind::AShr:
+    return "ashr";
+  case BinOpKind::LShr:
+    return "lshr";
+  case BinOpKind::FAdd:
+    return "fadd";
+  case BinOpKind::FSub:
+    return "fsub";
+  case BinOpKind::FMul:
+    return "fmul";
+  case BinOpKind::FDiv:
+    return "fdiv";
+  }
+  accel_unreachable("bad binary op");
+}
+
+const char *kir::cmpPredName(CmpPred Pred) {
+  switch (Pred) {
+  case CmpPred::EQ:
+    return "eq";
+  case CmpPred::NE:
+    return "ne";
+  case CmpPred::SLT:
+    return "slt";
+  case CmpPred::SLE:
+    return "sle";
+  case CmpPred::SGT:
+    return "sgt";
+  case CmpPred::SGE:
+    return "sge";
+  case CmpPred::ULT:
+    return "ult";
+  case CmpPred::UGE:
+    return "uge";
+  case CmpPred::FOEQ:
+    return "foeq";
+  case CmpPred::FONE:
+    return "fone";
+  case CmpPred::FOLT:
+    return "folt";
+  case CmpPred::FOLE:
+    return "fole";
+  case CmpPred::FOGT:
+    return "fogt";
+  case CmpPred::FOGE:
+    return "foge";
+  }
+  accel_unreachable("bad cmp predicate");
+}
+
+const char *kir::castKindName(CastKind CK) {
+  switch (CK) {
+  case CastKind::SExt:
+    return "sext";
+  case CastKind::Trunc:
+    return "trunc";
+  case CastKind::SIToFP:
+    return "sitofp";
+  case CastKind::FPToSI:
+    return "fptosi";
+  case CastKind::ZExtBool:
+    return "zext";
+  }
+  accel_unreachable("bad cast kind");
+}
+
+const char *kir::builtinName(BuiltinKind BK) {
+  switch (BK) {
+  case BuiltinKind::GetGlobalId:
+    return "get_global_id";
+  case BuiltinKind::GetLocalId:
+    return "get_local_id";
+  case BuiltinKind::GetGroupId:
+    return "get_group_id";
+  case BuiltinKind::GetGlobalSize:
+    return "get_global_size";
+  case BuiltinKind::GetLocalSize:
+    return "get_local_size";
+  case BuiltinKind::GetNumGroups:
+    return "get_num_groups";
+  case BuiltinKind::GetWorkDim:
+    return "get_work_dim";
+  case BuiltinKind::Barrier:
+    return "barrier";
+  case BuiltinKind::Sqrt:
+    return "sqrt";
+  case BuiltinKind::Rsqrt:
+    return "rsqrt";
+  case BuiltinKind::Sin:
+    return "sin";
+  case BuiltinKind::Cos:
+    return "cos";
+  case BuiltinKind::Exp:
+    return "exp";
+  case BuiltinKind::Log:
+    return "log";
+  case BuiltinKind::Fabs:
+    return "fabs";
+  case BuiltinKind::FMin:
+    return "fmin";
+  case BuiltinKind::FMax:
+    return "fmax";
+  case BuiltinKind::Floor:
+    return "floor";
+  case BuiltinKind::IMin:
+    return "min";
+  case BuiltinKind::IMax:
+    return "max";
+  case BuiltinKind::IAbs:
+    return "abs";
+  case BuiltinKind::AtomicAdd:
+    return "atomic_add";
+  case BuiltinKind::AtomicSub:
+    return "atomic_sub";
+  case BuiltinKind::AtomicMin:
+    return "atomic_min";
+  case BuiltinKind::AtomicMax:
+    return "atomic_max";
+  case BuiltinKind::AtomicXchg:
+    return "atomic_xchg";
+  case BuiltinKind::RtIsMaster:
+    return "rt_is_master_workitem";
+  case BuiltinKind::RtEnvInit:
+    return "rt_env_init";
+  case BuiltinKind::RtSchedWGroup:
+    return "rt_sched_wgroup";
+  case BuiltinKind::RtGlobalId:
+    return "rt_global_id";
+  case BuiltinKind::RtGroupId:
+    return "rt_group_id";
+  case BuiltinKind::RtGlobalSize:
+    return "rt_global_size";
+  case BuiltinKind::RtNumGroups:
+    return "rt_num_groups";
+  }
+  accel_unreachable("bad builtin kind");
+}

@@ -1,0 +1,455 @@
+//===- kir/Instructions.h - Kernel IR instruction set -----------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The KIR instruction hierarchy. Instructions are owned by their basic
+/// block, reference operands as Value pointers, and are discriminated by
+/// InstKind for isa/cast/dyn_cast. The set is deliberately small: enough
+/// to express the Parboil-like workloads and the accelOS scheduling
+/// transform (paper Fig. 8), no more.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_INSTRUCTIONS_H
+#define ACCEL_KIR_INSTRUCTIONS_H
+
+#include "kir/Value.h"
+#include "support/Casting.h"
+
+#include <cassert>
+#include <vector>
+
+namespace accel {
+namespace kir {
+
+class BasicBlock;
+class Function;
+
+/// Discriminator for the Instruction hierarchy.
+enum class InstKind : uint8_t {
+  Binary,
+  Cmp,
+  Select,
+  Cast,
+  Alloca,
+  LocalAddr,
+  Load,
+  Store,
+  Gep,
+  Call,
+  Builtin,
+  Br,
+  Ret
+};
+
+/// Base class for all KIR instructions.
+class Instruction : public Value {
+public:
+  InstKind instKind() const { return IKind; }
+
+  BasicBlock *parent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  unsigned numOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+
+  Value *operand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  /// \returns true if this instruction ends a basic block.
+  bool isTerminator() const {
+    return IKind == InstKind::Br || IKind == InstKind::Ret;
+  }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::Instruction;
+  }
+
+protected:
+  Instruction(InstKind IKind, Type Ty, std::vector<Value *> Operands)
+      : Value(ValueKind::Instruction, Ty), IKind(IKind),
+        Operands(std::move(Operands)) {}
+
+private:
+  InstKind IKind;
+  std::vector<Value *> Operands;
+  BasicBlock *Parent = nullptr;
+};
+
+/// Two's-complement and IEEE binary operators.
+enum class BinOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  AShr,
+  LShr,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv
+};
+
+/// \returns the printable mnemonic for \p Op.
+const char *binOpName(BinOpKind Op);
+
+/// \returns true when \p Op operates on f32 values.
+inline bool isFloatBinOp(BinOpKind Op) {
+  return Op == BinOpKind::FAdd || Op == BinOpKind::FSub ||
+         Op == BinOpKind::FMul || Op == BinOpKind::FDiv;
+}
+
+class BinaryInst : public Instruction {
+public:
+  BinaryInst(BinOpKind Op, Value *LHS, Value *RHS)
+      : Instruction(InstKind::Binary, LHS->type(), {LHS, RHS}), Op(Op) {}
+
+  BinOpKind op() const { return Op; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Binary;
+  }
+
+private:
+  BinOpKind Op;
+};
+
+/// Comparison predicates; integer predicates are signed unless noted.
+enum class CmpPred : uint8_t {
+  EQ,
+  NE,
+  SLT,
+  SLE,
+  SGT,
+  SGE,
+  ULT,
+  UGE,
+  FOEQ,
+  FONE,
+  FOLT,
+  FOLE,
+  FOGT,
+  FOGE
+};
+
+/// \returns the printable mnemonic for \p Pred.
+const char *cmpPredName(CmpPred Pred);
+
+/// \returns true when \p Pred compares f32 values.
+inline bool isFloatCmpPred(CmpPred Pred) {
+  return Pred >= CmpPred::FOEQ;
+}
+
+class CmpInst : public Instruction {
+public:
+  CmpInst(CmpPred Pred, Value *LHS, Value *RHS)
+      : Instruction(InstKind::Cmp, Type::i1(), {LHS, RHS}), Pred(Pred) {}
+
+  CmpPred pred() const { return Pred; }
+  Value *lhs() const { return operand(0); }
+  Value *rhs() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Cmp;
+  }
+
+private:
+  CmpPred Pred;
+};
+
+class SelectInst : public Instruction {
+public:
+  SelectInst(Value *Cond, Value *TrueVal, Value *FalseVal)
+      : Instruction(InstKind::Select, TrueVal->type(),
+                    {Cond, TrueVal, FalseVal}) {}
+
+  Value *cond() const { return operand(0); }
+  Value *trueValue() const { return operand(1); }
+  Value *falseValue() const { return operand(2); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Select;
+  }
+};
+
+/// Scalar conversions.
+enum class CastKind : uint8_t {
+  SExt,   ///< i32 -> i64 sign extension.
+  Trunc,  ///< i64 -> i32 truncation.
+  SIToFP, ///< signed int -> f32.
+  FPToSI, ///< f32 -> signed int (toward zero).
+  ZExtBool ///< i1 -> i32 zero extension.
+};
+
+/// \returns the printable mnemonic for \p CK.
+const char *castKindName(CastKind CK);
+
+class CastInst : public Instruction {
+public:
+  CastInst(CastKind CK, Value *Src, Type DstTy)
+      : Instruction(InstKind::Cast, DstTy, {Src}), CK(CK) {}
+
+  CastKind castKind() const { return CK; }
+  Value *src() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Cast;
+  }
+
+private:
+  CastKind CK;
+};
+
+/// Reserves \p count() scalars of private (per-work-item) storage and
+/// yields a private pointer to the first element.
+class AllocaInst : public Instruction {
+public:
+  AllocaInst(Type::Kind ElemKind, uint64_t Count)
+      : Instruction(InstKind::Alloca,
+                    Type::ptr(ElemKind, AddrSpaceKind::Private), {}),
+        ElemKind(ElemKind), Count(Count) {}
+
+  Type::Kind elemKind() const { return ElemKind; }
+  uint64_t count() const { return Count; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Alloca;
+  }
+
+private:
+  Type::Kind ElemKind;
+  uint64_t Count;
+};
+
+/// Yields the local-memory address of one of the parent function's
+/// local-array declarations (see Function::LocalAlloc). The accelOS
+/// transform hoists these declarations into the scheduling kernel
+/// (paper Sec. 6.2 "Local Data Hoisting") and rewires these instructions
+/// to the hoisted slots.
+class LocalAddrInst : public Instruction {
+public:
+  LocalAddrInst(Type::Kind ElemKind, unsigned SlotIndex)
+      : Instruction(InstKind::LocalAddr,
+                    Type::ptr(ElemKind, AddrSpaceKind::Local), {}),
+        SlotIndex(SlotIndex) {}
+
+  unsigned slotIndex() const { return SlotIndex; }
+  void setSlotIndex(unsigned NewIndex) { SlotIndex = NewIndex; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::LocalAddr;
+  }
+
+private:
+  unsigned SlotIndex;
+};
+
+class LoadInst : public Instruction {
+public:
+  explicit LoadInst(Value *Ptr)
+      : Instruction(InstKind::Load, Type::scalar(Ptr->type().elemKind()),
+                    {Ptr}) {}
+
+  Value *pointer() const { return operand(0); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Load;
+  }
+};
+
+class StoreInst : public Instruction {
+public:
+  StoreInst(Value *Ptr, Value *Val)
+      : Instruction(InstKind::Store, Type::voidTy(), {Ptr, Val}) {}
+
+  Value *pointer() const { return operand(0); }
+  Value *value() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Store;
+  }
+};
+
+/// Element-typed pointer arithmetic: yields Ptr + Index * sizeof(elem).
+class GepInst : public Instruction {
+public:
+  GepInst(Value *Ptr, Value *Index)
+      : Instruction(InstKind::Gep, Ptr->type(), {Ptr, Index}) {}
+
+  Value *pointer() const { return operand(0); }
+  Value *index() const { return operand(1); }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Gep;
+  }
+};
+
+/// Direct call to another function in the same module.
+class CallInst : public Instruction {
+public:
+  CallInst(Function *Callee, Type RetTy, std::vector<Value *> Args)
+      : Instruction(InstKind::Call, RetTy, std::move(Args)), Callee(Callee) {}
+
+  Function *callee() const { return Callee; }
+  void setCallee(Function *NewCallee) { Callee = NewCallee; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Call;
+  }
+
+private:
+  Function *Callee;
+};
+
+/// Built-in operations understood directly by the device: OpenCL
+/// work-item queries, math, atomics, the barrier, and the accelOS
+/// scheduling-library entry points injected by the JIT transform.
+enum class BuiltinKind : uint8_t {
+  // OpenCL work-item functions; operand 0 is the dimension (constant).
+  GetGlobalId,
+  GetLocalId,
+  GetGroupId,
+  GetGlobalSize,
+  GetLocalSize,
+  GetNumGroups,
+  GetWorkDim,
+  // Synchronization.
+  Barrier,
+  // f32 math.
+  Sqrt,
+  Rsqrt,
+  Sin,
+  Cos,
+  Exp,
+  Log,
+  Fabs,
+  FMin,
+  FMax,
+  Floor,
+  // Integer helpers.
+  IMin,
+  IMax,
+  IAbs,
+  // Atomics on i32 (global or local pointer, value).
+  AtomicAdd,
+  AtomicSub,
+  AtomicMin,
+  AtomicMax,
+  AtomicXchg,
+  // accelOS scheduling runtime (paper Fig. 8b); generated by the JIT
+  // transform, never written by applications.
+  RtIsMaster,    ///< () -> i1: is this the work-group master work-item.
+  RtEnvInit,     ///< (rt, sd) -> void: initialise scheduling state.
+  RtSchedWGroup, ///< (rt, sd) -> void: atomically dequeue virtual groups.
+  RtGlobalId,    ///< (rt, hdlr, dim) -> i64 virtual global id.
+  RtGroupId,     ///< (rt, hdlr, dim) -> i64 virtual group id.
+  RtGlobalSize,  ///< (rt, dim) -> i64 original global size.
+  RtNumGroups    ///< (rt, dim) -> i64 original group count.
+};
+
+/// \returns the source-level spelling of \p BK.
+const char *builtinName(BuiltinKind BK);
+
+class BuiltinInst : public Instruction {
+public:
+  BuiltinInst(BuiltinKind BK, Type RetTy, std::vector<Value *> Args)
+      : Instruction(InstKind::Builtin, RetTy, std::move(Args)), BK(BK) {}
+
+  BuiltinKind builtinKind() const { return BK; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Builtin;
+  }
+
+private:
+  BuiltinKind BK;
+};
+
+/// Conditional or unconditional branch.
+class BrInst : public Instruction {
+public:
+  /// Unconditional branch to \p Target.
+  explicit BrInst(BasicBlock *Target)
+      : Instruction(InstKind::Br, Type::voidTy(), {}), TrueBB(Target),
+        FalseBB(nullptr) {}
+
+  /// Conditional branch on \p Cond.
+  BrInst(Value *Cond, BasicBlock *TrueTarget, BasicBlock *FalseTarget)
+      : Instruction(InstKind::Br, Type::voidTy(), {Cond}), TrueBB(TrueTarget),
+        FalseBB(FalseTarget) {}
+
+  bool isConditional() const { return numOperands() == 1; }
+  Value *cond() const {
+    assert(isConditional() && "cond on unconditional branch");
+    return operand(0);
+  }
+
+  BasicBlock *trueTarget() const { return TrueBB; }
+  BasicBlock *falseTarget() const { return FalseBB; }
+  void setTrueTarget(BasicBlock *BB) { TrueBB = BB; }
+  void setFalseTarget(BasicBlock *BB) { FalseBB = BB; }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Br;
+  }
+
+private:
+  BasicBlock *TrueBB;
+  BasicBlock *FalseBB;
+};
+
+class RetInst : public Instruction {
+public:
+  RetInst() : Instruction(InstKind::Ret, Type::voidTy(), {}) {}
+
+  explicit RetInst(Value *Val)
+      : Instruction(InstKind::Ret, Type::voidTy(), {Val}) {}
+
+  bool hasValue() const { return numOperands() == 1; }
+  Value *value() const {
+    assert(hasValue() && "value on void return");
+    return operand(0);
+  }
+
+  static bool classof(const Value *V) {
+    const auto *I = dyn_cast<Instruction>(V);
+    return I && I->instKind() == InstKind::Ret;
+  }
+};
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_INSTRUCTIONS_H

@@ -1,0 +1,828 @@
+//===- kir/Interpreter.cpp - Functional kernel execution -------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/Interpreter.h"
+
+#include "kir/RtLayout.h"
+#include "support/Casting.h"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+
+using namespace accel;
+using namespace accel::kir;
+
+namespace {
+
+// Pointer values carry their address space in the top two bits so the
+// interpreter can route accesses to global, local, or private storage.
+constexpr uint64_t TagShift = 62;
+constexpr uint64_t OffsetMask = (1ULL << TagShift) - 1;
+
+enum class Space : uint64_t { Global = 0, Local = 1, Private = 2 };
+
+uint64_t makeAddr(Space S, uint64_t Offset) {
+  return (static_cast<uint64_t>(S) << TagShift) | Offset;
+}
+
+Space addrSpaceOf(uint64_t Addr) {
+  return static_cast<Space>(Addr >> TagShift);
+}
+
+uint64_t addrOffset(uint64_t Addr) { return Addr & OffsetMask; }
+
+uint64_t canonicalizeI32(uint64_t Bits) {
+  return static_cast<uint64_t>(
+      static_cast<int64_t>(static_cast<int32_t>(Bits)));
+}
+
+float asF32(uint64_t Bits) {
+  uint32_t I = static_cast<uint32_t>(Bits);
+  float F;
+  std::memcpy(&F, &I, 4);
+  return F;
+}
+
+uint64_t fromF32(float F) {
+  uint32_t I;
+  std::memcpy(&I, &F, 4);
+  return I;
+}
+
+/// One invocation record on a work-item's call stack.
+struct Frame {
+  const FlatFunction *FF = nullptr;
+  uint32_t PC = 0;
+  uint32_t RetDst = NoReg;
+  size_t PrivateWatermark = 0;
+  std::vector<uint64_t> Regs;
+};
+
+/// A single work item: call stack, private memory, and fixed ids.
+struct WorkItem {
+  std::vector<Frame> Stack;
+  std::vector<uint8_t> PrivateMem;
+  uint64_t LocalId[3] = {0, 0, 0};
+  uint64_t GlobalIdBase[3] = {0, 0, 0};
+  uint64_t LocalLinear = 0;
+  bool Done = false;
+  bool AtBarrier = false;
+  uint64_t Steps = 0;
+};
+
+/// A resident work group: its work items plus local memory.
+struct Group {
+  uint64_t GroupId[3] = {0, 0, 0};
+  uint64_t Linear = 0;
+  std::vector<uint8_t> LocalMem;
+  std::vector<WorkItem> WIs;
+  uint64_t DynInsts = 0;
+  bool Finished = false;
+};
+
+enum class SuspendKind { Done, Barrier, Trap };
+
+/// Executes one kernel launch to completion.
+class Machine {
+public:
+  Machine(DeviceMemory &GlobalMem, CodeCache &Cache, const Function &Kernel,
+          const std::vector<uint64_t> &Args, const NDRangeCfg &Range,
+          uint64_t MaxSteps, uint64_t MaxGroups)
+      : GlobalMem(GlobalMem), Cache(Cache), KernelFF(Cache.get(Kernel)),
+        Args(Args), Range(Range), MaxSteps(MaxSteps), MaxGroups(MaxGroups) {}
+
+  Expected<ExecStats> run();
+
+private:
+  SuspendKind runWorkItem(Group &G, WorkItem &WI);
+  SuspendKind execInst(Group &G, WorkItem &WI, Frame &Fr, const FlatInst &FI);
+
+  std::unique_ptr<Group> makeGroup(uint64_t Linear);
+
+  SuspendKind trap(const std::string &Why) {
+    TrapMessage = Why;
+    return SuspendKind::Trap;
+  }
+
+  static uint64_t opVal(const Frame &Fr, const FlatOperand &Op) {
+    return Op.IsImm ? Op.Imm : Fr.Regs[Op.Reg];
+  }
+
+  // Typed memory access; returns false (and sets TrapMessage) on a
+  // bounds violation.
+  bool loadScalar(Group &G, WorkItem &WI, uint64_t Addr, Type::Kind Kind,
+                  uint64_t &Out);
+  bool storeScalar(Group &G, WorkItem &WI, uint64_t Addr, Type::Kind Kind,
+                   uint64_t Bits);
+  uint8_t *resolveSpan(Group &G, WorkItem &WI, uint64_t Addr, unsigned Size);
+
+  DeviceMemory &GlobalMem;
+  CodeCache &Cache;
+  const FlatFunction &KernelFF;
+  const std::vector<uint64_t> &Args;
+  const NDRangeCfg &Range;
+  uint64_t MaxSteps;
+  uint64_t MaxGroups;
+  ExecStats Stats;
+  std::string TrapMessage;
+};
+
+std::unique_ptr<Group> Machine::makeGroup(uint64_t Linear) {
+  auto G = std::make_unique<Group>();
+  G->Linear = Linear;
+  uint64_t NG0 = Range.numGroups(0);
+  uint64_t NG1 = Range.numGroups(1);
+  G->GroupId[0] = Linear % NG0;
+  G->GroupId[1] = (Linear / NG0) % NG1;
+  G->GroupId[2] = Linear / (NG0 * NG1);
+  G->LocalMem.assign(KernelFF.LocalBytes, 0);
+
+  uint64_t WGSize = Range.workGroupSize();
+  G->WIs.resize(WGSize);
+  for (uint64_t L = 0; L != WGSize; ++L) {
+    WorkItem &WI = G->WIs[L];
+    WI.LocalLinear = L;
+    WI.LocalId[0] = L % Range.LocalSize[0];
+    WI.LocalId[1] = (L / Range.LocalSize[0]) % Range.LocalSize[1];
+    WI.LocalId[2] = L / (Range.LocalSize[0] * Range.LocalSize[1]);
+    for (unsigned D = 0; D != 3; ++D)
+      WI.GlobalIdBase[D] = G->GroupId[D] * Range.LocalSize[D];
+    Frame Fr;
+    Fr.FF = &KernelFF;
+    Fr.Regs.assign(KernelFF.NumRegs, 0);
+    for (size_t A = 0; A != Args.size(); ++A)
+      Fr.Regs[A] = Args[A];
+    WI.Stack.push_back(std::move(Fr));
+  }
+  return G;
+}
+
+uint8_t *Machine::resolveSpan(Group &G, WorkItem &WI, uint64_t Addr,
+                              unsigned Size) {
+  uint64_t Off = addrOffset(Addr);
+  switch (addrSpaceOf(Addr)) {
+  case Space::Global:
+    // Handled separately through DeviceMemory; not reached.
+    return nullptr;
+  case Space::Local:
+    if (Off + Size > G.LocalMem.size()) {
+      TrapMessage = "local memory access out of bounds";
+      return nullptr;
+    }
+    return G.LocalMem.data() + Off;
+  case Space::Private:
+    if (Off + Size > WI.PrivateMem.size()) {
+      TrapMessage = "private memory access out of bounds";
+      return nullptr;
+    }
+    return WI.PrivateMem.data() + Off;
+  }
+  TrapMessage = "access through invalid pointer tag";
+  return nullptr;
+}
+
+bool Machine::loadScalar(Group &G, WorkItem &WI, uint64_t Addr,
+                         Type::Kind Kind, uint64_t &Out) {
+  unsigned Size = Type::scalarSizeBytes(Kind);
+  if (addrSpaceOf(Addr) == Space::Global) {
+    uint64_t Off = addrOffset(Addr);
+    if (!GlobalMem.inBounds(Off, Size)) {
+      TrapMessage = "global memory load out of bounds (addr " +
+                    std::to_string(Off) + ")";
+      return false;
+    }
+    if (Size == 8)
+      Out = GlobalMem.readU64(Off);
+    else
+      Out = GlobalMem.readU32(Off);
+  } else {
+    const uint8_t *Ptr = resolveSpan(G, WI, Addr, Size);
+    if (!Ptr)
+      return false;
+    if (Size == 8) {
+      std::memcpy(&Out, Ptr, 8);
+    } else {
+      uint32_t V;
+      std::memcpy(&V, Ptr, 4);
+      Out = V;
+    }
+  }
+  if (Kind == Type::Kind::I32)
+    Out = canonicalizeI32(Out);
+  return true;
+}
+
+bool Machine::storeScalar(Group &G, WorkItem &WI, uint64_t Addr,
+                          Type::Kind Kind, uint64_t Bits) {
+  unsigned Size = Type::scalarSizeBytes(Kind);
+  if (addrSpaceOf(Addr) == Space::Global) {
+    uint64_t Off = addrOffset(Addr);
+    if (!GlobalMem.inBounds(Off, Size)) {
+      TrapMessage = "global memory store out of bounds (addr " +
+                    std::to_string(Off) + ")";
+      return false;
+    }
+    if (Size == 8)
+      GlobalMem.writeU64(Off, Bits);
+    else
+      GlobalMem.writeU32(Off, static_cast<uint32_t>(Bits));
+    return true;
+  }
+  uint8_t *Ptr = resolveSpan(G, WI, Addr, Size);
+  if (!Ptr)
+    return false;
+  if (Size == 8) {
+    std::memcpy(Ptr, &Bits, 8);
+  } else {
+    uint32_t V = static_cast<uint32_t>(Bits);
+    std::memcpy(Ptr, &V, 4);
+  }
+  return true;
+}
+
+SuspendKind Machine::runWorkItem(Group &G, WorkItem &WI) {
+  for (;;) {
+    if (WI.Stack.empty()) {
+      WI.Done = true;
+      return SuspendKind::Done;
+    }
+    Frame &Fr = WI.Stack.back();
+    if (Fr.PC >= Fr.FF->Code.size())
+      return trap("fell off the end of function '" + Fr.FF->F->name() + "'");
+    const FlatInst &FI = Fr.FF->Code[Fr.PC];
+    ++Fr.PC;
+    ++WI.Steps;
+    ++G.DynInsts;
+    ++Stats.InstsExecuted;
+    if (WI.Steps > MaxSteps)
+      return trap("work item exceeded step budget in '" +
+                  Fr.FF->F->name() + "'");
+    SuspendKind S = execInst(G, WI, Fr, FI);
+    if (S == SuspendKind::Barrier || S == SuspendKind::Trap)
+      return S;
+    if (WI.Done)
+      return SuspendKind::Done;
+  }
+}
+
+SuspendKind Machine::execInst(Group &G, WorkItem &WI, Frame &Fr,
+                              const FlatInst &FI) {
+  const Instruction &I = *FI.I;
+  auto SetDst = [&](uint64_t V) {
+    if (FI.Dst != NoReg)
+      Fr.Regs[FI.Dst] = V;
+  };
+
+  switch (I.instKind()) {
+  case InstKind::Binary: {
+    const auto &B = cast<BinaryInst>(I);
+    uint64_t L = opVal(Fr, FI.Ops[0]);
+    uint64_t R = opVal(Fr, FI.Ops[1]);
+    if (isFloatBinOp(B.op())) {
+      float A = asF32(L), C = asF32(R), Out = 0;
+      switch (B.op()) {
+      case BinOpKind::FAdd:
+        Out = A + C;
+        break;
+      case BinOpKind::FSub:
+        Out = A - C;
+        break;
+      case BinOpKind::FMul:
+        Out = A * C;
+        break;
+      case BinOpKind::FDiv:
+        Out = A / C;
+        break;
+      default:
+        accel_unreachable("non-float op in float path");
+      }
+      SetDst(fromF32(Out));
+      return SuspendKind::Done;
+    }
+    bool Is32 = I.type().kind() == Type::Kind::I32;
+    uint64_t Out = 0;
+    switch (B.op()) {
+    case BinOpKind::Add:
+      Out = L + R;
+      break;
+    case BinOpKind::Sub:
+      Out = L - R;
+      break;
+    case BinOpKind::Mul:
+      Out = L * R;
+      break;
+    case BinOpKind::SDiv:
+    case BinOpKind::SRem: {
+      int64_t Num = static_cast<int64_t>(L);
+      int64_t Den = static_cast<int64_t>(R);
+      if (Den == 0)
+        return trap("integer division by zero in '" + Fr.FF->F->name() +
+                    "'");
+      if (Den == -1) {
+        // Avoid signed-overflow UB on INT_MIN / -1; wraps like hardware.
+        Out = B.op() == BinOpKind::SDiv ? (0 - L) : 0;
+      } else {
+        Out = static_cast<uint64_t>(B.op() == BinOpKind::SDiv ? Num / Den
+                                                              : Num % Den);
+      }
+      break;
+    }
+    case BinOpKind::And:
+      Out = L & R;
+      break;
+    case BinOpKind::Or:
+      Out = L | R;
+      break;
+    case BinOpKind::Xor:
+      Out = L ^ R;
+      break;
+    case BinOpKind::Shl:
+      Out = L << (R & (Is32 ? 31 : 63));
+      break;
+    case BinOpKind::AShr:
+      Out = static_cast<uint64_t>(static_cast<int64_t>(L) >>
+                                  (R & (Is32 ? 31 : 63)));
+      break;
+    case BinOpKind::LShr:
+      Out = (Is32 ? (L & 0xFFFFFFFFULL) : L) >> (R & (Is32 ? 31 : 63));
+      break;
+    default:
+      accel_unreachable("float op in int path");
+    }
+    SetDst(Is32 ? canonicalizeI32(Out) : Out);
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Cmp: {
+    const auto &C = cast<CmpInst>(I);
+    uint64_t L = opVal(Fr, FI.Ops[0]);
+    uint64_t R = opVal(Fr, FI.Ops[1]);
+    bool Out = false;
+    if (isFloatCmpPred(C.pred())) {
+      float A = asF32(L), B = asF32(R);
+      switch (C.pred()) {
+      case CmpPred::FOEQ:
+        Out = A == B;
+        break;
+      case CmpPred::FONE:
+        Out = A != B;
+        break;
+      case CmpPred::FOLT:
+        Out = A < B;
+        break;
+      case CmpPred::FOLE:
+        Out = A <= B;
+        break;
+      case CmpPred::FOGT:
+        Out = A > B;
+        break;
+      case CmpPred::FOGE:
+        Out = A >= B;
+        break;
+      default:
+        accel_unreachable("int pred in float path");
+      }
+    } else {
+      bool Is32 = C.lhs()->type().kind() == Type::Kind::I32;
+      int64_t A = static_cast<int64_t>(L), B = static_cast<int64_t>(R);
+      uint64_t UA = Is32 ? (L & 0xFFFFFFFFULL) : L;
+      uint64_t UB = Is32 ? (R & 0xFFFFFFFFULL) : R;
+      switch (C.pred()) {
+      case CmpPred::EQ:
+        Out = A == B;
+        break;
+      case CmpPred::NE:
+        Out = A != B;
+        break;
+      case CmpPred::SLT:
+        Out = A < B;
+        break;
+      case CmpPred::SLE:
+        Out = A <= B;
+        break;
+      case CmpPred::SGT:
+        Out = A > B;
+        break;
+      case CmpPred::SGE:
+        Out = A >= B;
+        break;
+      case CmpPred::ULT:
+        Out = UA < UB;
+        break;
+      case CmpPred::UGE:
+        Out = UA >= UB;
+        break;
+      default:
+        accel_unreachable("float pred in int path");
+      }
+    }
+    SetDst(Out ? 1 : 0);
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Select: {
+    uint64_t Cond = opVal(Fr, FI.Ops[0]);
+    SetDst(Cond ? opVal(Fr, FI.Ops[1]) : opVal(Fr, FI.Ops[2]));
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Cast: {
+    const auto &C = cast<CastInst>(I);
+    uint64_t V = opVal(Fr, FI.Ops[0]);
+    switch (C.castKind()) {
+    case CastKind::SExt:
+      SetDst(V); // i32 values are kept sign-extended already.
+      break;
+    case CastKind::Trunc:
+      SetDst(canonicalizeI32(V));
+      break;
+    case CastKind::SIToFP:
+      SetDst(fromF32(static_cast<float>(static_cast<int64_t>(V))));
+      break;
+    case CastKind::FPToSI: {
+      float F = asF32(V);
+      int64_t Out;
+      if (std::isnan(F))
+        Out = 0;
+      else if (F >= 9.2233715e18f)
+        Out = INT64_MAX;
+      else if (F <= -9.2233715e18f)
+        Out = INT64_MIN;
+      else
+        Out = static_cast<int64_t>(F);
+      if (C.type().kind() == Type::Kind::I32)
+        SetDst(canonicalizeI32(static_cast<uint64_t>(Out)));
+      else
+        SetDst(static_cast<uint64_t>(Out));
+      break;
+    }
+    case CastKind::ZExtBool:
+      SetDst(V & 1);
+      break;
+    }
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Alloca: {
+    const auto &A = cast<AllocaInst>(I);
+    uint64_t Bytes = A.count() * Type::scalarSizeBytes(A.elemKind());
+    size_t Offset = (WI.PrivateMem.size() + 7) & ~static_cast<size_t>(7);
+    WI.PrivateMem.resize(Offset + Bytes, 0);
+    SetDst(makeAddr(Space::Private, Offset));
+    return SuspendKind::Done;
+  }
+
+  case InstKind::LocalAddr: {
+    const auto &L = cast<LocalAddrInst>(I);
+    if (L.slotIndex() >= Fr.FF->LocalSlotOffsets.size())
+      return trap("local slot out of range");
+    SetDst(makeAddr(Space::Local, Fr.FF->LocalSlotOffsets[L.slotIndex()]));
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Load: {
+    uint64_t Out;
+    if (!loadScalar(G, WI, opVal(Fr, FI.Ops[0]), I.type().kind(), Out))
+      return SuspendKind::Trap;
+    SetDst(Out);
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Store: {
+    const auto &S = cast<StoreInst>(I);
+    Type::Kind Kind = S.value()->type().kind();
+    if (!storeScalar(G, WI, opVal(Fr, FI.Ops[0]), Kind,
+                     opVal(Fr, FI.Ops[1])))
+      return SuspendKind::Trap;
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Gep: {
+    const auto &Ptr = cast<GepInst>(I);
+    uint64_t Base = opVal(Fr, FI.Ops[0]);
+    int64_t Index = static_cast<int64_t>(opVal(Fr, FI.Ops[1]));
+    uint64_t Elem = Ptr.type().elemSizeBytes();
+    SetDst(Base + static_cast<uint64_t>(Index) * Elem);
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Call: {
+    const auto &C = cast<CallInst>(I);
+    if (WI.Stack.size() >= 64)
+      return trap("call stack overflow (recursion?) in '" +
+                  Fr.FF->F->name() + "'");
+    const FlatFunction &CalleeFF = Cache.get(*C.callee());
+    Frame NewFr;
+    NewFr.FF = &CalleeFF;
+    NewFr.RetDst = FI.Dst;
+    NewFr.PrivateWatermark = WI.PrivateMem.size();
+    NewFr.Regs.assign(CalleeFF.NumRegs, 0);
+    for (size_t A = 0; A != FI.Ops.size(); ++A)
+      NewFr.Regs[A] = opVal(Fr, FI.Ops[A]);
+    // Note: pushing may invalidate Fr; do not touch it afterwards.
+    WI.Stack.push_back(std::move(NewFr));
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Builtin: {
+    const auto &B = cast<BuiltinInst>(I);
+    auto Dim = [&](unsigned OpIdx) {
+      return static_cast<unsigned>(opVal(Fr, FI.Ops[OpIdx]));
+    };
+    using namespace rtlayout;
+    switch (B.builtinKind()) {
+    case BuiltinKind::GetGlobalId:
+      SetDst(WI.GlobalIdBase[Dim(0)] + WI.LocalId[Dim(0)]);
+      return SuspendKind::Done;
+    case BuiltinKind::GetLocalId:
+      SetDst(WI.LocalId[Dim(0)]);
+      return SuspendKind::Done;
+    case BuiltinKind::GetGroupId:
+      SetDst(G.GroupId[Dim(0)]);
+      return SuspendKind::Done;
+    case BuiltinKind::GetGlobalSize:
+      SetDst(Range.GlobalSize[Dim(0)]);
+      return SuspendKind::Done;
+    case BuiltinKind::GetLocalSize:
+      SetDst(Range.LocalSize[Dim(0)]);
+      return SuspendKind::Done;
+    case BuiltinKind::GetNumGroups:
+      SetDst(Range.numGroups(Dim(0)));
+      return SuspendKind::Done;
+    case BuiltinKind::GetWorkDim:
+      SetDst(Range.WorkDim);
+      return SuspendKind::Done;
+    case BuiltinKind::Barrier:
+      ++Stats.Barriers;
+      WI.AtBarrier = true;
+      return SuspendKind::Barrier;
+    case BuiltinKind::Sqrt:
+      SetDst(fromF32(std::sqrt(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Rsqrt:
+      SetDst(fromF32(1.0f / std::sqrt(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Sin:
+      SetDst(fromF32(std::sin(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Cos:
+      SetDst(fromF32(std::cos(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Exp:
+      SetDst(fromF32(std::exp(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Log:
+      SetDst(fromF32(std::log(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Fabs:
+      SetDst(fromF32(std::fabs(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::FMin:
+      SetDst(fromF32(std::fmin(asF32(opVal(Fr, FI.Ops[0])),
+                               asF32(opVal(Fr, FI.Ops[1])))));
+      return SuspendKind::Done;
+    case BuiltinKind::FMax:
+      SetDst(fromF32(std::fmax(asF32(opVal(Fr, FI.Ops[0])),
+                               asF32(opVal(Fr, FI.Ops[1])))));
+      return SuspendKind::Done;
+    case BuiltinKind::Floor:
+      SetDst(fromF32(std::floor(asF32(opVal(Fr, FI.Ops[0])))));
+      return SuspendKind::Done;
+    case BuiltinKind::IMin: {
+      int64_t A = static_cast<int64_t>(opVal(Fr, FI.Ops[0]));
+      int64_t C = static_cast<int64_t>(opVal(Fr, FI.Ops[1]));
+      SetDst(static_cast<uint64_t>(A < C ? A : C));
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::IMax: {
+      int64_t A = static_cast<int64_t>(opVal(Fr, FI.Ops[0]));
+      int64_t C = static_cast<int64_t>(opVal(Fr, FI.Ops[1]));
+      SetDst(static_cast<uint64_t>(A > C ? A : C));
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::IAbs: {
+      int64_t A = static_cast<int64_t>(opVal(Fr, FI.Ops[0]));
+      uint64_t Out = static_cast<uint64_t>(A < 0 ? -A : A);
+      SetDst(I.type().kind() == Type::Kind::I32 ? canonicalizeI32(Out)
+                                                : Out);
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::AtomicAdd:
+    case BuiltinKind::AtomicSub:
+    case BuiltinKind::AtomicMin:
+    case BuiltinKind::AtomicMax:
+    case BuiltinKind::AtomicXchg: {
+      uint64_t Addr = opVal(Fr, FI.Ops[0]);
+      int32_t Operand = static_cast<int32_t>(opVal(Fr, FI.Ops[1]));
+      uint64_t OldBits;
+      if (!loadScalar(G, WI, Addr, Type::Kind::I32, OldBits))
+        return SuspendKind::Trap;
+      int32_t Old = static_cast<int32_t>(OldBits);
+      int32_t New = Old;
+      switch (B.builtinKind()) {
+      case BuiltinKind::AtomicAdd:
+        New = static_cast<int32_t>(static_cast<uint32_t>(Old) +
+                                   static_cast<uint32_t>(Operand));
+        break;
+      case BuiltinKind::AtomicSub:
+        New = static_cast<int32_t>(static_cast<uint32_t>(Old) -
+                                   static_cast<uint32_t>(Operand));
+        break;
+      case BuiltinKind::AtomicMin:
+        New = Old < Operand ? Old : Operand;
+        break;
+      case BuiltinKind::AtomicMax:
+        New = Old > Operand ? Old : Operand;
+        break;
+      case BuiltinKind::AtomicXchg:
+        New = Operand;
+        break;
+      default:
+        accel_unreachable("non-atomic in atomic path");
+      }
+      if (!storeScalar(G, WI, Addr, Type::Kind::I32,
+                       static_cast<uint32_t>(New)))
+        return SuspendKind::Trap;
+      ++Stats.AtomicOps;
+      SetDst(canonicalizeI32(static_cast<uint32_t>(Old)));
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::RtIsMaster:
+      SetDst(WI.LocalLinear == 0 ? 1 : 0);
+      return SuspendKind::Done;
+    case BuiltinKind::RtEnvInit: {
+      uint64_t Sd = opVal(Fr, FI.Ops[1]);
+      if (!storeScalar(G, WI, Sd + 8 * SDW_Status, Type::Kind::I64,
+                       RUN_CONTINUE) ||
+          !storeScalar(G, WI, Sd + 8 * SDW_Base, Type::Kind::I64, 0) ||
+          !storeScalar(G, WI, Sd + 8 * SDW_End, Type::Kind::I64, 0))
+        return SuspendKind::Trap;
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::RtSchedWGroup: {
+      uint64_t Rt = addrOffset(opVal(Fr, FI.Ops[0]));
+      uint64_t Sd = opVal(Fr, FI.Ops[1]);
+      if (!GlobalMem.inBounds(Rt, rtlayout::virtualNDRangeBytes()))
+        return trap("rt_sched_wgroup: bad Virtual NDRange pointer");
+      if (GlobalMem.readU64(Rt + 8 * RTW_Magic) != VirtualNDRangeMagic)
+        return trap("rt_sched_wgroup: Virtual NDRange magic mismatch");
+      int64_t Total =
+          static_cast<int64_t>(GlobalMem.readU64(Rt + 8 * RTW_TotalGroups));
+      int64_t Batch =
+          static_cast<int64_t>(GlobalMem.readU64(Rt + 8 * RTW_Batch));
+      int64_t Old = GlobalMem.atomicAddI64(Rt + 8 * RTW_Next, Batch);
+      ++Stats.AtomicOps;
+      int64_t Status, Base = 0, End = 0;
+      if (Old >= Total) {
+        Status = RUN_TERMINATE;
+      } else {
+        Status = RUN_CONTINUE;
+        Base = Old;
+        End = Old + Batch < Total ? Old + Batch : Total;
+      }
+      if (!storeScalar(G, WI, Sd + 8 * SDW_Status, Type::Kind::I64,
+                       static_cast<uint64_t>(Status)) ||
+          !storeScalar(G, WI, Sd + 8 * SDW_Base, Type::Kind::I64,
+                       static_cast<uint64_t>(Base)) ||
+          !storeScalar(G, WI, Sd + 8 * SDW_End, Type::Kind::I64,
+                       static_cast<uint64_t>(End)))
+        return SuspendKind::Trap;
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::RtGlobalId:
+    case BuiltinKind::RtGroupId: {
+      uint64_t Rt = addrOffset(opVal(Fr, FI.Ops[0]));
+      uint64_t Hdlr = opVal(Fr, FI.Ops[1]);
+      unsigned D = Dim(2);
+      if (!GlobalMem.inBounds(Rt, rtlayout::virtualNDRangeBytes()))
+        return trap("rt id builtin: bad Virtual NDRange pointer");
+      uint64_t NG0 = GlobalMem.readU64(Rt + 8 * RTW_NumGroups0);
+      uint64_t NG1 = GlobalMem.readU64(Rt + 8 * RTW_NumGroups1);
+      uint64_t Coord;
+      if (D == 0)
+        Coord = Hdlr % NG0;
+      else if (D == 1)
+        Coord = (Hdlr / NG0) % NG1;
+      else
+        Coord = Hdlr / (NG0 * NG1);
+      if (B.builtinKind() == BuiltinKind::RtGroupId) {
+        SetDst(Coord);
+      } else {
+        uint64_t LS = GlobalMem.readU64(Rt + 8 * (RTW_LocalSize0 + D));
+        SetDst(Coord * LS + WI.LocalId[D]);
+      }
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::RtGlobalSize: {
+      uint64_t Rt = addrOffset(opVal(Fr, FI.Ops[0]));
+      SetDst(GlobalMem.readU64(Rt + 8 * (RTW_GlobalSize0 + Dim(1))));
+      return SuspendKind::Done;
+    }
+    case BuiltinKind::RtNumGroups: {
+      uint64_t Rt = addrOffset(opVal(Fr, FI.Ops[0]));
+      SetDst(GlobalMem.readU64(Rt + 8 * (RTW_NumGroups0 + Dim(1))));
+      return SuspendKind::Done;
+    }
+    }
+    accel_unreachable("unhandled builtin");
+  }
+
+  case InstKind::Br: {
+    const auto &Br = cast<BrInst>(I);
+    if (!Br.isConditional()) {
+      Fr.PC = FI.BrTrue;
+    } else {
+      Fr.PC = opVal(Fr, FI.Ops[0]) ? FI.BrTrue : FI.BrFalse;
+    }
+    return SuspendKind::Done;
+  }
+
+  case InstKind::Ret: {
+    uint64_t RetVal = FI.Ops.empty() ? 0 : opVal(Fr, FI.Ops[0]);
+    uint32_t RetDst = Fr.RetDst;
+    size_t Watermark = Fr.PrivateWatermark;
+    bool HadValue = !FI.Ops.empty();
+    WI.Stack.pop_back();
+    if (WI.Stack.empty()) {
+      WI.Done = true;
+      return SuspendKind::Done;
+    }
+    WI.PrivateMem.resize(Watermark);
+    if (HadValue && RetDst != NoReg)
+      WI.Stack.back().Regs[RetDst] = RetVal;
+    return SuspendKind::Done;
+  }
+  }
+  accel_unreachable("unhandled instruction kind");
+}
+
+Expected<ExecStats> Machine::run() {
+  uint64_t Total = Range.totalGroups();
+  Stats.GroupInsts.assign(Total, 0);
+  if (Total == 0)
+    return Stats;
+
+  std::vector<std::unique_ptr<Group>> Active;
+  uint64_t NextGroup = 0;
+  uint64_t Completed = 0;
+
+  while (Completed < Total) {
+    while (Active.size() < MaxGroups && NextGroup < Total)
+      Active.push_back(makeGroup(NextGroup++));
+
+    for (auto &G : Active) {
+      bool AllDone = true;
+      for (WorkItem &WI : G->WIs) {
+        if (WI.Done)
+          continue;
+        SuspendKind S = runWorkItem(*G, WI);
+        if (S == SuspendKind::Trap)
+          return makeError("kernel trap in group " +
+                           std::to_string(G->Linear) + ": " + TrapMessage);
+        if (S == SuspendKind::Barrier)
+          AllDone = false;
+      }
+      if (AllDone) {
+        Stats.GroupInsts[G->Linear] = G->DynInsts;
+        G->Finished = true;
+        ++Completed;
+        continue;
+      }
+      // Every live work item is suspended at a barrier. OpenCL requires
+      // barriers to be reached by all work items of the group.
+      for (WorkItem &WI : G->WIs) {
+        if (WI.Done)
+          return makeError(
+              "barrier divergence: work item finished while others wait "
+              "(group " +
+              std::to_string(G->Linear) + ")");
+        WI.AtBarrier = false;
+      }
+    }
+
+    std::erase_if(Active,
+                  [](const std::unique_ptr<Group> &G) { return G->Finished; });
+  }
+  return Stats;
+}
+
+} // namespace
+
+Expected<ExecStats> Interpreter::run(const Function &Kernel,
+                                     const std::vector<uint64_t> &Args,
+                                     const NDRangeCfg &Range) {
+  assert(Kernel.isKernel() && "launching a non-kernel function");
+  assert(Args.size() == Kernel.numArguments() && "launch arity mismatch");
+  for (unsigned D = 0; D != 3; ++D) {
+    assert(Range.LocalSize[D] > 0 && "zero local size");
+    assert(Range.GlobalSize[D] % Range.LocalSize[D] == 0 &&
+           "global size not divisible by local size");
+  }
+  Machine M(GlobalMem, Cache, Kernel, Args, Range, MaxSteps, MaxGroups);
+  return M.run();
+}

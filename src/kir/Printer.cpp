@@ -1,0 +1,198 @@
+//===- kir/Printer.cpp - Textual IR dumping --------------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/Printer.h"
+
+#include "kir/Module.h"
+#include "support/RawOstream.h"
+
+#include <map>
+
+using namespace accel;
+using namespace accel::kir;
+
+namespace {
+
+/// Assigns stable printable names to values within one function.
+class FunctionPrinter {
+public:
+  FunctionPrinter(const Function &F, raw_ostream &OS) : F(F), OS(OS) {}
+
+  void print() {
+    printSignature();
+    OS << " {\n";
+    printLocalAllocs();
+    for (const auto &BB : F.blocks()) {
+      OS << BB->name() << ":\n";
+      for (const auto &I : BB->instructions())
+        printInst(*I);
+    }
+    OS << "}\n";
+  }
+
+private:
+  std::string nameOf(const Value *V) {
+    if (const auto *C = dyn_cast<Constant>(V)) {
+      if (C->type().isFloat())
+        return std::to_string(C->floatValue());
+      return std::to_string(C->intValue());
+    }
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    std::string Name;
+    if (!V->name().empty())
+      Name = "%" + V->name() + "." + std::to_string(NextId++);
+    else
+      Name = "%" + std::to_string(NextId++);
+    Names.emplace(V, Name);
+    return Names.at(V);
+  }
+
+  void printSignature() {
+    if (F.isKernel())
+      OS << "kernel ";
+    OS << F.returnType().str() << " @" << F.name() << "(";
+    for (unsigned I = 0; I != F.numArguments(); ++I) {
+      if (I)
+        OS << ", ";
+      const Argument *A = F.argument(I);
+      OS << A->type().str() << " " << nameOf(A);
+    }
+    OS << ")";
+  }
+
+  void printLocalAllocs() {
+    for (const LocalAllocDecl &Decl : F.localAllocs())
+      OS << "  local " << Type::scalar(Decl.ElemKind).str() << " "
+         << Decl.Name << "[" << Decl.Count << "]\n";
+  }
+
+  void printInst(const Instruction &I) {
+    OS << "  ";
+    if (!I.type().isVoid())
+      OS << nameOf(&I) << " = ";
+    switch (I.instKind()) {
+    case InstKind::Binary: {
+      const auto &B = cast<BinaryInst>(I);
+      OS << binOpName(B.op()) << " " << nameOf(B.lhs()) << ", "
+         << nameOf(B.rhs());
+      break;
+    }
+    case InstKind::Cmp: {
+      const auto &C = cast<CmpInst>(I);
+      OS << "cmp " << cmpPredName(C.pred()) << " " << nameOf(C.lhs()) << ", "
+         << nameOf(C.rhs());
+      break;
+    }
+    case InstKind::Select: {
+      const auto &S = cast<SelectInst>(I);
+      OS << "select " << nameOf(S.cond()) << ", " << nameOf(S.trueValue())
+         << ", " << nameOf(S.falseValue());
+      break;
+    }
+    case InstKind::Cast: {
+      const auto &C = cast<CastInst>(I);
+      OS << castKindName(C.castKind()) << " " << nameOf(C.src()) << " to "
+         << C.type().str();
+      break;
+    }
+    case InstKind::Alloca: {
+      const auto &A = cast<AllocaInst>(I);
+      OS << "alloca " << Type::scalar(A.elemKind()).str() << " x "
+         << A.count();
+      break;
+    }
+    case InstKind::LocalAddr: {
+      const auto &L = cast<LocalAddrInst>(I);
+      OS << "localaddr slot " << L.slotIndex();
+      break;
+    }
+    case InstKind::Load: {
+      const auto &L = cast<LoadInst>(I);
+      OS << "load " << nameOf(L.pointer());
+      break;
+    }
+    case InstKind::Store: {
+      const auto &S = cast<StoreInst>(I);
+      OS << "store " << nameOf(S.pointer()) << ", " << nameOf(S.value());
+      break;
+    }
+    case InstKind::Gep: {
+      const auto &G = cast<GepInst>(I);
+      OS << "gep " << nameOf(G.pointer()) << ", " << nameOf(G.index());
+      break;
+    }
+    case InstKind::Call: {
+      const auto &C = cast<CallInst>(I);
+      OS << "call @" << C.callee()->name() << "(";
+      for (unsigned A = 0; A != C.numOperands(); ++A) {
+        if (A)
+          OS << ", ";
+        OS << nameOf(C.operand(A));
+      }
+      OS << ")";
+      break;
+    }
+    case InstKind::Builtin: {
+      const auto &B = cast<BuiltinInst>(I);
+      OS << builtinName(B.builtinKind()) << "(";
+      for (unsigned A = 0; A != B.numOperands(); ++A) {
+        if (A)
+          OS << ", ";
+        OS << nameOf(B.operand(A));
+      }
+      OS << ")";
+      break;
+    }
+    case InstKind::Br: {
+      const auto &B = cast<BrInst>(I);
+      if (B.isConditional())
+        OS << "br " << nameOf(B.cond()) << ", label %"
+           << B.trueTarget()->name() << ", label %"
+           << B.falseTarget()->name();
+      else
+        OS << "br label %" << B.trueTarget()->name();
+      break;
+    }
+    case InstKind::Ret: {
+      const auto &R = cast<RetInst>(I);
+      if (R.hasValue())
+        OS << "ret " << nameOf(R.value());
+      else
+        OS << "ret void";
+      break;
+    }
+    }
+    if (!I.type().isVoid() && I.instKind() != InstKind::Cast)
+      OS << " : " << I.type().str();
+    OS << "\n";
+  }
+
+  const Function &F;
+  raw_ostream &OS;
+  std::map<const Value *, std::string> Names;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+std::string kir::printFunction(const Function &F) {
+  std::string Out;
+  raw_string_ostream OS(Out);
+  FunctionPrinter(F, OS).print();
+  return Out;
+}
+
+std::string kir::printModule(const Module &M) {
+  std::string Out;
+  raw_string_ostream OS(Out);
+  for (const auto &F : M.functions()) {
+    OS << printFunction(*F);
+    OS << "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- kir/Printer.h - Textual IR dumping -----------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders KIR to a human-readable assembly-like text form, used by tests
+/// and by the jit_inspect example to show the before/after of the accelOS
+/// transformation (paper Fig. 8).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_PRINTER_H
+#define ACCEL_KIR_PRINTER_H
+
+#include <string>
+
+namespace accel {
+namespace kir {
+
+class Module;
+class Function;
+
+/// \returns a textual rendering of \p F.
+std::string printFunction(const Function &F);
+
+/// \returns a textual rendering of all functions in \p M.
+std::string printModule(const Module &M);
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_PRINTER_H

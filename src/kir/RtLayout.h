@@ -1,0 +1,72 @@
+//===- kir/RtLayout.h - Device-side scheduling structures -------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory layout of the two structures shared between the accelOS host
+/// runtime and the device-side scheduling library (paper Sec. 5/6.3):
+///
+/// - the Virtual NDRange descriptor ("rt" in Fig. 8b), placed in global
+///   device memory by the Kernel Scheduler; and
+/// - the per-work-group scheduling descriptor ("sd"), placed in local
+///   memory by the generated scheduling kernel.
+///
+/// Both are arrays of i64 words so the generated IR can address them with
+/// ordinary gep/load/store and the i64 atomic dequeue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_RTLAYOUT_H
+#define ACCEL_KIR_RTLAYOUT_H
+
+#include <cstdint>
+
+namespace accel {
+namespace kir {
+namespace rtlayout {
+
+/// Word indices within the Virtual NDRange descriptor (global memory).
+enum VirtualNDRangeWord : unsigned {
+  RTW_Magic = 0,       ///< Integrity marker.
+  RTW_TotalGroups = 1, ///< Number of virtual groups to execute.
+  RTW_Next = 2,        ///< Atomic dequeue cursor.
+  RTW_Batch = 3,       ///< Virtual groups per dequeue (Sec. 6.4).
+  RTW_WorkDim = 4,     ///< Dimensionality of the original NDRange.
+  RTW_NumGroups0 = 5,  ///< Original group counts per dimension.
+  RTW_NumGroups1 = 6,
+  RTW_NumGroups2 = 7,
+  RTW_LocalSize0 = 8, ///< Work-group size per dimension (unchanged).
+  RTW_LocalSize1 = 9,
+  RTW_LocalSize2 = 10,
+  RTW_GlobalSize0 = 11, ///< Original global sizes per dimension.
+  RTW_GlobalSize1 = 12,
+  RTW_GlobalSize2 = 13,
+  RTW_WordCount = 14
+};
+
+/// Word indices within the per-work-group scheduling descriptor (local
+/// memory, written by the master work item, read by all).
+enum SchedDescWord : unsigned {
+  SDW_Status = 0, ///< RUN_CONTINUE or RUN_TERMINATE.
+  SDW_Base = 1,   ///< First virtual group of the current batch.
+  SDW_End = 2,    ///< One past the last virtual group of the batch.
+  SDW_WordCount = 3
+};
+
+/// Values of the SDW_Status word.
+enum RunStatus : int64_t { RUN_CONTINUE = 0, RUN_TERMINATE = 1 };
+
+/// Magic value marking a live Virtual NDRange descriptor.
+constexpr uint64_t VirtualNDRangeMagic = 0xACCE105ULL;
+
+/// Size in bytes of each descriptor.
+constexpr uint64_t virtualNDRangeBytes() { return RTW_WordCount * 8; }
+constexpr uint64_t schedDescBytes() { return SDW_WordCount * 8; }
+
+} // namespace rtlayout
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_RTLAYOUT_H

@@ -1,0 +1,156 @@
+//===- kir/Type.h - Kernel IR type system -----------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The KIR type system: scalars (void, i1, i32, i64, f32) and pointers
+/// qualified by an OpenCL address space. Types are small value objects;
+/// there is no interning context because the set is closed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_TYPE_H
+#define ACCEL_KIR_TYPE_H
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace accel {
+namespace kir {
+
+/// OpenCL disjoint address spaces as seen by kernels.
+enum class AddrSpaceKind : uint8_t {
+  Private, ///< Per-work-item memory (allocas).
+  Local,   ///< Per-work-group scratchpad.
+  Global   ///< Device memory shared by the whole NDRange.
+};
+
+/// \returns the OpenCL-style keyword for \p AS.
+inline const char *addrSpaceName(AddrSpaceKind AS) {
+  switch (AS) {
+  case AddrSpaceKind::Private:
+    return "private";
+  case AddrSpaceKind::Local:
+    return "local";
+  case AddrSpaceKind::Global:
+    return "global";
+  }
+  accel_unreachable("bad address space");
+}
+
+/// A KIR type: a scalar kind, or a pointer to a scalar in some address
+/// space. Value-semantic and cheap to copy.
+class Type {
+public:
+  enum class Kind : uint8_t { Void, I1, I32, I64, F32, Ptr };
+
+  Type() : TyKind(Kind::Void) {}
+
+  static Type voidTy() { return Type(Kind::Void); }
+  static Type i1() { return Type(Kind::I1); }
+  static Type i32() { return Type(Kind::I32); }
+  static Type i64() { return Type(Kind::I64); }
+  static Type f32() { return Type(Kind::F32); }
+
+  /// \returns the scalar type of kind \p K (must not be Ptr).
+  static Type scalar(Kind K) {
+    assert(K != Kind::Ptr && "scalar() on pointer kind");
+    return Type(K);
+  }
+
+  /// Builds a pointer-to-\p Elem in address space \p AS. \p Elem must be
+  /// a loadable scalar kind.
+  static Type ptr(Kind Elem, AddrSpaceKind AS) {
+    assert((Elem == Kind::I32 || Elem == Kind::I64 || Elem == Kind::F32) &&
+           "pointers must point at loadable scalars");
+    Type T(Kind::Ptr);
+    T.Elem = Elem;
+    T.AS = AS;
+    return T;
+  }
+
+  Kind kind() const { return TyKind; }
+
+  /// \returns the pointee scalar kind; only valid for pointers.
+  Kind elemKind() const {
+    assert(isPtr() && "elemKind on non-pointer");
+    return Elem;
+  }
+
+  /// \returns the address space; only valid for pointers.
+  AddrSpaceKind addrSpace() const {
+    assert(isPtr() && "addrSpace on non-pointer");
+    return AS;
+  }
+
+  bool isVoid() const { return TyKind == Kind::Void; }
+  bool isBool() const { return TyKind == Kind::I1; }
+  bool isInt() const { return TyKind == Kind::I32 || TyKind == Kind::I64; }
+  bool isFloat() const { return TyKind == Kind::F32; }
+  bool isPtr() const { return TyKind == Kind::Ptr; }
+
+  /// \returns the in-memory size of a scalar of kind \p K in bytes.
+  static unsigned scalarSizeBytes(Kind K) {
+    switch (K) {
+    case Kind::I32:
+    case Kind::F32:
+      return 4;
+    case Kind::I64:
+      return 8;
+    case Kind::Void:
+    case Kind::I1:
+    case Kind::Ptr:
+      break;
+    }
+    accel_unreachable("type has no in-memory scalar size");
+  }
+
+  /// \returns the size of this type's pointee in bytes.
+  unsigned elemSizeBytes() const { return scalarSizeBytes(elemKind()); }
+
+  bool operator==(const Type &Other) const {
+    if (TyKind != Other.TyKind)
+      return false;
+    if (TyKind != Kind::Ptr)
+      return true;
+    return Elem == Other.Elem && AS == Other.AS;
+  }
+
+  bool operator!=(const Type &Other) const { return !(*this == Other); }
+
+  /// \returns a printable spelling such as "i32" or "global f32*".
+  std::string str() const {
+    switch (TyKind) {
+    case Kind::Void:
+      return "void";
+    case Kind::I1:
+      return "i1";
+    case Kind::I32:
+      return "i32";
+    case Kind::I64:
+      return "i64";
+    case Kind::F32:
+      return "f32";
+    case Kind::Ptr:
+      return std::string(addrSpaceName(AS)) + " " + Type(Elem).str() + "*";
+    }
+    accel_unreachable("bad type kind");
+  }
+
+private:
+  explicit Type(Kind K) : TyKind(K) {}
+
+  Kind TyKind;
+  Kind Elem = Kind::Void;
+  AddrSpaceKind AS = AddrSpaceKind::Private;
+};
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_TYPE_H

@@ -1,0 +1,108 @@
+//===- kir/Value.h - Kernel IR value hierarchy ------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of the KIR SSA-ish data graph: function arguments,
+/// constants, and instructions all produce typed values. The hierarchy
+/// uses Kind-discriminated RTTI (support/Casting.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_VALUE_H
+#define ACCEL_KIR_VALUE_H
+
+#include "kir/Type.h"
+
+#include <cstdint>
+#include <string>
+
+namespace accel {
+namespace kir {
+
+/// Root of the data-value hierarchy.
+class Value {
+public:
+  enum class ValueKind : uint8_t { Argument, Constant, Instruction };
+
+  ValueKind valueKind() const { return VKind; }
+  const Type &type() const { return Ty; }
+
+  const std::string &name() const { return Name; }
+  void setName(std::string NewName) { Name = std::move(NewName); }
+
+  virtual ~Value() = default;
+
+protected:
+  Value(ValueKind VKind, Type Ty) : VKind(VKind), Ty(Ty) {}
+
+private:
+  ValueKind VKind;
+  Type Ty;
+  std::string Name;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(Type Ty, unsigned Index) : Value(ValueKind::Argument, Ty),
+                                      Index(Index) {}
+
+  unsigned index() const { return Index; }
+  void setIndex(unsigned NewIndex) { Index = NewIndex; }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::Argument;
+  }
+
+private:
+  unsigned Index;
+};
+
+/// An immediate scalar constant. Floats are stored as their IEEE bits so
+/// constants of all kinds share one 64-bit payload.
+class Constant : public Value {
+public:
+  Constant(Type Ty, uint64_t Bits) : Value(ValueKind::Constant, Ty),
+                                     Bits(Bits) {}
+
+  /// Raw payload bits (sign-extended for narrow integers).
+  uint64_t bits() const { return Bits; }
+
+  /// \returns the value interpreted as a signed integer.
+  int64_t intValue() const { return static_cast<int64_t>(Bits); }
+
+  /// \returns the value interpreted as an f32.
+  float floatValue() const {
+    union {
+      uint32_t I;
+      float F;
+    } U;
+    U.I = static_cast<uint32_t>(Bits);
+    return U.F;
+  }
+
+  /// Encodes \p F into the shared payload representation.
+  static uint64_t encodeFloat(float F) {
+    union {
+      uint32_t I;
+      float F;
+    } U;
+    U.F = F;
+    return U.I;
+  }
+
+  static bool classof(const Value *V) {
+    return V->valueKind() == ValueKind::Constant;
+  }
+
+private:
+  uint64_t Bits;
+};
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_VALUE_H

@@ -1,0 +1,36 @@
+//===- kir/Verifier.h - IR structural validation ----------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates structural and type invariants of KIR modules. Run after
+/// MiniCL codegen and after every transform pass; a verifier failure
+/// indicates a compiler bug, surfaced as a recoverable Error so the
+/// OpenCL-style build call can report it to the application.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_VERIFIER_H
+#define ACCEL_KIR_VERIFIER_H
+
+#include "support/Error.h"
+
+namespace accel {
+namespace kir {
+
+class Module;
+class Function;
+
+/// Checks one function. \returns a failure describing the first broken
+/// invariant, or success.
+Error verifyFunction(const Function &F);
+
+/// Checks every function in \p M.
+Error verifyModule(const Module &M);
+
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_VERIFIER_H

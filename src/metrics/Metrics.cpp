@@ -1,0 +1,101 @@
+//===- metrics/Metrics.cpp - Fairness and throughput metrics ----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace accel;
+using namespace accel::metrics;
+
+double metrics::individualSlowdown(double SharedDuration,
+                                   double AloneDuration) {
+  assert(SharedDuration > 0 && AloneDuration > 0 &&
+         "durations must be positive");
+  return SharedDuration / AloneDuration;
+}
+
+double metrics::systemUnfairness(const std::vector<double> &Slowdowns) {
+  assert(!Slowdowns.empty() && "unfairness of an empty set");
+  double Max = Slowdowns[0], Min = Slowdowns[0];
+  for (double S : Slowdowns) {
+    Max = std::max(Max, S);
+    Min = std::min(Min, S);
+  }
+  assert(Min > 0 && "non-positive slowdown");
+  return Max / Min;
+}
+
+double metrics::fairnessImprovement(double BaselineUnfairness,
+                                    double Unfairness) {
+  assert(Unfairness > 0 && "non-positive unfairness");
+  return BaselineUnfairness / Unfairness;
+}
+
+double metrics::executionOverlap(const std::vector<Interval> &Intervals) {
+  if (Intervals.empty())
+    return 0.0;
+
+  // T(c): all kernels co-executing.
+  double MaxStart = Intervals[0].Start, MinEnd = Intervals[0].End;
+  for (const Interval &I : Intervals) {
+    MaxStart = std::max(MaxStart, I.Start);
+    MinEnd = std::min(MinEnd, I.End);
+  }
+  double Tc = std::max(0.0, MinEnd - MaxStart);
+
+  // T(t): at least one kernel executing (interval union).
+  std::vector<Interval> Sorted = Intervals;
+  std::sort(Sorted.begin(), Sorted.end(),
+            [](const Interval &A, const Interval &B) {
+              return A.Start < B.Start;
+            });
+  double Tt = 0;
+  double CurStart = Sorted[0].Start, CurEnd = Sorted[0].End;
+  for (const Interval &I : Sorted) {
+    if (I.Start > CurEnd) {
+      Tt += CurEnd - CurStart;
+      CurStart = I.Start;
+      CurEnd = I.End;
+    } else {
+      CurEnd = std::max(CurEnd, I.End);
+    }
+  }
+  Tt += CurEnd - CurStart;
+  if (Tt <= 0)
+    return 0.0;
+  return Tc / Tt;
+}
+
+double metrics::throughputSpeedup(double BaselineMakespan, double Makespan) {
+  assert(Makespan > 0 && "non-positive makespan");
+  return BaselineMakespan / Makespan;
+}
+
+double metrics::systemThroughput(const std::vector<double> &Slowdowns) {
+  double Sum = 0;
+  for (double S : Slowdowns) {
+    assert(S > 0 && "non-positive slowdown");
+    Sum += 1.0 / S;
+  }
+  return Sum;
+}
+
+double metrics::averageNormalizedTurnaround(
+    const std::vector<double> &Slowdowns) {
+  assert(!Slowdowns.empty() && "ANTT of an empty set");
+  double Sum = 0;
+  for (double S : Slowdowns)
+    Sum += S;
+  return Sum / static_cast<double>(Slowdowns.size());
+}
+
+double metrics::worstNormalizedTurnaround(
+    const std::vector<double> &Slowdowns) {
+  assert(!Slowdowns.empty() && "worst ANTT of an empty set");
+  return *std::max_element(Slowdowns.begin(), Slowdowns.end());
+}

@@ -1,0 +1,59 @@
+//===- metrics/Metrics.h - Fairness and throughput metrics ------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evaluation metrics of paper Sec. 7.4: individual slowdown (IS),
+/// system unfairness (U), fairness improvement, kernel execution overlap
+/// (O), throughput speedup, STP, ANTT and worst-case ANTT.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_METRICS_METRICS_H
+#define ACCEL_METRICS_METRICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace accel {
+namespace metrics {
+
+/// A [start, end) execution interval.
+struct Interval {
+  double Start = 0;
+  double End = 0;
+
+  double length() const { return End - Start; }
+};
+
+/// IS_i = T(shared)_i / T(alone)_i. Both must be positive.
+double individualSlowdown(double SharedDuration, double AloneDuration);
+
+/// U = max(IS) / min(IS) (paper adopts [9]). One kernel gives U = 1.
+double systemUnfairness(const std::vector<double> &Slowdowns);
+
+/// Fairness improvement of a scheme over the baseline: U_base / U_x.
+double fairnessImprovement(double BaselineUnfairness, double Unfairness);
+
+/// O = T(c) / T(t): the time all kernels co-execute over the time any
+/// executes (paper Sec. 7.4). \returns 0 for an empty set.
+double executionOverlap(const std::vector<Interval> &Intervals);
+
+/// Throughput speedup: T_baseline / T_x over whole-workload makespans.
+double throughputSpeedup(double BaselineMakespan, double Makespan);
+
+/// STP = sum_i 1/IS_i (normalized progress, Eyerman & Eeckhout).
+double systemThroughput(const std::vector<double> &Slowdowns);
+
+/// ANTT = mean of the normalized turnaround times (== slowdowns).
+double averageNormalizedTurnaround(const std::vector<double> &Slowdowns);
+
+/// Worst-case normalized turnaround time.
+double worstNormalizedTurnaround(const std::vector<double> &Slowdowns);
+
+} // namespace metrics
+} // namespace accel
+
+#endif // ACCEL_METRICS_METRICS_H

@@ -1,0 +1,554 @@
+//===- minicl/AST.h - MiniCL abstract syntax tree ---------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// AST node definitions for MiniCL. Nodes are Kind-discriminated for
+/// isa/dyn_cast, owned by their parents via unique_ptr, and carry source
+/// lines for diagnostics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_AST_H
+#define ACCEL_MINICL_AST_H
+
+#include "kir/Type.h"
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace minicl {
+
+/// A MiniCL source-level type: an arithmetic scalar, bool, void, or a
+/// pointer to a scalar in an OpenCL address space.
+struct MiniType {
+  enum class Base : uint8_t { Void, Bool, Int, Long, Float, Ptr };
+
+  Base B = Base::Void;
+  Base Elem = Base::Void; ///< Pointee for Ptr.
+  kir::AddrSpaceKind AS = kir::AddrSpaceKind::Private;
+  bool IsConst = false;
+
+  static MiniType voidTy() { return {}; }
+  static MiniType boolTy() { return {Base::Bool, Base::Void,
+                                     kir::AddrSpaceKind::Private, false}; }
+  static MiniType intTy() { return {Base::Int, Base::Void,
+                                    kir::AddrSpaceKind::Private, false}; }
+  static MiniType longTy() { return {Base::Long, Base::Void,
+                                     kir::AddrSpaceKind::Private, false}; }
+  static MiniType floatTy() { return {Base::Float, Base::Void,
+                                      kir::AddrSpaceKind::Private, false}; }
+  static MiniType ptr(Base Elem, kir::AddrSpaceKind AS, bool IsConst) {
+    return {Base::Ptr, Elem, AS, IsConst};
+  }
+
+  bool isVoid() const { return B == Base::Void; }
+  bool isBool() const { return B == Base::Bool; }
+  bool isInteger() const { return B == Base::Int || B == Base::Long; }
+  bool isArith() const { return isInteger() || B == Base::Float; }
+  bool isPtr() const { return B == Base::Ptr; }
+
+  bool sameShape(const MiniType &O) const {
+    return B == O.B && (B != Base::Ptr || (Elem == O.Elem && AS == O.AS));
+  }
+
+  /// \returns the KIR type corresponding to this source type.
+  kir::Type toKir() const {
+    switch (B) {
+    case Base::Void:
+      return kir::Type::voidTy();
+    case Base::Bool:
+      return kir::Type::i1();
+    case Base::Int:
+      return kir::Type::i32();
+    case Base::Long:
+      return kir::Type::i64();
+    case Base::Float:
+      return kir::Type::f32();
+    case Base::Ptr:
+      return kir::Type::ptr(scalarKirKind(Elem), AS);
+    }
+    accel_unreachable("bad MiniType base");
+  }
+
+  /// Maps a scalar Base onto the KIR scalar kind.
+  static kir::Type::Kind scalarKirKind(Base B) {
+    switch (B) {
+    case Base::Int:
+      return kir::Type::Kind::I32;
+    case Base::Long:
+      return kir::Type::Kind::I64;
+    case Base::Float:
+      return kir::Type::Kind::F32;
+    case Base::Void:
+    case Base::Bool:
+    case Base::Ptr:
+      break;
+    }
+    accel_unreachable("non-scalar MiniType base");
+  }
+
+  std::string str() const {
+    switch (B) {
+    case Base::Void:
+      return "void";
+    case Base::Bool:
+      return "bool";
+    case Base::Int:
+      return "int";
+    case Base::Long:
+      return "long";
+    case Base::Float:
+      return "float";
+    case Base::Ptr:
+      return std::string(kir::addrSpaceName(AS)) + " " +
+             MiniType{Elem, Base::Void, kir::AddrSpaceKind::Private, false}
+                 .str() +
+             "*";
+    }
+    accel_unreachable("bad MiniType base");
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class ExprKind : uint8_t {
+  IntLit,
+  FloatLit,
+  BoolLit,
+  VarRef,
+  Unary,
+  Binary,
+  Cast,
+  Index,
+  Call
+};
+
+class Expr {
+public:
+  virtual ~Expr() = default;
+
+  ExprKind exprKind() const { return EK; }
+  unsigned line() const { return Line; }
+
+protected:
+  Expr(ExprKind EK, unsigned Line) : EK(EK), Line(Line) {}
+
+private:
+  ExprKind EK;
+  unsigned Line;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class IntLitExpr : public Expr {
+public:
+  IntLitExpr(int64_t Value, unsigned Line)
+      : Expr(ExprKind::IntLit, Line), Value(Value) {}
+
+  int64_t value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::IntLit;
+  }
+
+private:
+  int64_t Value;
+};
+
+class FloatLitExpr : public Expr {
+public:
+  FloatLitExpr(float Value, unsigned Line)
+      : Expr(ExprKind::FloatLit, Line), Value(Value) {}
+
+  float value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::FloatLit;
+  }
+
+private:
+  float Value;
+};
+
+class BoolLitExpr : public Expr {
+public:
+  BoolLitExpr(bool Value, unsigned Line)
+      : Expr(ExprKind::BoolLit, Line), Value(Value) {}
+
+  bool value() const { return Value; }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::BoolLit;
+  }
+
+private:
+  bool Value;
+};
+
+class VarRefExpr : public Expr {
+public:
+  VarRefExpr(std::string Name, unsigned Line)
+      : Expr(ExprKind::VarRef, Line), Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::VarRef;
+  }
+
+private:
+  std::string Name;
+};
+
+enum class UnaryOpKind : uint8_t { Neg, Not, BitNot };
+
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnaryOpKind Op, ExprPtr Sub, unsigned Line)
+      : Expr(ExprKind::Unary, Line), Op(Op), Sub(std::move(Sub)) {}
+
+  UnaryOpKind op() const { return Op; }
+  Expr *sub() const { return Sub.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::Unary;
+  }
+
+private:
+  UnaryOpKind Op;
+  ExprPtr Sub;
+};
+
+enum class BinaryOpKind : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Shl,
+  Shr,
+  BitAnd,
+  BitOr,
+  BitXor,
+  LogAnd,
+  LogOr,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne
+};
+
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinaryOpKind Op, ExprPtr LHS, ExprPtr RHS, unsigned Line)
+      : Expr(ExprKind::Binary, Line), Op(Op), LHS(std::move(LHS)),
+        RHS(std::move(RHS)) {}
+
+  BinaryOpKind op() const { return Op; }
+  Expr *lhs() const { return LHS.get(); }
+  Expr *rhs() const { return RHS.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::Binary;
+  }
+
+private:
+  BinaryOpKind Op;
+  ExprPtr LHS, RHS;
+};
+
+class CastExpr : public Expr {
+public:
+  CastExpr(MiniType Target, ExprPtr Sub, unsigned Line)
+      : Expr(ExprKind::Cast, Line), Target(Target), Sub(std::move(Sub)) {}
+
+  const MiniType &target() const { return Target; }
+  Expr *sub() const { return Sub.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::Cast;
+  }
+
+private:
+  MiniType Target;
+  ExprPtr Sub;
+};
+
+class IndexExpr : public Expr {
+public:
+  IndexExpr(ExprPtr Base, ExprPtr Index, unsigned Line)
+      : Expr(ExprKind::Index, Line), Base(std::move(Base)),
+        Index(std::move(Index)) {}
+
+  Expr *base() const { return Base.get(); }
+  Expr *index() const { return Index.get(); }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::Index;
+  }
+
+private:
+  ExprPtr Base, Index;
+};
+
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args, unsigned Line)
+      : Expr(ExprKind::Call, Line), Callee(std::move(Callee)),
+        Args(std::move(Args)) {}
+
+  const std::string &callee() const { return Callee; }
+  const std::vector<ExprPtr> &args() const { return Args; }
+
+  static bool classof(const Expr *E) {
+    return E->exprKind() == ExprKind::Call;
+  }
+
+private:
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind : uint8_t {
+  Block,
+  Decl,
+  Assign,
+  ExprStmt,
+  If,
+  For,
+  While,
+  Return,
+  Break,
+  Continue
+};
+
+class Stmt {
+public:
+  virtual ~Stmt() = default;
+
+  StmtKind stmtKind() const { return SK; }
+  unsigned line() const { return Line; }
+
+protected:
+  Stmt(StmtKind SK, unsigned Line) : SK(SK), Line(Line) {}
+
+private:
+  StmtKind SK;
+  unsigned Line;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+
+class BlockStmt : public Stmt {
+public:
+  BlockStmt(std::vector<StmtPtr> Stmts, unsigned Line)
+      : Stmt(StmtKind::Block, Line), Stmts(std::move(Stmts)) {}
+
+  const std::vector<StmtPtr> &statements() const { return Stmts; }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Block;
+  }
+
+private:
+  std::vector<StmtPtr> Stmts;
+};
+
+/// A variable declaration: scalar, private array, or local array.
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(MiniType Ty, bool IsLocal, std::string Name, uint64_t ArraySize,
+           ExprPtr Init, unsigned Line)
+      : Stmt(StmtKind::Decl, Line), Ty(Ty), IsLocal(IsLocal),
+        Name(std::move(Name)), ArraySize(ArraySize), Init(std::move(Init)) {}
+
+  const MiniType &declType() const { return Ty; }
+  bool isLocal() const { return IsLocal; }
+  const std::string &name() const { return Name; }
+  /// 0 means "scalar", otherwise the array element count.
+  uint64_t arraySize() const { return ArraySize; }
+  Expr *init() const { return Init.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Decl;
+  }
+
+private:
+  MiniType Ty;
+  bool IsLocal;
+  std::string Name;
+  uint64_t ArraySize;
+  ExprPtr Init;
+};
+
+enum class AssignOpKind : uint8_t { Plain, Add, Sub, Mul };
+
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr Target, AssignOpKind Op, ExprPtr Value, unsigned Line)
+      : Stmt(StmtKind::Assign, Line), Target(std::move(Target)), Op(Op),
+        Value(std::move(Value)) {}
+
+  Expr *target() const { return Target.get(); }
+  AssignOpKind op() const { return Op; }
+  Expr *value() const { return Value.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Assign;
+  }
+
+private:
+  ExprPtr Target;
+  AssignOpKind Op;
+  ExprPtr Value;
+};
+
+class ExprStmt : public Stmt {
+public:
+  ExprStmt(ExprPtr E, unsigned Line)
+      : Stmt(StmtKind::ExprStmt, Line), E(std::move(E)) {}
+
+  Expr *expr() const { return E.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::ExprStmt;
+  }
+
+private:
+  ExprPtr E;
+};
+
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, StmtPtr Then, StmtPtr Else, unsigned Line)
+      : Stmt(StmtKind::If, Line), Cond(std::move(Cond)),
+        Then(std::move(Then)), Else(std::move(Else)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *thenStmt() const { return Then.get(); }
+  Stmt *elseStmt() const { return Else.get(); }
+
+  static bool classof(const Stmt *S) { return S->stmtKind() == StmtKind::If; }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Then, Else;
+};
+
+class ForStmt : public Stmt {
+public:
+  ForStmt(StmtPtr Init, ExprPtr Cond, StmtPtr Step, StmtPtr Body,
+          unsigned Line)
+      : Stmt(StmtKind::For, Line), Init(std::move(Init)),
+        Cond(std::move(Cond)), Step(std::move(Step)), Body(std::move(Body)) {}
+
+  Stmt *init() const { return Init.get(); }
+  Expr *cond() const { return Cond.get(); }
+  Stmt *step() const { return Step.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::For;
+  }
+
+private:
+  StmtPtr Init;
+  ExprPtr Cond;
+  StmtPtr Step, Body;
+};
+
+class WhileStmt : public Stmt {
+public:
+  WhileStmt(ExprPtr Cond, StmtPtr Body, unsigned Line)
+      : Stmt(StmtKind::While, Line), Cond(std::move(Cond)),
+        Body(std::move(Body)) {}
+
+  Expr *cond() const { return Cond.get(); }
+  Stmt *body() const { return Body.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::While;
+  }
+
+private:
+  ExprPtr Cond;
+  StmtPtr Body;
+};
+
+class ReturnStmt : public Stmt {
+public:
+  ReturnStmt(ExprPtr Value, unsigned Line)
+      : Stmt(StmtKind::Return, Line), Value(std::move(Value)) {}
+
+  Expr *value() const { return Value.get(); }
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Return;
+  }
+
+private:
+  ExprPtr Value;
+};
+
+class BreakStmt : public Stmt {
+public:
+  explicit BreakStmt(unsigned Line) : Stmt(StmtKind::Break, Line) {}
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Break;
+  }
+};
+
+class ContinueStmt : public Stmt {
+public:
+  explicit ContinueStmt(unsigned Line) : Stmt(StmtKind::Continue, Line) {}
+
+  static bool classof(const Stmt *S) {
+    return S->stmtKind() == StmtKind::Continue;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations
+//===----------------------------------------------------------------------===//
+
+struct ParamDecl {
+  MiniType Ty;
+  std::string Name;
+  unsigned Line = 0;
+};
+
+/// A function definition (kernel or helper).
+struct FunctionDecl {
+  std::string Name;
+  MiniType RetTy;
+  std::vector<ParamDecl> Params;
+  std::unique_ptr<BlockStmt> Body;
+  bool IsKernel = false;
+  unsigned Line = 0;
+};
+
+/// A parsed MiniCL translation unit.
+struct ProgramAST {
+  std::vector<std::unique_ptr<FunctionDecl>> Functions;
+};
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_AST_H

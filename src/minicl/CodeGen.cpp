@@ -1,0 +1,1098 @@
+//===- minicl/CodeGen.cpp - AST to KIR lowering ----------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/CodeGen.h"
+
+#include "kir/IRBuilder.h"
+#include "kir/Module.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+using namespace accel;
+using namespace accel::minicl;
+
+namespace {
+
+/// A typed value produced by expression lowering.
+struct RValue {
+  kir::Value *V = nullptr;
+  MiniType Ty;
+};
+
+/// A resolved assignable location.
+struct LValue {
+  kir::Value *Addr = nullptr; ///< Pointer to the storage.
+  MiniType Ty;                ///< Scalar type stored there.
+};
+
+/// One binding in the symbol table.
+struct VarInfo {
+  MiniType Ty;                 ///< Scalar type, or pointer type.
+  kir::Value *Addr = nullptr;  ///< Storage pointer for scalars.
+  kir::Value *Direct = nullptr; ///< Pointer value for arrays/pointer params.
+};
+
+/// Shared per-module lowering state.
+struct ModuleContext {
+  kir::Module *M = nullptr;
+  std::map<std::string, const FunctionDecl *> Decls;
+  std::map<std::string, kir::Function *> Fns;
+};
+
+/// Names reserved for built-in functions; user functions may not shadow
+/// them.
+bool isBuiltinName(const std::string &Name) {
+  static const std::set<std::string> Names = {
+      "get_global_id", "get_local_id",   "get_group_id", "get_global_size",
+      "get_local_size", "get_num_groups", "get_work_dim", "barrier",
+      "sqrt",          "rsqrt",          "sin",          "cos",
+      "exp",           "log",            "fabs",         "fmin",
+      "fmax",          "floor",          "min",          "max",
+      "abs",           "atomic_add",     "atomic_sub",   "atomic_min",
+      "atomic_max",    "atomic_xchg"};
+  return Names.count(Name) != 0;
+}
+
+/// Lowers one function body.
+class FunctionCodeGen {
+public:
+  FunctionCodeGen(ModuleContext &Ctx, const FunctionDecl &FD,
+                  kir::Function *F)
+      : Ctx(Ctx), FD(FD), F(F), B(F), AllocaB(F) {}
+
+  Error run();
+
+private:
+  Error err(unsigned Line, const std::string &Message) {
+    return makeError("error in '" + FD.Name + "' at line " +
+                     std::to_string(Line) + ": " + Message);
+  }
+
+  // --- Symbol table -----------------------------------------------------
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  VarInfo *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  Error define(unsigned Line, const std::string &Name, VarInfo Info) {
+    if (Scopes.back().count(Name))
+      return err(Line, "redefinition of '" + Name + "'");
+    Scopes.back().emplace(Name, std::move(Info));
+    return Error::success();
+  }
+
+  // --- Block management ---------------------------------------------------
+  /// Ensures there is an open insertion block, creating an unreachable
+  /// one when the previous statement terminated control flow.
+  void ensureBlock() {
+    if (!Terminated)
+      return;
+    kir::BasicBlock *Dead = B.createBlock("dead" + std::to_string(NextId++));
+    DeadBlocks.insert(Dead);
+    B.setInsertPoint(Dead);
+    Terminated = false;
+  }
+
+  std::string blockName(const char *Stem) {
+    return std::string(Stem) + std::to_string(NextId++);
+  }
+
+  // --- Statements -------------------------------------------------------
+  Error emitStmt(const Stmt *S);
+  Error emitBlock(const BlockStmt *S);
+  Error emitDecl(const DeclStmt *S);
+  Error emitAssign(const AssignStmt *S);
+  Error emitIf(const IfStmt *S);
+  Error emitFor(const ForStmt *S);
+  Error emitWhile(const WhileStmt *S);
+  Error emitReturn(const ReturnStmt *S);
+
+  // --- Expressions --------------------------------------------------------
+  Expected<RValue> emitExpr(const Expr *E);
+  Expected<RValue> emitBinary(const BinaryExpr *E);
+  Expected<RValue> emitUnary(const UnaryExpr *E);
+  Expected<RValue> emitCast(const CastExpr *E);
+  Expected<RValue> emitCall(const CallExpr *E);
+  Expected<RValue> emitBuiltinCall(const CallExpr *E);
+  Expected<LValue> emitLValue(const Expr *E);
+
+  /// Lowers \p E and coerces it to i1 for use as a branch condition
+  /// (integers compare against zero, C-style).
+  Expected<kir::Value *> emitCond(const Expr *E);
+
+  /// Applies implicit conversions toward \p Target (int<->long widenings
+  /// and narrowings, int/long -> float).
+  Expected<RValue> convert(RValue V, const MiniType &Target, unsigned Line);
+
+  /// Usual arithmetic conversions for a binary operator.
+  MiniType commonArith(const MiniType &L, const MiniType &R) const {
+    if (L.B == MiniType::Base::Float || R.B == MiniType::Base::Float)
+      return MiniType::floatTy();
+    if (L.B == MiniType::Base::Long || R.B == MiniType::Base::Long)
+      return MiniType::longTy();
+    return MiniType::intTy();
+  }
+
+  ModuleContext &Ctx;
+  const FunctionDecl &FD;
+  kir::Function *F;
+  kir::IRBuilder B;       ///< Main insertion point.
+  kir::IRBuilder AllocaB; ///< Pinned to the entry (alloca) block.
+
+  std::vector<std::map<std::string, VarInfo>> Scopes;
+  struct LoopCtx {
+    kir::BasicBlock *ContinueBB;
+    kir::BasicBlock *BreakBB;
+    bool BreakUsed = false;
+  };
+  std::vector<LoopCtx> Loops;
+  std::set<kir::BasicBlock *> DeadBlocks;
+  bool Terminated = false;
+  unsigned NextId = 0;
+};
+
+Error FunctionCodeGen::run() {
+  kir::BasicBlock *Entry = F->createBlock("entry");
+  AllocaB.setInsertPoint(Entry);
+  kir::BasicBlock *Start = F->createBlock("start");
+  B.setInsertPoint(Start);
+
+  pushScope();
+  for (unsigned I = 0; I != FD.Params.size(); ++I) {
+    const ParamDecl &P = FD.Params[I];
+    kir::Argument *Arg = F->argument(I);
+    VarInfo Info;
+    Info.Ty = P.Ty;
+    if (P.Ty.isPtr()) {
+      Info.Direct = Arg;
+    } else {
+      // Scalars are spilled so the body may reassign them.
+      Info.Addr = AllocaB.allocaVar(MiniType::scalarKirKind(P.Ty.B), 1,
+                                 P.Name + ".addr");
+      B.store(Info.Addr, Arg);
+    }
+    if (Error E = define(P.Line, P.Name, Info))
+      return E;
+  }
+
+  if (Error E = emitBlock(FD.Body.get()))
+    return E;
+
+  // Close the current block.
+  kir::BasicBlock *Cur = B.insertBlock();
+  if (!Cur->terminator()) {
+    if (FD.RetTy.isVoid())
+      B.retVoid();
+    else if (DeadBlocks.count(Cur))
+      B.ret(FD.RetTy.B == MiniType::Base::Float
+                ? static_cast<kir::Value *>(B.f32Const(0.0f))
+                : FD.RetTy.B == MiniType::Base::Long
+                      ? static_cast<kir::Value *>(B.i64Const(0))
+                      : static_cast<kir::Value *>(B.i32Const(0)));
+    else
+      return err(FD.Line, "control may reach the end of non-void function");
+  }
+
+  // Close any remaining unterminated (dead) blocks.
+  for (const auto &BB : F->blocks()) {
+    if (BB->terminator() || BB.get() == Entry)
+      continue;
+    B.setInsertPoint(BB.get());
+    if (FD.RetTy.isVoid())
+      B.retVoid();
+    else if (FD.RetTy.B == MiniType::Base::Float)
+      B.ret(B.f32Const(0.0f));
+    else if (FD.RetTy.B == MiniType::Base::Long)
+      B.ret(B.i64Const(0));
+    else
+      B.ret(B.i32Const(0));
+  }
+
+  // The alloca block finally jumps to the first real block.
+  AllocaB.br(Start);
+  popScope();
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitStmt(const Stmt *S) {
+  ensureBlock();
+  switch (S->stmtKind()) {
+  case StmtKind::Block: {
+    pushScope();
+    Error E = emitBlock(cast<BlockStmt>(S));
+    popScope();
+    return E;
+  }
+  case StmtKind::Decl:
+    return emitDecl(cast<DeclStmt>(S));
+  case StmtKind::Assign:
+    return emitAssign(cast<AssignStmt>(S));
+  case StmtKind::ExprStmt: {
+    Expected<RValue> V = emitExpr(cast<ExprStmt>(S)->expr());
+    return V ? Error::success() : V.takeError();
+  }
+  case StmtKind::If:
+    return emitIf(cast<IfStmt>(S));
+  case StmtKind::For:
+    return emitFor(cast<ForStmt>(S));
+  case StmtKind::While:
+    return emitWhile(cast<WhileStmt>(S));
+  case StmtKind::Return:
+    return emitReturn(cast<ReturnStmt>(S));
+  case StmtKind::Break: {
+    if (Loops.empty())
+      return err(S->line(), "'break' outside of a loop");
+    Loops.back().BreakUsed = true;
+    B.br(Loops.back().BreakBB);
+    Terminated = true;
+    return Error::success();
+  }
+  case StmtKind::Continue: {
+    if (Loops.empty())
+      return err(S->line(), "'continue' outside of a loop");
+    B.br(Loops.back().ContinueBB);
+    Terminated = true;
+    return Error::success();
+  }
+  }
+  accel_unreachable("unhandled statement kind");
+}
+
+Error FunctionCodeGen::emitBlock(const BlockStmt *S) {
+  for (const StmtPtr &Child : S->statements())
+    if (Error E = emitStmt(Child.get()))
+      return E;
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitDecl(const DeclStmt *S) {
+  const MiniType &Ty = S->declType();
+  kir::Type::Kind Elem = MiniType::scalarKirKind(Ty.B);
+
+  if (S->isLocal()) {
+    if (!F->isKernel())
+      return err(S->line(),
+                 "local memory may only be declared in kernel functions");
+    if (S->init())
+      return err(S->line(), "local variables cannot have initializers");
+    unsigned Slot = F->addLocalAlloc(
+        {S->name(), Elem, S->arraySize() ? S->arraySize() : 1});
+    kir::Value *Ptr = AllocaB.localAddr(Elem, Slot, S->name());
+    VarInfo Info;
+    if (S->arraySize()) {
+      Info.Ty = MiniType::ptr(Ty.B, kir::AddrSpaceKind::Local, false);
+      Info.Direct = Ptr;
+    } else {
+      Info.Ty = Ty;
+      Info.Addr = Ptr;
+    }
+    return define(S->line(), S->name(), Info);
+  }
+
+  if (S->arraySize()) {
+    if (S->init())
+      return err(S->line(), "array declarations cannot have initializers");
+    VarInfo Info;
+    Info.Ty = MiniType::ptr(Ty.B, kir::AddrSpaceKind::Private, false);
+    Info.Direct = AllocaB.allocaVar(Elem, S->arraySize(), S->name());
+    return define(S->line(), S->name(), Info);
+  }
+
+  VarInfo Info;
+  Info.Ty = Ty;
+  Info.Addr = AllocaB.allocaVar(Elem, 1, S->name() + ".addr");
+  if (Error E = define(S->line(), S->name(), Info))
+    return E;
+  if (const Expr *Init = S->init()) {
+    Expected<RValue> V = emitExpr(Init);
+    if (!V)
+      return V.takeError();
+    Expected<RValue> Conv = convert(V.take(), Ty, S->line());
+    if (!Conv)
+      return Conv.takeError();
+    B.store(Info.Addr, Conv->V);
+  }
+  return Error::success();
+}
+
+Expected<LValue> FunctionCodeGen::emitLValue(const Expr *E) {
+  if (const auto *Var = dyn_cast<VarRefExpr>(E)) {
+    VarInfo *Info = lookup(Var->name());
+    if (!Info)
+      return Expected<LValue>(
+          err(E->line(), "use of undeclared variable '" + Var->name() + "'"));
+    if (!Info->Addr)
+      return Expected<LValue>(err(
+          E->line(), "'" + Var->name() + "' is not an assignable scalar"));
+    return LValue{Info->Addr, Info->Ty};
+  }
+  if (const auto *Idx = dyn_cast<IndexExpr>(E)) {
+    Expected<RValue> Base = emitExpr(Idx->base());
+    if (!Base)
+      return Base.takeError();
+    if (!Base->Ty.isPtr())
+      return Expected<LValue>(
+          err(E->line(), "subscripted value is not a pointer or array"));
+    if (Base->Ty.IsConst)
+      return Expected<LValue>(
+          err(E->line(), "cannot assign through a const pointer"));
+    Expected<RValue> Index = emitExpr(Idx->index());
+    if (!Index)
+      return Index.takeError();
+    if (!Index->Ty.isInteger())
+      return Expected<LValue>(err(E->line(), "array index must be integer"));
+    kir::Value *Addr = B.gep(Base->V, Index->V);
+    MiniType ElemTy;
+    ElemTy.B = Base->Ty.Elem;
+    return LValue{Addr, ElemTy};
+  }
+  return Expected<LValue>(err(E->line(), "expression is not assignable"));
+}
+
+Error FunctionCodeGen::emitAssign(const AssignStmt *S) {
+  Expected<LValue> Target = emitLValue(S->target());
+  if (!Target)
+    return Target.takeError();
+  Expected<RValue> Value = emitExpr(S->value());
+  if (!Value)
+    return Value.takeError();
+
+  RValue NewVal = Value.take();
+  if (S->op() != AssignOpKind::Plain) {
+    kir::Value *Old = B.load(Target->Addr);
+    RValue OldVal{Old, Target->Ty};
+    // Promote the RHS to the stored type, then combine.
+    Expected<RValue> Conv = convert(NewVal, Target->Ty, S->line());
+    if (!Conv)
+      return Conv.takeError();
+    bool IsFloat = Target->Ty.B == MiniType::Base::Float;
+    kir::BinOpKind Op;
+    switch (S->op()) {
+    case AssignOpKind::Add:
+      Op = IsFloat ? kir::BinOpKind::FAdd : kir::BinOpKind::Add;
+      break;
+    case AssignOpKind::Sub:
+      Op = IsFloat ? kir::BinOpKind::FSub : kir::BinOpKind::Sub;
+      break;
+    case AssignOpKind::Mul:
+      Op = IsFloat ? kir::BinOpKind::FMul : kir::BinOpKind::Mul;
+      break;
+    case AssignOpKind::Plain:
+      accel_unreachable("plain handled above");
+    }
+    NewVal = RValue{B.binary(Op, OldVal.V, Conv->V), Target->Ty};
+  } else {
+    Expected<RValue> Conv = convert(NewVal, Target->Ty, S->line());
+    if (!Conv)
+      return Conv.takeError();
+    NewVal = Conv.take();
+  }
+  B.store(Target->Addr, NewVal.V);
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitIf(const IfStmt *S) {
+  Expected<kir::Value *> Cond = emitCond(S->cond());
+  if (!Cond)
+    return Cond.takeError();
+
+  kir::BasicBlock *ThenBB = B.createBlock(blockName("if.then"));
+  kir::BasicBlock *ElseBB =
+      S->elseStmt() ? B.createBlock(blockName("if.else")) : nullptr;
+  kir::BasicBlock *MergeBB = B.createBlock(blockName("if.end"));
+
+  B.condBr(*Cond, ThenBB, ElseBB ? ElseBB : MergeBB);
+
+  B.setInsertPoint(ThenBB);
+  Terminated = false;
+  if (Error E = emitStmt(S->thenStmt()))
+    return E;
+  bool ThenTerm = Terminated;
+  if (!Terminated)
+    B.br(MergeBB);
+
+  bool ElseTerm = false;
+  if (ElseBB) {
+    B.setInsertPoint(ElseBB);
+    Terminated = false;
+    if (Error E = emitStmt(S->elseStmt()))
+      return E;
+    ElseTerm = Terminated;
+    if (!Terminated)
+      B.br(MergeBB);
+  }
+
+  B.setInsertPoint(MergeBB);
+  Terminated = false;
+  if (ThenTerm && ElseTerm && ElseBB)
+    DeadBlocks.insert(MergeBB);
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitWhile(const WhileStmt *S) {
+  kir::BasicBlock *CondBB = B.createBlock(blockName("while.cond"));
+  kir::BasicBlock *BodyBB = B.createBlock(blockName("while.body"));
+  kir::BasicBlock *ExitBB = B.createBlock(blockName("while.end"));
+
+  B.br(CondBB);
+  B.setInsertPoint(CondBB);
+  Expected<kir::Value *> Cond = emitCond(S->cond());
+  if (!Cond)
+    return Cond.takeError();
+  B.condBr(*Cond, BodyBB, ExitBB);
+
+  Loops.push_back({CondBB, ExitBB});
+  B.setInsertPoint(BodyBB);
+  Terminated = false;
+  if (Error E = emitStmt(S->body()))
+    return E;
+  if (!Terminated)
+    B.br(CondBB);
+  Loops.pop_back();
+
+  B.setInsertPoint(ExitBB);
+  Terminated = false;
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitFor(const ForStmt *S) {
+  pushScope();
+  if (S->init())
+    if (Error E = emitStmt(S->init())) {
+      popScope();
+      return E;
+    }
+
+  kir::BasicBlock *CondBB = B.createBlock(blockName("for.cond"));
+  kir::BasicBlock *BodyBB = B.createBlock(blockName("for.body"));
+  kir::BasicBlock *StepBB = B.createBlock(blockName("for.step"));
+  kir::BasicBlock *ExitBB = B.createBlock(blockName("for.end"));
+
+  B.br(CondBB);
+  B.setInsertPoint(CondBB);
+  if (S->cond()) {
+    Expected<kir::Value *> Cond = emitCond(S->cond());
+    if (!Cond) {
+      popScope();
+      return Cond.takeError();
+    }
+    B.condBr(*Cond, BodyBB, ExitBB);
+  } else {
+    B.br(BodyBB);
+  }
+
+  Loops.push_back({StepBB, ExitBB});
+  B.setInsertPoint(BodyBB);
+  Terminated = false;
+  Error BodyErr = emitStmt(S->body());
+  if (BodyErr) {
+    Loops.pop_back();
+    popScope();
+    return BodyErr;
+  }
+  if (!Terminated)
+    B.br(StepBB);
+  bool BreakUsed = Loops.back().BreakUsed;
+  Loops.pop_back();
+
+  B.setInsertPoint(StepBB);
+  Terminated = false;
+  if (S->step())
+    if (Error E = emitStmt(S->step())) {
+      popScope();
+      return E;
+    }
+  B.br(CondBB);
+
+  B.setInsertPoint(ExitBB);
+  Terminated = false;
+  if (!S->cond() && !BreakUsed)
+    DeadBlocks.insert(ExitBB);
+  popScope();
+  return Error::success();
+}
+
+Error FunctionCodeGen::emitReturn(const ReturnStmt *S) {
+  if (FD.RetTy.isVoid()) {
+    if (S->value())
+      return err(S->line(), "void function cannot return a value");
+    B.retVoid();
+    Terminated = true;
+    return Error::success();
+  }
+  if (!S->value())
+    return err(S->line(), "non-void function must return a value");
+  Expected<RValue> V = emitExpr(S->value());
+  if (!V)
+    return V.takeError();
+  Expected<RValue> Conv = convert(V.take(), FD.RetTy, S->line());
+  if (!Conv)
+    return Conv.takeError();
+  B.ret(Conv->V);
+  Terminated = true;
+  return Error::success();
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+Expected<RValue> FunctionCodeGen::convert(RValue V, const MiniType &Target,
+                                          unsigned Line) {
+  if (V.Ty.sameShape(Target))
+    return V;
+  if (!V.Ty.isArith() || !Target.isArith())
+    return Expected<RValue>(err(Line, "cannot convert '" + V.Ty.str() +
+                                          "' to '" + Target.str() + "'"));
+  using Base = MiniType::Base;
+  if (V.Ty.B == Base::Int && Target.B == Base::Long)
+    return RValue{B.cast(kir::CastKind::SExt, V.V, kir::Type::i64()),
+                  Target};
+  if (V.Ty.B == Base::Long && Target.B == Base::Int)
+    return RValue{B.cast(kir::CastKind::Trunc, V.V, kir::Type::i32()),
+                  Target};
+  if (V.Ty.isInteger() && Target.B == Base::Float)
+    return RValue{B.cast(kir::CastKind::SIToFP, V.V, kir::Type::f32()),
+                  Target};
+  return Expected<RValue>(
+      err(Line, "conversion from '" + V.Ty.str() + "' to '" + Target.str() +
+                    "' requires an explicit cast"));
+}
+
+Expected<kir::Value *> FunctionCodeGen::emitCond(const Expr *E) {
+  Expected<RValue> V = emitExpr(E);
+  if (!V)
+    return V.takeError();
+  if (V->Ty.isBool())
+    return V->V;
+  if (V->Ty.isInteger()) {
+    kir::Value *Zero = V->Ty.B == MiniType::Base::Long
+                           ? static_cast<kir::Value *>(B.i64Const(0))
+                           : static_cast<kir::Value *>(B.i32Const(0));
+    return B.cmp(kir::CmpPred::NE, V->V, Zero);
+  }
+  return Expected<kir::Value *>(
+      err(E->line(), "condition must be boolean or integer"));
+}
+
+Expected<RValue> FunctionCodeGen::emitExpr(const Expr *E) {
+  switch (E->exprKind()) {
+  case ExprKind::IntLit: {
+    const auto *Lit = cast<IntLitExpr>(E);
+    if (Lit->value() >= INT32_MIN && Lit->value() <= INT32_MAX)
+      return RValue{B.i32Const(static_cast<int32_t>(Lit->value())),
+                    MiniType::intTy()};
+    return RValue{B.i64Const(Lit->value()), MiniType::longTy()};
+  }
+  case ExprKind::FloatLit:
+    return RValue{B.f32Const(cast<FloatLitExpr>(E)->value()),
+                  MiniType::floatTy()};
+  case ExprKind::BoolLit:
+    return RValue{B.boolConst(cast<BoolLitExpr>(E)->value()),
+                  MiniType::boolTy()};
+  case ExprKind::VarRef: {
+    const auto *Var = cast<VarRefExpr>(E);
+    VarInfo *Info = lookup(Var->name());
+    if (!Info)
+      return Expected<RValue>(err(
+          E->line(), "use of undeclared variable '" + Var->name() + "'"));
+    if (Info->Direct)
+      return RValue{Info->Direct, Info->Ty};
+    return RValue{B.load(Info->Addr, Var->name()), Info->Ty};
+  }
+  case ExprKind::Unary:
+    return emitUnary(cast<UnaryExpr>(E));
+  case ExprKind::Binary:
+    return emitBinary(cast<BinaryExpr>(E));
+  case ExprKind::Cast:
+    return emitCast(cast<CastExpr>(E));
+  case ExprKind::Index: {
+    Expected<LValue> LV = emitLValue(E);
+    if (!LV) {
+      // Loads through const pointers are fine; retry as a read.
+      const auto *Idx = cast<IndexExpr>(E);
+      LV.takeError().consume();
+      Expected<RValue> Base = emitExpr(Idx->base());
+      if (!Base)
+        return Base;
+      if (!Base->Ty.isPtr())
+        return Expected<RValue>(
+            err(E->line(), "subscripted value is not a pointer or array"));
+      Expected<RValue> Index = emitExpr(Idx->index());
+      if (!Index)
+        return Index;
+      if (!Index->Ty.isInteger())
+        return Expected<RValue>(
+            err(E->line(), "array index must be integer"));
+      kir::Value *Addr = B.gep(Base->V, Index->V);
+      MiniType ElemTy;
+      ElemTy.B = Base->Ty.Elem;
+      return RValue{B.load(Addr), ElemTy};
+    }
+    return RValue{B.load(LV->Addr), LV->Ty};
+  }
+  case ExprKind::Call:
+    return emitCall(cast<CallExpr>(E));
+  }
+  accel_unreachable("unhandled expression kind");
+}
+
+Expected<RValue> FunctionCodeGen::emitUnary(const UnaryExpr *E) {
+  Expected<RValue> Sub = emitExpr(E->sub());
+  if (!Sub)
+    return Sub;
+  switch (E->op()) {
+  case UnaryOpKind::Neg: {
+    if (!Sub->Ty.isArith())
+      return Expected<RValue>(err(E->line(), "operand of '-' must be "
+                                             "arithmetic"));
+    if (Sub->Ty.B == MiniType::Base::Float)
+      return RValue{B.binary(kir::BinOpKind::FSub, B.f32Const(0.0f), Sub->V),
+                    Sub->Ty};
+    kir::Value *Zero = Sub->Ty.B == MiniType::Base::Long
+                           ? static_cast<kir::Value *>(B.i64Const(0))
+                           : static_cast<kir::Value *>(B.i32Const(0));
+    return RValue{B.binary(kir::BinOpKind::Sub, Zero, Sub->V), Sub->Ty};
+  }
+  case UnaryOpKind::Not: {
+    if (!Sub->Ty.isBool())
+      return Expected<RValue>(err(E->line(), "operand of '!' must be bool"));
+    return RValue{
+        B.select(Sub->V, B.boolConst(false), B.boolConst(true)),
+        MiniType::boolTy()};
+  }
+  case UnaryOpKind::BitNot: {
+    if (!Sub->Ty.isInteger())
+      return Expected<RValue>(
+          err(E->line(), "operand of '~' must be integer"));
+    kir::Value *AllOnes = Sub->Ty.B == MiniType::Base::Long
+                              ? static_cast<kir::Value *>(B.i64Const(-1))
+                              : static_cast<kir::Value *>(B.i32Const(-1));
+    return RValue{B.binary(kir::BinOpKind::Xor, Sub->V, AllOnes), Sub->Ty};
+  }
+  }
+  accel_unreachable("unhandled unary op");
+}
+
+Expected<RValue> FunctionCodeGen::emitBinary(const BinaryExpr *E) {
+  Expected<RValue> L = emitExpr(E->lhs());
+  if (!L)
+    return L;
+  Expected<RValue> R = emitExpr(E->rhs());
+  if (!R)
+    return R;
+
+  using Op = BinaryOpKind;
+  Op K = E->op();
+
+  // Logical operators: both sides are evaluated (no short circuit); the
+  // combination is a select, which keeps the IR free of extra control
+  // flow. MiniCL kernels must not rely on short-circuit side effects.
+  if (K == Op::LogAnd || K == Op::LogOr) {
+    if (!L->Ty.isBool() || !R->Ty.isBool())
+      return Expected<RValue>(
+          err(E->line(), "operands of '&&'/'||' must be bool"));
+    kir::Value *V =
+        K == Op::LogAnd
+            ? B.select(L->V, R->V, B.boolConst(false))
+            : B.select(L->V, B.boolConst(true), R->V);
+    return RValue{V, MiniType::boolTy()};
+  }
+
+  // Equality on bools.
+  if ((K == Op::Eq || K == Op::Ne) && L->Ty.isBool() && R->Ty.isBool()) {
+    kir::Value *V = B.cmp(K == Op::Eq ? kir::CmpPred::EQ : kir::CmpPred::NE,
+                          L->V, R->V);
+    return RValue{V, MiniType::boolTy()};
+  }
+
+  if (!L->Ty.isArith() || !R->Ty.isArith())
+    return Expected<RValue>(err(
+        E->line(), "invalid operands ('" + L->Ty.str() + "' and '" +
+                       R->Ty.str() + "')"));
+
+  MiniType Common = commonArith(L->Ty, R->Ty);
+  bool IntOnly = K == Op::Rem || K == Op::Shl || K == Op::Shr ||
+                 K == Op::BitAnd || K == Op::BitOr || K == Op::BitXor;
+  if (IntOnly && Common.B == MiniType::Base::Float)
+    return Expected<RValue>(
+        err(E->line(), "operator requires integer operands"));
+
+  Expected<RValue> LC = convert(L.take(), Common, E->line());
+  if (!LC)
+    return LC;
+  Expected<RValue> RC = convert(R.take(), Common, E->line());
+  if (!RC)
+    return RC;
+
+  bool IsFloat = Common.B == MiniType::Base::Float;
+  switch (K) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::Div:
+  case Op::Rem:
+  case Op::Shl:
+  case Op::Shr:
+  case Op::BitAnd:
+  case Op::BitOr:
+  case Op::BitXor: {
+    kir::BinOpKind BK;
+    switch (K) {
+    case Op::Add:
+      BK = IsFloat ? kir::BinOpKind::FAdd : kir::BinOpKind::Add;
+      break;
+    case Op::Sub:
+      BK = IsFloat ? kir::BinOpKind::FSub : kir::BinOpKind::Sub;
+      break;
+    case Op::Mul:
+      BK = IsFloat ? kir::BinOpKind::FMul : kir::BinOpKind::Mul;
+      break;
+    case Op::Div:
+      BK = IsFloat ? kir::BinOpKind::FDiv : kir::BinOpKind::SDiv;
+      break;
+    case Op::Rem:
+      BK = kir::BinOpKind::SRem;
+      break;
+    case Op::Shl:
+      BK = kir::BinOpKind::Shl;
+      break;
+    case Op::Shr:
+      BK = kir::BinOpKind::AShr;
+      break;
+    case Op::BitAnd:
+      BK = kir::BinOpKind::And;
+      break;
+    case Op::BitOr:
+      BK = kir::BinOpKind::Or;
+      break;
+    case Op::BitXor:
+      BK = kir::BinOpKind::Xor;
+      break;
+    default:
+      accel_unreachable("covered above");
+    }
+    return RValue{B.binary(BK, LC->V, RC->V), Common};
+  }
+  case Op::Lt:
+  case Op::Le:
+  case Op::Gt:
+  case Op::Ge:
+  case Op::Eq:
+  case Op::Ne: {
+    kir::CmpPred Pred;
+    if (IsFloat) {
+      Pred = K == Op::Lt   ? kir::CmpPred::FOLT
+             : K == Op::Le ? kir::CmpPred::FOLE
+             : K == Op::Gt ? kir::CmpPred::FOGT
+             : K == Op::Ge ? kir::CmpPred::FOGE
+             : K == Op::Eq ? kir::CmpPred::FOEQ
+                           : kir::CmpPred::FONE;
+    } else {
+      Pred = K == Op::Lt   ? kir::CmpPred::SLT
+             : K == Op::Le ? kir::CmpPred::SLE
+             : K == Op::Gt ? kir::CmpPred::SGT
+             : K == Op::Ge ? kir::CmpPred::SGE
+             : K == Op::Eq ? kir::CmpPred::EQ
+                           : kir::CmpPred::NE;
+    }
+    return RValue{B.cmp(Pred, LC->V, RC->V), MiniType::boolTy()};
+  }
+  case Op::LogAnd:
+  case Op::LogOr:
+    accel_unreachable("handled above");
+  }
+  accel_unreachable("unhandled binary op");
+}
+
+Expected<RValue> FunctionCodeGen::emitCast(const CastExpr *E) {
+  Expected<RValue> Sub = emitExpr(E->sub());
+  if (!Sub)
+    return Sub;
+  const MiniType &T = E->target();
+  using Base = MiniType::Base;
+
+  if (Sub->Ty.sameShape(T))
+    return RValue{Sub->V, T};
+  if (Sub->Ty.isPtr())
+    return Expected<RValue>(err(E->line(), "cannot cast pointers"));
+
+  if (Sub->Ty.isBool()) {
+    if (T.B == Base::Int)
+      return RValue{B.cast(kir::CastKind::ZExtBool, Sub->V,
+                           kir::Type::i32()),
+                    T};
+    if (T.B == Base::Long)
+      return RValue{B.cast(kir::CastKind::ZExtBool, Sub->V,
+                           kir::Type::i64()),
+                    T};
+    return Expected<RValue>(err(E->line(), "bool casts to int or long only"));
+  }
+
+  if (Sub->Ty.B == Base::Float) {
+    if (T.B == Base::Int)
+      return RValue{B.cast(kir::CastKind::FPToSI, Sub->V, kir::Type::i32()),
+                    T};
+    if (T.B == Base::Long)
+      return RValue{B.cast(kir::CastKind::FPToSI, Sub->V, kir::Type::i64()),
+                    T};
+  }
+  if (Sub->Ty.isInteger())
+    return convert(Sub.take(), T, E->line());
+
+  return Expected<RValue>(err(E->line(), "unsupported cast from '" +
+                                             Sub->Ty.str() + "' to '" +
+                                             T.str() + "'"));
+}
+
+Expected<RValue> FunctionCodeGen::emitBuiltinCall(const CallExpr *E) {
+  const std::string &Name = E->callee();
+  unsigned Line = E->line();
+  auto NArgs = [&]() { return static_cast<unsigned>(E->args().size()); };
+
+  // Work-item queries with a literal dimension argument.
+  static const std::map<std::string, kir::BuiltinKind> WiQueries = {
+      {"get_global_id", kir::BuiltinKind::GetGlobalId},
+      {"get_local_id", kir::BuiltinKind::GetLocalId},
+      {"get_group_id", kir::BuiltinKind::GetGroupId},
+      {"get_global_size", kir::BuiltinKind::GetGlobalSize},
+      {"get_local_size", kir::BuiltinKind::GetLocalSize},
+      {"get_num_groups", kir::BuiltinKind::GetNumGroups}};
+  auto WiIt = WiQueries.find(Name);
+  if (WiIt != WiQueries.end()) {
+    if (NArgs() != 1)
+      return Expected<RValue>(err(Line, Name + " takes one argument"));
+    const auto *Dim = dyn_cast<IntLitExpr>(E->args()[0].get());
+    if (!Dim || Dim->value() < 0 || Dim->value() > 2)
+      return Expected<RValue>(
+          err(Line, Name + " requires a literal dimension 0, 1 or 2"));
+    kir::Value *V = B.builtin(
+        WiIt->second, kir::Type::i64(),
+        {B.i32Const(static_cast<int32_t>(Dim->value()))}, Name);
+    return RValue{V, MiniType::longTy()};
+  }
+
+  if (Name == "get_work_dim") {
+    if (NArgs() != 0)
+      return Expected<RValue>(err(Line, "get_work_dim takes no arguments"));
+    return RValue{B.builtin(kir::BuiltinKind::GetWorkDim, kir::Type::i32(),
+                            {}, Name),
+                  MiniType::intTy()};
+  }
+
+  if (Name == "barrier") {
+    if (NArgs() != 0)
+      return Expected<RValue>(err(Line, "barrier takes no arguments"));
+    B.barrier();
+    return RValue{nullptr, MiniType::voidTy()};
+  }
+
+  // Unary float math.
+  static const std::map<std::string, kir::BuiltinKind> UnaryMath = {
+      {"sqrt", kir::BuiltinKind::Sqrt},   {"rsqrt", kir::BuiltinKind::Rsqrt},
+      {"sin", kir::BuiltinKind::Sin},     {"cos", kir::BuiltinKind::Cos},
+      {"exp", kir::BuiltinKind::Exp},     {"log", kir::BuiltinKind::Log},
+      {"fabs", kir::BuiltinKind::Fabs},   {"floor", kir::BuiltinKind::Floor}};
+  auto MathIt = UnaryMath.find(Name);
+  if (MathIt != UnaryMath.end()) {
+    if (NArgs() != 1)
+      return Expected<RValue>(err(Line, Name + " takes one argument"));
+    Expected<RValue> A = emitExpr(E->args()[0].get());
+    if (!A)
+      return A;
+    Expected<RValue> AF = convert(A.take(), MiniType::floatTy(), Line);
+    if (!AF)
+      return AF;
+    return RValue{B.builtin(MathIt->second, kir::Type::f32(), {AF->V},
+                            Name),
+                  MiniType::floatTy()};
+  }
+
+  if (Name == "fmin" || Name == "fmax") {
+    if (NArgs() != 2)
+      return Expected<RValue>(err(Line, Name + " takes two arguments"));
+    Expected<RValue> A = emitExpr(E->args()[0].get());
+    if (!A)
+      return A;
+    Expected<RValue> AC = convert(A.take(), MiniType::floatTy(), Line);
+    if (!AC)
+      return AC;
+    Expected<RValue> C = emitExpr(E->args()[1].get());
+    if (!C)
+      return C;
+    Expected<RValue> CC = convert(C.take(), MiniType::floatTy(), Line);
+    if (!CC)
+      return CC;
+    return RValue{B.builtin(Name == "fmin" ? kir::BuiltinKind::FMin
+                                           : kir::BuiltinKind::FMax,
+                            kir::Type::f32(), {AC->V, CC->V}, Name),
+                  MiniType::floatTy()};
+  }
+
+  if (Name == "min" || Name == "max") {
+    if (NArgs() != 2)
+      return Expected<RValue>(err(Line, Name + " takes two arguments"));
+    Expected<RValue> A = emitExpr(E->args()[0].get());
+    if (!A)
+      return A;
+    Expected<RValue> C = emitExpr(E->args()[1].get());
+    if (!C)
+      return C;
+    if (!A->Ty.isInteger() || !C->Ty.isInteger())
+      return Expected<RValue>(
+          err(Line, Name + " requires integer operands (use fmin/fmax)"));
+    MiniType Common = commonArith(A->Ty, C->Ty);
+    Expected<RValue> AC = convert(A.take(), Common, Line);
+    if (!AC)
+      return AC;
+    Expected<RValue> CC = convert(C.take(), Common, Line);
+    if (!CC)
+      return CC;
+    return RValue{B.builtin(Name == "min" ? kir::BuiltinKind::IMin
+                                          : kir::BuiltinKind::IMax,
+                            Common.toKir(), {AC->V, CC->V}, Name),
+                  Common};
+  }
+
+  if (Name == "abs") {
+    if (NArgs() != 1)
+      return Expected<RValue>(err(Line, "abs takes one argument"));
+    Expected<RValue> A = emitExpr(E->args()[0].get());
+    if (!A)
+      return A;
+    if (!A->Ty.isInteger())
+      return Expected<RValue>(err(Line, "abs requires an integer operand"));
+    return RValue{
+        B.builtin(kir::BuiltinKind::IAbs, A->Ty.toKir(), {A->V}, Name),
+        A->Ty};
+  }
+
+  static const std::map<std::string, kir::BuiltinKind> Atomics = {
+      {"atomic_add", kir::BuiltinKind::AtomicAdd},
+      {"atomic_sub", kir::BuiltinKind::AtomicSub},
+      {"atomic_min", kir::BuiltinKind::AtomicMin},
+      {"atomic_max", kir::BuiltinKind::AtomicMax},
+      {"atomic_xchg", kir::BuiltinKind::AtomicXchg}};
+  auto AtIt = Atomics.find(Name);
+  if (AtIt != Atomics.end()) {
+    if (NArgs() != 2)
+      return Expected<RValue>(err(Line, Name + " takes two arguments"));
+    Expected<RValue> Ptr = emitExpr(E->args()[0].get());
+    if (!Ptr)
+      return Ptr;
+    if (!Ptr->Ty.isPtr() || Ptr->Ty.Elem != MiniType::Base::Int)
+      return Expected<RValue>(
+          err(Line, Name + " requires a pointer to int"));
+    if (Ptr->Ty.IsConst)
+      return Expected<RValue>(err(Line, Name + " through a const pointer"));
+    Expected<RValue> Val = emitExpr(E->args()[1].get());
+    if (!Val)
+      return Val;
+    Expected<RValue> VC = convert(Val.take(), MiniType::intTy(), Line);
+    if (!VC)
+      return VC;
+    return RValue{B.builtin(AtIt->second, kir::Type::i32(),
+                            {Ptr->V, VC->V}, Name),
+                  MiniType::intTy()};
+  }
+
+  accel_unreachable("isBuiltinName/emitBuiltinCall mismatch");
+}
+
+Expected<RValue> FunctionCodeGen::emitCall(const CallExpr *E) {
+  if (isBuiltinName(E->callee()))
+    return emitBuiltinCall(E);
+
+  auto DeclIt = Ctx.Decls.find(E->callee());
+  if (DeclIt == Ctx.Decls.end())
+    return Expected<RValue>(err(
+        E->line(), "call to undeclared function '" + E->callee() + "'"));
+  const FunctionDecl *Callee = DeclIt->second;
+  if (Callee->IsKernel)
+    return Expected<RValue>(
+        err(E->line(), "kernels cannot be called from device code"));
+  if (E->args().size() != Callee->Params.size())
+    return Expected<RValue>(
+        err(E->line(), "wrong number of arguments to '" + E->callee() +
+                           "' (expected " +
+                           std::to_string(Callee->Params.size()) + ")"));
+
+  std::vector<kir::Value *> Args;
+  for (size_t I = 0; I != E->args().size(); ++I) {
+    Expected<RValue> A = emitExpr(E->args()[I].get());
+    if (!A)
+      return A;
+    const MiniType &ParamTy = Callee->Params[I].Ty;
+    if (ParamTy.isPtr()) {
+      if (!A->Ty.isPtr() || !A->Ty.sameShape(ParamTy))
+        return Expected<RValue>(
+            err(E->line(), "pointer argument type mismatch in call to '" +
+                               E->callee() + "'"));
+      Args.push_back(A->V);
+      continue;
+    }
+    Expected<RValue> Conv = convert(A.take(), ParamTy, E->line());
+    if (!Conv)
+      return Conv;
+    Args.push_back(Conv->V);
+  }
+
+  kir::Function *CalleeF = Ctx.Fns.at(E->callee());
+  kir::Value *V = B.call(CalleeF, std::move(Args));
+  return RValue{V, Callee->RetTy};
+}
+
+} // namespace
+
+Expected<std::unique_ptr<kir::Module>>
+minicl::generateModule(const ProgramAST &Program,
+                       const std::string &ModuleName) {
+  using RetT = Expected<std::unique_ptr<kir::Module>>;
+  auto M = std::make_unique<kir::Module>(ModuleName);
+  ModuleContext Ctx;
+  Ctx.M = M.get();
+
+  // Pass 1: declare every function so bodies can call forward.
+  for (const auto &FD : Program.Functions) {
+    if (isBuiltinName(FD->Name))
+      return RetT(makeError("error at line " + std::to_string(FD->Line) +
+                            ": '" + FD->Name +
+                            "' is a reserved built-in name"));
+    if (Ctx.Decls.count(FD->Name))
+      return RetT(makeError("error at line " + std::to_string(FD->Line) +
+                            ": redefinition of function '" + FD->Name +
+                            "'"));
+    for (const ParamDecl &P : FD->Params) {
+      if (P.Ty.isBool() || P.Ty.isVoid())
+        return RetT(makeError(
+            "error at line " + std::to_string(P.Line) + ": parameter '" +
+            P.Name + "' of '" + FD->Name + "' has unsupported type"));
+    }
+    kir::Function *F =
+        M->createFunction(FD->Name, FD->RetTy.toKir(), FD->IsKernel);
+    for (const ParamDecl &P : FD->Params)
+      F->addArgument(P.Ty.toKir(), P.Name);
+    Ctx.Decls.emplace(FD->Name, FD.get());
+    Ctx.Fns.emplace(FD->Name, F);
+  }
+
+  // Pass 2: lower bodies.
+  for (const auto &FD : Program.Functions) {
+    FunctionCodeGen Gen(Ctx, *FD, Ctx.Fns.at(FD->Name));
+    if (Error E = Gen.run())
+      return RetT(std::move(E));
+  }
+  return RetT(std::move(M));
+}

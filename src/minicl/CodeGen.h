@@ -1,0 +1,39 @@
+//===- minicl/CodeGen.h - AST to KIR lowering -------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a type-checked MiniCL AST into a KIR module. Semantic analysis
+/// (symbol resolution, type checking, address-space rules) happens during
+/// lowering and produces recoverable Errors with source lines, mirroring
+/// how OpenCL drivers report build failures through clBuildProgram.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_CODEGEN_H
+#define ACCEL_MINICL_CODEGEN_H
+
+#include "minicl/AST.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace accel {
+
+namespace kir {
+class Module;
+}
+
+namespace minicl {
+
+/// Generates a verified KIR module from \p Program.
+Expected<std::unique_ptr<kir::Module>>
+generateModule(const ProgramAST &Program, const std::string &ModuleName);
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_CODEGEN_H

@@ -1,0 +1,102 @@
+//===- minicl/Frontend.cpp - Source-to-module driver -----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Frontend.h"
+
+#include "kir/Module.h"
+#include "kir/Verifier.h"
+#include "minicl/CodeGen.h"
+#include "minicl/Lexer.h"
+#include "minicl/Parser.h"
+
+#include <map>
+#include <set>
+
+using namespace accel;
+using namespace accel::minicl;
+
+/// Depth-first search for call-graph cycles (OpenCL forbids recursion,
+/// and both the inliner and the interpreter rely on it).
+static Error checkNoRecursion(const kir::Module &M) {
+  enum class Mark { White, Grey, Black };
+  std::map<const kir::Function *, Mark> Marks;
+
+  // Iterative DFS with an explicit stack.
+  for (const auto &Root : M.functions()) {
+    if (Marks[Root.get()] != Mark::White)
+      continue;
+    std::vector<std::pair<const kir::Function *, size_t>> Stack;
+    std::vector<const kir::Function *> Callees;
+
+    auto CalleesOf = [](const kir::Function *F) {
+      std::vector<const kir::Function *> Out;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instructions())
+          if (const auto *Call = dyn_cast<kir::CallInst>(I.get()))
+            Out.push_back(Call->callee());
+      return Out;
+    };
+
+    std::map<const kir::Function *, std::vector<const kir::Function *>>
+        CalleeCache;
+    auto GetCallees = [&](const kir::Function *F)
+        -> const std::vector<const kir::Function *> & {
+      auto It = CalleeCache.find(F);
+      if (It == CalleeCache.end())
+        It = CalleeCache.emplace(F, CalleesOf(F)).first;
+      return It->second;
+    };
+
+    Marks[Root.get()] = Mark::Grey;
+    Stack.emplace_back(Root.get(), 0);
+    while (!Stack.empty()) {
+      auto &[F, NextIdx] = Stack.back();
+      const auto &Succ = GetCallees(F);
+      if (NextIdx >= Succ.size()) {
+        Marks[F] = Mark::Black;
+        Stack.pop_back();
+        continue;
+      }
+      const kir::Function *Callee = Succ[NextIdx++];
+      Mark &CM = Marks[Callee];
+      if (CM == Mark::Grey)
+        return makeError("recursion detected involving function '" +
+                         Callee->name() + "' (not allowed in kernels)");
+      if (CM == Mark::White) {
+        CM = Mark::Grey;
+        Stack.emplace_back(Callee, 0);
+      }
+    }
+  }
+  return Error::success();
+}
+
+Expected<std::unique_ptr<kir::Module>>
+minicl::compileSource(const std::string &ModuleName,
+                      std::string_view Source) {
+  using RetT = Expected<std::unique_ptr<kir::Module>>;
+
+  Lexer Lex(Source);
+  Expected<std::vector<Token>> Tokens = Lex.tokenize();
+  if (!Tokens)
+    return RetT(Tokens.takeError());
+
+  Parser P(Tokens.take());
+  Expected<std::unique_ptr<ProgramAST>> Program = P.parseProgram();
+  if (!Program)
+    return RetT(Program.takeError());
+
+  Expected<std::unique_ptr<kir::Module>> M =
+      generateModule(**Program, ModuleName);
+  if (!M)
+    return M;
+
+  if (Error E = kir::verifyModule(**M))
+    return RetT(std::move(E));
+  if (Error E = checkNoRecursion(**M))
+    return RetT(std::move(E));
+  return M;
+}

@@ -1,0 +1,39 @@
+//===- minicl/Frontend.h - Source-to-module driver --------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The front-end driver: lexes, parses, lowers and verifies MiniCL
+/// source, producing a KIR module. This plays the role of the "OpenCL C
+/// -> LLVM IR" step in the paper's Fig. 7b compilation pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_FRONTEND_H
+#define ACCEL_MINICL_FRONTEND_H
+
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace accel {
+
+namespace kir {
+class Module;
+}
+
+namespace minicl {
+
+/// Compiles \p Source into a verified KIR module named \p ModuleName.
+/// Rejects recursive call graphs (as OpenCL does).
+Expected<std::unique_ptr<kir::Module>>
+compileSource(const std::string &ModuleName, std::string_view Source);
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_FRONTEND_H

@@ -1,0 +1,373 @@
+//===- minicl/Lexer.cpp - MiniCL lexical analysis --------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+using namespace accel;
+using namespace accel::minicl;
+
+const char *minicl::tokKindName(TokKind Kind) {
+  switch (Kind) {
+  case TokKind::Eof:
+    return "end of input";
+  case TokKind::Identifier:
+    return "identifier";
+  case TokKind::IntLiteral:
+    return "integer literal";
+  case TokKind::FloatLiteral:
+    return "float literal";
+  case TokKind::KwKernel:
+    return "'kernel'";
+  case TokKind::KwVoid:
+    return "'void'";
+  case TokKind::KwInt:
+    return "'int'";
+  case TokKind::KwLong:
+    return "'long'";
+  case TokKind::KwFloat:
+    return "'float'";
+  case TokKind::KwBool:
+    return "'bool'";
+  case TokKind::KwGlobal:
+    return "'global'";
+  case TokKind::KwLocal:
+    return "'local'";
+  case TokKind::KwConst:
+    return "'const'";
+  case TokKind::KwIf:
+    return "'if'";
+  case TokKind::KwElse:
+    return "'else'";
+  case TokKind::KwFor:
+    return "'for'";
+  case TokKind::KwWhile:
+    return "'while'";
+  case TokKind::KwReturn:
+    return "'return'";
+  case TokKind::KwBreak:
+    return "'break'";
+  case TokKind::KwContinue:
+    return "'continue'";
+  case TokKind::KwTrue:
+    return "'true'";
+  case TokKind::KwFalse:
+    return "'false'";
+  case TokKind::LParen:
+    return "'('";
+  case TokKind::RParen:
+    return "')'";
+  case TokKind::LBrace:
+    return "'{'";
+  case TokKind::RBrace:
+    return "'}'";
+  case TokKind::LBracket:
+    return "'['";
+  case TokKind::RBracket:
+    return "']'";
+  case TokKind::Comma:
+    return "','";
+  case TokKind::Semicolon:
+    return "';'";
+  case TokKind::Star:
+    return "'*'";
+  case TokKind::Plus:
+    return "'+'";
+  case TokKind::Minus:
+    return "'-'";
+  case TokKind::Slash:
+    return "'/'";
+  case TokKind::Percent:
+    return "'%'";
+  case TokKind::Amp:
+    return "'&'";
+  case TokKind::Pipe:
+    return "'|'";
+  case TokKind::Caret:
+    return "'^'";
+  case TokKind::Tilde:
+    return "'~'";
+  case TokKind::Bang:
+    return "'!'";
+  case TokKind::Assign:
+    return "'='";
+  case TokKind::PlusAssign:
+    return "'+='";
+  case TokKind::MinusAssign:
+    return "'-='";
+  case TokKind::StarAssign:
+    return "'*='";
+  case TokKind::PlusPlus:
+    return "'++'";
+  case TokKind::MinusMinus:
+    return "'--'";
+  case TokKind::Less:
+    return "'<'";
+  case TokKind::LessEq:
+    return "'<='";
+  case TokKind::Greater:
+    return "'>'";
+  case TokKind::GreaterEq:
+    return "'>='";
+  case TokKind::EqEq:
+    return "'=='";
+  case TokKind::BangEq:
+    return "'!='";
+  case TokKind::AmpAmp:
+    return "'&&'";
+  case TokKind::PipePipe:
+    return "'||'";
+  case TokKind::Shl:
+    return "'<<'";
+  case TokKind::Shr:
+    return "'>>'";
+  }
+  accel_unreachable("bad token kind");
+}
+
+char Lexer::advance() {
+  char C = Source[Pos++];
+  if (C == '\n') {
+    ++Line;
+    Column = 1;
+  } else {
+    ++Column;
+  }
+  return C;
+}
+
+void Lexer::skipWhitespaceAndComments() {
+  while (!atEnd()) {
+    char C = peek();
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && peek(1) == '*') {
+      advance();
+      advance();
+      while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+        advance();
+      if (!atEnd()) {
+        advance();
+        advance();
+      }
+      continue;
+    }
+    break;
+  }
+}
+
+Token Lexer::makeToken(TokKind Kind, std::string Text) {
+  Token T;
+  T.Kind = Kind;
+  T.Text = std::move(Text);
+  T.Line = Line;
+  T.Column = Column;
+  return T;
+}
+
+Token Lexer::lexIdentifier() {
+  static const std::map<std::string, TokKind> Keywords = {
+      {"kernel", TokKind::KwKernel},     {"void", TokKind::KwVoid},
+      {"int", TokKind::KwInt},           {"long", TokKind::KwLong},
+      {"float", TokKind::KwFloat},       {"bool", TokKind::KwBool},
+      {"global", TokKind::KwGlobal},     {"local", TokKind::KwLocal},
+      {"const", TokKind::KwConst},       {"if", TokKind::KwIf},
+      {"else", TokKind::KwElse},         {"for", TokKind::KwFor},
+      {"while", TokKind::KwWhile},       {"return", TokKind::KwReturn},
+      {"break", TokKind::KwBreak},       {"continue", TokKind::KwContinue},
+      {"true", TokKind::KwTrue},         {"false", TokKind::KwFalse}};
+
+  Token T = makeToken(TokKind::Identifier);
+  std::string Text;
+  while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                      peek() == '_'))
+    Text.push_back(advance());
+  auto It = Keywords.find(Text);
+  if (It != Keywords.end())
+    T.Kind = It->second;
+  T.Text = std::move(Text);
+  return T;
+}
+
+Expected<Token> Lexer::lexNumber() {
+  Token T = makeToken(TokKind::IntLiteral);
+  std::string Text;
+  bool IsFloat = false;
+  bool IsHex = false;
+
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    IsHex = true;
+    Text.push_back(advance());
+    Text.push_back(advance());
+    while (!atEnd() && std::isxdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+  } else {
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      Text.push_back(advance());
+    if (peek() == '.') {
+      IsFloat = true;
+      Text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      IsFloat = true;
+      Text.push_back(advance());
+      if (peek() == '+' || peek() == '-')
+        Text.push_back(advance());
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+        Text.push_back(advance());
+    }
+  }
+  // Trailing float suffix.
+  if (peek() == 'f' || peek() == 'F') {
+    IsFloat = true;
+    advance();
+  }
+
+  T.Text = Text;
+  if (IsFloat) {
+    T.Kind = TokKind::FloatLiteral;
+    T.FloatValue = std::strtof(Text.c_str(), nullptr);
+  } else {
+    T.IntValue =
+        static_cast<int64_t>(std::strtoll(Text.c_str(), nullptr, IsHex
+                                                                      ? 16
+                                                                      : 10));
+  }
+  return T;
+}
+
+Expected<std::vector<Token>> Lexer::tokenize() {
+  std::vector<Token> Tokens;
+  for (;;) {
+    skipWhitespaceAndComments();
+    if (atEnd()) {
+      Tokens.push_back(makeToken(TokKind::Eof));
+      return Tokens;
+    }
+    char C = peek();
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      Tokens.push_back(lexIdentifier());
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      Expected<Token> T = lexNumber();
+      if (!T)
+        return T.takeError();
+      Tokens.push_back(T.take());
+      continue;
+    }
+
+    unsigned TokLine = Line, TokColumn = Column;
+    advance();
+    auto Two = [&](char Next, TokKind Double, TokKind Single) {
+      if (peek() == Next) {
+        advance();
+        return Double;
+      }
+      return Single;
+    };
+
+    TokKind Kind;
+    switch (C) {
+    case '(':
+      Kind = TokKind::LParen;
+      break;
+    case ')':
+      Kind = TokKind::RParen;
+      break;
+    case '{':
+      Kind = TokKind::LBrace;
+      break;
+    case '}':
+      Kind = TokKind::RBrace;
+      break;
+    case '[':
+      Kind = TokKind::LBracket;
+      break;
+    case ']':
+      Kind = TokKind::RBracket;
+      break;
+    case ',':
+      Kind = TokKind::Comma;
+      break;
+    case ';':
+      Kind = TokKind::Semicolon;
+      break;
+    case '~':
+      Kind = TokKind::Tilde;
+      break;
+    case '^':
+      Kind = TokKind::Caret;
+      break;
+    case '%':
+      Kind = TokKind::Percent;
+      break;
+    case '/':
+      Kind = TokKind::Slash;
+      break;
+    case '*':
+      Kind = Two('=', TokKind::StarAssign, TokKind::Star);
+      break;
+    case '+':
+      Kind = peek() == '+' ? (advance(), TokKind::PlusPlus)
+                           : Two('=', TokKind::PlusAssign, TokKind::Plus);
+      break;
+    case '-':
+      Kind = peek() == '-' ? (advance(), TokKind::MinusMinus)
+                           : Two('=', TokKind::MinusAssign, TokKind::Minus);
+      break;
+    case '&':
+      Kind = Two('&', TokKind::AmpAmp, TokKind::Amp);
+      break;
+    case '|':
+      Kind = Two('|', TokKind::PipePipe, TokKind::Pipe);
+      break;
+    case '!':
+      Kind = Two('=', TokKind::BangEq, TokKind::Bang);
+      break;
+    case '=':
+      Kind = Two('=', TokKind::EqEq, TokKind::Assign);
+      break;
+    case '<':
+      if (peek() == '<') {
+        advance();
+        Kind = TokKind::Shl;
+      } else {
+        Kind = Two('=', TokKind::LessEq, TokKind::Less);
+      }
+      break;
+    case '>':
+      if (peek() == '>') {
+        advance();
+        Kind = TokKind::Shr;
+      } else {
+        Kind = Two('=', TokKind::GreaterEq, TokKind::Greater);
+      }
+      break;
+    default:
+      return makeError("lex error at line " + std::to_string(TokLine) +
+                       ", column " + std::to_string(TokColumn) +
+                       ": unexpected character '" + std::string(1, C) + "'");
+    }
+    Token T;
+    T.Kind = Kind;
+    T.Line = TokLine;
+    T.Column = TokColumn;
+    Tokens.push_back(T);
+  }
+}

@@ -1,0 +1,56 @@
+//===- minicl/Lexer.h - MiniCL lexical analysis -----------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Converts MiniCL source text into a token stream. Supports //- and
+/// /* */-style comments and C-style integer/float literals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_LEXER_H
+#define ACCEL_MINICL_LEXER_H
+
+#include "minicl/Token.h"
+#include "support/Error.h"
+
+#include <string_view>
+#include <vector>
+
+namespace accel {
+namespace minicl {
+
+/// Lexes an entire source buffer.
+class Lexer {
+public:
+  explicit Lexer(std::string_view Source) : Source(Source) {}
+
+  /// Tokenizes the whole input (the final token is Eof).
+  /// \returns the token vector or a diagnostic for an invalid character
+  /// or malformed literal.
+  Expected<std::vector<Token>> tokenize();
+
+private:
+  bool atEnd() const { return Pos >= Source.size(); }
+  char peek(size_t Ahead = 0) const {
+    return Pos + Ahead < Source.size() ? Source[Pos + Ahead] : '\0';
+  }
+  char advance();
+  void skipWhitespaceAndComments();
+
+  Expected<Token> lexNumber();
+  Token lexIdentifier();
+  Token makeToken(TokKind Kind, std::string Text = "");
+
+  std::string_view Source;
+  size_t Pos = 0;
+  unsigned Line = 1;
+  unsigned Column = 1;
+};
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_LEXER_H

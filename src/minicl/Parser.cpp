@@ -1,0 +1,594 @@
+//===- minicl/Parser.cpp - MiniCL recursive-descent parser -----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Parser.h"
+
+using namespace accel;
+using namespace accel::minicl;
+
+Error Parser::errorHere(const std::string &Message) const {
+  return makeError("parse error at line " + std::to_string(peek().Line) +
+                   ": " + Message);
+}
+
+Error Parser::expect(TokKind K, const char *Context) {
+  if (match(K))
+    return Error::success();
+  return errorHere(std::string("expected ") + tokKindName(K) + " " + Context +
+                   ", found " + tokKindName(peek().Kind));
+}
+
+bool Parser::atTypeStart() const {
+  switch (peek().Kind) {
+  case TokKind::KwInt:
+  case TokKind::KwLong:
+  case TokKind::KwFloat:
+  case TokKind::KwVoid:
+  case TokKind::KwGlobal:
+  case TokKind::KwLocal:
+  case TokKind::KwConst:
+    return true;
+  default:
+    return false;
+  }
+}
+
+Expected<MiniType::Base> Parser::parseBaseType() {
+  if (match(TokKind::KwInt))
+    return MiniType::Base::Int;
+  if (match(TokKind::KwLong))
+    return MiniType::Base::Long;
+  if (match(TokKind::KwFloat))
+    return MiniType::Base::Float;
+  return Expected<MiniType::Base>(
+      errorHere("expected a scalar type ('int', 'long' or 'float')"));
+}
+
+Expected<MiniType> Parser::parseParamType() {
+  bool IsGlobal = false, IsLocal = false, IsConst = false;
+  for (;;) {
+    if (match(TokKind::KwGlobal)) {
+      IsGlobal = true;
+      continue;
+    }
+    if (match(TokKind::KwLocal)) {
+      IsLocal = true;
+      continue;
+    }
+    if (match(TokKind::KwConst)) {
+      IsConst = true;
+      continue;
+    }
+    break;
+  }
+  Expected<MiniType::Base> Base = parseBaseType();
+  if (!Base)
+    return Base.takeError();
+  // Allow "float const *" style as well.
+  if (match(TokKind::KwConst))
+    IsConst = true;
+
+  if (match(TokKind::Star)) {
+    kir::AddrSpaceKind AS = IsGlobal  ? kir::AddrSpaceKind::Global
+                            : IsLocal ? kir::AddrSpaceKind::Local
+                                      : kir::AddrSpaceKind::Private;
+    if (!IsGlobal && !IsLocal)
+      return Expected<MiniType>(
+          errorHere("pointer parameters must be 'global' or 'local'"));
+    return MiniType::ptr(*Base, AS, IsConst);
+  }
+  if (IsGlobal || IsLocal)
+    return Expected<MiniType>(
+        errorHere("address-space qualifier requires a pointer type"));
+  MiniType T;
+  T.B = *Base;
+  T.IsConst = IsConst;
+  return T;
+}
+
+Expected<std::unique_ptr<ProgramAST>> Parser::parseProgram() {
+  auto Program = std::make_unique<ProgramAST>();
+  while (!check(TokKind::Eof)) {
+    Expected<std::unique_ptr<FunctionDecl>> F = parseFunction();
+    if (!F)
+      return F.takeError();
+    Program->Functions.push_back(F.take());
+  }
+  return Program;
+}
+
+Expected<std::unique_ptr<FunctionDecl>> Parser::parseFunction() {
+  using RetT = Expected<std::unique_ptr<FunctionDecl>>;
+  auto Fn = std::make_unique<FunctionDecl>();
+  Fn->Line = peek().Line;
+  Fn->IsKernel = match(TokKind::KwKernel);
+
+  if (match(TokKind::KwVoid)) {
+    Fn->RetTy = MiniType::voidTy();
+  } else {
+    Expected<MiniType::Base> Base = parseBaseType();
+    if (!Base)
+      return Base.takeError();
+    Fn->RetTy.B = *Base;
+  }
+  if (Fn->IsKernel && !Fn->RetTy.isVoid())
+    return RetT(errorHere("kernel functions must return void"));
+
+  if (!check(TokKind::Identifier))
+    return RetT(errorHere("expected function name"));
+  Fn->Name = advance().Text;
+
+  if (Error E = expect(TokKind::LParen, "after function name"))
+    return RetT(std::move(E));
+  if (!check(TokKind::RParen)) {
+    do {
+      ParamDecl P;
+      P.Line = peek().Line;
+      Expected<MiniType> Ty = parseParamType();
+      if (!Ty)
+        return Ty.takeError();
+      P.Ty = *Ty;
+      if (!check(TokKind::Identifier))
+        return RetT(errorHere("expected parameter name"));
+      P.Name = advance().Text;
+      Fn->Params.push_back(std::move(P));
+    } while (match(TokKind::Comma));
+  }
+  if (Error E = expect(TokKind::RParen, "after parameter list"))
+    return RetT(std::move(E));
+
+  Expected<StmtPtr> Body = parseBlock();
+  if (!Body)
+    return Body.takeError();
+  Fn->Body.reset(cast<BlockStmt>(Body->release()));
+  return RetT(std::move(Fn));
+}
+
+Expected<StmtPtr> Parser::parseBlock() {
+  unsigned Line = peek().Line;
+  if (Error E = expect(TokKind::LBrace, "to open a block"))
+    return Expected<StmtPtr>(std::move(E));
+  std::vector<StmtPtr> Stmts;
+  while (!check(TokKind::RBrace) && !check(TokKind::Eof)) {
+    Expected<StmtPtr> S = parseStmt();
+    if (!S)
+      return S;
+    Stmts.push_back(S.take());
+  }
+  if (Error E = expect(TokKind::RBrace, "to close a block"))
+    return Expected<StmtPtr>(std::move(E));
+  return StmtPtr(std::make_unique<BlockStmt>(std::move(Stmts), Line));
+}
+
+Expected<StmtPtr> Parser::parseStmt() {
+  switch (peek().Kind) {
+  case TokKind::LBrace:
+    return parseBlock();
+  case TokKind::KwLocal:
+  case TokKind::KwInt:
+  case TokKind::KwLong:
+  case TokKind::KwFloat:
+    return parseDecl(/*ConsumeSemi=*/true);
+  case TokKind::KwIf:
+    return parseIf();
+  case TokKind::KwFor:
+    return parseFor();
+  case TokKind::KwWhile:
+    return parseWhile();
+  case TokKind::KwReturn:
+    return parseReturn();
+  case TokKind::KwBreak: {
+    unsigned Line = advance().Line;
+    if (Error E = expect(TokKind::Semicolon, "after 'break'"))
+      return Expected<StmtPtr>(std::move(E));
+    return StmtPtr(std::make_unique<BreakStmt>(Line));
+  }
+  case TokKind::KwContinue: {
+    unsigned Line = advance().Line;
+    if (Error E = expect(TokKind::Semicolon, "after 'continue'"))
+      return Expected<StmtPtr>(std::move(E));
+    return StmtPtr(std::make_unique<ContinueStmt>(Line));
+  }
+  default:
+    return parseSimpleStmt(/*ConsumeSemi=*/true);
+  }
+}
+
+Expected<StmtPtr> Parser::parseDecl(bool ConsumeSemi) {
+  unsigned Line = peek().Line;
+  bool IsLocal = match(TokKind::KwLocal);
+  Expected<MiniType::Base> Base = parseBaseType();
+  if (!Base)
+    return Base.takeError();
+  if (!check(TokKind::Identifier))
+    return Expected<StmtPtr>(errorHere("expected variable name"));
+  std::string Name = advance().Text;
+
+  uint64_t ArraySize = 0;
+  ExprPtr Init;
+  if (match(TokKind::LBracket)) {
+    if (!check(TokKind::IntLiteral))
+      return Expected<StmtPtr>(
+          errorHere("array size must be an integer literal"));
+    int64_t N = advance().IntValue;
+    if (N <= 0)
+      return Expected<StmtPtr>(errorHere("array size must be positive"));
+    ArraySize = static_cast<uint64_t>(N);
+    if (Error E = expect(TokKind::RBracket, "after array size"))
+      return Expected<StmtPtr>(std::move(E));
+  } else if (match(TokKind::Assign)) {
+    Expected<ExprPtr> E = parseExpr();
+    if (!E)
+      return E.takeError();
+    Init = E.take();
+  }
+  if (ConsumeSemi)
+    if (Error E = expect(TokKind::Semicolon, "after declaration"))
+      return Expected<StmtPtr>(std::move(E));
+
+  MiniType Ty;
+  Ty.B = *Base;
+  return StmtPtr(std::make_unique<DeclStmt>(Ty, IsLocal, std::move(Name),
+                                            ArraySize, std::move(Init),
+                                            Line));
+}
+
+Expected<StmtPtr> Parser::parseIf() {
+  unsigned Line = advance().Line; // 'if'
+  if (Error E = expect(TokKind::LParen, "after 'if'"))
+    return Expected<StmtPtr>(std::move(E));
+  Expected<ExprPtr> Cond = parseExpr();
+  if (!Cond)
+    return Cond.takeError();
+  if (Error E = expect(TokKind::RParen, "after if condition"))
+    return Expected<StmtPtr>(std::move(E));
+  Expected<StmtPtr> Then = parseStmt();
+  if (!Then)
+    return Then;
+  StmtPtr Else;
+  if (match(TokKind::KwElse)) {
+    Expected<StmtPtr> E = parseStmt();
+    if (!E)
+      return E;
+    Else = E.take();
+  }
+  return StmtPtr(std::make_unique<IfStmt>(Cond.take(), Then.take(),
+                                          std::move(Else), Line));
+}
+
+Expected<StmtPtr> Parser::parseFor() {
+  unsigned Line = advance().Line; // 'for'
+  if (Error E = expect(TokKind::LParen, "after 'for'"))
+    return Expected<StmtPtr>(std::move(E));
+
+  StmtPtr Init;
+  if (!match(TokKind::Semicolon)) {
+    Expected<StmtPtr> I = atTypeStart() ? parseDecl(/*ConsumeSemi=*/false)
+                                        : parseSimpleStmt(false);
+    if (!I)
+      return I;
+    Init = I.take();
+    if (Error E = expect(TokKind::Semicolon, "after for-init"))
+      return Expected<StmtPtr>(std::move(E));
+  }
+
+  ExprPtr Cond;
+  if (!check(TokKind::Semicolon)) {
+    Expected<ExprPtr> C = parseExpr();
+    if (!C)
+      return C.takeError();
+    Cond = C.take();
+  }
+  if (Error E = expect(TokKind::Semicolon, "after for-condition"))
+    return Expected<StmtPtr>(std::move(E));
+
+  StmtPtr Step;
+  if (!check(TokKind::RParen)) {
+    Expected<StmtPtr> S = parseSimpleStmt(/*ConsumeSemi=*/false);
+    if (!S)
+      return S;
+    Step = S.take();
+  }
+  if (Error E = expect(TokKind::RParen, "after for-step"))
+    return Expected<StmtPtr>(std::move(E));
+
+  Expected<StmtPtr> Body = parseStmt();
+  if (!Body)
+    return Body;
+  return StmtPtr(std::make_unique<ForStmt>(std::move(Init), std::move(Cond),
+                                           std::move(Step), Body.take(),
+                                           Line));
+}
+
+Expected<StmtPtr> Parser::parseWhile() {
+  unsigned Line = advance().Line; // 'while'
+  if (Error E = expect(TokKind::LParen, "after 'while'"))
+    return Expected<StmtPtr>(std::move(E));
+  Expected<ExprPtr> Cond = parseExpr();
+  if (!Cond)
+    return Cond.takeError();
+  if (Error E = expect(TokKind::RParen, "after while condition"))
+    return Expected<StmtPtr>(std::move(E));
+  Expected<StmtPtr> Body = parseStmt();
+  if (!Body)
+    return Body;
+  return StmtPtr(
+      std::make_unique<WhileStmt>(Cond.take(), Body.take(), Line));
+}
+
+Expected<StmtPtr> Parser::parseReturn() {
+  unsigned Line = advance().Line; // 'return'
+  ExprPtr Value;
+  if (!check(TokKind::Semicolon)) {
+    Expected<ExprPtr> V = parseExpr();
+    if (!V)
+      return V.takeError();
+    Value = V.take();
+  }
+  if (Error E = expect(TokKind::Semicolon, "after return"))
+    return Expected<StmtPtr>(std::move(E));
+  return StmtPtr(std::make_unique<ReturnStmt>(std::move(Value), Line));
+}
+
+Expected<StmtPtr> Parser::parseSimpleStmt(bool ConsumeSemi) {
+  unsigned Line = peek().Line;
+  Expected<ExprPtr> LHS = parseExpr();
+  if (!LHS)
+    return LHS.takeError();
+
+  StmtPtr Result;
+  if (check(TokKind::Assign) || check(TokKind::PlusAssign) ||
+      check(TokKind::MinusAssign) || check(TokKind::StarAssign)) {
+    TokKind K = advance().Kind;
+    AssignOpKind Op = K == TokKind::Assign        ? AssignOpKind::Plain
+                      : K == TokKind::PlusAssign  ? AssignOpKind::Add
+                      : K == TokKind::MinusAssign ? AssignOpKind::Sub
+                                                  : AssignOpKind::Mul;
+    Expected<ExprPtr> RHS = parseExpr();
+    if (!RHS)
+      return RHS.takeError();
+    Result = std::make_unique<AssignStmt>(LHS.take(), Op, RHS.take(), Line);
+  } else if (check(TokKind::PlusPlus) || check(TokKind::MinusMinus)) {
+    bool IsInc = advance().Kind == TokKind::PlusPlus;
+    // Desugar i++ / i-- into i += 1 / i -= 1.
+    Result = std::make_unique<AssignStmt>(
+        LHS.take(), IsInc ? AssignOpKind::Add : AssignOpKind::Sub,
+        std::make_unique<IntLitExpr>(1, Line), Line);
+  } else {
+    Result = std::make_unique<ExprStmt>(LHS.take(), Line);
+  }
+
+  if (ConsumeSemi)
+    if (Error E = expect(TokKind::Semicolon, "after statement"))
+      return Expected<StmtPtr>(std::move(E));
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binding power of binary operators; higher binds tighter. Mirrors C.
+static int binaryPrecedence(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return 1;
+  case TokKind::AmpAmp:
+    return 2;
+  case TokKind::Pipe:
+    return 3;
+  case TokKind::Caret:
+    return 4;
+  case TokKind::Amp:
+    return 5;
+  case TokKind::EqEq:
+  case TokKind::BangEq:
+    return 6;
+  case TokKind::Less:
+  case TokKind::LessEq:
+  case TokKind::Greater:
+  case TokKind::GreaterEq:
+    return 7;
+  case TokKind::Shl:
+  case TokKind::Shr:
+    return 8;
+  case TokKind::Plus:
+  case TokKind::Minus:
+    return 9;
+  case TokKind::Star:
+  case TokKind::Slash:
+  case TokKind::Percent:
+    return 10;
+  default:
+    return -1;
+  }
+}
+
+static BinaryOpKind binaryOpFor(TokKind K) {
+  switch (K) {
+  case TokKind::PipePipe:
+    return BinaryOpKind::LogOr;
+  case TokKind::AmpAmp:
+    return BinaryOpKind::LogAnd;
+  case TokKind::Pipe:
+    return BinaryOpKind::BitOr;
+  case TokKind::Caret:
+    return BinaryOpKind::BitXor;
+  case TokKind::Amp:
+    return BinaryOpKind::BitAnd;
+  case TokKind::EqEq:
+    return BinaryOpKind::Eq;
+  case TokKind::BangEq:
+    return BinaryOpKind::Ne;
+  case TokKind::Less:
+    return BinaryOpKind::Lt;
+  case TokKind::LessEq:
+    return BinaryOpKind::Le;
+  case TokKind::Greater:
+    return BinaryOpKind::Gt;
+  case TokKind::GreaterEq:
+    return BinaryOpKind::Ge;
+  case TokKind::Shl:
+    return BinaryOpKind::Shl;
+  case TokKind::Shr:
+    return BinaryOpKind::Shr;
+  case TokKind::Plus:
+    return BinaryOpKind::Add;
+  case TokKind::Minus:
+    return BinaryOpKind::Sub;
+  case TokKind::Star:
+    return BinaryOpKind::Mul;
+  case TokKind::Slash:
+    return BinaryOpKind::Div;
+  case TokKind::Percent:
+    return BinaryOpKind::Rem;
+  default:
+    accel_unreachable("not a binary operator token");
+  }
+}
+
+Expected<ExprPtr> Parser::parseExpr() {
+  Expected<ExprPtr> LHS = parseUnary();
+  if (!LHS)
+    return LHS;
+  return parseBinaryRHS(1, LHS.take());
+}
+
+Expected<ExprPtr> Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
+  for (;;) {
+    int Prec = binaryPrecedence(peek().Kind);
+    if (Prec < MinPrec)
+      return std::move(LHS);
+    unsigned Line = peek().Line;
+    TokKind OpTok = advance().Kind;
+    Expected<ExprPtr> RHS = parseUnary();
+    if (!RHS)
+      return RHS;
+    ExprPtr R = RHS.take();
+    // Left-associative: fold while the next operator binds tighter.
+    int NextPrec = binaryPrecedence(peek().Kind);
+    if (NextPrec > Prec) {
+      Expected<ExprPtr> Folded = parseBinaryRHS(Prec + 1, std::move(R));
+      if (!Folded)
+        return Folded;
+      R = Folded.take();
+    }
+    LHS = std::make_unique<BinaryExpr>(binaryOpFor(OpTok), std::move(LHS),
+                                       std::move(R), Line);
+  }
+}
+
+Expected<ExprPtr> Parser::parseUnary() {
+  unsigned Line = peek().Line;
+  if (match(TokKind::Minus)) {
+    Expected<ExprPtr> Sub = parseUnary();
+    if (!Sub)
+      return Sub;
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOpKind::Neg, Sub.take(), Line));
+  }
+  if (match(TokKind::Bang)) {
+    Expected<ExprPtr> Sub = parseUnary();
+    if (!Sub)
+      return Sub;
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOpKind::Not, Sub.take(), Line));
+  }
+  if (match(TokKind::Tilde)) {
+    Expected<ExprPtr> Sub = parseUnary();
+    if (!Sub)
+      return Sub;
+    return ExprPtr(
+        std::make_unique<UnaryExpr>(UnaryOpKind::BitNot, Sub.take(), Line));
+  }
+  return parsePostfix();
+}
+
+Expected<ExprPtr> Parser::parsePostfix() {
+  Expected<ExprPtr> E = parsePrimary();
+  if (!E)
+    return E;
+  ExprPtr Result = E.take();
+  while (check(TokKind::LBracket)) {
+    unsigned Line = advance().Line;
+    Expected<ExprPtr> Index = parseExpr();
+    if (!Index)
+      return Index;
+    if (Error Err = expect(TokKind::RBracket, "after index"))
+      return Expected<ExprPtr>(std::move(Err));
+    Result = std::make_unique<IndexExpr>(std::move(Result), Index.take(),
+                                         Line);
+  }
+  return std::move(Result);
+}
+
+Expected<ExprPtr> Parser::parsePrimary() {
+  unsigned Line = peek().Line;
+
+  if (check(TokKind::IntLiteral)) {
+    int64_t V = advance().IntValue;
+    return ExprPtr(std::make_unique<IntLitExpr>(V, Line));
+  }
+  if (check(TokKind::FloatLiteral)) {
+    float V = advance().FloatValue;
+    return ExprPtr(std::make_unique<FloatLitExpr>(V, Line));
+  }
+  if (match(TokKind::KwTrue))
+    return ExprPtr(std::make_unique<BoolLitExpr>(true, Line));
+  if (match(TokKind::KwFalse))
+    return ExprPtr(std::make_unique<BoolLitExpr>(false, Line));
+
+  if (check(TokKind::Identifier)) {
+    std::string Name = advance().Text;
+    if (!match(TokKind::LParen))
+      return ExprPtr(std::make_unique<VarRefExpr>(std::move(Name), Line));
+    std::vector<ExprPtr> Args;
+    if (!check(TokKind::RParen)) {
+      do {
+        Expected<ExprPtr> A = parseExpr();
+        if (!A)
+          return A;
+        Args.push_back(A.take());
+      } while (match(TokKind::Comma));
+    }
+    if (Error E = expect(TokKind::RParen, "after call arguments"))
+      return Expected<ExprPtr>(std::move(E));
+    return ExprPtr(std::make_unique<CallExpr>(std::move(Name),
+                                              std::move(Args), Line));
+  }
+
+  if (check(TokKind::LParen)) {
+    // Distinguish a cast "(float)x" from a parenthesised expression.
+    TokKind Next = peek(1).Kind;
+    if (Next == TokKind::KwInt || Next == TokKind::KwLong ||
+        Next == TokKind::KwFloat) {
+      advance(); // '('
+      Expected<MiniType::Base> Base = parseBaseType();
+      if (!Base)
+        return Base.takeError();
+      if (Error E = expect(TokKind::RParen, "after cast type"))
+        return Expected<ExprPtr>(std::move(E));
+      Expected<ExprPtr> Sub = parseUnary();
+      if (!Sub)
+        return Sub;
+      MiniType Target;
+      Target.B = *Base;
+      return ExprPtr(
+          std::make_unique<CastExpr>(Target, Sub.take(), Line));
+    }
+    advance(); // '('
+    Expected<ExprPtr> E = parseExpr();
+    if (!E)
+      return E;
+    if (Error Err = expect(TokKind::RParen, "after expression"))
+      return Expected<ExprPtr>(std::move(Err));
+    return E;
+  }
+
+  return Expected<ExprPtr>(
+      errorHere(std::string("expected an expression, found ") +
+                tokKindName(peek().Kind)));
+}

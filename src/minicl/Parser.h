@@ -1,0 +1,82 @@
+//===- minicl/Parser.h - MiniCL recursive-descent parser --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses a MiniCL token stream into a ProgramAST. Grammar is a C subset
+/// with OpenCL address-space qualifiers and kernel functions; see
+/// README.md for the full grammar accepted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_PARSER_H
+#define ACCEL_MINICL_PARSER_H
+
+#include "minicl/AST.h"
+#include "minicl/Token.h"
+#include "support/Error.h"
+
+#include <memory>
+#include <vector>
+
+namespace accel {
+namespace minicl {
+
+/// Recursive-descent parser over a pre-lexed token vector.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  /// Parses the whole translation unit.
+  Expected<std::unique_ptr<ProgramAST>> parseProgram();
+
+private:
+  const Token &peek(unsigned Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Pos < Tokens.size() - 1 ? Pos++
+                                                                 : Pos]; }
+  bool check(TokKind K) const { return peek().is(K); }
+  bool match(TokKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  Error expect(TokKind K, const char *Context);
+  Error errorHere(const std::string &Message) const;
+
+  bool atTypeStart() const;
+
+  Expected<std::unique_ptr<FunctionDecl>> parseFunction();
+  Expected<MiniType> parseParamType();
+  Expected<MiniType::Base> parseBaseType();
+
+  Expected<StmtPtr> parseStmt();
+  Expected<StmtPtr> parseBlock();
+  Expected<StmtPtr> parseDecl(bool ConsumeSemi);
+  Expected<StmtPtr> parseIf();
+  Expected<StmtPtr> parseFor();
+  Expected<StmtPtr> parseWhile();
+  Expected<StmtPtr> parseReturn();
+  /// Assignment, increment/decrement, or expression statement.
+  Expected<StmtPtr> parseSimpleStmt(bool ConsumeSemi);
+
+  Expected<ExprPtr> parseExpr();
+  Expected<ExprPtr> parseBinaryRHS(int MinPrec, ExprPtr LHS);
+  Expected<ExprPtr> parseUnary();
+  Expected<ExprPtr> parsePostfix();
+  Expected<ExprPtr> parsePrimary();
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+};
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_PARSER_H

@@ -1,0 +1,102 @@
+//===- minicl/Token.h - MiniCL token definitions ----------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for MiniCL, the OpenCL-C-like kernel language the
+/// reproduction's applications are written in. The paper's JIT consumes
+/// OpenCL C or SPIR (Fig. 7); MiniCL plays the role of OpenCL C here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_MINICL_TOKEN_H
+#define ACCEL_MINICL_TOKEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace accel {
+namespace minicl {
+
+enum class TokKind : uint8_t {
+  Eof,
+  Identifier,
+  IntLiteral,
+  FloatLiteral,
+  // Keywords.
+  KwKernel,
+  KwVoid,
+  KwInt,
+  KwLong,
+  KwFloat,
+  KwBool,
+  KwGlobal,
+  KwLocal,
+  KwConst,
+  KwIf,
+  KwElse,
+  KwFor,
+  KwWhile,
+  KwReturn,
+  KwBreak,
+  KwContinue,
+  KwTrue,
+  KwFalse,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Comma,
+  Semicolon,
+  Star,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Assign,
+  PlusAssign,
+  MinusAssign,
+  StarAssign,
+  PlusPlus,
+  MinusMinus,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  EqEq,
+  BangEq,
+  AmpAmp,
+  PipePipe,
+  Shl,
+  Shr
+};
+
+/// \returns a printable description of \p Kind for diagnostics.
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token with its source location.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;    ///< Identifier spelling or literal text.
+  int64_t IntValue = 0;
+  float FloatValue = 0.0f;
+  unsigned Line = 0;
+  unsigned Column = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace minicl
+} // namespace accel
+
+#endif // ACCEL_MINICL_TOKEN_H

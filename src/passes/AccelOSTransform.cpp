@@ -1,0 +1,348 @@
+//===- passes/AccelOSTransform.cpp - Software scheduling transform ----------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/AccelOSTransform.h"
+
+#include "kir/IRBuilder.h"
+#include "kir/Module.h"
+#include "kir/RtLayout.h"
+#include "passes/CloneUtil.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::passes;
+
+namespace {
+
+/// The runtime-structure arguments appended to an extended function.
+struct RtArgs {
+  Argument *Rt = nullptr;   ///< global i64*: Virtual NDRange descriptor.
+  Argument *Sd = nullptr;   ///< local i64*: scheduling descriptor.
+  Argument *Hdlr = nullptr; ///< i64: current virtual-group handle.
+};
+
+Type rtPtrType() {
+  return Type::ptr(Type::Kind::I64, AddrSpaceKind::Global);
+}
+
+Type sdPtrType() {
+  return Type::ptr(Type::Kind::I64, AddrSpaceKind::Local);
+}
+
+/// \returns true for the work-item queries whose results change meaning
+/// under software scheduling (they must read the *virtual* NDRange).
+bool isVirtualQuery(BuiltinKind BK) {
+  return BK == BuiltinKind::GetGlobalId || BK == BuiltinKind::GetGroupId ||
+         BK == BuiltinKind::GetGlobalSize || BK == BuiltinKind::GetNumGroups;
+}
+
+/// \returns true when \p F directly performs a virtual work-item query.
+bool usesVirtualQueries(const Function &F) {
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (const auto *B = dyn_cast<BuiltinInst>(I.get()))
+        if (isVirtualQuery(B->builtinKind()))
+          return true;
+  return false;
+}
+
+/// Appends the rt/sd/hdlr arguments to \p F.
+RtArgs extendSignature(Function &F) {
+  RtArgs Args;
+  Args.Rt = F.addArgument(rtPtrType(), "rt");
+  Args.Sd = F.addArgument(sdPtrType(), "sd");
+  Args.Hdlr = F.addArgument(Type::i64(), "hdlr");
+  return Args;
+}
+
+/// Replaces virtual work-item queries in \p F with their runtime
+/// equivalents reading \p Args, and extends calls to functions in
+/// \p Extended with \p Args (paper Sec. 6.2 steps 2-3 and "Function
+/// Calls").
+void rewriteBody(Function &F, const RtArgs &Args,
+                 const std::set<const Function *> &Extended) {
+  for (const auto &BB : F.blocks()) {
+    for (size_t I = 0, E = BB->size(); I != E; ++I) {
+      Instruction *Inst = BB->inst(I);
+
+      if (auto *B = dyn_cast<BuiltinInst>(Inst)) {
+        if (!isVirtualQuery(B->builtinKind()))
+          continue;
+        Value *Dim = B->operand(0);
+        std::unique_ptr<Instruction> New;
+        switch (B->builtinKind()) {
+        case BuiltinKind::GetGlobalId:
+          New = std::make_unique<BuiltinInst>(
+              BuiltinKind::RtGlobalId, Type::i64(),
+              std::vector<Value *>{Args.Rt, Args.Hdlr, Dim});
+          break;
+        case BuiltinKind::GetGroupId:
+          New = std::make_unique<BuiltinInst>(
+              BuiltinKind::RtGroupId, Type::i64(),
+              std::vector<Value *>{Args.Rt, Args.Hdlr, Dim});
+          break;
+        case BuiltinKind::GetGlobalSize:
+          New = std::make_unique<BuiltinInst>(
+              BuiltinKind::RtGlobalSize, Type::i64(),
+              std::vector<Value *>{Args.Rt, Dim});
+          break;
+        case BuiltinKind::GetNumGroups:
+          New = std::make_unique<BuiltinInst>(
+              BuiltinKind::RtNumGroups, Type::i64(),
+              std::vector<Value *>{Args.Rt, Dim});
+          break;
+        default:
+          accel_unreachable("not a virtual query");
+        }
+        New->setName(Inst->name());
+        Instruction *NewPtr = New.get();
+        std::unique_ptr<Instruction> Old = BB->replaceInst(I, std::move(New));
+        replaceAllUses(F, Old.get(), NewPtr);
+        continue;
+      }
+
+      if (auto *Call = dyn_cast<CallInst>(Inst)) {
+        if (!Extended.count(Call->callee()))
+          continue;
+        std::vector<Value *> NewOps(Call->operands());
+        NewOps.push_back(Args.Rt);
+        NewOps.push_back(Args.Sd);
+        NewOps.push_back(Args.Hdlr);
+        auto New = std::make_unique<CallInst>(Call->callee(), Call->type(),
+                                              std::move(NewOps));
+        New->setName(Inst->name());
+        Instruction *NewPtr = New.get();
+        std::unique_ptr<Instruction> Old = BB->replaceInst(I, std::move(New));
+        replaceAllUses(F, Old.get(), NewPtr);
+      }
+    }
+  }
+}
+
+/// Hoists \p K's local arrays: appends one local-pointer argument per
+/// declaration, rewires LocalAddr instructions to those arguments, and
+/// strips the declarations from \p K. \returns the hoisted declarations.
+std::vector<LocalAllocDecl> hoistLocals(Function &K) {
+  std::vector<LocalAllocDecl> Hoisted = K.localAllocs();
+
+  std::vector<Argument *> PtrArgs;
+  PtrArgs.reserve(Hoisted.size());
+  for (const LocalAllocDecl &Decl : Hoisted)
+    PtrArgs.push_back(K.addArgument(
+        Type::ptr(Decl.ElemKind, AddrSpaceKind::Local), Decl.Name + ".ptr"));
+
+  for (const auto &BB : K.blocks()) {
+    for (const auto &I : BB->instructions())
+      if (auto *LA = dyn_cast<LocalAddrInst>(I.get()))
+        replaceAllUses(K, LA, PtrArgs[LA->slotIndex()]);
+    // Drop the now-unused LocalAddr instructions.
+    auto Insts = BB->takeInstructions();
+    std::vector<std::unique_ptr<Instruction>> Kept;
+    Kept.reserve(Insts.size());
+    for (auto &I : Insts)
+      if (!isa<LocalAddrInst>(I.get()))
+        Kept.push_back(std::move(I));
+    BB->setInstructions(std::move(Kept));
+  }
+
+  K.localAllocs().clear();
+  return Hoisted;
+}
+
+/// Synthesizes the scheduling kernel (paper Fig. 8b) that dequeues
+/// virtual groups and drives \p Comp.
+void buildSchedulingKernel(Module &M, const std::string &KernelName,
+                           Function &Comp, unsigned NumOrigArgs,
+                           const std::vector<LocalAllocDecl> &Hoisted) {
+  using namespace rtlayout;
+
+  Function *Sched = M.createFunction(KernelName, Type::voidTy(),
+                                     /*IsKernel=*/true);
+  // Forward the original kernel parameters, then the rt descriptor.
+  std::vector<Argument *> FwdArgs;
+  for (unsigned I = 0; I != NumOrigArgs; ++I)
+    FwdArgs.push_back(Sched->addArgument(Comp.argument(I)->type(),
+                                         Comp.argument(I)->name()));
+  Argument *Rt = Sched->addArgument(rtPtrType(), "rt");
+
+  // Local memory: the hoisted arrays followed by the descriptor.
+  std::vector<unsigned> HoistedSlots;
+  for (const LocalAllocDecl &Decl : Hoisted)
+    HoistedSlots.push_back(Sched->addLocalAlloc(Decl));
+  unsigned SdSlot =
+      Sched->addLocalAlloc({"__sd", Type::Kind::I64, SDW_WordCount});
+
+  IRBuilder B(Sched);
+  BasicBlock *Entry = B.createBlock("entry");
+  BasicBlock *Init = B.createBlock("init");
+  BasicBlock *Head = B.createBlock("loop.head");
+  BasicBlock *SchedBB = B.createBlock("sched");
+  BasicBlock *Join = B.createBlock("join");
+  BasicBlock *Batch = B.createBlock("batch");
+  BasicBlock *Cond = B.createBlock("batch.cond");
+  BasicBlock *CallBB = B.createBlock("batch.call");
+  BasicBlock *Sync = B.createBlock("batch.sync");
+  BasicBlock *Exit = B.createBlock("exit");
+
+  B.setInsertPoint(Entry);
+  Value *Sd = B.localAddr(Type::Kind::I64, SdSlot, "sd");
+  std::vector<Value *> LocalPtrs;
+  for (size_t I = 0; I != Hoisted.size(); ++I)
+    LocalPtrs.push_back(B.localAddr(Hoisted[I].ElemKind, HoistedSlots[I],
+                                    Hoisted[I].Name));
+  Value *IndAddr = B.allocaVar(Type::Kind::I64, 1, "ind.addr");
+  Value *IsMaster =
+      B.builtin(BuiltinKind::RtIsMaster, Type::i1(), {}, "is_master");
+  B.condBr(IsMaster, Init, Head);
+
+  B.setInsertPoint(Init);
+  B.builtin(BuiltinKind::RtEnvInit, Type::voidTy(), {Rt, Sd});
+  B.br(Head);
+
+  B.setInsertPoint(Head);
+  Value *IsMaster2 =
+      B.builtin(BuiltinKind::RtIsMaster, Type::i1(), {}, "is_master");
+  B.condBr(IsMaster2, SchedBB, Join);
+
+  B.setInsertPoint(SchedBB);
+  B.builtin(BuiltinKind::RtSchedWGroup, Type::voidTy(), {Rt, Sd});
+  B.br(Join);
+
+  B.setInsertPoint(Join);
+  B.barrier();
+  Value *Status = B.load(B.gep(Sd, B.i64Const(SDW_Status)), "status");
+  Value *IsTerm = B.cmp(CmpPred::EQ, Status, B.i64Const(RUN_TERMINATE),
+                        "terminate");
+  B.condBr(IsTerm, Exit, Batch);
+
+  B.setInsertPoint(Batch);
+  Value *Base = B.load(B.gep(Sd, B.i64Const(SDW_Base)), "wg_base");
+  B.store(IndAddr, Base);
+  B.br(Cond);
+
+  B.setInsertPoint(Cond);
+  Value *Ind = B.load(IndAddr, "ind");
+  Value *End = B.load(B.gep(Sd, B.i64Const(SDW_End)), "wg_end");
+  Value *InBatch = B.cmp(CmpPred::SLT, Ind, End, "in_batch");
+  B.condBr(InBatch, CallBB, Sync);
+
+  // Second barrier of the lap: without it the master could overwrite the
+  // scheduling descriptor with the next batch while slower work items
+  // are still reading the current one. (Fig. 8b in the paper elides this
+  // synchronisation; it is required for correctness.)
+  B.setInsertPoint(Sync);
+  B.barrier();
+  B.br(Head);
+
+  B.setInsertPoint(CallBB);
+  std::vector<Value *> CallArgs;
+  for (Argument *A : FwdArgs)
+    CallArgs.push_back(A);
+  CallArgs.push_back(Rt);
+  CallArgs.push_back(Sd);
+  CallArgs.push_back(Ind);
+  for (Value *L : LocalPtrs)
+    CallArgs.push_back(L);
+  B.call(&Comp, std::move(CallArgs));
+  B.store(IndAddr, B.add(Ind, B.i64Const(1), "ind.next"));
+  B.br(Cond);
+
+  B.setInsertPoint(Exit);
+  B.retVoid();
+}
+
+} // namespace
+
+Error AccelOSTransform::run(Module &M) {
+  Info.clear();
+
+  std::vector<Function *> Kernels = M.kernels();
+  for (Function *K : Kernels) {
+    if (K->name().size() > 6 &&
+        K->name().substr(K->name().size() - 6) == "__comp")
+      return makeError("module '" + M.name() + "' appears to be already "
+                       "transformed");
+    if (M.getFunction(K->name() + "__comp"))
+      return makeError("name collision: '" + K->name() + "__comp'");
+  }
+
+  // Transitive closure of helper functions needing the runtime
+  // structures (paper Sec. 6.2 "Function Calls").
+  std::set<const Function *> NeedsRt;
+  for (const auto &F : M.functions())
+    if (!F->isKernel() && usesVirtualQueries(*F))
+      NeedsRt.insert(F.get());
+  for (bool Changed = true; Changed;) {
+    Changed = false;
+    for (const auto &F : M.functions()) {
+      if (F->isKernel() || NeedsRt.count(F.get()))
+        continue;
+      for (const auto &BB : F->blocks())
+        for (const auto &I : BB->instructions())
+          if (const auto *Call = dyn_cast<CallInst>(I.get()))
+            if (NeedsRt.count(Call->callee())) {
+              NeedsRt.insert(F.get());
+              Changed = true;
+            }
+    }
+  }
+
+  // Extend helper signatures first so call rewriting sees final shapes.
+  std::map<Function *, RtArgs> ExtArgs;
+  for (const auto &F : M.functions())
+    if (!F->isKernel() && NeedsRt.count(F.get()))
+      ExtArgs.emplace(F.get(), extendSignature(*F));
+
+  // Demote kernels to computation functions.
+  struct KernelPlan {
+    Function *Comp;
+    std::string OrigName;
+    unsigned NumOrigArgs;
+    uint64_t InstCount;
+    uint64_t LocalBytes;
+    std::vector<LocalAllocDecl> Hoisted;
+  };
+  std::vector<KernelPlan> Plans;
+  for (Function *K : Kernels) {
+    KernelPlan Plan;
+    Plan.Comp = K;
+    Plan.OrigName = K->name();
+    Plan.NumOrigArgs = K->numArguments();
+    Plan.InstCount = K->instructionCount();
+    Plan.LocalBytes = K->localMemoryBytes();
+    K->setName(Plan.OrigName + "__comp");
+    K->setIsKernel(false);
+    ExtArgs.emplace(K, extendSignature(*K));
+    Plans.push_back(std::move(Plan));
+  }
+
+  // Every extended function (helpers and demoted kernels) participates
+  // in call-site extension.
+  std::set<const Function *> Extended;
+  for (const auto &[F, Args] : ExtArgs)
+    Extended.insert(F);
+
+  for (auto &[F, Args] : ExtArgs)
+    rewriteBody(*F, Args, Extended);
+
+  // Hoist kernel local memory and synthesize the scheduling kernels.
+  for (KernelPlan &Plan : Plans) {
+    Plan.Hoisted = hoistLocals(*Plan.Comp);
+    buildSchedulingKernel(M, Plan.OrigName, *Plan.Comp, Plan.NumOrigArgs,
+                          Plan.Hoisted);
+    TransformedKernelInfo KI;
+    KI.ComputeFnName = Plan.Comp->name();
+    KI.ComputeInstCount = Plan.InstCount;
+    KI.LocalMemBytes = Plan.LocalBytes;
+    KI.HoistedLocals = static_cast<unsigned>(Plan.Hoisted.size());
+    Info.emplace(Plan.OrigName, std::move(KI));
+  }
+  return Error::success();
+}

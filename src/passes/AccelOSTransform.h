@@ -1,0 +1,71 @@
+//===- passes/AccelOSTransform.h - Software scheduling transform -*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's core JIT transformation (Sec. 6.2, Fig. 8). For every
+/// kernel K in the module:
+///
+///  1. K is demoted to a regular computation function (renamed K__comp)
+///     whose interface is extended with the runtime structures: a global
+///     pointer to the Virtual NDRange ("rt"), a local pointer to the
+///     per-work-group scheduling descriptor ("sd"), a virtual-group
+///     handle ("hdlr"), and one local pointer per hoisted local array.
+///  2. Work-item built-ins inside K (and inside every helper function
+///     that transitively uses them) are replaced with the runtime
+///     equivalents that compute *virtual* ids from rt and hdlr.
+///  3. K's local-memory declarations are hoisted into the new scheduling
+///     kernel and passed to the computation function by pointer.
+///  4. A scheduling kernel carrying K's original name is synthesized: a
+///     loop in which the master work item atomically dequeues batches of
+///     virtual groups from the Virtual NDRange and all work items execute
+///     the computation function for each dequeued group (Fig. 8b).
+///
+/// The host runtime decides physical work-group counts and batch sizes;
+/// the transform only records the computation instruction count that the
+/// adaptive scheduling policy (Sec. 6.4) keys on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_ACCELOSTRANSFORM_H
+#define ACCEL_PASSES_ACCELOSTRANSFORM_H
+
+#include "passes/Pass.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace accel {
+namespace passes {
+
+/// Facts about one transformed kernel, consumed by the host runtime.
+struct TransformedKernelInfo {
+  std::string ComputeFnName;  ///< The demoted computation function.
+  uint64_t ComputeInstCount = 0; ///< IR size driving adaptive batching.
+  uint64_t LocalMemBytes = 0;    ///< Hoisted local memory (descriptor
+                                 ///< excluded), i.e. the m_i term.
+  unsigned HoistedLocals = 0;    ///< Number of hoisted local arrays.
+};
+
+/// Applies the accelOS scheduling transformation to every kernel.
+class AccelOSTransform : public ModulePass {
+public:
+  const char *name() const override { return "accelos-transform"; }
+  Error run(kir::Module &M) override;
+
+  /// Per-kernel metadata, keyed by the (unchanged) kernel name.
+  const std::map<std::string, TransformedKernelInfo> &info() const {
+    return Info;
+  }
+
+private:
+  std::map<std::string, TransformedKernelInfo> Info;
+};
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_ACCELOSTRANSFORM_H

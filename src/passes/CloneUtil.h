@@ -1,0 +1,49 @@
+//===- passes/CloneUtil.h - Instruction cloning helpers ---------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared utilities for transforms: cloning instructions with operand
+/// remapping (used by the inliner) and replacing all uses of a value
+/// within a function (used by the inliner and the accelOS transform).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_CLONEUTIL_H
+#define ACCEL_PASSES_CLONEUTIL_H
+
+#include "kir/Module.h"
+
+#include <map>
+#include <memory>
+
+namespace accel {
+namespace passes {
+
+/// Maps original values to their replacements during cloning.
+using ValueMap = std::map<const kir::Value *, kir::Value *>;
+
+/// Maps original blocks to their replacements during cloning.
+using BlockMap = std::map<const kir::BasicBlock *, kir::BasicBlock *>;
+
+/// \returns the image of \p V under \p VM. Constants are re-interned in
+/// \p Dest; every other value must already be mapped.
+kir::Value *mapValue(const kir::Value *V, ValueMap &VM, kir::Function &Dest);
+
+/// Clones \p I into \p Dest with operands remapped through \p VM and
+/// branch targets through \p BM. Ret instructions are not clonable here
+/// (the inliner rewrites them); passing one is a programming error.
+std::unique_ptr<kir::Instruction> cloneInstruction(const kir::Instruction &I,
+                                                   ValueMap &VM, BlockMap &BM,
+                                                   kir::Function &Dest);
+
+/// Rewrites every operand in \p F that references \p Old to \p New.
+void replaceAllUses(kir::Function &F, const kir::Value *Old,
+                    kir::Value *New);
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_CLONEUTIL_H

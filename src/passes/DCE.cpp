@@ -1,0 +1,128 @@
+//===- passes/DCE.cpp - Dead code elimination --------------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/DCE.h"
+
+#include "kir/Module.h"
+#include "support/Casting.h"
+
+#include <set>
+#include <vector>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::passes;
+
+/// \returns true when \p I must be preserved regardless of uses.
+static bool hasSideEffects(const Instruction &I) {
+  switch (I.instKind()) {
+  case InstKind::Store:
+  case InstKind::Br:
+  case InstKind::Ret:
+    return true;
+  case InstKind::Call:
+    // Conservative: calls may write memory.
+    return true;
+  case InstKind::Builtin: {
+    switch (cast<BuiltinInst>(I).builtinKind()) {
+    case BuiltinKind::Barrier:
+    case BuiltinKind::AtomicAdd:
+    case BuiltinKind::AtomicSub:
+    case BuiltinKind::AtomicMin:
+    case BuiltinKind::AtomicMax:
+    case BuiltinKind::AtomicXchg:
+    case BuiltinKind::RtEnvInit:
+    case BuiltinKind::RtSchedWGroup:
+      return true;
+    default:
+      return false;
+    }
+  }
+  default:
+    return false;
+  }
+}
+
+/// \returns the allocas whose every use is as the pointer operand of a
+/// store: nothing can ever observe those stores, so both the stores and
+/// the alloca are dead. (MiniCL codegen spills every local variable to
+/// an alloca, so this is what actually removes dead locals.)
+static std::set<const Value *> findWriteOnlyAllocas(const Function &F) {
+  std::set<const Value *> Candidates;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (isa<AllocaInst>(I.get()))
+        Candidates.insert(I.get());
+
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      for (unsigned Op = 0; Op != I->numOperands(); ++Op) {
+        const Value *V = I->operand(Op);
+        if (!Candidates.count(V))
+          continue;
+        // A store *to* the alloca keeps it a candidate; anything else
+        // (a load, a gep, being stored *as a value*, a call) does not.
+        if (isa<StoreInst>(I.get()) && Op == 0)
+          continue;
+        Candidates.erase(V);
+      }
+    }
+  }
+  return Candidates;
+}
+
+/// Removes dead instructions from one function. \returns true if any
+/// instruction was deleted.
+static bool runOnFunction(Function &F) {
+  std::set<const Value *> DeadAllocas = findWriteOnlyAllocas(F);
+
+  // Seed the live set with side-effecting instructions, then propagate
+  // through operands to a fixed point.
+  std::set<const Value *> Live;
+  std::vector<const Instruction *> Worklist;
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      if (const auto *S = dyn_cast<StoreInst>(I.get()))
+        if (DeadAllocas.count(S->pointer()))
+          continue;
+      if (hasSideEffects(*I)) {
+        Live.insert(I.get());
+        Worklist.push_back(I.get());
+      }
+    }
+  }
+  while (!Worklist.empty()) {
+    const Instruction *I = Worklist.back();
+    Worklist.pop_back();
+    for (const Value *Op : I->operands()) {
+      if (!Live.insert(Op).second)
+        continue;
+      if (const auto *OpInst = dyn_cast<Instruction>(Op))
+        Worklist.push_back(OpInst);
+    }
+  }
+
+  bool Changed = false;
+  for (const auto &BB : F.blocks()) {
+    auto Insts = BB->takeInstructions();
+    std::vector<std::unique_ptr<Instruction>> Kept;
+    Kept.reserve(Insts.size());
+    for (auto &I : Insts) {
+      if (Live.count(I.get()))
+        Kept.push_back(std::move(I));
+      else
+        Changed = true;
+    }
+    BB->setInstructions(std::move(Kept));
+  }
+  return Changed;
+}
+
+Error DCEPass::run(Module &M) {
+  for (const auto &F : M.functions())
+    runOnFunction(*F);
+  return Error::success();
+}

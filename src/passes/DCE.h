@@ -1,0 +1,33 @@
+//===- passes/DCE.h - Dead code elimination ---------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Removes pure instructions whose results are never used. Keeps the IR
+/// that the accelOS transform and the instruction-count-driven adaptive
+/// scheduling policy (Sec. 6.4) see close to what an optimizing GPU
+/// compiler would emit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_DCE_H
+#define ACCEL_PASSES_DCE_H
+
+#include "passes/Pass.h"
+
+namespace accel {
+namespace passes {
+
+/// Deletes side-effect-free instructions with no (transitive) live uses.
+class DCEPass : public ModulePass {
+public:
+  const char *name() const override { return "dce"; }
+  Error run(kir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_DCE_H

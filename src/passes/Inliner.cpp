@@ -1,0 +1,145 @@
+//===- passes/Inliner.cpp - Function inlining -------------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Inliner.h"
+
+#include "kir/Module.h"
+#include "passes/CloneUtil.h"
+#include "support/Casting.h"
+
+#include <set>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::passes;
+
+namespace {
+
+/// Locates the first call in \p F. \returns (block, index) or nullptr.
+std::pair<BasicBlock *, size_t> findCall(Function &F) {
+  for (const auto &BB : F.blocks())
+    for (size_t I = 0, E = BB->size(); I != E; ++I)
+      if (isa<CallInst>(BB->inst(I)))
+        return {BB.get(), I};
+  return {nullptr, 0};
+}
+
+/// Inlines the call at (BB, CallIdx) into \p Caller. The callee must be
+/// call-free (guaranteed by processing functions callees-first).
+void inlineCall(Function &Caller, BasicBlock *BB, size_t CallIdx) {
+  auto Insts = BB->takeInstructions();
+  auto *Call = cast<CallInst>(Insts[CallIdx].get());
+  Function *Callee = Call->callee();
+  assert(!Callee->isDeclaration() && "inlining a declaration");
+  assert(Callee->localAllocs().empty() &&
+         "non-kernel functions cannot own local memory");
+
+  // Split the caller block around the call site.
+  std::vector<std::unique_ptr<Instruction>> Head, Tail;
+  for (size_t I = 0; I != CallIdx; ++I)
+    Head.push_back(std::move(Insts[I]));
+  std::unique_ptr<Instruction> CallInstPtr = std::move(Insts[CallIdx]);
+  for (size_t I = CallIdx + 1, E = Insts.size(); I != E; ++I)
+    Tail.push_back(std::move(Insts[I]));
+
+  BasicBlock *ContBB = Caller.createBlock(BB->name() + ".cont");
+
+  // Map callee arguments to the call operands.
+  ValueMap VM;
+  for (unsigned A = 0; A != Callee->numArguments(); ++A)
+    VM.emplace(Callee->argument(A), Call->operand(A));
+
+  // Return-value plumbing: non-void callees communicate through a
+  // dedicated private slot (the IR has no phi nodes by design).
+  Instruction *RetSlot = nullptr;
+  if (!Callee->returnType().isVoid()) {
+    auto Slot = std::make_unique<AllocaInst>(
+        Callee->returnType().kind(), 1);
+    RetSlot = Slot.get();
+    Head.push_back(std::move(Slot));
+  }
+
+  // Create destination blocks first so branches can be remapped.
+  BlockMap BM;
+  for (const auto &GB : Callee->blocks())
+    BM.emplace(GB.get(),
+               Caller.createBlock("inl." + Callee->name() + "." +
+                                  GB->name()));
+
+  // Clone bodies.
+  for (const auto &GB : Callee->blocks()) {
+    BasicBlock *Dst = BM.at(GB.get());
+    std::vector<std::unique_ptr<Instruction>> Cloned;
+    for (const auto &GI : GB->instructions()) {
+      if (const auto *Ret = dyn_cast<RetInst>(GI.get())) {
+        if (Ret->hasValue()) {
+          Value *RetVal = mapValue(Ret->value(), VM, Caller);
+          Cloned.push_back(std::make_unique<StoreInst>(RetSlot, RetVal));
+        }
+        Cloned.push_back(std::make_unique<BrInst>(ContBB));
+        continue;
+      }
+      auto NewInst = cloneInstruction(*GI, VM, BM, Caller);
+      VM.emplace(GI.get(), NewInst.get());
+      Cloned.push_back(std::move(NewInst));
+    }
+    Dst->setInstructions(std::move(Cloned));
+  }
+
+  // Branch from the head into the inlined entry.
+  Head.push_back(std::make_unique<BrInst>(BM.at(Callee->entryBlock())));
+  BB->setInstructions(std::move(Head));
+
+  // The continuation re-loads the return value and carries the tail.
+  std::vector<std::unique_ptr<Instruction>> ContInsts;
+  Instruction *RetLoad = nullptr;
+  if (RetSlot) {
+    auto Load = std::make_unique<LoadInst>(RetSlot);
+    RetLoad = Load.get();
+    ContInsts.push_back(std::move(Load));
+  }
+  for (auto &T : Tail)
+    ContInsts.push_back(std::move(T));
+  ContBB->setInstructions(std::move(ContInsts));
+
+  if (RetLoad)
+    replaceAllUses(Caller, Call, RetLoad);
+}
+
+/// Post-order over the call graph so callees are processed first.
+void postOrder(Function *F, std::set<Function *> &Visited,
+               std::vector<Function *> &Order) {
+  if (!Visited.insert(F).second)
+    return;
+  for (const auto &BB : F->blocks())
+    for (const auto &I : BB->instructions())
+      if (auto *Call = dyn_cast<CallInst>(I.get()))
+        postOrder(Call->callee(), Visited, Order);
+  Order.push_back(F);
+}
+
+} // namespace
+
+Error InlinerPass::run(Module &M) {
+  std::set<Function *> Visited;
+  std::vector<Function *> Order;
+  for (const auto &F : M.functions())
+    postOrder(F.get(), Visited, Order);
+
+  for (Function *F : Order) {
+    for (;;) {
+      auto [BB, Idx] = findCall(*F);
+      if (!BB)
+        break;
+      auto *Call = cast<CallInst>(BB->inst(Idx));
+      if (Call->callee()->isDeclaration())
+        return makeError("cannot inline declaration '" +
+                         Call->callee()->name() + "'");
+      inlineCall(*F, BB, Idx);
+    }
+  }
+  return Error::success();
+}

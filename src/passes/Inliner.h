@@ -1,0 +1,35 @@
+//===- passes/Inliner.h - Function inlining ---------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive inlining of non-kernel functions, mirroring the "function
+/// inlining performed by default in GPU compilers" the paper relies on
+/// (Sec. 6.5) to reduce the transform's register overhead from 3 to 0-1
+/// registers per work item.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_INLINER_H
+#define ACCEL_PASSES_INLINER_H
+
+#include "passes/Pass.h"
+
+namespace accel {
+namespace passes {
+
+/// Inlines every call in every function. Requires an acyclic call graph
+/// (the MiniCL front end rejects recursion). After the pass no CallInst
+/// remains in the module.
+class InlinerPass : public ModulePass {
+public:
+  const char *name() const override { return "inline"; }
+  Error run(kir::Module &M) override;
+};
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_INLINER_H

@@ -1,0 +1,28 @@
+//===- passes/Pass.cpp - Pass interfaces and manager -----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/Pass.h"
+
+#include "kir/Module.h"
+#include "kir/Verifier.h"
+
+using namespace accel;
+using namespace accel::passes;
+
+ModulePass::~ModulePass() = default;
+
+Error PassManager::run(kir::Module &M) {
+  for (const auto &Pass : Passes) {
+    if (Error E = Pass->run(M))
+      return makeError(std::string("pass '") + Pass->name() +
+                       "' failed: " + E.message());
+    if (VerifyEach)
+      if (Error E = kir::verifyModule(M))
+        return makeError(std::string("module invalid after pass '") +
+                         Pass->name() + "': " + E.message());
+  }
+  return Error::success();
+}

@@ -1,0 +1,68 @@
+//===- passes/Pass.h - Pass interfaces and manager ---------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal pass framework: module passes run in sequence under a
+/// PassManager which (optionally) re-verifies the module after each pass,
+/// mirroring how the paper's JIT instantiates an LLVM PassManager and
+/// loads its transformation passes (Sec. 6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_PASS_H
+#define ACCEL_PASSES_PASS_H
+
+#include "support/Error.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace accel {
+
+namespace kir {
+class Module;
+}
+
+namespace passes {
+
+/// A transformation or analysis over a whole module.
+class ModulePass {
+public:
+  virtual ~ModulePass();
+
+  /// \returns a short identifier used in diagnostics.
+  virtual const char *name() const = 0;
+
+  /// Runs the pass; returns a failure to abort the pipeline.
+  virtual Error run(kir::Module &M) = 0;
+};
+
+/// Runs a pipeline of module passes.
+class PassManager {
+public:
+  /// When \p VerifyEach is true the module is re-verified after every
+  /// pass and the pipeline aborts on the first broken invariant.
+  explicit PassManager(bool VerifyEach = true) : VerifyEach(VerifyEach) {}
+
+  void addPass(std::unique_ptr<ModulePass> Pass) {
+    Passes.push_back(std::move(Pass));
+  }
+
+  /// Runs all passes in order.
+  Error run(kir::Module &M);
+
+  size_t size() const { return Passes.size(); }
+
+private:
+  bool VerifyEach;
+  std::vector<std::unique_ptr<ModulePass>> Passes;
+};
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_PASS_H

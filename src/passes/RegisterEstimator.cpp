@@ -1,0 +1,74 @@
+//===- passes/RegisterEstimator.cpp - Register usage analysis ---------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "passes/RegisterEstimator.h"
+
+#include "kir/Module.h"
+#include "support/Casting.h"
+
+#include <map>
+#include <set>
+
+using namespace accel;
+using namespace accel::kir;
+
+unsigned passes::estimateRegisters(const Function &F) {
+  // Registers hardware always reserves (ids, stack pointer, ...).
+  constexpr unsigned AbiReserve = 4;
+
+  // Values used outside their defining block stay allocated for the
+  // whole kernel in this model. Arguments count as cross-block.
+  std::set<const Value *> CrossBlock;
+  for (unsigned I = 0; I != F.numArguments(); ++I)
+    CrossBlock.insert(F.argument(I));
+
+  std::map<const Value *, const BasicBlock *> DefBlock;
+  for (const auto &BB : F.blocks())
+    for (const auto &I : BB->instructions())
+      if (!I->type().isVoid())
+        DefBlock.emplace(I.get(), BB.get());
+
+  for (const auto &BB : F.blocks()) {
+    for (const auto &I : BB->instructions()) {
+      for (const Value *Op : I->operands()) {
+        auto It = DefBlock.find(Op);
+        if (It != DefBlock.end() && It->second != BB.get())
+          CrossBlock.insert(Op);
+      }
+    }
+  }
+
+  // Peak in-block pressure: walk each block, treating a value as live
+  // from its definition until its last in-block use.
+  unsigned Peak = 0;
+  for (const auto &BB : F.blocks()) {
+    std::map<const Value *, size_t> LastUse;
+    for (size_t I = 0, E = BB->size(); I != E; ++I)
+      for (const Value *Op : BB->inst(I)->operands())
+        if (DefBlock.count(Op) && !CrossBlock.count(Op))
+          LastUse[Op] = I;
+
+    unsigned Live = 0, BlockPeak = 0;
+    std::map<size_t, unsigned> ExpiringAt;
+    for (const auto &[V, Idx] : LastUse)
+      ++ExpiringAt[Idx];
+    for (size_t I = 0, E = BB->size(); I != E; ++I) {
+      const Instruction *Inst = BB->inst(I);
+      if (!Inst->type().isVoid() && !CrossBlock.count(Inst) &&
+          LastUse.count(Inst))
+        ++Live;
+      if (Live > BlockPeak)
+        BlockPeak = Live;
+      auto It = ExpiringAt.find(I);
+      if (It != ExpiringAt.end())
+        Live -= It->second < Live ? It->second : Live;
+    }
+    if (BlockPeak > Peak)
+      Peak = BlockPeak;
+  }
+
+  return AbiReserve + static_cast<unsigned>(CrossBlock.size()) + Peak;
+}

@@ -1,0 +1,35 @@
+//===- passes/RegisterEstimator.h - Register usage analysis -----*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Estimates per-work-item register usage of a function. The accelOS
+/// resource-sharing solver (paper Sec. 3) needs the r_i term of the
+/// register constraint sum_i(z_i * r_i) <= R; real drivers report this
+/// after codegen, here it is derived from a liveness approximation over
+/// the KIR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_PASSES_REGISTERESTIMATOR_H
+#define ACCEL_PASSES_REGISTERESTIMATOR_H
+
+namespace accel {
+
+namespace kir {
+class Function;
+}
+
+namespace passes {
+
+/// \returns an estimate of 32-bit registers needed per work item:
+/// cross-block live values plus the peak number of simultaneously live
+/// in-block temporaries, plus a fixed ABI reserve.
+unsigned estimateRegisters(const kir::Function &F);
+
+} // namespace passes
+} // namespace accel
+
+#endif // ACCEL_PASSES_REGISTERESTIMATOR_H

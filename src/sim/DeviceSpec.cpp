@@ -1,0 +1,42 @@
+//===- sim/DeviceSpec.cpp - Accelerator device models -----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DeviceSpec.h"
+
+using namespace accel;
+using namespace accel::sim;
+
+DeviceSpec DeviceSpec::nvidiaK20m() {
+  DeviceSpec D;
+  D.Name = "NVIDIA Tesla K20m (simulated)";
+  D.NumCUs = 13;             // SMX units.
+  D.MaxThreadsPerCU = 2048;  // Kepler resident-thread limit.
+  D.MaxWGsPerCU = 16;        // Kepler resident-block limit.
+  D.LocalMemPerCU = 48 << 10; // 48 KiB shared memory.
+  D.RegsPerCU = 65536;       // 64K 32-bit registers.
+  D.GlobalMemBytes = 5ull << 30;
+  D.LanesPerCU = 192;        // CUDA cores per SMX.
+  D.WGDispatchCycles = 200;
+  D.DequeueCycles = 140;
+  D.Admission = KernelAdmissionKind::GreedyTail;
+  return D;
+}
+
+DeviceSpec DeviceSpec::amdR9295X2() {
+  DeviceSpec D;
+  D.Name = "AMD R9 295X2 (simulated, one Hawaii GPU)";
+  D.NumCUs = 44;
+  D.MaxThreadsPerCU = 2560;  // 40 wavefronts x 64 lanes.
+  D.MaxWGsPerCU = 40;
+  D.LocalMemPerCU = 64 << 10; // 64 KiB LDS.
+  D.RegsPerCU = 65536;       // VGPR file per CU (32-bit units, scaled).
+  D.GlobalMemBytes = 4ull << 30;
+  D.LanesPerCU = 160;
+  D.WGDispatchCycles = 250;
+  D.DequeueCycles = 180;
+  D.Admission = KernelAdmissionKind::ExclusiveUnlessFits;
+  return D;
+}

@@ -1,0 +1,446 @@
+//===- sim/Engine.cpp - Discrete-event accelerator simulation ---------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Engine.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <queue>
+#include <set>
+
+using namespace accel;
+using namespace accel::sim;
+
+double KernelLaunchDesc::totalWork() const {
+  const std::vector<double> &Costs =
+      Mode == ModeKind::Static ? StaticCosts : VirtualCosts;
+  double Sum = 0;
+  for (double C : Costs)
+    Sum += C;
+  return Sum;
+}
+
+namespace {
+
+constexpr double Eps = 1e-7;
+
+/// One work group resident on a compute unit.
+struct ResidentWG {
+  size_t Launch = 0;
+  double Remaining = 0; ///< Thread-cycles left in the current leg.
+  double Weight = 0;    ///< Threads x issue efficiency: share weight.
+  uint64_t Threads = 0;
+  bool Retired = false;
+};
+
+/// A compute unit under processor sharing.
+struct CUState {
+  double LastUpdate = 0;
+  std::vector<ResidentWG> Residents;
+  uint64_t UsedThreads = 0;
+  uint64_t UsedLocal = 0;
+  uint64_t UsedRegs = 0;
+  double SumWeights = 0;
+  uint64_t Epoch = 0;
+
+  double rateScale(unsigned Lanes) const {
+    if (SumWeights <= Lanes)
+      return 1.0;
+    return static_cast<double>(Lanes) / SumWeights;
+  }
+
+  /// Advances every resident's progress to time \p T.
+  void advanceTo(double T, unsigned Lanes) {
+    double Dt = T - LastUpdate;
+    if (Dt > 0 && !Residents.empty()) {
+      double Scale = rateScale(Lanes);
+      for (ResidentWG &R : Residents)
+        R.Remaining -= R.Weight * Scale * Dt;
+    }
+    LastUpdate = T;
+  }
+
+  /// \returns the absolute time of the next leg completion, or a
+  /// negative value when idle.
+  double nextCompletion(unsigned Lanes) const {
+    if (Residents.empty())
+      return -1.0;
+    double Scale = rateScale(Lanes);
+    double MinDt = -1.0;
+    for (const ResidentWG &R : Residents) {
+      double Dt = std::max(0.0, R.Remaining) / (R.Weight * Scale);
+      if (MinDt < 0 || Dt < MinDt)
+        MinDt = Dt;
+    }
+    return LastUpdate + MinDt;
+  }
+};
+
+/// Book-keeping for one launch.
+struct LaunchState {
+  const KernelLaunchDesc *D = nullptr;
+  uint64_t NextWG = 0;
+  uint64_t DoneWGs = 0;
+  uint64_t LiveWGs = 0;
+  uint64_t QueueCursor = 0;
+  uint64_t Dequeues = 0;
+  bool Started = false;
+  bool Finished = false;
+  double Start = 0;
+  double End = 0;
+
+  bool dispatchDone() const { return NextWG >= D->numPhysicalWGs(); }
+};
+
+/// The whole simulation for one Engine::run call.
+class Simulation {
+public:
+  Simulation(const DeviceSpec &Spec,
+             const std::vector<KernelLaunchDesc> &Launches)
+      : Spec(Spec) {
+    CUs.resize(Spec.NumCUs);
+    States.reserve(Launches.size());
+    for (const KernelLaunchDesc &D : Launches) {
+      LaunchState S;
+      S.D = &D;
+      States.push_back(S);
+    }
+  }
+
+  SimResult run();
+
+private:
+  struct HeapEntry {
+    double Time;
+    size_t CU;
+    uint64_t Epoch;
+    bool operator>(const HeapEntry &O) const { return Time > O.Time; }
+  };
+
+  bool allEarlierComplete(size_t Li) const {
+    for (size_t I = 0; I != Li; ++I)
+      if (!States[I].Finished)
+        return false;
+    return true;
+  }
+
+  bool sharesMergeGroupWithEarlier(size_t Li) const {
+    if (States[Li].D->MergeGroup < 0)
+      return false;
+    for (size_t I = 0; I != Li; ++I)
+      if (States[I].D->MergeGroup == States[Li].D->MergeGroup)
+        return true;
+    return false;
+  }
+
+  /// Device-wide free capacity.
+  void freeCapacity(uint64_t &Threads, uint64_t &Local, uint64_t &Regs,
+                    uint64_t &Slots) const {
+    Threads = Spec.totalThreads();
+    Local = Spec.totalLocalMem();
+    Regs = Spec.totalRegs();
+    Slots = Spec.totalWGSlots();
+    for (const CUState &CU : CUs) {
+      Threads -= CU.UsedThreads;
+      Local -= CU.UsedLocal;
+      Regs -= CU.UsedRegs;
+      Slots -= CU.Residents.size();
+    }
+  }
+
+  /// May launch \p Li begin dispatching under the device's admission
+  /// policy?
+  bool canStart(size_t Li) const {
+    if (Li == 0 || allEarlierComplete(Li))
+      return true;
+    if (sharesMergeGroupWithEarlier(Li))
+      return true;
+    // All earlier launches must at least have drained their pending
+    // queues (WG-granular FIFO).
+    for (size_t I = 0; I != Li; ++I)
+      if (!States[I].dispatchDone())
+        return false;
+    if (Spec.Admission == KernelAdmissionKind::GreedyTail)
+      return true;
+    // ExclusiveUnlessFits: the whole remaining footprint must fit in
+    // the currently free space.
+    const KernelLaunchDesc &D = *States[Li].D;
+    uint64_t FreeThreads, FreeLocal, FreeRegs, FreeSlots;
+    freeCapacity(FreeThreads, FreeLocal, FreeRegs, FreeSlots);
+    uint64_t WGs = D.numPhysicalWGs();
+    return WGs * D.WGThreads <= FreeThreads &&
+           WGs * D.LocalMemPerWG <= FreeLocal &&
+           WGs * D.WGThreads * D.RegsPerThread <= FreeRegs &&
+           WGs <= FreeSlots;
+  }
+
+  /// \returns a CU index that can host one WG of \p D, or -1.
+  int findCU(const KernelLaunchDesc &D) {
+    uint64_t Regs = D.WGThreads * D.RegsPerThread;
+    for (unsigned Probe = 0; Probe != Spec.NumCUs; ++Probe) {
+      unsigned Idx = (RoundRobin + Probe) % Spec.NumCUs;
+      const CUState &CU = CUs[Idx];
+      if (CU.UsedThreads + D.WGThreads <= Spec.MaxThreadsPerCU &&
+          CU.UsedLocal + D.LocalMemPerWG <= Spec.LocalMemPerCU &&
+          CU.UsedRegs + Regs <= Spec.RegsPerCU &&
+          CU.Residents.size() < Spec.MaxWGsPerCU) {
+        RoundRobin = (Idx + 1) % Spec.NumCUs;
+        return static_cast<int>(Idx);
+      }
+    }
+    return -1;
+  }
+
+  /// Builds the first (or next) leg of work for a WorkQueue WG.
+  /// \returns the leg cost in thread-cycles, or a bare dequeue cost when
+  /// the queue is empty (termination discovery).
+  double takeBatch(LaunchState &L) {
+    const KernelLaunchDesc &D = *L.D;
+    double Cost = Spec.DequeueCycles * static_cast<double>(D.WGThreads);
+    ++L.Dequeues;
+    uint64_t N = std::min<uint64_t>(D.Batch,
+                                    D.VirtualCosts.size() - L.QueueCursor);
+    for (uint64_t I = 0; I != N; ++I)
+      Cost += D.VirtualCosts[L.QueueCursor + I];
+    L.QueueCursor += N;
+    return Cost;
+  }
+
+  /// Places the next WG of launch \p Li. \returns false when no CU fits.
+  bool placeWG(size_t Li, double Now) {
+    LaunchState &L = States[Li];
+    const KernelLaunchDesc &D = *L.D;
+    int CUIdx = findCU(D);
+    if (CUIdx < 0)
+      return false;
+    CUState &CU = CUs[static_cast<size_t>(CUIdx)];
+    CU.advanceTo(Now, Spec.LanesPerCU);
+
+    ResidentWG R;
+    R.Launch = Li;
+    R.Threads = D.WGThreads;
+    R.Weight = static_cast<double>(D.WGThreads) * D.IssueEfficiency;
+    double Dispatch =
+        Spec.WGDispatchCycles * static_cast<double>(D.WGThreads);
+    if (D.Mode == KernelLaunchDesc::ModeKind::Static)
+      R.Remaining = Dispatch + D.StaticCosts[L.NextWG];
+    else
+      R.Remaining = Dispatch + takeBatch(L);
+
+    CU.Residents.push_back(R);
+    CU.UsedThreads += D.WGThreads;
+    CU.UsedLocal += D.LocalMemPerWG;
+    CU.UsedRegs += D.WGThreads * D.RegsPerThread;
+    CU.SumWeights += R.Weight;
+    ++CU.Epoch;
+    Dirty.insert(Dirty.end(), static_cast<size_t>(CUIdx));
+
+    if (!L.Started) {
+      L.Started = true;
+      L.Start = Now;
+    }
+    ++L.NextWG;
+    ++L.LiveWGs;
+    return true;
+  }
+
+  /// Dispatches one merged batch round-robin across its members (the
+  /// Elastic Kernels co-dispatch), starting from a rotating cursor so
+  /// no member monopolises freed slots.
+  void dispatchMergeGroup(int Group, double Now) {
+    std::vector<size_t> Members;
+    for (size_t Li = 0; Li != States.size(); ++Li)
+      if (States[Li].D->MergeGroup == Group)
+        Members.push_back(Li);
+    size_t &Cursor = GroupCursor[Group];
+    for (bool Progress = true; Progress;) {
+      Progress = false;
+      for (size_t I = 0; I != Members.size(); ++I) {
+        size_t Li = Members[(Cursor + I) % Members.size()];
+        if (States[Li].dispatchDone())
+          continue;
+        if (placeWG(Li, Now)) {
+          Progress = true;
+          Cursor = (Cursor + I + 1) % Members.size();
+          break;
+        }
+      }
+    }
+  }
+
+  /// Dispatches as much pending work as policies and space allow.
+  void dispatchAll(double Now) {
+    std::set<int> GroupsDone;
+    for (size_t Li = 0; Li != States.size(); ++Li) {
+      LaunchState &L = States[Li];
+      if (L.dispatchDone())
+        continue;
+      // Admission check applies to merged batches through their first
+      // pending member: later batches queue behind earlier ones.
+      if (!L.Started && !canStart(Li))
+        break;
+      if (L.D->MergeGroup >= 0) {
+        if (GroupsDone.insert(L.D->MergeGroup).second)
+          dispatchMergeGroup(L.D->MergeGroup, Now);
+        if (!L.dispatchDone())
+          break; // Batch still has pending work; later batches wait.
+        continue;
+      }
+      while (!L.dispatchDone())
+        if (!placeWG(Li, Now))
+          break;
+      if (!L.dispatchDone())
+        break; // This launch's head WG is stuck; strict FIFO behind it.
+    }
+  }
+
+  void retireWG(CUState &CU, size_t ResidentIdx, double Now) {
+    ResidentWG &R = CU.Residents[ResidentIdx];
+    LaunchState &L = States[R.Launch];
+    const KernelLaunchDesc &D = *L.D;
+    CU.UsedThreads -= D.WGThreads;
+    CU.UsedLocal -= D.LocalMemPerWG;
+    CU.UsedRegs -= D.WGThreads * D.RegsPerThread;
+    CU.SumWeights -= R.Weight;
+    R.Retired = true;
+    --L.LiveWGs;
+    ++L.DoneWGs;
+    if (L.DoneWGs == D.numPhysicalWGs()) {
+      L.Finished = true;
+      L.End = Now;
+    }
+  }
+
+  const DeviceSpec &Spec;
+  std::vector<CUState> CUs;
+  std::vector<LaunchState> States;
+  std::vector<size_t> Dirty;
+  std::map<int, size_t> GroupCursor;
+  unsigned RoundRobin = 0;
+};
+
+SimResult Simulation::run() {
+  SimResult Result;
+  // Degenerate launches complete immediately.
+  for (LaunchState &L : States) {
+    if (L.D->numPhysicalWGs() == 0)
+      L.Finished = true;
+    assert(L.D->WGThreads <= Spec.MaxThreadsPerCU &&
+           L.D->LocalMemPerWG <= Spec.LocalMemPerCU &&
+           L.D->WGThreads * L.D->RegsPerThread <= Spec.RegsPerCU &&
+           "work group can never fit a compute unit");
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      Heap;
+
+  auto PushCU = [&](size_t CUIdx) {
+    double T = CUs[CUIdx].nextCompletion(Spec.LanesPerCU);
+    if (T >= 0)
+      Heap.push({T, CUIdx, CUs[CUIdx].Epoch});
+  };
+
+  double Now = 0;
+  Dirty.clear();
+  dispatchAll(Now);
+  for (size_t I = 0; I != CUs.size(); ++I)
+    PushCU(I);
+
+  uint64_t Events = 0;
+  while (!Heap.empty()) {
+    HeapEntry E = Heap.top();
+    Heap.pop();
+    CUState &CU = CUs[E.CU];
+    if (E.Epoch != CU.Epoch)
+      continue; // Stale: residency changed since this entry was pushed.
+    if (++Events > 200'000'000) {
+      std::fprintf(stderr,
+                   "engine livelock? now=%g cu=%zu residents=%zu "
+                   "heap=%zu\n",
+                   E.Time, E.CU, CU.Residents.size(), Heap.size());
+      for (const LaunchState &L : States)
+        std::fprintf(stderr,
+                     "  launch %s next=%llu done=%llu live=%llu "
+                     "cursor=%llu fin=%d\n",
+                     L.D->Name.c_str(),
+                     (unsigned long long)L.NextWG,
+                     (unsigned long long)L.DoneWGs,
+                     (unsigned long long)L.LiveWGs,
+                     (unsigned long long)L.QueueCursor, L.Finished);
+      reportFatalError("simulation exceeded event budget");
+    }
+    Now = E.Time;
+    CU.advanceTo(Now, Spec.LanesPerCU);
+
+    // Complete (or re-arm) every resident that reached its leg end. The
+    // threshold is in the *time* domain: once the remaining time is
+    // below the representable resolution at the current simulation
+    // time, the leg is done (a work-domain epsilon can livelock when
+    // Now is large and the residual work converts to a time step
+    // smaller than one ULP of Now).
+    bool Changed = false;
+    double Scale = CU.rateScale(Spec.LanesPerCU);
+    for (size_t RI = 0; RI != CU.Residents.size(); ++RI) {
+      ResidentWG &R = CU.Residents[RI];
+      double TimeLeft = std::max(0.0, R.Remaining) / (R.Weight * Scale);
+      if (TimeLeft > Eps * (1.0 + Now))
+        continue;
+      LaunchState &L = States[R.Launch];
+      if (L.D->Mode == KernelLaunchDesc::ModeKind::WorkQueue &&
+          L.QueueCursor < L.D->VirtualCosts.size()) {
+        // Dequeue the next batch and keep running.
+        R.Remaining = takeBatch(L);
+        Changed = true;
+        continue;
+      }
+      retireWG(CU, RI, Now);
+      Changed = true;
+    }
+    if (Changed) {
+      std::erase_if(CU.Residents,
+                    [](const ResidentWG &R) { return R.Retired; });
+      ++CU.Epoch;
+      Dirty.clear();
+      dispatchAll(Now);
+      PushCU(E.CU);
+      for (size_t CUIdx : Dirty)
+        if (CUIdx != E.CU)
+          PushCU(CUIdx);
+      // Re-push CUs whose epochs changed through dispatch onto this CU.
+    } else {
+      PushCU(E.CU);
+    }
+  }
+
+  for (const LaunchState &L : States) {
+    KernelExecResult R;
+    R.Name = L.D->Name;
+    R.AppId = L.D->AppId;
+    R.StartTime = L.Start;
+    R.EndTime = L.End;
+    R.DispatchedWGs = L.NextWG;
+    R.DequeueOps = L.Dequeues;
+    Result.Kernels.push_back(R);
+    Result.Makespan = std::max(Result.Makespan, L.End);
+  }
+  assert(std::all_of(States.begin(), States.end(),
+                     [](const LaunchState &L) { return L.Finished; }) &&
+         "simulation ended with unfinished launches");
+  return Result;
+}
+
+} // namespace
+
+SimResult Engine::run(const std::vector<KernelLaunchDesc> &Launches) {
+  Simulation S(Spec, Launches);
+  return S.run();
+}

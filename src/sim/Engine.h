@@ -1,0 +1,112 @@
+//===- sim/Engine.h - Discrete-event accelerator simulation -----*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The timing model: a discrete-event simulation of work-group execution
+/// on a multi-CU accelerator with processor-sharing compute units,
+/// occupancy limits (threads, local memory, registers, WG slots), a
+/// FIFO hardware dispatcher with per-vendor admission policies, and two
+/// work-sourcing modes:
+///
+///  - Static: one physical work group per unit of work, pre-assigned
+///    cost (standard OpenCL and the Elastic Kernels baseline);
+///  - WorkQueue: few physical work groups dynamically dequeue batches of
+///    virtual groups from a shared queue with a per-dequeue atomic cost
+///    (accelOS, paper Sec. 2.4/6.4).
+///
+/// All of the paper's scheduling effects — serialization and unfairness
+/// under FIFO, space sharing under accelOS, load balancing from dynamic
+/// dequeue, batching amortization — are emergent behaviours of this
+/// model, not hard-coded outcomes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SIM_ENGINE_H
+#define ACCEL_SIM_ENGINE_H
+
+#include "sim/DeviceSpec.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace sim {
+
+/// One kernel execution request submitted to the device.
+struct KernelLaunchDesc {
+  std::string Name;
+  int AppId = 0;
+
+  /// Physical work-group shape and per-WG resource footprint.
+  uint64_t WGThreads = 0;     ///< w_i: threads per work group.
+  uint64_t LocalMemPerWG = 0; ///< m_i: local memory bytes per work group.
+  uint64_t RegsPerThread = 0; ///< r_i: registers per thread.
+
+  /// Fraction of peak per-thread issue rate this kernel sustains
+  /// (memory/latency-bound kernels < 1). Determines how much co-running
+  /// can recover utilization.
+  double IssueEfficiency = 1.0;
+
+  enum class ModeKind { Static, WorkQueue } Mode = ModeKind::Static;
+
+  /// Static mode: cost (thread-cycles) of each physical work group.
+  std::vector<double> StaticCosts;
+
+  /// WorkQueue mode: cost of each *virtual* group, the number of
+  /// physical work groups that drain them, and the dequeue batch size.
+  std::vector<double> VirtualCosts;
+  uint64_t PhysicalWGs = 0;
+  uint64_t Batch = 1;
+
+  /// Launches sharing a merge group dispatch without head-of-line
+  /// blocking between each other (the Elastic Kernels merged batch).
+  /// -1 means "own group" (default FIFO semantics).
+  int MergeGroup = -1;
+
+  uint64_t numPhysicalWGs() const {
+    return Mode == ModeKind::Static ? StaticCosts.size() : PhysicalWGs;
+  }
+
+  /// Total useful work in thread-cycles (excludes overheads).
+  double totalWork() const;
+};
+
+/// Timing of one kernel execution.
+struct KernelExecResult {
+  std::string Name;
+  int AppId = 0;
+  double StartTime = 0; ///< First work-group dispatch.
+  double EndTime = 0;   ///< Last work-group completion.
+  uint64_t DispatchedWGs = 0;
+  uint64_t DequeueOps = 0;
+
+  double duration() const { return EndTime - StartTime; }
+};
+
+/// Result of simulating one workload.
+struct SimResult {
+  std::vector<KernelExecResult> Kernels;
+  double Makespan = 0;
+};
+
+/// Discrete-event executor for a batch of concurrently submitted kernel
+/// launches (all arrive at time 0, in vector order).
+class Engine {
+public:
+  explicit Engine(const DeviceSpec &Spec) : Spec(Spec) {}
+
+  /// Simulates the launches to completion.
+  SimResult run(const std::vector<KernelLaunchDesc> &Launches);
+
+private:
+  const DeviceSpec &Spec;
+};
+
+} // namespace sim
+} // namespace accel
+
+#endif // ACCEL_SIM_ENGINE_H

@@ -1,0 +1,193 @@
+//===- support/Error.h - Recoverable error handling -------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simplified clone of llvm::Error / llvm::Expected for recoverable
+/// errors (bad kernel source, resource exhaustion, invalid API use).
+/// Errors carry a message and must be consumed: destroying an unchecked
+/// error aborts in assert builds, which keeps error paths honest without
+/// using C++ exceptions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SUPPORT_ERROR_H
+#define ACCEL_SUPPORT_ERROR_H
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <new>
+#include <string>
+#include <utility>
+
+namespace accel {
+
+/// A recoverable error: either success (empty) or a failure message.
+///
+/// Typical usage:
+/// \code
+///   Error E = doThing();
+///   if (E)
+///     return E;            // propagate
+/// \endcode
+class Error {
+public:
+  /// Constructs a success value.
+  static Error success() { return Error(); }
+
+  /// Constructs a failure carrying \p Message.
+  static Error failure(std::string Message) {
+    Error E;
+    E.Failed = true;
+    E.Message = std::move(Message);
+    return E;
+  }
+
+  Error() = default;
+
+  Error(Error &&Other) noexcept
+      : Failed(Other.Failed), Checked(Other.Checked),
+        Message(std::move(Other.Message)) {
+    Other.Checked = true;
+  }
+
+  Error &operator=(Error &&Other) noexcept {
+    assertChecked();
+    Failed = Other.Failed;
+    Checked = Other.Checked;
+    Message = std::move(Other.Message);
+    Other.Checked = true;
+    return *this;
+  }
+
+  Error(const Error &) = delete;
+  Error &operator=(const Error &) = delete;
+
+  ~Error() { assertChecked(); }
+
+  /// \returns true if this is a failure. Marks the error as checked.
+  explicit operator bool() {
+    Checked = true;
+    return Failed;
+  }
+
+  /// \returns the failure message (empty for success).
+  const std::string &message() const { return Message; }
+
+  /// Explicitly discards the error state.
+  void consume() { Checked = true; }
+
+private:
+  void assertChecked() const {
+    assert(Checked && "error destroyed without being checked");
+    if (!Checked && Failed)
+      reportFatalError(Message.c_str());
+  }
+
+  bool Failed = false;
+  mutable bool Checked = true;
+  std::string Message;
+};
+
+/// Convenience factory matching llvm::createStringError.
+inline Error makeError(std::string Message) {
+  return Error::failure(std::move(Message));
+}
+
+/// A value-or-error sum type in the style of llvm::Expected.
+///
+/// Holds either a \p T or an error message; the state must be queried via
+/// operator bool before dereferencing. T need not be default
+/// constructible (the payload lives in a union).
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Val) : HasValue(true) { new (&Value) T(std::move(Val)); }
+
+  /// Constructs a failure from an Error (which must be in failure state).
+  Expected(Error E) : HasValue(false) {
+    assert(static_cast<bool>(E) && "constructing Expected from success");
+    Message = E.message();
+  }
+
+  Expected(Expected &&Other) noexcept
+      : HasValue(Other.HasValue), Message(std::move(Other.Message)) {
+    if (HasValue)
+      new (&Value) T(std::move(Other.Value));
+  }
+
+  Expected(const Expected &) = delete;
+  Expected &operator=(const Expected &) = delete;
+  Expected &operator=(Expected &&) = delete;
+
+  ~Expected() {
+    if (HasValue)
+      Value.~T();
+  }
+
+  /// \returns true when a value is present.
+  explicit operator bool() const { return HasValue; }
+
+  T &operator*() {
+    assert(HasValue && "dereferencing an errored Expected");
+    return Value;
+  }
+
+  const T &operator*() const {
+    assert(HasValue && "dereferencing an errored Expected");
+    return Value;
+  }
+
+  T *operator->() {
+    assert(HasValue && "dereferencing an errored Expected");
+    return &Value;
+  }
+
+  const T *operator->() const {
+    assert(HasValue && "dereferencing an errored Expected");
+    return &Value;
+  }
+
+  /// Moves the contained value out. Only valid in the success state.
+  T take() {
+    assert(HasValue && "taking from an errored Expected");
+    return std::move(Value);
+  }
+
+  /// Converts the failure state back into an Error for propagation.
+  Error takeError() {
+    if (HasValue)
+      return Error::success();
+    return Error::failure(Message);
+  }
+
+  /// \returns the failure message ("" in the success state).
+  const std::string &message() const { return Message; }
+
+private:
+  bool HasValue;
+  union {
+    T Value;
+  };
+  std::string Message;
+};
+
+/// Unwraps an Expected that is known to be a success; fatal otherwise.
+template <typename T> T cantFail(Expected<T> E) {
+  if (!E)
+    reportFatalError(E.message().c_str());
+  return E.take();
+}
+
+/// Consumes an Error that is known to be a success; fatal otherwise.
+inline void cantFail(Error E) {
+  if (E)
+    reportFatalError(E.message().c_str());
+}
+
+} // namespace accel
+
+#endif // ACCEL_SUPPORT_ERROR_H

@@ -1,0 +1,24 @@
+//===- support/ErrorHandling.cpp - Fatal error utilities ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ErrorHandling.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace accel;
+
+void accel::reportFatalError(const char *Reason) {
+  std::fprintf(stderr, "fatal error: %s\n", Reason);
+  std::abort();
+}
+
+void accel::unreachableInternal(const char *Msg, const char *File,
+                                unsigned Line) {
+  std::fprintf(stderr, "UNREACHABLE executed at %s:%u: %s\n", File, Line,
+               Msg ? Msg : "");
+  std::abort();
+}

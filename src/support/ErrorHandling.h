@@ -1,0 +1,36 @@
+//===- support/ErrorHandling.h - Fatal error utilities ----------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fatal error reporting and the accel_unreachable marker used throughout
+/// the library in place of exceptions, following the LLVM error-handling
+/// conventions for programmatic (non-recoverable) errors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SUPPORT_ERRORHANDLING_H
+#define ACCEL_SUPPORT_ERRORHANDLING_H
+
+namespace accel {
+
+/// Reports a serious error, calling any installed error handler, and
+/// aborts the process. Use for unrecoverable conditions triggered by
+/// user input; use assertions for internal invariants instead.
+[[noreturn]] void reportFatalError(const char *Reason);
+
+/// Implementation detail of the accel_unreachable macro below.
+[[noreturn]] void unreachableInternal(const char *Msg, const char *File,
+                                      unsigned Line);
+
+} // namespace accel
+
+/// Marks a point in the program that should never be reached. Prints the
+/// message, file and line, then aborts. Used for fully-covered switches
+/// and impossible states so release builds still fail loudly.
+#define accel_unreachable(msg)                                                 \
+  ::accel::unreachableInternal(msg, __FILE__, __LINE__)
+
+#endif // ACCEL_SUPPORT_ERRORHANDLING_H

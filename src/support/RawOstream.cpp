@@ -1,0 +1,53 @@
+//===- support/RawOstream.cpp - Lightweight output streams ---------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/RawOstream.h"
+
+#include <cinttypes>
+
+using namespace accel;
+
+raw_ostream::~raw_ostream() = default;
+
+void raw_ostream::anchor() {}
+
+raw_ostream &raw_ostream::operator<<(int64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRId64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(uint64_t N) {
+  char Buf[32];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%" PRIu64, N);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::operator<<(double D) {
+  char Buf[48];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%g", D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &raw_ostream::printFixed(double D, int Precision) {
+  char Buf[64];
+  int Len = std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, D);
+  write(Buf, static_cast<size_t>(Len));
+  return *this;
+}
+
+raw_ostream &accel::outs() {
+  static raw_fd_ostream Stream(stdout);
+  return Stream;
+}
+
+raw_ostream &accel::errs() {
+  static raw_fd_ostream Stream(stderr);
+  return Stream;
+}

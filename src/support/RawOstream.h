@@ -1,0 +1,103 @@
+//===- support/RawOstream.h - Lightweight output streams --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal raw_ostream replacement. Library code avoids <iostream>
+/// (static-constructor injection) per the LLVM coding standards; this
+/// provides buffered formatting onto FILE* or std::string sinks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SUPPORT_RAWOSTREAM_H
+#define ACCEL_SUPPORT_RAWOSTREAM_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace accel {
+
+/// Abstract character sink with printf-adjacent formatting helpers.
+class raw_ostream {
+public:
+  virtual ~raw_ostream();
+
+  raw_ostream &operator<<(std::string_view Str) {
+    write(Str.data(), Str.size());
+    return *this;
+  }
+
+  raw_ostream &operator<<(const char *Str) {
+    return *this << std::string_view(Str);
+  }
+
+  raw_ostream &operator<<(const std::string &Str) {
+    return *this << std::string_view(Str);
+  }
+
+  raw_ostream &operator<<(char C) {
+    write(&C, 1);
+    return *this;
+  }
+
+  raw_ostream &operator<<(int64_t N);
+  raw_ostream &operator<<(uint64_t N);
+  raw_ostream &operator<<(int N) { return *this << static_cast<int64_t>(N); }
+  raw_ostream &operator<<(unsigned N) {
+    return *this << static_cast<uint64_t>(N);
+  }
+  raw_ostream &operator<<(double D);
+  raw_ostream &operator<<(bool B) { return *this << (B ? "true" : "false"); }
+
+  /// Appends \p D formatted with \p Precision digits after the point.
+  raw_ostream &printFixed(double D, int Precision);
+
+  /// Appends \p Size raw bytes.
+  virtual void write(const char *Ptr, size_t Size) = 0;
+
+private:
+  virtual void anchor();
+};
+
+/// Stream that appends to a caller-owned std::string.
+class raw_string_ostream : public raw_ostream {
+public:
+  explicit raw_string_ostream(std::string &Buffer) : Buffer(Buffer) {}
+
+  void write(const char *Ptr, size_t Size) override {
+    Buffer.append(Ptr, Size);
+  }
+
+  /// \returns the accumulated contents.
+  const std::string &str() const { return Buffer; }
+
+private:
+  std::string &Buffer;
+};
+
+/// Stream writing to a stdio FILE handle (unowned).
+class raw_fd_ostream : public raw_ostream {
+public:
+  explicit raw_fd_ostream(std::FILE *Handle) : Handle(Handle) {}
+
+  void write(const char *Ptr, size_t Size) override {
+    std::fwrite(Ptr, 1, Size, Handle);
+  }
+
+private:
+  std::FILE *Handle;
+};
+
+/// \returns a stream attached to standard output.
+raw_ostream &outs();
+
+/// \returns a stream attached to standard error.
+raw_ostream &errs();
+
+} // namespace accel
+
+#endif // ACCEL_SUPPORT_RAWOSTREAM_H

@@ -1,0 +1,100 @@
+//===- support/Statistics.h - Running summary statistics --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Accumulators for the aggregate numbers the paper reports: arithmetic
+/// mean, geometric mean (used for single-kernel speedups, Sec. 8.5),
+/// min/max, and percentile extraction over retained samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SUPPORT_STATISTICS_H
+#define ACCEL_SUPPORT_STATISTICS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace accel {
+
+/// Accumulates doubles and answers summary queries. Retains all samples
+/// so percentiles and fractions are exact.
+class SampleStats {
+public:
+  /// Adds one observation.
+  void add(double Value) { Samples.push_back(Value); }
+
+  /// \returns the number of observations.
+  size_t count() const { return Samples.size(); }
+
+  bool empty() const { return Samples.empty(); }
+
+  /// \returns the arithmetic mean (0 when empty).
+  double mean() const {
+    if (Samples.empty())
+      return 0.0;
+    double Sum = 0.0;
+    for (double S : Samples)
+      Sum += S;
+    return Sum / static_cast<double>(Samples.size());
+  }
+
+  /// \returns the geometric mean; all samples must be positive.
+  double geomean() const {
+    if (Samples.empty())
+      return 0.0;
+    double LogSum = 0.0;
+    for (double S : Samples) {
+      assert(S > 0.0 && "geomean of non-positive sample");
+      LogSum += std::log(S);
+    }
+    return std::exp(LogSum / static_cast<double>(Samples.size()));
+  }
+
+  double min() const {
+    assert(!Samples.empty() && "min of empty stats");
+    return *std::min_element(Samples.begin(), Samples.end());
+  }
+
+  double max() const {
+    assert(!Samples.empty() && "max of empty stats");
+    return *std::max_element(Samples.begin(), Samples.end());
+  }
+
+  /// \returns the value at quantile \p Q in [0,1] (nearest-rank).
+  double percentile(double Q) const {
+    assert(!Samples.empty() && "percentile of empty stats");
+    assert(Q >= 0.0 && Q <= 1.0 && "quantile out of range");
+    std::vector<double> Sorted = Samples;
+    std::sort(Sorted.begin(), Sorted.end());
+    size_t Rank = static_cast<size_t>(
+        Q * static_cast<double>(Sorted.size() - 1) + 0.5);
+    return Sorted[Rank];
+  }
+
+  /// \returns the fraction of samples for which \p Pred holds.
+  template <typename PredT> double fraction(PredT Pred) const {
+    if (Samples.empty())
+      return 0.0;
+    size_t Hits = 0;
+    for (double S : Samples)
+      if (Pred(S))
+        ++Hits;
+    return static_cast<double>(Hits) / static_cast<double>(Samples.size());
+  }
+
+  /// Direct access for custom reductions.
+  const std::vector<double> &samples() const { return Samples; }
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace accel
+
+#endif // ACCEL_SUPPORT_STATISTICS_H

@@ -1,0 +1,46 @@
+//===- support/StringUtil.cpp - String and table helpers ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtil.h"
+
+#include <cstdio>
+
+using namespace accel;
+
+std::string accel::formatDouble(double Value, int Precision) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Precision, Value);
+  return std::string(Buf);
+}
+
+std::string accel::padLeft(const std::string &Str, size_t Width) {
+  if (Str.size() >= Width)
+    return Str;
+  return std::string(Width - Str.size(), ' ') + Str;
+}
+
+std::string accel::padRight(const std::string &Str, size_t Width) {
+  if (Str.size() >= Width)
+    return Str;
+  return Str + std::string(Width - Str.size(), ' ');
+}
+
+std::vector<std::string> accel::splitString(const std::string &Str, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Str.size(); ++I) {
+    if (I == Str.size() || Str[I] == Sep) {
+      Parts.push_back(Str.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+bool accel::startsWith(const std::string &Str, const std::string &Prefix) {
+  return Str.size() >= Prefix.size() &&
+         Str.compare(0, Prefix.size(), Prefix) == 0;
+}

@@ -1,0 +1,38 @@
+//===- support/StringUtil.h - String and table helpers ----------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string formatting helpers shared by the bench table renderer and
+/// diagnostic printers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_SUPPORT_STRINGUTIL_H
+#define ACCEL_SUPPORT_STRINGUTIL_H
+
+#include <string>
+#include <vector>
+
+namespace accel {
+
+/// \returns \p Value formatted with \p Precision fractional digits.
+std::string formatDouble(double Value, int Precision);
+
+/// \returns \p Str left-padded with spaces to \p Width columns.
+std::string padLeft(const std::string &Str, size_t Width);
+
+/// \returns \p Str right-padded with spaces to \p Width columns.
+std::string padRight(const std::string &Str, size_t Width);
+
+/// Splits \p Str on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(const std::string &Str, char Sep);
+
+/// \returns true when \p Str starts with \p Prefix.
+bool startsWith(const std::string &Str, const std::string &Prefix);
+
+} // namespace accel
+
+#endif // ACCEL_SUPPORT_STRINGUTIL_H

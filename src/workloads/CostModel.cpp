@@ -1,0 +1,62 @@
+//===- workloads/CostModel.cpp - Per-work-group cost generation -------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelSpec.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace accel;
+using namespace accel::workloads;
+
+/// FNV-1a so each kernel gets its own deterministic stream.
+static uint64_t hashId(const std::string &Id) {
+  uint64_t H = 1469598103934665603ull;
+  for (char C : Id) {
+    H ^= static_cast<uint8_t>(C);
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::vector<double> workloads::generateWGCosts(const KernelSpec &Spec,
+                                               uint64_t SeedSalt) {
+  SplitMix64 Rng(hashId(Spec.Id) ^ (SeedSalt * 0x9E3779B97F4A7C15ull));
+  std::vector<double> Costs(Spec.NumWGs);
+  const CostProfile &P = Spec.Cost;
+
+  for (uint64_t I = 0; I != Spec.NumWGs; ++I) {
+    double U = Rng.nextDouble();
+    double C = P.MeanWGCycles;
+    switch (P.Shape) {
+    case CostShapeKind::Uniform:
+      C *= 1.0 + P.CV * (2.0 * U - 1.0);
+      break;
+    case CostShapeKind::Skewed:
+      // Log-uniform right tail: most work groups near the mean, a few
+      // several times heavier (data-dependent inner loops).
+      C *= std::exp(P.CV * 2.0 * (U - 0.35));
+      break;
+    case CostShapeKind::Bimodal: {
+      // 80% light frontier entries, 20% heavy expansion.
+      bool Heavy = Rng.nextDouble() < 0.2;
+      C *= Heavy ? (2.5 + P.CV * U) : (0.4 + 0.2 * U);
+      break;
+    }
+    case CostShapeKind::FrontLoaded: {
+      // Earlier work groups carry more work (sorted candidates).
+      double Position =
+          static_cast<double>(I) / static_cast<double>(Spec.NumWGs);
+      C *= (1.6 - Position) * (1.0 + P.CV * (U - 0.5));
+      break;
+    }
+    }
+    Costs[I] = std::max(C, 1.0);
+  }
+  return Costs;
+}

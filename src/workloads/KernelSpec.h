@@ -1,0 +1,69 @@
+//===- workloads/KernelSpec.h - Parboil-like kernel suite -------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 25-kernel workload suite standing in for the OpenCL Parboil
+/// benchmarks the paper evaluates on (Sec. 7.2). Each spec carries real
+/// MiniCL source (compiled through the same front end and JIT the
+/// runtime uses), the launch geometry, an issue-efficiency class, and a
+/// per-work-group cost profile that reproduces the suite's diversity of
+/// durations and intra-kernel imbalance — the properties the paper's
+/// fairness and throughput results depend on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_WORKLOADS_KERNELSPEC_H
+#define ACCEL_WORKLOADS_KERNELSPEC_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace workloads {
+
+/// Shape of the per-work-group cost distribution.
+enum class CostShapeKind {
+  Uniform,    ///< Mean +- CV jitter (regular kernels).
+  Skewed,     ///< Log-normal-like right tail (data-dependent work).
+  Bimodal,    ///< Mostly light with a heavy minority (frontiers, bins).
+  FrontLoaded ///< Early work groups heavier (sorted inputs).
+};
+
+/// Per-work-group cost generator parameters.
+struct CostProfile {
+  double MeanWGCycles = 0; ///< Mean cost in thread-cycles.
+  double CV = 0.1;         ///< Dispersion (coefficient of variation).
+  CostShapeKind Shape = CostShapeKind::Uniform;
+};
+
+/// One benchmark kernel.
+struct KernelSpec {
+  std::string Id;         ///< Suite-unique identifier ("bfs").
+  std::string KernelName; ///< Entry point inside Source.
+  std::string Source;     ///< MiniCL program text.
+  uint64_t WGSize = 0;    ///< Work-group size (threads).
+  uint64_t NumWGs = 0;    ///< Original NDRange group count.
+  /// Sustained fraction of peak issue rate (memory-bound kernels low).
+  double IssueEfficiency = 1.0;
+  CostProfile Cost;
+};
+
+/// \returns the full 25-kernel suite, in alphabetical order of Id.
+const std::vector<KernelSpec> &parboilSuite();
+
+/// \returns the spec with the given Id (fatal if unknown).
+const KernelSpec &findKernel(const std::string &Id);
+
+/// Deterministically generates the per-work-group costs of \p Spec.
+/// \p SeedSalt perturbs the stream (used for repeat-run jitter).
+std::vector<double> generateWGCosts(const KernelSpec &Spec,
+                                    uint64_t SeedSalt = 0);
+
+} // namespace workloads
+} // namespace accel
+
+#endif // ACCEL_WORKLOADS_KERNELSPEC_H

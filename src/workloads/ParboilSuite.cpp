@@ -1,0 +1,476 @@
+//===- workloads/ParboilSuite.cpp - The 25 benchmark kernels ----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MiniCL sources and launch parameters for the 25 kernels, named after
+/// the OpenCL Parboil kernels the paper uses. The code shapes follow
+/// each benchmark's published character (frontier expansion, cutoff
+/// Coulomb, histogramming, LBM streaming, MRI gridding/reconstruction,
+/// SAD block matching, dense/sparse algebra, stencils, angular
+/// correlation); datasets are synthetic (see DESIGN.md substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelSpec.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace accel;
+using namespace accel::workloads;
+
+/// Helper to keep the table below readable.
+static KernelSpec makeSpec(const char *Id, const char *KernelName,
+                           const char *Source, uint64_t WGSize,
+                           uint64_t NumWGs, double Eff, double Mean,
+                           double CV, CostShapeKind Shape) {
+  KernelSpec S;
+  S.Id = Id;
+  S.KernelName = KernelName;
+  S.Source = Source;
+  S.WGSize = WGSize;
+  S.NumWGs = NumWGs;
+  S.IssueEfficiency = Eff;
+  S.Cost = {Mean, CV, Shape};
+  return S;
+}
+
+static std::vector<KernelSpec> buildSuite() {
+  std::vector<KernelSpec> Suite;
+
+  // --- bfs: level-synchronous frontier expansion (irregular). --------------
+  Suite.push_back(makeSpec("bfs", "bfs_kernel", R"(
+    kernel void bfs_kernel(global const int* frontier,
+                           global const int* edges,
+                           global const int* offsets,
+                           global int* levels, global int* next,
+                           int level) {
+      long gid = get_global_id(0);
+      int node = frontier[gid];
+      int first = offsets[node];
+      int last = offsets[node + 1];
+      for (int e = first; e < last; e++) {
+        int dst = edges[e];
+        int old = atomic_min(levels, dst);
+        if (old > level) {
+          int slot = atomic_add(next, 1);
+        }
+      }
+    }
+  )", 256, 512, 0.120, 8.0e5, 0.9, CostShapeKind::Bimodal));
+
+  // --- cutcp: cutoff Coulomb potential on a lattice (compute bound). -------
+  Suite.push_back(makeSpec("cutcp", "cutcp_lattice", R"(
+    kernel void cutcp_lattice(global const float* atoms,
+                              global float* lattice, int natoms,
+                              float cutoff2) {
+      long gid = get_global_id(0);
+      float x = (float)(gid % 128);
+      float y = (float)((gid / 128) % 128);
+      float z = (float)(gid / 16384);
+      float energy = 0.0f;
+      for (int a = 0; a < natoms; a++) {
+        float dx = atoms[a * 4 + 0] - x;
+        float dy = atoms[a * 4 + 1] - y;
+        float dz = atoms[a * 4 + 2] - z;
+        float r2 = dx * dx + dy * dy + dz * dz;
+        if (r2 < cutoff2) {
+          float s = 1.0f - r2 / cutoff2;
+          energy += atoms[a * 4 + 3] * rsqrt(r2) * s * s;
+        }
+      }
+      lattice[gid] = energy;
+    }
+  )", 128, 1280, 0.300, 3.0e6, 0.12, CostShapeKind::Uniform));
+
+  // --- histo family: image histogramming with atomics. ---------------------
+  Suite.push_back(makeSpec("histo_final", "histo_final_kernel", R"(
+    kernel void histo_final_kernel(global const int* partial,
+                                   global int* histo, int nbins,
+                                   int nparts) {
+      long bin = get_global_id(0);
+      int sum = 0;
+      for (int p = 0; p < nparts; p++) {
+        sum += partial[p * nbins + (int)bin];
+      }
+      int clipped = min(sum, 255);
+      histo[bin] = clipped;
+    }
+  )", 256, 24, 0.080, 3.0e5, 0.15, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("histo_intermediates", "histo_inter_kernel", R"(
+    kernel void histo_inter_kernel(global const int* input,
+                                   global int* bins, int pitch) {
+      long gid = get_global_id(0);
+      int v = input[gid];
+      int bin = (v >> 4) & 1023;
+      int ignored = atomic_add(bins, bin % 97);
+    }
+  )", 128, 768, 0.150, 2.5e5, 0.25, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("histo_main", "histo_main_kernel", R"(
+    kernel void histo_main_kernel(global const int* img,
+                                  global int* overflow, global int* sat,
+                                  int size) {
+      local int tile[1024];
+      long lid = get_local_id(0);
+      for (long i = lid; i < 1024; i += get_local_size(0)) {
+        tile[i] = 0;
+      }
+      barrier();
+      long gid = get_global_id(0);
+      int v = img[gid % (long)size];
+      int b = v & 1023;
+      int o1 = atomic_add(tile, b);
+      barrier();
+      if (tile[0] > 4096) {
+        int o2 = atomic_add(sat, 1);
+      }
+    }
+  )", 256, 512, 0.180, 1.2e6, 0.55, CostShapeKind::Skewed));
+
+  Suite.push_back(makeSpec("histo_prescan", "histo_prescan_kernel", R"(
+    kernel void histo_prescan_kernel(global const int* input,
+                                     global int* minmax, int n) {
+      long gid = get_global_id(0);
+      int v = input[gid % (long)n];
+      int o1 = atomic_min(minmax, v);
+      int o2 = atomic_max(minmax, v);
+    }
+  )", 256, 512, 0.150, 4.0e5, 0.10, CostShapeKind::Uniform));
+
+  // --- lbm: lattice-Boltzmann streaming step (memory bound, regular). ------
+  Suite.push_back(makeSpec("lbm", "lbm_stream_collide", R"(
+    kernel void lbm_stream_collide(global const float* src,
+                                   global float* dst, int dim,
+                                   float omega) {
+      long gid = get_global_id(0);
+      float rho = 0.0f;
+      for (int q = 0; q < 19; q++) {
+        rho += src[gid * 19 + q];
+      }
+      float usq = rho * 0.05f;
+      for (int q = 0; q < 19; q++) {
+        float feq = rho * (1.0f + usq * (float)q * 0.01f);
+        dst[gid * 19 + q] = src[gid * 19 + q] * (1.0f - omega)
+                            + feq * omega;
+      }
+    }
+  )", 128, 2048, 0.120, 7.0e5, 0.05, CostShapeKind::Uniform));
+
+  // --- mri-gridding: sample binning + sorting + scan + deapodization. ------
+  Suite.push_back(makeSpec("mri_gridding_binning", "binning_kernel", R"(
+    kernel void binning_kernel(global const float* samples,
+                               global int* bincounts, global int* overflow,
+                               int nbins, int n) {
+      long gid = get_global_id(0);
+      float x = samples[gid % (long)n];
+      int bin = (int)(x * 64.0f);
+      bin = max(0, min(bin, nbins - 1));
+      int c = atomic_add(bincounts, bin % 53);
+      if (c > 128) {
+        int o = atomic_add(overflow, 1);
+      }
+    }
+  )", 128, 1024, 0.110, 6.0e5, 0.70, CostShapeKind::Bimodal));
+
+  Suite.push_back(makeSpec("mri_gridding_gridding_GPU", "gridding_kernel",
+                           R"(
+    float kaiser(float d2, float w2) {
+      if (d2 >= w2) { return 0.0f; }
+      float t = 1.0f - d2 / w2;
+      return exp(2.5f * sqrt(t)) * 0.08f;
+    }
+    kernel void gridding_kernel(global const float* samples,
+                                global float* grid, int nsamples,
+                                float width2) {
+      long gid = get_global_id(0);
+      float gx = (float)(gid % 256);
+      float acc = 0.0f;
+      for (int s = 0; s < nsamples; s++) {
+        float dx = samples[s * 2] - gx;
+        float d2 = dx * dx + samples[s * 2 + 1];
+        acc += kaiser(d2, width2);
+      }
+      grid[gid] = acc;
+    }
+  )", 128, 1024, 0.280, 4.0e6, 0.60, CostShapeKind::Skewed));
+
+  Suite.push_back(makeSpec("mri_gridding_reorder", "reorder_kernel", R"(
+    kernel void reorder_kernel(global const int* perm,
+                               global const float* in, global float* out,
+                               int n) {
+      long gid = get_global_id(0);
+      int src = perm[gid % (long)n];
+      out[gid] = in[src];
+    }
+  )", 128, 1024, 0.110, 5.0e5, 0.20, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("mri_gridding_scan_L1", "scan_L1_kernel", R"(
+    kernel void scan_L1_kernel(global const int* in, global int* out,
+                               global int* sums) {
+      local int tile[256];
+      long lid = get_local_id(0);
+      long gid = get_global_id(0);
+      tile[lid] = in[gid];
+      barrier();
+      int stride = 1;
+      while (stride < 256) {
+        int v = 0;
+        if (lid >= stride) {
+          v = tile[lid - stride];
+        }
+        barrier();
+        tile[lid] += v;
+        barrier();
+        stride = stride * 2;
+      }
+      out[gid] = tile[lid];
+      if (lid == 255) {
+        sums[get_group_id(0)] = tile[255];
+      }
+    }
+  )", 256, 512, 0.200, 3.0e5, 0.08, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("mri_gridding_scan_inter1", "scan_inter1_kernel",
+                           R"(
+    kernel void scan_inter1_kernel(global int* sums, int n) {
+      long gid = get_global_id(0);
+      int acc = 0;
+      for (int i = 0; i <= (int)gid; i++) {
+        acc += sums[i % n];
+      }
+      sums[gid] = acc;
+    }
+  )", 128, 16, 0.060, 1.5e5, 0.30, CostShapeKind::FrontLoaded));
+
+  Suite.push_back(makeSpec("mri_gridding_scan_inter2", "scan_inter2_kernel",
+                           R"(
+    kernel void scan_inter2_kernel(global int* data,
+                                   global const int* carry) {
+      long gid = get_global_id(0);
+      data[gid] += carry[get_group_id(0)];
+    }
+  )", 128, 16, 0.060, 1.5e5, 0.10, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("mri_gridding_splitRearrange",
+                           "splitRearrange_kernel", R"(
+    kernel void splitRearrange_kernel(global const int* keys,
+                                      global const int* offsets,
+                                      global int* out, int mask) {
+      long gid = get_global_id(0);
+      int k = keys[gid];
+      int bucket = k & mask;
+      out[offsets[bucket] + (int)gid % 64] = k;
+    }
+  )", 256, 512, 0.180, 7.0e5, 0.25, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("mri_gridding_splitSort", "splitSort_kernel", R"(
+    kernel void splitSort_kernel(global int* keys, global int* values,
+                                 int bit) {
+      local int tile[256];
+      local int ones[1];
+      long lid = get_local_id(0);
+      if (lid == 0) { ones[0] = 0; }
+      barrier();
+      long gid = get_global_id(0);
+      int k = keys[gid];
+      int flag = (k >> bit) & 1;
+      int pos = 0;
+      if (flag == 1) {
+        pos = atomic_add(ones, 1);
+      }
+      tile[lid] = k;
+      barrier();
+      keys[gid] = tile[(lid + pos) % 256];
+      values[gid] = flag;
+    }
+  )", 256, 512, 0.220, 9.0e5, 0.45, CostShapeKind::Skewed));
+
+  Suite.push_back(makeSpec("mri_gridding_uniformAdd", "uniformAdd_kernel",
+                           R"(
+    kernel void uniformAdd_kernel(global float* data,
+                                  global const float* add) {
+      long gid = get_global_id(0);
+      data[gid] += add[get_group_id(0)];
+    }
+  )", 256, 32, 0.060, 1.0e5, 0.05, CostShapeKind::Uniform));
+
+  // --- mri-q: non-Cartesian MRI reconstruction. -----------------------------
+  Suite.push_back(makeSpec("mri_q_ComputePhiMag", "ComputePhiMag_kernel",
+                           R"(
+    kernel void ComputePhiMag_kernel(global const float* phiR,
+                                     global const float* phiI,
+                                     global float* phiMag) {
+      long gid = get_global_id(0);
+      float r = phiR[gid];
+      float i = phiI[gid];
+      phiMag[gid] = r * r + i * i;
+    }
+  )", 256, 24, 0.070, 2.0e5, 0.05, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("mri_q_ComputeQ", "ComputeQ_kernel", R"(
+    kernel void ComputeQ_kernel(global const float* kx,
+                                global const float* ky,
+                                global const float* phiMag,
+                                global float* qr, global float* qi,
+                                int nk) {
+      long gid = get_global_id(0);
+      float x = (float)gid * 0.01f;
+      float sumR = 0.0f;
+      float sumI = 0.0f;
+      for (int k = 0; k < nk; k++) {
+        float angle = 6.2831853f * (kx[k] * x + ky[k] * x * 0.5f);
+        sumR += phiMag[k] * cos(angle);
+        sumI += phiMag[k] * sin(angle);
+      }
+      qr[gid] = sumR;
+      qi[gid] = sumI;
+    }
+  )", 256, 896, 0.320, 5.0e6, 0.10, CostShapeKind::Uniform));
+
+  // --- sad: H.264 sum-of-absolute-differences block matching. --------------
+  Suite.push_back(makeSpec("sad_larger_sad_calc_16", "larger_sad_calc_16",
+                           R"(
+    kernel void larger_sad_calc_16(global const int* sads8,
+                                   global int* sads16, int stride) {
+      long gid = get_global_id(0);
+      long base = gid * 4;
+      sads16[gid] = sads8[base] + sads8[base + 1]
+                    + sads8[base + 2] + sads8[base + 3];
+    }
+  )", 64, 1024, 0.150, 2.5e5, 0.10, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("sad_larger_sad_calc_8", "larger_sad_calc_8", R"(
+    kernel void larger_sad_calc_8(global const int* sads4,
+                                  global int* sads8, int stride) {
+      long gid = get_global_id(0);
+      long base = gid * 2;
+      sads8[gid] = sads4[base] + sads4[base + 1];
+    }
+  )", 128, 896, 0.150, 4.0e5, 0.10, CostShapeKind::Uniform));
+
+  Suite.push_back(makeSpec("sad_mb_sad_calc", "mb_sad_calc", R"(
+    kernel void mb_sad_calc(global const int* cur,
+                            global const int* ref, global int* sads,
+                            int searchRange) {
+      long gid = get_global_id(0);
+      int best = 2147483647;
+      for (int s = 0; s < searchRange; s++) {
+        int acc = 0;
+        for (int p = 0; p < 16; p++) {
+          acc += abs(cur[(gid * 16 + p) % 4096]
+                     - ref[(gid * 16 + p + s) % 4096]);
+        }
+        best = min(best, acc);
+      }
+      sads[gid] = best;
+    }
+  )", 128, 1792, 0.250, 1.0e6, 0.35, CostShapeKind::FrontLoaded));
+
+  // --- sgemm: tiled dense matrix multiply (compute bound). -----------------
+  Suite.push_back(makeSpec("sgemm", "sgemm_kernel", R"(
+    kernel void sgemm_kernel(global const float* a,
+                             global const float* b, global float* c,
+                             int n, float alpha, float beta) {
+      local float tileA[128];
+      local float tileB[128];
+      long lid = get_local_id(0);
+      long gid = get_global_id(0);
+      float acc = 0.0f;
+      int tiles = n / 128;
+      for (int t = 0; t < tiles; t++) {
+        tileA[lid] = a[(gid * (long)tiles + t) % (long)(n * 16)];
+        tileB[lid] = b[((long)t * 128 + lid) % (long)(n * 16)];
+        barrier();
+        for (int k = 0; k < 128; k++) {
+          acc += tileA[(int)(lid + k) % 128] * tileB[k];
+        }
+        barrier();
+      }
+      c[gid] = alpha * acc + beta * c[gid];
+    }
+  )", 128, 1024, 0.350, 6.0e6, 0.04, CostShapeKind::Uniform));
+
+  // --- spmv: sparse matrix-vector product (irregular, memory bound). -------
+  Suite.push_back(makeSpec("spmv", "spmv_jds", R"(
+    kernel void spmv_jds(global const float* vals,
+                         global const int* cols,
+                         global const int* rowlen,
+                         global const float* x, global float* y,
+                         int maxlen) {
+      long row = get_global_id(0);
+      int len = rowlen[row];
+      float acc = 0.0f;
+      for (int j = 0; j < len; j++) {
+        long idx = (long)j * get_global_size(0) + row;
+        acc += vals[idx] * x[cols[idx]];
+      }
+      y[row] = acc;
+    }
+  )", 96, 1344, 0.110, 7.0e5, 0.80, CostShapeKind::Skewed));
+
+  // --- stencil: 7-point 3-D Jacobi stencil. ---------------------------------
+  Suite.push_back(makeSpec("stencil", "stencil_kernel", R"(
+    kernel void stencil_kernel(global const float* in, global float* out,
+                               int nx, int ny, float c0, float c1) {
+      long gid = get_global_id(0);
+      long plane = (long)nx * ny;
+      long n = get_global_size(0);
+      long up = gid + plane;
+      long dn = gid - plane;
+      if (up >= n) { up = gid; }
+      if (dn < 0) { dn = gid; }
+      float center = in[gid];
+      float sum = in[(gid + 1) % n] + in[(gid + n - 1) % n]
+                + in[(gid + nx) % n] + in[(gid + n - nx) % n]
+                + in[up] + in[dn];
+      out[gid] = c0 * center + c1 * sum;
+    }
+  )", 128, 1024, 0.250, 9.0e5, 0.08, CostShapeKind::Uniform));
+
+  // --- tpacf: two-point angular correlation (long-running). ----------------
+  Suite.push_back(makeSpec("tpacf", "gen_hists", R"(
+    kernel void gen_hists(global const float* data,
+                          global const float* rand_pts,
+                          global int* hists, int npoints, int nbins) {
+      local int histo[64];
+      long lid = get_local_id(0);
+      for (long i = lid; i < 64; i += get_local_size(0)) {
+        histo[i] = 0;
+      }
+      barrier();
+      long gid = get_global_id(0);
+      float zx = data[(gid * 3) % (long)npoints];
+      float zy = data[(gid * 3 + 1) % (long)npoints];
+      float zz = data[(gid * 3 + 2) % (long)npoints];
+      for (int p = 0; p < npoints; p++) {
+        float dot = zx * rand_pts[p * 3] + zy * rand_pts[p * 3 + 1]
+                  + zz * rand_pts[p * 3 + 2];
+        float clamped = fmax(fmin(dot, 1.0f), -1.0f);
+        int bin = (int)((clamped + 1.0f) * 31.5f);
+        int o = atomic_add(histo, bin % 64);
+      }
+      barrier();
+      if (lid < 64) {
+        int o2 = atomic_add(hists, histo[lid]);
+      }
+    }
+  )", 256, 512, 0.280, 1.2e7, 0.15, CostShapeKind::Uniform));
+
+  return Suite;
+}
+
+const std::vector<KernelSpec> &workloads::parboilSuite() {
+  static const std::vector<KernelSpec> Suite = buildSuite();
+  return Suite;
+}
+
+const KernelSpec &workloads::findKernel(const std::string &Id) {
+  for (const KernelSpec &S : parboilSuite())
+    if (S.Id == Id)
+      return S;
+  reportFatalError(("unknown workload kernel: " + Id).c_str());
+}

@@ -1,0 +1,49 @@
+//===- workloads/Sampler.cpp - Workload combination sampling ----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Sampler.h"
+
+#include "support/Random.h"
+#include "workloads/KernelSpec.h"
+
+using namespace accel;
+using namespace accel::workloads;
+
+std::vector<Workload> workloads::allPairs() {
+  size_t N = parboilSuite().size();
+  std::vector<Workload> Out;
+  Out.reserve(N * N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      Out.push_back({I, J});
+  return Out;
+}
+
+std::vector<Workload> workloads::randomCombinations(size_t K, size_t Count,
+                                                    uint64_t Seed) {
+  size_t N = parboilSuite().size();
+  SplitMix64 Rng(Seed);
+  std::vector<Workload> Out;
+  Out.reserve(Count);
+  for (size_t C = 0; C != Count; ++C) {
+    Workload W(K);
+    for (size_t I = 0; I != K; ++I)
+      W[I] = static_cast<size_t>(Rng.nextBelow(N));
+    Out.push_back(std::move(W));
+  }
+  return Out;
+}
+
+std::vector<Workload> workloads::alphabeticPairs() {
+  size_t N = parboilSuite().size();
+  std::vector<Workload> Out;
+  for (size_t I = 0; I + 1 < N; I += 2)
+    Out.push_back({I, I + 1});
+  // 25 kernels leave the last one unpaired; wrap it with the first for
+  // the 13th pair.
+  Out.push_back({N - 1, 0});
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- workloads/Sampler.h - Workload combination sampling ------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's workload sets (Sec. 7.2): all 25x25 pairwise
+/// combinations, uniformly sampled k-kernel combinations for k = 4 and
+/// k = 8, and the 13 alphabetic pairs of Fig. 11.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_WORKLOADS_SAMPLER_H
+#define ACCEL_WORKLOADS_SAMPLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace accel {
+namespace workloads {
+
+/// A workload: indices into parboilSuite().
+using Workload = std::vector<size_t>;
+
+/// All ordered pairs (i, j) over the suite: 25 x 25 = 625 workloads.
+std::vector<Workload> allPairs();
+
+/// \p Count random \p K-kernel combinations (with repetition across
+/// workloads, distinct positions sampled uniformly with replacement as
+/// in the paper's random selection).
+std::vector<Workload> randomCombinations(size_t K, size_t Count,
+                                         uint64_t Seed);
+
+/// The 13 alphabetic-neighbour pairs of Fig. 11 (the last pair wraps).
+std::vector<Workload> alphabeticPairs();
+
+} // namespace workloads
+} // namespace accel
+
+#endif // ACCEL_WORKLOADS_SAMPLER_H

@@ -1,0 +1,380 @@
+//===- tests/AccelosTests.cpp - Host runtime unit tests ----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "accelos/AdaptivePolicy.h"
+#include "accelos/ProxyCL.h"
+#include "accelos/ResourceSolver.h"
+#include "accelos/Runtime.h"
+#include "accelos/VirtualNDRange.h"
+#include "kir/RtLayout.h"
+#include "sim/DeviceSpec.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::accelos;
+
+namespace {
+
+ResourceCaps tinyCaps() {
+  ResourceCaps C;
+  C.Threads = 1024;
+  C.LocalMem = 64 << 10;
+  C.Regs = 262144;
+  C.WGSlots = 16;
+  return C;
+}
+
+KernelDemand demand(uint64_t WGThreads, uint64_t LocalMem, uint64_t Regs,
+                    uint64_t Requested) {
+  KernelDemand D;
+  D.WGThreads = WGThreads;
+  D.LocalMemPerWG = LocalMem;
+  D.RegsPerThread = Regs;
+  D.RequestedWGs = Requested;
+  return D;
+}
+
+//===----------------------------------------------------------------------===//
+// Resource solver (paper Sec. 3)
+//===----------------------------------------------------------------------===//
+
+TEST(SolverTest, SingleKernelGetsWholeDevice) {
+  // x_1 = T / (1 * w): 1024/128 = 8 work groups.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares =
+      solveFairShares(tinyCaps(), {demand(128, 0, 4, 100)}, NoGreedy);
+  EXPECT_EQ(Shares[0], 8u);
+}
+
+TEST(SolverTest, EqualSharesForTwoKernels) {
+  // x_i = T / (2 * w_i): 4 WGs each of 128 threads.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(
+      tinyCaps(), {demand(128, 0, 4, 100), demand(128, 0, 4, 100)},
+      NoGreedy);
+  EXPECT_EQ(Shares[0], 4u);
+  EXPECT_EQ(Shares[1], 4u);
+}
+
+TEST(SolverTest, ThreadShareScalesWithWGSize) {
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(
+      tinyCaps(), {demand(64, 0, 4, 100), demand(256, 0, 4, 100)},
+      NoGreedy);
+  EXPECT_EQ(Shares[0], 8u); // 512/64
+  EXPECT_EQ(Shares[1], 2u); // 512/256
+}
+
+TEST(SolverTest, LocalMemoryConstraintBinds) {
+  // y_i = L/(K*m_i) = 65536/(1*32768) = 2 < thread share.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares =
+      solveFairShares(tinyCaps(), {demand(64, 32768, 4, 100)}, NoGreedy);
+  EXPECT_EQ(Shares[0], 2u);
+}
+
+TEST(SolverTest, RegisterConstraintBinds) {
+  // z = R/(K * r*w) = 262144/(64*128) = 32; threads give 16; but with
+  // 128 regs/thread: 262144/(128*64) = 32 ... make registers binding:
+  auto D = demand(64, 0, 512, 100);
+  // z = 262144 / (512*64) = 8 < 1024/64 = 16.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(tinyCaps(), {D}, NoGreedy);
+  EXPECT_EQ(Shares[0], 8u);
+}
+
+TEST(SolverTest, EveryKernelGetsAtLeastOneWG) {
+  // Eight kernels of 512 threads on a 1024-thread device: the pure
+  // division gives 0; the floor is 1 each.
+  std::vector<KernelDemand> Ks(8, demand(512, 0, 4, 100));
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(tinyCaps(), Ks, NoGreedy);
+  for (uint64_t S : Shares)
+    EXPECT_EQ(S, 1u);
+}
+
+TEST(SolverTest, SharesCappedByRequest) {
+  auto Shares = solveFairShares(tinyCaps(), {demand(64, 0, 4, 3)});
+  EXPECT_EQ(Shares[0], 3u);
+}
+
+TEST(SolverTest, GreedySaturationGrowsShares) {
+  // One small kernel alongside one large one: after the conservative
+  // division, the greedy phase consumes the slack.
+  auto Conservative = solveFairShares(
+      tinyCaps(), {demand(64, 0, 4, 100), demand(256, 0, 4, 1)},
+      SolverOptions{/*GreedySaturation=*/false});
+  auto Greedy = solveFairShares(
+      tinyCaps(), {demand(64, 0, 4, 100), demand(256, 0, 4, 1)});
+  EXPECT_GT(Greedy[0], Conservative[0]);
+}
+
+TEST(SolverTest, GreedyRespectsAllCaps) {
+  auto Ks = std::vector<KernelDemand>{demand(64, 8192, 16, 1000),
+                                      demand(128, 4096, 32, 1000)};
+  auto Shares = solveFairShares(tinyCaps(), Ks);
+  uint64_t Threads = Shares[0] * 64 + Shares[1] * 128;
+  uint64_t Local = Shares[0] * 8192 + Shares[1] * 4096;
+  uint64_t Regs = Shares[0] * 64 * 16 + Shares[1] * 128 * 32;
+  uint64_t Slots = Shares[0] + Shares[1];
+  ResourceCaps C = tinyCaps();
+  EXPECT_LE(Threads, C.Threads);
+  EXPECT_LE(Local, C.LocalMem);
+  EXPECT_LE(Regs, C.Regs);
+  EXPECT_LE(Slots, C.WGSlots);
+}
+
+TEST(SolverTest, WeightsSkewShares) {
+  // Paper Sec. 2.2: a 3:1 sharing ratio.
+  auto A = demand(64, 0, 4, 100);
+  auto B = demand(64, 0, 4, 100);
+  A.Weight = 3.0;
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(tinyCaps(), {A, B}, NoGreedy);
+  EXPECT_EQ(Shares[0], 12u); // 1024 * 0.75 / 64
+  EXPECT_EQ(Shares[1], 4u);  // 1024 * 0.25 / 64
+}
+
+TEST(SolverTest, CapsFromDeviceMatchSpec) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  ResourceCaps C = ResourceCaps::fromDevice(Spec);
+  EXPECT_EQ(C.Threads, Spec.totalThreads());
+  EXPECT_EQ(C.LocalMem, Spec.totalLocalMem());
+  EXPECT_EQ(C.Regs, Spec.totalRegs());
+  EXPECT_EQ(C.WGSlots, Spec.totalWGSlots());
+}
+
+//===----------------------------------------------------------------------===//
+// Adaptive batching (paper Sec. 6.4)
+//===----------------------------------------------------------------------===//
+
+TEST(AdaptivePolicyTest, PaperThresholds) {
+  EXPECT_EQ(adaptiveBatchSize(5), 8u);
+  EXPECT_EQ(adaptiveBatchSize(9), 8u);
+  EXPECT_EQ(adaptiveBatchSize(10), 6u);
+  EXPECT_EQ(adaptiveBatchSize(19), 6u);
+  EXPECT_EQ(adaptiveBatchSize(20), 4u);
+  EXPECT_EQ(adaptiveBatchSize(29), 4u);
+  EXPECT_EQ(adaptiveBatchSize(30), 2u);
+  EXPECT_EQ(adaptiveBatchSize(39), 2u);
+  EXPECT_EQ(adaptiveBatchSize(40), 1u);
+  EXPECT_EQ(adaptiveBatchSize(500), 1u);
+}
+
+TEST(AdaptivePolicyTest, NaiveAlwaysOne) {
+  EXPECT_EQ(batchSizeFor(SchedulingMode::Naive, 5), 1u);
+  EXPECT_EQ(batchSizeFor(SchedulingMode::Optimized, 5), 8u);
+}
+
+//===----------------------------------------------------------------------===//
+// Virtual NDRange writer
+//===----------------------------------------------------------------------===//
+
+TEST(VirtualNDRangeTest, DescriptorFields) {
+  using namespace kir::rtlayout;
+  kir::DeviceMemory Mem(1 << 20);
+  kir::NDRangeCfg Orig;
+  Orig.WorkDim = 2;
+  Orig.GlobalSize[0] = 64;
+  Orig.GlobalSize[1] = 32;
+  Orig.LocalSize[0] = 8;
+  Orig.LocalSize[1] = 4;
+  uint64_t Rt = cantFail(writeVirtualNDRange(Mem, Orig, 4));
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_Magic), VirtualNDRangeMagic);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_TotalGroups), 64u); // 8 * 8
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_Next), 0u);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_Batch), 4u);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_NumGroups0), 8u);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_NumGroups1), 8u);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_LocalSize0), 8u);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_GlobalSize1), 32u);
+
+  Mem.writeU64(Rt + 8 * RTW_Next, 99);
+  resetVirtualNDRange(Mem, Rt);
+  EXPECT_EQ(Mem.readU64(Rt + 8 * RTW_Next), 0u);
+  releaseVirtualNDRange(Mem, Rt);
+  EXPECT_EQ(Mem.usedBytes(), 0u);
+}
+
+TEST(VirtualNDRangeTest, ZeroBatchRejected) {
+  kir::DeviceMemory Mem(1 << 20);
+  kir::NDRangeCfg Orig;
+  Expected<uint64_t> Rt = writeVirtualNDRange(Mem, Orig, 0);
+  EXPECT_FALSE(static_cast<bool>(Rt));
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime + ProxyCL end-to-end (functional path)
+//===----------------------------------------------------------------------===//
+
+const char *VaddSource = R"(
+  kernel void vadd(global const float* a, global const float* b,
+                   global float* c) {
+    long gid = get_global_id(0);
+    c[gid] = a[gid] + b[gid];
+  }
+)";
+
+TEST(RuntimeTest, TransparentExecutionThroughProxyCL) {
+  auto Dev = ocl::Platform::createNvidiaK20m();
+  Runtime RT(*Dev);
+  ProxyCL App(RT, /*AppId=*/1);
+
+  Expected<ocl::Program *> Prog = App.createProgram(VaddSource);
+  ASSERT_TRUE(static_cast<bool>(Prog)) << Prog.message();
+
+  Expected<ocl::Kernel> K = App.createKernel(**Prog, "vadd");
+  ASSERT_TRUE(static_cast<bool>(K)) << K.message();
+
+  std::vector<float> A(256), B(256);
+  for (int I = 0; I < 256; ++I) {
+    A[I] = static_cast<float>(I);
+    B[I] = 1000.0f - I;
+  }
+  Expected<ocl::Buffer> BufA = App.createBuffer(256 * 4);
+  Expected<ocl::Buffer> BufB = App.createBuffer(256 * 4);
+  Expected<ocl::Buffer> BufC = App.createBuffer(256 * 4);
+  ASSERT_TRUE(static_cast<bool>(BufA) && static_cast<bool>(BufB) &&
+              static_cast<bool>(BufC));
+  cantFail(BufA->write(A.data(), 256 * 4));
+  cantFail(BufB->write(B.data(), 256 * 4));
+
+  cantFail(App.setKernelArg(*K, 0, ocl::KernelArg::buffer(*BufA)));
+  cantFail(App.setKernelArg(*K, 1, ocl::KernelArg::buffer(*BufB)));
+  cantFail(App.setKernelArg(*K, 2, ocl::KernelArg::buffer(*BufC)));
+
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 256;
+  Range.LocalSize[0] = 64;
+  cantFail(App.enqueueNDRange(*K, Range));
+
+  Expected<std::vector<ScheduledExecution>> Execs = RT.flushRound();
+  ASSERT_TRUE(static_cast<bool>(Execs)) << Execs.message();
+  ASSERT_EQ(Execs->size(), 1u);
+  // Resource control really happened: shares are bounded by the device.
+  EXPECT_LE((*Execs)[0].PhysicalWGs, (*Execs)[0].OriginalWGs);
+  EXPECT_GT((*Execs)[0].Stats.AtomicOps, 0u);
+
+  std::vector<float> C(256);
+  cantFail(BufC->read(C.data(), 256 * 4));
+  for (int I = 0; I < 256; ++I)
+    EXPECT_FLOAT_EQ(C[I], 1000.0f);
+
+  // FSM accounting (Fig. 6): one program JIT, one scheduled kernel,
+  // several passthrough requests.
+  EXPECT_EQ(RT.stats().ProgramsJitted, 1u);
+  EXPECT_EQ(RT.stats().KernelsScheduled, 1u);
+  EXPECT_GT(RT.stats().Passthrough, 0u);
+  EXPECT_GT(App.channel().Messages, 5u);
+}
+
+TEST(RuntimeTest, TwoApplicationsShareOneRound) {
+  auto Dev = ocl::Platform::createNvidiaK20m();
+  Runtime RT(*Dev);
+  ProxyCL App1(RT, 1), App2(RT, 2);
+
+  auto P1 = App1.createProgram(VaddSource);
+  auto P2 = App2.createProgram(R"(
+    kernel void scale(global float* d, float s) {
+      long gid = get_global_id(0);
+      d[gid] = d[gid] * s;
+    }
+  )");
+  ASSERT_TRUE(static_cast<bool>(P1) && static_cast<bool>(P2));
+
+  auto K1 = App1.createKernel(**P1, "vadd");
+  auto K2 = App2.createKernel(**P2, "scale");
+  ASSERT_TRUE(static_cast<bool>(K1) && static_cast<bool>(K2));
+
+  std::vector<float> Ones(128, 1.0f), Twos(128, 2.0f);
+  auto A = App1.createBuffer(128 * 4);
+  auto B = App1.createBuffer(128 * 4);
+  auto C = App1.createBuffer(128 * 4);
+  auto D = App2.createBuffer(128 * 4);
+  ASSERT_TRUE(static_cast<bool>(A) && static_cast<bool>(B) &&
+              static_cast<bool>(C) && static_cast<bool>(D));
+  cantFail(A->write(Ones.data(), 128 * 4));
+  cantFail(B->write(Twos.data(), 128 * 4));
+  cantFail(D->write(Twos.data(), 128 * 4));
+
+  cantFail(App1.setKernelArg(*K1, 0, ocl::KernelArg::buffer(*A)));
+  cantFail(App1.setKernelArg(*K1, 1, ocl::KernelArg::buffer(*B)));
+  cantFail(App1.setKernelArg(*K1, 2, ocl::KernelArg::buffer(*C)));
+  cantFail(App2.setKernelArg(*K2, 0, ocl::KernelArg::buffer(*D)));
+  cantFail(App2.setKernelArg(*K2, 1, ocl::KernelArg::scalarF32(4.0f)));
+
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 128;
+  Range.LocalSize[0] = 32;
+  cantFail(App1.enqueueNDRange(*K1, Range));
+  cantFail(App2.enqueueNDRange(*K2, Range));
+  EXPECT_EQ(RT.pendingRequests(), 2u);
+
+  auto Execs = RT.flushRound();
+  ASSERT_TRUE(static_cast<bool>(Execs)) << Execs.message();
+  ASSERT_EQ(Execs->size(), 2u);
+
+  std::vector<float> COut(128), DOut(128);
+  cantFail(C->read(COut.data(), 128 * 4));
+  cantFail(D->read(DOut.data(), 128 * 4));
+  for (int I = 0; I < 128; ++I) {
+    EXPECT_FLOAT_EQ(COut[I], 3.0f);
+    EXPECT_FLOAT_EQ(DOut[I], 8.0f);
+  }
+}
+
+TEST(RuntimeTest, MemoryManagerPausesOversubscribedApps) {
+  // A small device: 64 MiB of global memory.
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  Spec.GlobalMemBytes = 64 << 20;
+  ocl::Device Dev(Spec);
+  Runtime RT(Dev);
+  ProxyCL App(RT, 7);
+
+  auto Big = App.createBuffer(48ull << 20);
+  ASSERT_TRUE(static_cast<bool>(Big));
+  EXPECT_FALSE(RT.memory().isPaused(7));
+
+  auto TooBig = App.createBuffer(48ull << 20);
+  EXPECT_FALSE(static_cast<bool>(TooBig));
+  EXPECT_NE(TooBig.message().find("paused"), std::string::npos);
+  EXPECT_TRUE(RT.memory().isPaused(7));
+
+  // Releasing the first buffer resumes the application.
+  App.releaseBuffer(Big.take());
+  EXPECT_FALSE(RT.memory().isPaused(7));
+  auto Retry = App.createBuffer(48ull << 20);
+  EXPECT_TRUE(static_cast<bool>(Retry));
+}
+
+TEST(RuntimeTest, UnknownKernelRejected) {
+  auto Dev = ocl::Platform::createNvidiaK20m();
+  Runtime RT(*Dev);
+
+  // A kernel built outside accelOS (bypassing ProxyCL) is not
+  // schedulable: the runtime never saw its program.
+  ocl::Program Foreign(*Dev, VaddSource);
+  cantFail(Foreign.build());
+  Expected<ocl::Kernel> K = ocl::Kernel::create(Foreign, "vadd");
+  ASSERT_TRUE(static_cast<bool>(K));
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 64;
+  Range.LocalSize[0] = 32;
+  Error E = RT.enqueueKernel(1, *K, Range);
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_NE(E.message().find("not compiled through accelOS"),
+            std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,121 @@
+//===- tests/EkTests.cpp - Elastic Kernels baseline tests ---------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ek/ElasticKernels.h"
+
+#include "gtest/gtest.h"
+
+#include <numeric>
+
+using namespace accel;
+using namespace accel::ek;
+
+namespace {
+
+EKKernelDesc desc(const std::string &Name, uint64_t WGThreads,
+                  size_t NumWGs, double CostPerWG) {
+  EKKernelDesc D;
+  D.Name = Name;
+  D.WGThreads = WGThreads;
+  D.RegsPerThread = 8;
+  D.WGCosts.assign(NumWGs, CostPerWG);
+  return D;
+}
+
+TEST(EkTest, PairwiseMergeGroups) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  std::vector<EKKernelDesc> Ks;
+  for (int I = 0; I < 5; ++I)
+    Ks.push_back(desc("k" + std::to_string(I), 128, 64, 1000.0));
+  auto Launches = planMergedLaunch(Spec, Ks);
+  ASSERT_EQ(Launches.size(), 5u);
+  EXPECT_EQ(Launches[0].MergeGroup, 0);
+  EXPECT_EQ(Launches[1].MergeGroup, 0);
+  EXPECT_EQ(Launches[2].MergeGroup, 1);
+  EXPECT_EQ(Launches[3].MergeGroup, 1);
+  EXPECT_EQ(Launches[4].MergeGroup, 2);
+}
+
+TEST(EkTest, SliceIsThreadOccupancyOverPair) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  // Full residency for 128-thread WGs: 26624/128 = 208; half = 104.
+  auto Launches = planMergedLaunch(
+      Spec, {desc("a", 128, 4096, 10.0), desc("b", 128, 4096, 10.0)});
+  EXPECT_EQ(Launches[0].StaticCosts.size(), 104u);
+  EXPECT_EQ(Launches[1].StaticCosts.size(), 104u);
+}
+
+TEST(EkTest, LoneTrailingKernelGetsFullResidency) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  auto Launches = planMergedLaunch(
+      Spec, {desc("a", 128, 4096, 10.0), desc("b", 128, 4096, 10.0),
+             desc("c", 128, 4096, 10.0)});
+  // c is alone in its batch: no division by 2.
+  EXPECT_EQ(Launches[2].StaticCosts.size(), 208u);
+}
+
+TEST(EkTest, ChunkingConservesWork) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  std::vector<EKKernelDesc> Ks = {desc("a", 256, 777, 123.5),
+                                  desc("b", 64, 33, 999.0)};
+  auto Launches = planMergedLaunch(Spec, Ks);
+  for (size_t I = 0; I != Ks.size(); ++I) {
+    double Orig = std::accumulate(Ks[I].WGCosts.begin(),
+                                  Ks[I].WGCosts.end(), 0.0);
+    double Sliced = std::accumulate(Launches[I].StaticCosts.begin(),
+                                    Launches[I].StaticCosts.end(), 0.0);
+    EXPECT_NEAR(Orig, Sliced, 1e-6) << Ks[I].Name;
+  }
+}
+
+TEST(EkTest, SmallGridsNotInflated) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  auto Launches =
+      planMergedLaunch(Spec, {desc("tiny", 128, 3, 50.0)});
+  EXPECT_EQ(Launches[0].StaticCosts.size(), 3u);
+}
+
+TEST(EkTest, StaticSlicesCarryContiguousImbalance) {
+  // A front-loaded grid: the first chunk must carry more work than the
+  // last (EK cannot rebalance; this is what accelOS's dynamic dequeue
+  // fixes).
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  EKKernelDesc D = desc("skew", 128, 416, 0.0);
+  for (size_t I = 0; I != D.WGCosts.size(); ++I)
+    D.WGCosts[I] = I < 100 ? 1000.0 : 10.0;
+  auto Launches = planMergedLaunch(Spec, {D});
+  const auto &Costs = Launches[0].StaticCosts;
+  ASSERT_GE(Costs.size(), 2u);
+  EXPECT_GT(Costs.front(), Costs.back());
+}
+
+TEST(EkTest, MergedPairCoExecutesInEngine) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  auto Launches = planMergedLaunch(
+      Spec, {desc("a", 128, 1024, 20000.0), desc("b", 128, 1024, 20000.0)});
+  sim::Engine E(Spec);
+  sim::SimResult R = E.run(Launches);
+  // Both members of the merged batch start together.
+  EXPECT_LT(R.Kernels[1].StartTime,
+            0.25 * std::max(R.Kernels[0].EndTime, R.Kernels[1].EndTime));
+}
+
+TEST(EkTest, LaterBatchQueuesBehindEarlier) {
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  auto Launches = planMergedLaunch(
+      Spec, {desc("a", 128, 1024, 20000.0), desc("b", 128, 1024, 20000.0),
+             desc("c", 128, 1024, 20000.0), desc("d", 128, 1024, 20000.0)});
+  sim::Engine E(Spec);
+  sim::SimResult R = E.run(Launches);
+  double Batch1End =
+      std::min(R.Kernels[0].EndTime, R.Kernels[1].EndTime);
+  // The second merged pair cannot start before the first pair's queues
+  // drain (strict FIFO between batches).
+  EXPECT_GT(R.Kernels[2].StartTime, 0.5 * Batch1End);
+  EXPECT_GT(R.Kernels[3].StartTime, 0.5 * Batch1End);
+}
+
+} // namespace

@@ -1,0 +1,355 @@
+//===- tests/InterpTests.cpp - Functional execution tests ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+#include <numeric>
+
+using namespace accel;
+using accel::testutil::KernelHarness;
+using accel::testutil::compileOrDie;
+
+namespace {
+
+TEST(InterpTest, VectorAdd) {
+  auto M = compileOrDie(R"(
+    kernel void vadd(global const float* a, global const float* b,
+                     global float* c) {
+      long gid = get_global_id(0);
+      c[gid] = a[gid] + b[gid];
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  std::vector<float> A(64), B(64);
+  for (int I = 0; I < 64; ++I) {
+    A[I] = static_cast<float>(I);
+    B[I] = static_cast<float>(2 * I);
+  }
+  uint64_t PA = H.allocF32(A), PB = H.allocF32(B),
+           PC = H.allocF32(std::vector<float>(64, 0));
+  H.run1D(*M, "vadd", {PA, PB, PC}, 64, 16);
+  auto C = H.readF32(PC, 64);
+  for (int I = 0; I < 64; ++I)
+    EXPECT_FLOAT_EQ(C[I], 3.0f * I);
+}
+
+TEST(InterpTest, BranchingOnGroupId) {
+  // The paper's Fig. 8a kernel: adds in low groups, subtracts in high.
+  auto M = compileOrDie(R"(
+    kernel void mop(global const float* ina, global const float* inb,
+                    global float* out) {
+      long gid = get_global_id(0);
+      long grid = get_group_id(0);
+      if (grid < 2) {
+        out[gid] = ina[gid] + inb[gid];
+      } else {
+        out[gid] = ina[gid] - inb[gid];
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  std::vector<float> A(32, 10.0f), B(32, 3.0f);
+  uint64_t PA = H.allocF32(A), PB = H.allocF32(B),
+           PC = H.allocF32(std::vector<float>(32, 0));
+  H.run1D(*M, "mop", {PA, PB, PC}, 32, 8); // 4 groups of 8
+  auto C = H.readF32(PC, 32);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_FLOAT_EQ(C[I], 13.0f);
+  for (int I = 16; I < 32; ++I)
+    EXPECT_FLOAT_EQ(C[I], 7.0f);
+}
+
+TEST(InterpTest, LocalMemoryReductionWithBarriers) {
+  auto M = compileOrDie(R"(
+    kernel void reduce(global const float* in, global float* out) {
+      local float tile[16];
+      long lid = get_local_id(0);
+      long gid = get_global_id(0);
+      tile[lid] = in[gid];
+      barrier();
+      int stride = 8;
+      while (stride > 0) {
+        if (lid < stride) {
+          tile[lid] += tile[lid + stride];
+        }
+        barrier();
+        stride = stride / 2;
+      }
+      if (lid == 0) {
+        out[get_group_id(0)] = tile[0];
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  std::vector<float> In(64);
+  for (int I = 0; I < 64; ++I)
+    In[I] = static_cast<float>(I % 7);
+  uint64_t PIn = H.allocF32(In),
+           POut = H.allocF32(std::vector<float>(4, 0));
+  H.run1D(*M, "reduce", {PIn, POut}, 64, 16);
+  auto Out = H.readF32(POut, 4);
+  for (int G = 0; G < 4; ++G) {
+    float Want = 0;
+    for (int I = 0; I < 16; ++I)
+      Want += In[G * 16 + I];
+    EXPECT_FLOAT_EQ(Out[G], Want) << "group " << G;
+  }
+}
+
+TEST(InterpTest, AtomicsAcrossGroups) {
+  auto M2 = compileOrDie(R"(
+    kernel void histo(global const int* keys, global int* bins) {
+      long gid = get_global_id(0);
+      int k = keys[gid];
+      int ignored = atomic_add(bins, k);
+    }
+  )");
+  ASSERT_NE(M2, nullptr);
+  KernelHarness H;
+  std::vector<int32_t> Keys(128);
+  int32_t Want = 0;
+  for (int I = 0; I < 128; ++I) {
+    Keys[I] = I % 5;
+    Want += Keys[I];
+  }
+  uint64_t PK = H.allocI32(Keys),
+           PB = H.allocI32(std::vector<int32_t>(1, 0));
+  H.run1D(*M2, "histo", {PK, PB}, 128, 32);
+  EXPECT_EQ(H.readI32(PB, 1)[0], Want);
+}
+
+TEST(InterpTest, HelperFunctionCalls) {
+  auto M = compileOrDie(R"(
+    float axpy(float a, float x, float y) { return a * x + y; }
+    int clampi(int v, int lo, int hi) {
+      if (v < lo) { return lo; }
+      if (v > hi) { return hi; }
+      return v;
+    }
+    kernel void k(global float* d, global const int* idx) {
+      long gid = get_global_id(0);
+      int j = clampi(idx[gid], 0, 7);
+      d[gid] = axpy(2.0f, (float)j, 1.0f);
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  std::vector<int32_t> Idx = {-5, 0, 3, 900, 7, 2, -1, 6};
+  uint64_t PD = H.allocF32(std::vector<float>(8, 0)),
+           PI = H.allocI32(Idx);
+  H.run1D(*M, "k", {PD, PI}, 8, 4);
+  auto D = H.readF32(PD, 8);
+  int Clamped[] = {0, 0, 3, 7, 7, 2, 0, 6};
+  for (int I = 0; I < 8; ++I)
+    EXPECT_FLOAT_EQ(D[I], 2.0f * Clamped[I] + 1.0f);
+}
+
+TEST(InterpTest, PrivateArrays) {
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d) {
+      long gid = get_global_id(0);
+      float acc[4];
+      for (int i = 0; i < 4; i++) {
+        acc[i] = (float)i * (float)gid;
+      }
+      float s = 0.0f;
+      for (int i = 0; i < 4; i++) {
+        s += acc[i];
+      }
+      d[gid] = s;
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  uint64_t PD = H.allocF32(std::vector<float>(16, 0));
+  H.run1D(*M, "k", {PD}, 16, 4);
+  auto D = H.readF32(PD, 16);
+  for (int G = 0; G < 16; ++G)
+    EXPECT_FLOAT_EQ(D[G], 6.0f * G); // 0+1+2+3 = 6
+}
+
+TEST(InterpTest, MathBuiltins) {
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d) {
+      long g = get_global_id(0);
+      float x = d[g];
+      d[g] = sqrt(x) + fabs(-x) + fmin(x, 1.0f) + fmax(x, 2.0f);
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  uint64_t PD = H.allocF32({4.0f, 9.0f});
+  H.run1D(*M, "k", {PD}, 2, 1);
+  auto D = H.readF32(PD, 2);
+  EXPECT_FLOAT_EQ(D[0], 2.0f + 4.0f + 1.0f + 4.0f);
+  EXPECT_FLOAT_EQ(D[1], 3.0f + 9.0f + 1.0f + 9.0f);
+}
+
+TEST(InterpTest, IntegerOpsAndShifts) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d) {
+      long g = get_global_id(0);
+      int v = d[g];
+      d[g] = ((v << 2) | 1) ^ (v >> 1) & ~v % 7;
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  std::vector<int32_t> In = {0, 1, 5, -9, 1000, -1};
+  uint64_t PD = H.allocI32(In);
+  H.run1D(*M, "k", {PD}, 6, 2);
+  auto D = H.readI32(PD, 6);
+  for (int I = 0; I < 6; ++I) {
+    int32_t V = In[I];
+    int32_t Want = ((V << 2) | 1) ^ ((V >> 1) & (~V % 7));
+    EXPECT_EQ(D[I], Want) << "element " << I;
+  }
+}
+
+TEST(InterpTest, TwoDimensionalRange) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d, int width) {
+      long x = get_global_id(0);
+      long y = get_global_id(1);
+      d[y * (long)width + x] = (int)(x * 100 + y);
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  KernelHarness H;
+  uint64_t PD = H.allocI32(std::vector<int32_t>(64, -1));
+  kir::Function *K = M->getFunction("k");
+  kir::NDRangeCfg Range;
+  Range.WorkDim = 2;
+  Range.GlobalSize[0] = 8;
+  Range.GlobalSize[1] = 8;
+  Range.LocalSize[0] = 4;
+  Range.LocalSize[1] = 2;
+  auto Stats = H.Interp.run(*K, {PD, 8}, Range);
+  ASSERT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+  auto D = H.readI32(PD, 64);
+  for (int Y = 0; Y < 8; ++Y)
+    for (int X = 0; X < 8; ++X)
+      EXPECT_EQ(D[Y * 8 + X], X * 100 + Y);
+}
+
+TEST(InterpTest, GroupCountsReported) {
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d) {
+      long g = get_global_id(0);
+      d[g] = (float)g;
+    }
+  )");
+  KernelHarness H;
+  uint64_t PD = H.allocF32(std::vector<float>(32, 0));
+  auto Stats = H.run1D(*M, "k", {PD}, 32, 8);
+  EXPECT_EQ(Stats.GroupInsts.size(), 4u);
+  for (uint64_t N : Stats.GroupInsts)
+    EXPECT_GT(N, 0u);
+  EXPECT_GT(Stats.InstsExecuted, 0u);
+}
+
+TEST(InterpTest, OutOfBoundsTraps) {
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d) {
+      d[1000000] = 1.0f;
+    }
+  )");
+  // Small device memory so the wild index lands outside the device.
+  KernelHarness H(/*MemBytes=*/1 << 20);
+  uint64_t PD = H.allocF32(std::vector<float>(4, 0));
+  kir::Function *K = M->getFunction("k");
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 1;
+  Range.LocalSize[0] = 1;
+  auto Stats = H.Interp.run(*K, {PD}, Range);
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("out of bounds"), std::string::npos);
+}
+
+TEST(InterpTest, DivisionByZeroTraps) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d) {
+      d[0] = 10 / d[1];
+    }
+  )");
+  KernelHarness H;
+  uint64_t PD = H.allocI32({1, 0});
+  kir::Function *K = M->getFunction("k");
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 1;
+  Range.LocalSize[0] = 1;
+  auto Stats = H.Interp.run(*K, {PD}, Range);
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("division by zero"), std::string::npos);
+}
+
+TEST(InterpTest, RunawayLoopTraps) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d) {
+      int i = 0;
+      while (true) {
+        i++;
+        if (i < 0) { break; }
+      }
+      d[0] = i;
+    }
+  )");
+  KernelHarness H;
+  H.Interp.setMaxStepsPerWorkItem(10000);
+  uint64_t PD = H.allocI32({0});
+  kir::Function *K = M->getFunction("k");
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 1;
+  Range.LocalSize[0] = 1;
+  auto Stats = H.Interp.run(*K, {PD}, Range);
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("step budget"), std::string::npos);
+}
+
+TEST(InterpTest, BarrierDivergenceTraps) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d) {
+      long lid = get_local_id(0);
+      if (lid == 0) {
+        barrier();
+      }
+      d[lid] = 1;
+    }
+  )");
+  KernelHarness H;
+  uint64_t PD = H.allocI32(std::vector<int32_t>(4, 0));
+  kir::Function *K = M->getFunction("k");
+  kir::NDRangeCfg Range;
+  Range.GlobalSize[0] = 4;
+  Range.LocalSize[0] = 4;
+  auto Stats = H.Interp.run(*K, {PD}, Range);
+  ASSERT_FALSE(static_cast<bool>(Stats));
+  EXPECT_NE(Stats.message().find("barrier divergence"), std::string::npos);
+}
+
+TEST(InterpTest, ManyGroupsBeyondWindow) {
+  // More groups than the concurrent-group window forces group retirement
+  // and admission logic to run.
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d) {
+      long g = get_global_id(0);
+      d[g] = (int)(g * 3);
+    }
+  )");
+  KernelHarness H;
+  H.Interp.setMaxConcurrentGroups(4);
+  uint64_t PD = H.allocI32(std::vector<int32_t>(256, 0));
+  H.run1D(*M, "k", {PD}, 256, 2); // 128 groups, window of 4
+  auto D = H.readI32(PD, 256);
+  for (int I = 0; I < 256; ++I)
+    EXPECT_EQ(D[I], I * 3);
+}
+
+} // namespace

@@ -1,0 +1,75 @@
+//===- tests/MetricsTests.cpp - Metric formula tests -------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "metrics/Metrics.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::metrics;
+
+namespace {
+
+TEST(MetricsTest, IndividualSlowdown) {
+  EXPECT_DOUBLE_EQ(individualSlowdown(20.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(individualSlowdown(10.0, 10.0), 1.0);
+}
+
+TEST(MetricsTest, UnfairnessIsMaxOverMin) {
+  EXPECT_DOUBLE_EQ(systemUnfairness({2.0, 4.0, 8.0}), 4.0);
+  EXPECT_DOUBLE_EQ(systemUnfairness({3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(systemUnfairness({5.0}), 1.0);
+}
+
+TEST(MetricsTest, FairnessImprovement) {
+  EXPECT_DOUBLE_EQ(fairnessImprovement(8.43, 1.24), 8.43 / 1.24);
+}
+
+TEST(MetricsTest, OverlapFullyConcurrent) {
+  // Identical intervals: everything co-executes.
+  std::vector<Interval> I = {{0, 10}, {0, 10}, {0, 10}};
+  EXPECT_DOUBLE_EQ(executionOverlap(I), 1.0);
+}
+
+TEST(MetricsTest, OverlapSerialized) {
+  std::vector<Interval> I = {{0, 10}, {10, 20}};
+  EXPECT_DOUBLE_EQ(executionOverlap(I), 0.0);
+}
+
+TEST(MetricsTest, OverlapPartial) {
+  // [0,10] and [5,15]: co-execution 5, union 15.
+  std::vector<Interval> I = {{0, 10}, {5, 15}};
+  EXPECT_NEAR(executionOverlap(I), 5.0 / 15.0, 1e-12);
+}
+
+TEST(MetricsTest, OverlapRequiresAllKernels) {
+  // Three kernels where only two ever co-run.
+  std::vector<Interval> I = {{0, 10}, {5, 15}, {12, 20}};
+  EXPECT_DOUBLE_EQ(executionOverlap(I), 0.0);
+}
+
+TEST(MetricsTest, OverlapUnionWithGaps) {
+  // Gap in the union: union = 10 + 5, intersection = 0.
+  std::vector<Interval> I = {{0, 10}, {20, 25}};
+  EXPECT_DOUBLE_EQ(executionOverlap(I), 0.0);
+}
+
+TEST(MetricsTest, ThroughputSpeedup) {
+  EXPECT_DOUBLE_EQ(throughputSpeedup(130.0, 100.0), 1.3);
+}
+
+TEST(MetricsTest, StpSumsNormalizedProgress) {
+  // Two kernels each slowed 2x progress at 0.5 each.
+  EXPECT_DOUBLE_EQ(systemThroughput({2.0, 2.0}), 1.0);
+  EXPECT_NEAR(systemThroughput({1.0, 4.0}), 1.25, 1e-12);
+}
+
+TEST(MetricsTest, AnttIsMeanSlowdown) {
+  EXPECT_DOUBLE_EQ(averageNormalizedTurnaround({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(worstNormalizedTurnaround({1.0, 3.0, 2.0}), 3.0);
+}
+
+} // namespace

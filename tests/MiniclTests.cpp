@@ -1,0 +1,351 @@
+//===- tests/MiniclTests.cpp - MiniCL front-end unit tests -----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "minicl/Lexer.h"
+#include "minicl/Parser.h"
+
+#include "kir/Printer.h"
+
+#include "TestUtil.h"
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::minicl;
+using accel::testutil::compileError;
+using accel::testutil::compileOrDie;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+std::vector<Token> lex(const std::string &Src) {
+  Lexer L(Src);
+  auto Tokens = L.tokenize();
+  EXPECT_TRUE(static_cast<bool>(Tokens)) << Tokens.message();
+  return Tokens ? Tokens.take() : std::vector<Token>();
+}
+
+TEST(LexerTest, Keywords) {
+  auto T = lex("kernel void int long float if else for while return");
+  ASSERT_EQ(T.size(), 11u); // 10 keywords + EOF
+  EXPECT_EQ(T[0].Kind, TokKind::KwKernel);
+  EXPECT_EQ(T[1].Kind, TokKind::KwVoid);
+  EXPECT_EQ(T[9].Kind, TokKind::KwReturn);
+  EXPECT_EQ(T[10].Kind, TokKind::Eof);
+}
+
+TEST(LexerTest, IntLiterals) {
+  auto T = lex("42 0x1F 0");
+  EXPECT_EQ(T[0].IntValue, 42);
+  EXPECT_EQ(T[1].IntValue, 31);
+  EXPECT_EQ(T[2].IntValue, 0);
+}
+
+TEST(LexerTest, FloatLiterals) {
+  auto T = lex("1.5 2.0f 1e3 2.5e-2f");
+  EXPECT_EQ(T[0].Kind, TokKind::FloatLiteral);
+  EXPECT_FLOAT_EQ(T[0].FloatValue, 1.5f);
+  EXPECT_FLOAT_EQ(T[1].FloatValue, 2.0f);
+  EXPECT_FLOAT_EQ(T[2].FloatValue, 1000.0f);
+  EXPECT_FLOAT_EQ(T[3].FloatValue, 0.025f);
+}
+
+TEST(LexerTest, TwoCharOperators) {
+  auto T = lex("== != <= >= && || << >> += -= ++ --");
+  EXPECT_EQ(T[0].Kind, TokKind::EqEq);
+  EXPECT_EQ(T[1].Kind, TokKind::BangEq);
+  EXPECT_EQ(T[2].Kind, TokKind::LessEq);
+  EXPECT_EQ(T[3].Kind, TokKind::GreaterEq);
+  EXPECT_EQ(T[4].Kind, TokKind::AmpAmp);
+  EXPECT_EQ(T[5].Kind, TokKind::PipePipe);
+  EXPECT_EQ(T[6].Kind, TokKind::Shl);
+  EXPECT_EQ(T[7].Kind, TokKind::Shr);
+  EXPECT_EQ(T[8].Kind, TokKind::PlusAssign);
+  EXPECT_EQ(T[9].Kind, TokKind::MinusAssign);
+  EXPECT_EQ(T[10].Kind, TokKind::PlusPlus);
+  EXPECT_EQ(T[11].Kind, TokKind::MinusMinus);
+}
+
+TEST(LexerTest, CommentsAreSkipped) {
+  auto T = lex("a // line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(T.size(), 4u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  EXPECT_EQ(T[2].Text, "c");
+}
+
+TEST(LexerTest, TracksLines) {
+  auto T = lex("a\nb\n  c");
+  EXPECT_EQ(T[0].Line, 1u);
+  EXPECT_EQ(T[1].Line, 2u);
+  EXPECT_EQ(T[2].Line, 3u);
+}
+
+TEST(LexerTest, RejectsBadCharacter) {
+  Lexer L("a $ b");
+  auto Tokens = L.tokenize();
+  EXPECT_FALSE(static_cast<bool>(Tokens));
+  EXPECT_NE(Tokens.message().find("unexpected character"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(ParserTest, MissingSemicolon) {
+  std::string E = compileError("kernel void k() { int x = 1 }");
+  EXPECT_NE(E.find("expected ';'"), std::string::npos) << E;
+}
+
+TEST(ParserTest, MissingParen) {
+  std::string E = compileError("kernel void k( { }");
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(ParserTest, KernelMustReturnVoid) {
+  std::string E = compileError("kernel int k() { return 1; }");
+  EXPECT_NE(E.find("kernel functions must return void"), std::string::npos);
+}
+
+TEST(ParserTest, ArraySizeMustBeLiteral) {
+  std::string E = compileError("kernel void k() { float a[0]; }");
+  EXPECT_NE(E.find("positive"), std::string::npos);
+}
+
+TEST(ParserTest, PointerParamNeedsAddressSpace) {
+  std::string E = compileError("void f(float* p) { }");
+  EXPECT_NE(E.find("'global' or 'local'"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Semantic diagnostics
+//===----------------------------------------------------------------------===//
+
+TEST(SemaTest, UndeclaredVariable) {
+  std::string E = compileError("kernel void k() { int a = b; }");
+  EXPECT_NE(E.find("undeclared variable 'b'"), std::string::npos);
+}
+
+TEST(SemaTest, Redefinition) {
+  std::string E = compileError("kernel void k() { int a; float a; }");
+  EXPECT_NE(E.find("redefinition"), std::string::npos);
+}
+
+TEST(SemaTest, ShadowingInNestedScopeIsAllowed) {
+  EXPECT_EQ(compileError("kernel void k() { int a = 1; { float a = "
+                         "2.0f; } }"),
+            "");
+}
+
+TEST(SemaTest, LocalOnlyInKernels) {
+  std::string E = compileError("void f() { local float t[8]; }");
+  EXPECT_NE(E.find("local memory"), std::string::npos);
+}
+
+TEST(SemaTest, AssignToPointerRejected) {
+  std::string E =
+      compileError("kernel void k(global float* p) { p = p; }");
+  EXPECT_NE(E.find("not an assignable scalar"), std::string::npos);
+}
+
+TEST(SemaTest, AssignThroughConstPointerRejected) {
+  std::string E =
+      compileError("kernel void k(global const float* p) { p[0] = 1.0f; }");
+  EXPECT_NE(E.find("const"), std::string::npos);
+}
+
+TEST(SemaTest, FloatToIntNeedsCast) {
+  std::string E = compileError("kernel void k() { int a = 1.5f; }");
+  EXPECT_NE(E.find("explicit cast"), std::string::npos);
+}
+
+TEST(SemaTest, ExplicitFloatToIntCastOk) {
+  EXPECT_EQ(compileError("kernel void k() { int a = (int)1.5f; }"), "");
+}
+
+TEST(SemaTest, BreakOutsideLoop) {
+  std::string E = compileError("kernel void k() { break; }");
+  EXPECT_NE(E.find("'break' outside"), std::string::npos);
+}
+
+TEST(SemaTest, NonVoidMustReturn) {
+  std::string E = compileError("int f() { int a = 1; }");
+  EXPECT_NE(E.find("end of non-void"), std::string::npos);
+}
+
+TEST(SemaTest, BothArmsReturningIsOk) {
+  EXPECT_EQ(compileError(
+                "int f(int c) { if (c != 0) { return 1; } else { return 2; "
+                "} }"),
+            "");
+}
+
+TEST(SemaTest, RecursionRejected) {
+  std::string E = compileError("int f(int n) { return f(n); }\n"
+                               "kernel void k() { int a = f(1); }");
+  EXPECT_NE(E.find("recursion"), std::string::npos);
+}
+
+TEST(SemaTest, MutualRecursionRejected) {
+  std::string E = compileError("int g(int n);"); // forward decls unsupported
+  // Mutual recursion via definition order is impossible without forward
+  // declarations, so the cycle check only fires for direct recursion;
+  // make sure the direct case is solid.
+  EXPECT_FALSE(E.empty());
+}
+
+TEST(SemaTest, CallArityChecked) {
+  std::string E = compileError("int f(int a) { return a; }\n"
+                               "kernel void k() { int x = f(1, 2); }");
+  EXPECT_NE(E.find("wrong number of arguments"), std::string::npos);
+}
+
+TEST(SemaTest, KernelsNotCallable) {
+  std::string E = compileError("kernel void inner() { }\n"
+                               "kernel void k() { inner(); }");
+  EXPECT_NE(E.find("kernels cannot be called"), std::string::npos);
+}
+
+TEST(SemaTest, BuiltinNamesReserved) {
+  std::string E = compileError("float sqrt(float x) { return x; }");
+  EXPECT_NE(E.find("reserved"), std::string::npos);
+}
+
+TEST(SemaTest, WorkItemDimensionMustBeLiteral) {
+  std::string E =
+      compileError("kernel void k() { int d = 0; long g = "
+                    "get_global_id(d); }");
+  EXPECT_NE(E.find("literal dimension"), std::string::npos);
+}
+
+TEST(SemaTest, LogicalOpsRequireBool) {
+  std::string E = compileError("kernel void k() { int a = 1; if (a && a) "
+                               "{ } }");
+  EXPECT_NE(E.find("must be bool"), std::string::npos);
+}
+
+TEST(SemaTest, ConditionMayBeInteger) {
+  EXPECT_EQ(compileError("kernel void k() { int a = 1; if (a) { } }"), "");
+}
+
+//===----------------------------------------------------------------------===//
+// Successful lowering
+//===----------------------------------------------------------------------===//
+
+TEST(CodeGenTest, VectorAddCompiles) {
+  auto M = compileOrDie(R"(
+    kernel void vadd(global const float* a, global const float* b,
+                     global float* c) {
+      long gid = get_global_id(0);
+      c[gid] = a[gid] + b[gid];
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  kir::Function *K = M->getFunction("vadd");
+  ASSERT_NE(K, nullptr);
+  EXPECT_TRUE(K->isKernel());
+  EXPECT_EQ(K->numArguments(), 3u);
+}
+
+TEST(CodeGenTest, PaperFigure8Kernel) {
+  // The running example of the paper (Fig. 8a).
+  auto M = compileOrDie(R"(
+    kernel void mop(global const float* ina, global const float* inb,
+                    global float* out) {
+      long gid = get_global_id(0);
+      long grid = get_group_id(0);
+      if (grid < 4) {
+        out[gid] = ina[gid] + inb[gid];
+      } else {
+        out[gid] = ina[gid] - inb[gid];
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  std::string Text = kir::printModule(*M);
+  EXPECT_NE(Text.find("get_group_id"), std::string::npos);
+}
+
+TEST(CodeGenTest, LocalArraysRecorded) {
+  auto M = compileOrDie(R"(
+    kernel void red(global float* data) {
+      local float tile[128];
+      long lid = get_local_id(0);
+      tile[lid] = data[get_global_id(0)];
+      barrier();
+      data[get_global_id(0)] = tile[lid];
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  kir::Function *K = M->getFunction("red");
+  ASSERT_EQ(K->localAllocs().size(), 1u);
+  EXPECT_EQ(K->localAllocs()[0].Count, 128u);
+  EXPECT_EQ(K->localMemoryBytes(), 512u);
+}
+
+TEST(CodeGenTest, HelperFunctionsCompile) {
+  auto M = compileOrDie(R"(
+    float square(float x) { return x * x; }
+    kernel void k(global float* d) {
+      long gid = get_global_id(0);
+      d[gid] = square(d[gid]);
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+  EXPECT_NE(M->getFunction("square"), nullptr);
+  EXPECT_FALSE(M->getFunction("square")->isKernel());
+}
+
+TEST(CodeGenTest, ForLoopsAndOpAssign) {
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d, int n) {
+      float acc = 0.0f;
+      for (int i = 0; i < n; i++) {
+        acc += d[i];
+      }
+      d[0] = acc;
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+}
+
+TEST(CodeGenTest, WhileBreakContinue) {
+  auto M = compileOrDie(R"(
+    kernel void k(global int* d, int n) {
+      int i = 0;
+      while (true) {
+        i++;
+        if (i >= n) { break; }
+        if (i % 2 == 0) { continue; }
+        d[i] = i;
+      }
+    }
+  )");
+  ASSERT_NE(M, nullptr);
+}
+
+TEST(CodeGenTest, InstructionCountReflectsBody) {
+  auto Small = compileOrDie("kernel void k(global float* d) { d[0] = "
+                            "1.0f; }");
+  auto Large = compileOrDie(R"(
+    kernel void k(global float* d) {
+      long g = get_global_id(0);
+      float a = d[g];
+      float b = a * a + a;
+      float c = b * b + b;
+      float e = c * c + c;
+      d[g] = e * a + b * c;
+    }
+  )");
+  ASSERT_NE(Small, nullptr);
+  ASSERT_NE(Large, nullptr);
+  EXPECT_LT(Small->getFunction("k")->instructionCount(),
+            Large->getFunction("k")->instructionCount());
+}
+
+} // namespace

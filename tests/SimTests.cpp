@@ -1,0 +1,271 @@
+//===- tests/SimTests.cpp - Timing-model unit tests --------------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/DeviceSpec.h"
+#include "sim/Engine.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::sim;
+
+namespace {
+
+/// A small, easy-to-reason-about device: 4 CUs, 256 threads and 4 WGs
+/// per CU, 32 lanes.
+DeviceSpec tinyDevice() {
+  DeviceSpec D;
+  D.Name = "tiny";
+  D.NumCUs = 4;
+  D.MaxThreadsPerCU = 256;
+  D.MaxWGsPerCU = 4;
+  D.LocalMemPerCU = 16 << 10;
+  D.RegsPerCU = 65536;
+  D.GlobalMemBytes = 1 << 20;
+  D.LanesPerCU = 32;
+  D.WGDispatchCycles = 0;
+  D.DequeueCycles = 0;
+  D.Admission = KernelAdmissionKind::GreedyTail;
+  return D;
+}
+
+KernelLaunchDesc staticKernel(const std::string &Name, int App,
+                              uint64_t WGThreads, size_t NumWGs,
+                              double CostPerWG, double Eff = 1.0) {
+  KernelLaunchDesc L;
+  L.Name = Name;
+  L.AppId = App;
+  L.WGThreads = WGThreads;
+  L.RegsPerThread = 8;
+  L.IssueEfficiency = Eff;
+  L.Mode = KernelLaunchDesc::ModeKind::Static;
+  L.StaticCosts.assign(NumWGs, CostPerWG);
+  return L;
+}
+
+TEST(DeviceSpecTest, DerivedTotals) {
+  DeviceSpec D = DeviceSpec::nvidiaK20m();
+  EXPECT_EQ(D.totalThreads(), 13u * 2048u);
+  EXPECT_EQ(D.totalLocalMem(), 13u * (48u << 10));
+  EXPECT_EQ(D.totalRegs(), 13u * 65536u);
+  EXPECT_EQ(D.totalWGSlots(), 13u * 16u);
+}
+
+TEST(DeviceSpecTest, PlatformsDiffer) {
+  DeviceSpec N = DeviceSpec::nvidiaK20m();
+  DeviceSpec A = DeviceSpec::amdR9295X2();
+  EXPECT_NE(N.NumCUs, A.NumCUs);
+  EXPECT_EQ(N.Admission, KernelAdmissionKind::GreedyTail);
+  EXPECT_EQ(A.Admission, KernelAdmissionKind::ExclusiveUnlessFits);
+}
+
+TEST(EngineTest, SingleWGDuration) {
+  // One 32-thread WG, 32 lanes: full rate, so duration == cost/threads.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult R = E.run({staticKernel("k", 0, 32, 1, 3200.0)});
+  ASSERT_EQ(R.Kernels.size(), 1u);
+  EXPECT_NEAR(R.Kernels[0].duration(), 100.0, 1e-6);
+  EXPECT_NEAR(R.Makespan, 100.0, 1e-6);
+}
+
+TEST(EngineTest, LaneSaturationScalesDuration) {
+  // 256 threads on 32 lanes: 8x oversubscription, so a WG whose cost is
+  // C thread-cycles takes C / 32 time units.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult R = E.run({staticKernel("k", 0, 256, 1, 25600.0)});
+  EXPECT_NEAR(R.Kernels[0].duration(), 800.0, 1e-6);
+}
+
+TEST(EngineTest, IssueEfficiencyLimitsSoloRate) {
+  // A 0.5-efficiency kernel cannot use more than half its lanes' worth
+  // of issue slots, doubling its solo runtime.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult Full = E.run({staticKernel("k", 0, 32, 4, 3200.0, 1.0)});
+  SimResult Half = E.run({staticKernel("k", 0, 32, 4, 3200.0, 0.5)});
+  EXPECT_NEAR(Half.Makespan / Full.Makespan, 2.0, 1e-6);
+}
+
+TEST(EngineTest, WorkSpreadsAcrossCUs) {
+  // 4 WGs on 4 CUs run in parallel: same duration as a single WG.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult One = E.run({staticKernel("k", 0, 32, 1, 3200.0)});
+  SimResult Four = E.run({staticKernel("k", 0, 32, 4, 3200.0)});
+  EXPECT_NEAR(One.Makespan, Four.Makespan, 1e-6);
+}
+
+TEST(EngineTest, OccupancyLimitQueuesWork) {
+  // 32 WGs of 256 threads: only one fits per CU, so 8 waves on 4 CUs.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult R = E.run({staticKernel("k", 0, 256, 32, 25600.0)});
+  EXPECT_NEAR(R.Makespan, 8 * 800.0, 1e-6);
+}
+
+TEST(EngineTest, FifoSerializesConcurrentKernels) {
+  // Two kernels that each fill the device: the second one's WGs wait.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult R = E.run({staticKernel("a", 0, 256, 16, 25600.0),
+                       staticKernel("b", 1, 256, 16, 25600.0)});
+  const KernelExecResult &A = R.Kernels[0];
+  const KernelExecResult &B = R.Kernels[1];
+  EXPECT_LT(A.EndTime, B.EndTime);
+  // b starts only in a's dispatch tail.
+  EXPECT_GT(B.StartTime, 0.6 * A.EndTime);
+}
+
+TEST(EngineTest, CoResidentKernelsShareFairly) {
+  // Two kernels of 2 WGs each co-fit (4 CUs); both should run at full
+  // rate simultaneously -> equal durations and concurrent execution.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  SimResult R = E.run({staticKernel("a", 0, 32, 2, 3200.0),
+                       staticKernel("b", 1, 32, 2, 3200.0)});
+  EXPECT_NEAR(R.Kernels[0].duration(), R.Kernels[1].duration(), 1e-6);
+  EXPECT_LT(R.Kernels[1].StartTime, R.Kernels[0].EndTime);
+}
+
+TEST(EngineTest, ProcessorSharingSplitsLanes) {
+  // Two 256-thread WGs on one CU (tiny device with 1 CU): each gets
+  // half the lanes, so both finish in double the solo time.
+  DeviceSpec D = tinyDevice();
+  D.NumCUs = 1;
+  Engine E(D);
+  SimResult Solo = E.run({staticKernel("a", 0, 128, 1, 12800.0)});
+  SimResult Pair = E.run({staticKernel("a", 0, 128, 1, 12800.0),
+                          staticKernel("b", 1, 128, 1, 12800.0)});
+  EXPECT_NEAR(Pair.Kernels[0].duration(), 2 * Solo.Makespan, 1e-6);
+  EXPECT_NEAR(Pair.Kernels[1].duration(), 2 * Solo.Makespan, 1e-6);
+}
+
+TEST(EngineTest, WorkQueueDrainsAllVirtualGroups) {
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  KernelLaunchDesc L;
+  L.Name = "wq";
+  L.WGThreads = 32;
+  L.RegsPerThread = 8;
+  L.Mode = KernelLaunchDesc::ModeKind::WorkQueue;
+  L.VirtualCosts.assign(64, 3200.0);
+  L.PhysicalWGs = 4;
+  L.Batch = 1;
+  SimResult R = E.run({L});
+  // 64 groups over 4 physical WGs on 4 CUs: 16 serial groups each.
+  EXPECT_NEAR(R.Makespan, 16 * 100.0, 1e-6);
+  EXPECT_GE(R.Kernels[0].DequeueOps, 64u);
+}
+
+TEST(EngineTest, DynamicDequeueBalancesSkewedWork) {
+  // Heavily skewed WG costs with static *pre-assigned* chunks (the
+  // Elastic Kernels scheme) leave stragglers; the work queue with the
+  // same number of physical work groups balances dynamically.
+  DeviceSpec D = tinyDevice();
+  std::vector<double> Costs(32, 1000.0);
+  Costs[0] = 32000.0; // one giant group
+  for (int I = 1; I < 8; ++I)
+    Costs[I] = 16000.0;
+
+  // Static slicing: 4 physical WGs, each owning a contiguous chunk of 8
+  // original groups (chunk 0 carries nearly all the work).
+  KernelLaunchDesc StaticL = staticKernel("s", 0, 256, 4, 0.0);
+  for (int I = 0; I < 32; ++I)
+    StaticL.StaticCosts[I / 8] += Costs[I];
+
+  KernelLaunchDesc WqL;
+  WqL.Name = "wq";
+  WqL.WGThreads = 256;
+  WqL.RegsPerThread = 8;
+  WqL.Mode = KernelLaunchDesc::ModeKind::WorkQueue;
+  WqL.VirtualCosts = Costs;
+  WqL.PhysicalWGs = 4;
+  WqL.Batch = 1;
+
+  Engine E(D);
+  double StaticTime = E.run({StaticL}).Makespan;
+  double WqTime = E.run({WqL}).Makespan;
+  EXPECT_LT(WqTime, StaticTime);
+}
+
+TEST(EngineTest, DequeueCostPenalizesSmallBatches) {
+  DeviceSpec D = tinyDevice();
+  D.DequeueCycles = 200.0;
+  auto MakeWq = [&](uint64_t Batch) {
+    KernelLaunchDesc L;
+    L.Name = "wq";
+    L.WGThreads = 32;
+    L.RegsPerThread = 8;
+    L.Mode = KernelLaunchDesc::ModeKind::WorkQueue;
+    L.VirtualCosts.assign(128, 320.0);
+    L.PhysicalWGs = 4;
+    L.Batch = Batch;
+    return L;
+  };
+  Engine E(D);
+  double T1 = E.run({MakeWq(1)}).Makespan;
+  double T8 = E.run({MakeWq(8)}).Makespan;
+  EXPECT_LT(T8, T1);
+}
+
+TEST(EngineTest, ExclusiveAdmissionBlocksPartialFits) {
+  // AMD-like policy: the second large kernel waits for the first to
+  // fully complete (no tail overlap).
+  DeviceSpec D = tinyDevice();
+  D.Admission = KernelAdmissionKind::ExclusiveUnlessFits;
+  Engine E(D);
+  SimResult R = E.run({staticKernel("a", 0, 256, 16, 25600.0),
+                       staticKernel("b", 1, 256, 16, 25600.0)});
+  EXPECT_GE(R.Kernels[1].StartTime, R.Kernels[0].EndTime - 1e-9);
+}
+
+TEST(EngineTest, ExclusiveAdmissionAllowsFullFits) {
+  // Small kernels that entirely fit alongside each other co-dispatch
+  // even under the exclusive policy (the accelOS case on AMD).
+  DeviceSpec D = tinyDevice();
+  D.Admission = KernelAdmissionKind::ExclusiveUnlessFits;
+  Engine E(D);
+  SimResult R = E.run({staticKernel("a", 0, 32, 2, 32000.0),
+                       staticKernel("b", 1, 32, 2, 32000.0)});
+  EXPECT_LT(R.Kernels[1].StartTime, R.Kernels[0].EndTime);
+}
+
+TEST(EngineTest, MergeGroupBypassesHeadOfLine) {
+  // Without a merge group, b is blocked until a's pending queue drains;
+  // merged, b's work groups slot in as capacity frees.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto A = staticKernel("a", 0, 256, 16, 25600.0);
+  auto B = staticKernel("b", 1, 256, 16, 25600.0);
+  double PlainStart = E.run({A, B}).Kernels[1].StartTime;
+  A.MergeGroup = 0;
+  B.MergeGroup = 0;
+  double MergedStart = E.run({A, B}).Kernels[1].StartTime;
+  EXPECT_LT(MergedStart, PlainStart);
+}
+
+TEST(EngineTest, DispatchOverheadCharged) {
+  DeviceSpec D = tinyDevice();
+  D.WGDispatchCycles = 50.0;
+  Engine E(D);
+  SimResult R = E.run({staticKernel("k", 0, 32, 1, 3200.0)});
+  // 3200/32 = 100 plus 50 per-thread dispatch cycles at full rate.
+  EXPECT_NEAR(R.Makespan, 150.0, 1e-6);
+}
+
+TEST(EngineTest, LocalMemoryLimitsResidency) {
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto L = staticKernel("k", 0, 32, 8, 3200.0);
+  L.LocalMemPerWG = D.LocalMemPerCU; // one WG per CU by local memory
+  SimResult R = E.run({L});
+  // 8 WGs, 4 CUs, local memory allows 1 WG/CU -> 2 waves.
+  EXPECT_NEAR(R.Makespan, 2 * 100.0, 1e-6);
+}
+
+} // namespace

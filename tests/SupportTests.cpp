@@ -1,0 +1,205 @@
+//===- tests/SupportTests.cpp - Support library unit tests -----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Casting.h"
+#include "support/Error.h"
+#include "support/Random.h"
+#include "support/RawOstream.h"
+#include "support/Statistics.h"
+#include "support/StringUtil.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+
+namespace {
+
+TEST(ErrorTest, SuccessIsFalsy) {
+  Error E = Error::success();
+  EXPECT_FALSE(static_cast<bool>(E));
+}
+
+TEST(ErrorTest, FailureCarriesMessage) {
+  Error E = makeError("something broke");
+  EXPECT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "something broke");
+}
+
+TEST(ErrorTest, MoveTransfersState) {
+  Error E = makeError("original");
+  Error F = std::move(E);
+  EXPECT_TRUE(static_cast<bool>(F));
+  EXPECT_EQ(F.message(), "original");
+}
+
+TEST(ExpectedTest, HoldsValue) {
+  Expected<int> E(42);
+  ASSERT_TRUE(static_cast<bool>(E));
+  EXPECT_EQ(*E, 42);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  Expected<int> E(makeError("nope"));
+  ASSERT_FALSE(static_cast<bool>(E));
+  EXPECT_EQ(E.message(), "nope");
+  Error Err = E.takeError();
+  EXPECT_TRUE(static_cast<bool>(Err));
+}
+
+TEST(ExpectedTest, CantFailUnwraps) {
+  EXPECT_EQ(cantFail(Expected<int>(7)), 7);
+}
+
+// A small hierarchy exercising the casting templates.
+struct Animal {
+  enum class Kind { Dog, Cat } K;
+  explicit Animal(Kind K) : K(K) {}
+};
+struct Dog : Animal {
+  Dog() : Animal(Kind::Dog) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Dog; }
+};
+struct Cat : Animal {
+  Cat() : Animal(Kind::Cat) {}
+  static bool classof(const Animal *A) { return A->K == Kind::Cat; }
+};
+
+TEST(CastingTest, IsaAndDynCast) {
+  Dog D;
+  Animal *A = &D;
+  EXPECT_TRUE(isa<Dog>(A));
+  EXPECT_FALSE(isa<Cat>(A));
+  EXPECT_NE(dyn_cast<Dog>(A), nullptr);
+  EXPECT_EQ(dyn_cast<Cat>(A), nullptr);
+  EXPECT_EQ(cast<Dog>(A), &D);
+}
+
+TEST(CastingTest, DynCastOrNullTakesNull) {
+  Animal *A = nullptr;
+  EXPECT_EQ(dyn_cast_or_null<Dog>(A), nullptr);
+}
+
+TEST(RandomTest, Deterministic) {
+  SplitMix64 A(123), B(123);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  SplitMix64 R(99);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  SplitMix64 R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  SplitMix64 R(7);
+  for (int I = 0; I < 1000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  SplitMix64 R(11);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto Orig = V;
+  R.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(StatsTest, MeanAndExtremes) {
+  SampleStats S;
+  S.add(1.0);
+  S.add(2.0);
+  S.add(3.0);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  EXPECT_EQ(S.count(), 3u);
+}
+
+TEST(StatsTest, Geomean) {
+  SampleStats S;
+  S.add(1.0);
+  S.add(4.0);
+  EXPECT_NEAR(S.geomean(), 2.0, 1e-12);
+}
+
+TEST(StatsTest, Percentile) {
+  SampleStats S;
+  for (int I = 1; I <= 100; ++I)
+    S.add(I);
+  EXPECT_NEAR(S.percentile(0.5), 50.0, 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(S.percentile(1.0), 100.0);
+}
+
+TEST(StatsTest, Fraction) {
+  SampleStats S;
+  for (int I = 0; I < 10; ++I)
+    S.add(I);
+  EXPECT_DOUBLE_EQ(S.fraction([](double V) { return V < 5; }), 0.5);
+}
+
+TEST(RawOstreamTest, FormatsScalars) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS << "x=" << 42 << " y=" << -7 << " z=" << 2.5 << " b=" << true;
+  EXPECT_EQ(Buf, "x=42 y=-7 z=2.5 b=true");
+}
+
+TEST(RawOstreamTest, PrintFixed) {
+  std::string Buf;
+  raw_string_ostream OS(Buf);
+  OS.printFixed(3.14159, 2);
+  EXPECT_EQ(Buf, "3.14");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(1.005, 2), "1.00");
+  EXPECT_EQ(formatDouble(13.666, 2), "13.67");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcdef", 4), "abcdef");
+}
+
+TEST(StringUtilTest, Split) {
+  auto Parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[0], "a");
+  EXPECT_EQ(Parts[2], "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(startsWith("histogram", "histo"));
+  EXPECT_FALSE(startsWith("histo", "histogram"));
+}
+
+} // namespace

@@ -1,0 +1,102 @@
+//===- tests/TestUtil.h - Shared test helpers -------------------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for compiling MiniCL source and executing kernels against a
+/// fresh simulated device memory in unit tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_TESTS_TESTUTIL_H
+#define ACCEL_TESTS_TESTUTIL_H
+
+#include "kir/DeviceMemory.h"
+#include "kir/Interpreter.h"
+#include "kir/Module.h"
+#include "minicl/Frontend.h"
+
+#include "gtest/gtest.h"
+
+#include <cstring>
+#include <vector>
+
+namespace accel {
+namespace testutil {
+
+/// Compiles \p Source, failing the test on a front-end diagnostic.
+inline std::unique_ptr<kir::Module> compileOrDie(const std::string &Source) {
+  Expected<std::unique_ptr<kir::Module>> M =
+      minicl::compileSource("test", Source);
+  EXPECT_TRUE(static_cast<bool>(M)) << M.message();
+  if (!M)
+    return nullptr;
+  return M.take();
+}
+
+/// \returns the front-end diagnostic for \p Source, or "" on success.
+inline std::string compileError(const std::string &Source) {
+  Expected<std::unique_ptr<kir::Module>> M =
+      minicl::compileSource("test", Source);
+  if (M)
+    return "";
+  return M.message();
+}
+
+/// A device-memory arena plus typed buffer helpers for kernel tests.
+class KernelHarness {
+public:
+  explicit KernelHarness(uint64_t MemBytes = 32ull << 20)
+      : Mem(MemBytes), Interp(Mem) {}
+
+  uint64_t allocF32(const std::vector<float> &Init) {
+    uint64_t Addr = cantFail(Mem.allocate(Init.size() * 4));
+    Mem.copyIn(Addr, Init.data(), Init.size() * 4);
+    return Addr;
+  }
+
+  uint64_t allocI32(const std::vector<int32_t> &Init) {
+    uint64_t Addr = cantFail(Mem.allocate(Init.size() * 4));
+    Mem.copyIn(Addr, Init.data(), Init.size() * 4);
+    return Addr;
+  }
+
+  std::vector<float> readF32(uint64_t Addr, size_t Count) {
+    std::vector<float> Out(Count);
+    Mem.copyOut(Addr, Out.data(), Count * 4);
+    return Out;
+  }
+
+  std::vector<int32_t> readI32(uint64_t Addr, size_t Count) {
+    std::vector<int32_t> Out(Count);
+    Mem.copyOut(Addr, Out.data(), Count * 4);
+    return Out;
+  }
+
+  /// Runs \p KernelName from \p M over a 1-D range.
+  kir::ExecStats run1D(kir::Module &M, const std::string &KernelName,
+                       const std::vector<uint64_t> &Args, uint64_t Global,
+                       uint64_t Local) {
+    kir::Function *K = M.getFunction(KernelName);
+    EXPECT_NE(K, nullptr) << "no kernel named " << KernelName;
+    kir::NDRangeCfg Range;
+    Range.WorkDim = 1;
+    Range.GlobalSize[0] = Global;
+    Range.LocalSize[0] = Local;
+    Expected<kir::ExecStats> Stats = Interp.run(*K, Args, Range);
+    EXPECT_TRUE(static_cast<bool>(Stats)) << Stats.message();
+    if (!Stats)
+      return kir::ExecStats();
+    return Stats.take();
+  }
+
+  kir::DeviceMemory Mem;
+  kir::Interpreter Interp;
+};
+
+} // namespace testutil
+} // namespace accel
+
+#endif // ACCEL_TESTS_TESTUTIL_H

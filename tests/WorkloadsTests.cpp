@@ -1,0 +1,167 @@
+//===- tests/WorkloadsTests.cpp - Workload suite tests -----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/KernelSpec.h"
+#include "workloads/Sampler.h"
+
+#include "minicl/Frontend.h"
+#include "passes/AccelOSTransform.h"
+#include "passes/ConstantFold.h"
+#include "passes/DCE.h"
+#include "passes/Inliner.h"
+#include "passes/Pass.h"
+
+#include "kir/Module.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::workloads;
+
+namespace {
+
+TEST(SuiteTest, TwentyFiveKernels) {
+  EXPECT_EQ(parboilSuite().size(), 25u);
+}
+
+TEST(SuiteTest, AlphabeticalAndUnique) {
+  const auto &Suite = parboilSuite();
+  for (size_t I = 1; I < Suite.size(); ++I)
+    EXPECT_LT(Suite[I - 1].Id, Suite[I].Id)
+        << Suite[I - 1].Id << " vs " << Suite[I].Id;
+}
+
+TEST(SuiteTest, GeometryIsSane) {
+  for (const KernelSpec &S : parboilSuite()) {
+    EXPECT_GT(S.WGSize, 0u) << S.Id;
+    EXPECT_GT(S.NumWGs, 0u) << S.Id;
+    EXPECT_GT(S.Cost.MeanWGCycles, 0.0) << S.Id;
+    EXPECT_GT(S.IssueEfficiency, 0.0) << S.Id;
+    EXPECT_LE(S.IssueEfficiency, 1.0) << S.Id;
+  }
+}
+
+TEST(SuiteTest, DurationsSpanOrdersOfMagnitude) {
+  // The paper's large baseline unfairness values require kernels with
+  // very different total durations.
+  double MinTotal = 1e300, MaxTotal = 0;
+  for (const KernelSpec &S : parboilSuite()) {
+    double Total = S.Cost.MeanWGCycles * static_cast<double>(S.NumWGs);
+    MinTotal = std::min(MinTotal, Total);
+    MaxTotal = std::max(MaxTotal, Total);
+  }
+  EXPECT_GT(MaxTotal / MinTotal, 100.0);
+}
+
+/// Every suite kernel must survive the full accelOS JIT pipeline.
+class SuiteCompile : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(SuiteCompile, CompilesAndTransforms) {
+  const KernelSpec &S = parboilSuite()[GetParam()];
+  Expected<std::unique_ptr<kir::Module>> M =
+      minicl::compileSource(S.Id, S.Source);
+  ASSERT_TRUE(static_cast<bool>(M)) << S.Id << ": " << M.message();
+  ASSERT_NE((*M)->getFunction(S.KernelName), nullptr) << S.Id;
+
+  passes::PassManager PM;
+  PM.addPass(std::make_unique<passes::InlinerPass>());
+  PM.addPass(std::make_unique<passes::ConstantFoldPass>());
+  PM.addPass(std::make_unique<passes::DCEPass>());
+  auto Transform = std::make_unique<passes::AccelOSTransform>();
+  auto *TPtr = Transform.get();
+  PM.addPass(std::move(Transform));
+  Error E = PM.run(**M);
+  EXPECT_FALSE(static_cast<bool>(E)) << S.Id << ": " << E.message();
+  EXPECT_TRUE(TPtr->info().count(S.KernelName)) << S.Id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, SuiteCompile,
+                         ::testing::Range<size_t>(0, 25));
+
+TEST(CostModelTest, Deterministic) {
+  const KernelSpec &S = parboilSuite()[0];
+  auto A = generateWGCosts(S);
+  auto B = generateWGCosts(S);
+  EXPECT_EQ(A, B);
+  auto C = generateWGCosts(S, /*SeedSalt=*/1);
+  EXPECT_NE(A, C);
+}
+
+TEST(CostModelTest, RightCount) {
+  for (const KernelSpec &S : parboilSuite())
+    EXPECT_EQ(generateWGCosts(S).size(), S.NumWGs) << S.Id;
+}
+
+TEST(CostModelTest, MeansAreRoughlyCalibrated) {
+  for (const KernelSpec &S : parboilSuite()) {
+    auto Costs = generateWGCosts(S);
+    double Sum = 0;
+    for (double C : Costs)
+      Sum += C;
+    double Mean = Sum / static_cast<double>(Costs.size());
+    EXPECT_GT(Mean, 0.2 * S.Cost.MeanWGCycles) << S.Id;
+    EXPECT_LT(Mean, 5.0 * S.Cost.MeanWGCycles) << S.Id;
+  }
+}
+
+TEST(CostModelTest, SkewedShapeHasTail) {
+  const KernelSpec &Spmv = findKernel("spmv");
+  auto Costs = generateWGCosts(Spmv);
+  double Max = 0, Sum = 0;
+  for (double C : Costs) {
+    Max = std::max(Max, C);
+    Sum += C;
+  }
+  double Mean = Sum / static_cast<double>(Costs.size());
+  EXPECT_GT(Max / Mean, 1.8);
+}
+
+TEST(CostModelTest, FrontLoadedShapeDecreases) {
+  const KernelSpec &Sad = findKernel("sad_mb_sad_calc");
+  auto Costs = generateWGCosts(Sad);
+  size_t Q = Costs.size() / 4;
+  double Front = 0, Back = 0;
+  for (size_t I = 0; I != Q; ++I) {
+    Front += Costs[I];
+    Back += Costs[Costs.size() - 1 - I];
+  }
+  EXPECT_GT(Front, Back);
+}
+
+TEST(SamplerTest, AllPairsIs625) {
+  auto Pairs = allPairs();
+  EXPECT_EQ(Pairs.size(), 625u);
+  for (const Workload &W : Pairs)
+    EXPECT_EQ(W.size(), 2u);
+}
+
+TEST(SamplerTest, AlphabeticPairsMatchPaperFigure11) {
+  auto Pairs = alphabeticPairs();
+  EXPECT_EQ(Pairs.size(), 13u);
+  // First pair: bfs with cutcp (as in the paper's example).
+  EXPECT_EQ(parboilSuite()[Pairs[0][0]].Id, "bfs");
+  EXPECT_EQ(parboilSuite()[Pairs[0][1]].Id, "cutcp");
+  // histo_final with histo_intermediates.
+  EXPECT_EQ(parboilSuite()[Pairs[1][0]].Id, "histo_final");
+  EXPECT_EQ(parboilSuite()[Pairs[1][1]].Id, "histo_intermediates");
+}
+
+TEST(SamplerTest, RandomCombinationsRespectShape) {
+  auto Combos = randomCombinations(4, 100, 42);
+  EXPECT_EQ(Combos.size(), 100u);
+  for (const Workload &W : Combos) {
+    EXPECT_EQ(W.size(), 4u);
+    for (size_t Idx : W)
+      EXPECT_LT(Idx, 25u);
+  }
+  // Seeded: reproducible.
+  auto Again = randomCombinations(4, 100, 42);
+  EXPECT_EQ(Combos, Again);
+  auto Different = randomCombinations(4, 100, 43);
+  EXPECT_NE(Combos, Different);
+}
+
+} // namespace
