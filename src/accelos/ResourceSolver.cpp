@@ -48,14 +48,27 @@ accelos::solveFairShares(const ResourceCaps &Caps,
   assert(!Ks.empty() && "solver needs at least one kernel");
   size_t K = Ks.size();
 
+  // Kernels that request no work groups take no share and are excluded
+  // from the fairness divisor: an idle tenant must not dilute the
+  // shares of the active ones.
   double TotalWeight = 0;
   for (const KernelDemand &D : Ks)
-    TotalWeight += D.Weight;
-  assert(TotalWeight > 0 && "weights must be positive");
+    if (D.RequestedWGs > 0)
+      TotalWeight += D.Weight;
 
   std::vector<uint64_t> Shares(K, 0);
+  if (TotalWeight <= 0)
+    return Shares;
+
+  // The pure Sec. 3 divisions always fit in aggregate (each share is a
+  // floor of the kernel's exact fractional entitlement), so only the
+  // minimum-share floor below can oversubscribe; remember who was
+  // floored so the clamp pass can revert exactly those.
+  std::vector<bool> Floored(K, false);
   for (size_t I = 0; I != K; ++I) {
     const KernelDemand &D = Ks[I];
+    if (D.RequestedWGs == 0)
+      continue;
     assert(D.WGThreads > 0 && "zero-thread work group");
     // The kernel's fraction of each resource; equal sharing (paper
     // default) corresponds to Weight == 1 for all kernels, giving the
@@ -81,9 +94,72 @@ accelos::solveFairShares(const ResourceCaps &Caps,
         static_cast<double>(Caps.WGSlots) * Frac);
 
     uint64_t N = std::min(std::min(X, Y), std::min(Z, SlotShare));
-    N = std::max<uint64_t>(N, 1);
-    N = std::min(N, D.RequestedWGs ? D.RequestedWGs : 1);
+    if (N == 0) {
+      N = 1;
+      Floored[I] = true;
+    }
+    N = std::min(N, D.RequestedWGs);
     Shares[I] = N;
+  }
+
+  // Clamp pass: the minimum-share floor can push the base allocation
+  // past the caps (e.g. more kernels than can physically co-exist).
+  // Revert floors until the allocation fits again, each time targeting
+  // the most-oversubscribed resource and the floored kernel that
+  // contributes most to it, so kernels that are not part of the
+  // violation keep their work group.
+  while (!fits(Caps, Ks, Shares)) {
+    uint64_t Use[4] = {0, 0, 0, 0};
+    for (size_t I = 0; I != K; ++I) {
+      Use[0] += Shares[I] * Ks[I].WGThreads;
+      Use[1] += Shares[I] * Ks[I].LocalMemPerWG;
+      Use[2] += Shares[I] * Ks[I].WGThreads * Ks[I].RegsPerThread;
+      Use[3] += Shares[I];
+    }
+    const uint64_t Cap[4] = {Caps.Threads, Caps.LocalMem, Caps.Regs,
+                             Caps.WGSlots};
+    unsigned Dim = 0;
+    double WorstRatio = 0;
+    for (unsigned D = 0; D != 4; ++D) {
+      double Ratio = static_cast<double>(Use[D]) /
+                     static_cast<double>(std::max<uint64_t>(Cap[D], 1));
+      if (Ratio > WorstRatio) {
+        WorstRatio = Ratio;
+        Dim = D;
+      }
+    }
+    auto DemandIn = [&](size_t I) -> uint64_t {
+      switch (Dim) {
+      case 0:
+        return Ks[I].WGThreads;
+      case 1:
+        return Ks[I].LocalMemPerWG;
+      case 2:
+        return Ks[I].WGThreads * Ks[I].RegsPerThread;
+      default:
+        return 1;
+      }
+    };
+    size_t Victim = K;
+    for (size_t I = 0; I != K; ++I) {
+      if (!Floored[I] || Shares[I] == 0)
+        continue;
+      if (Victim == K || DemandIn(I) >= DemandIn(Victim))
+        Victim = I;
+    }
+    if (Victim == K) {
+      // No floor left to revert; cannot happen for well-formed demands
+      // (the floorless allocation fits by construction), but stay
+      // defensive: shed the largest remaining share.
+      for (size_t I = 0; I != K; ++I)
+        if (Shares[I] > 0 && (Victim == K || Shares[I] > Shares[Victim]))
+          Victim = I;
+      if (Victim == K)
+        break;
+      --Shares[Victim];
+      continue;
+    }
+    Shares[Victim] = 0;
   }
 
   if (!Opts.GreedySaturation)

@@ -58,11 +58,24 @@ struct SolverOptions {
   bool GreedySaturation = true;
 };
 
-/// Computes the number of physical work groups per kernel. Every kernel
-/// receives at least one work group; shares never exceed RequestedWGs.
+/// Computes the number of physical work groups per kernel. Shares never
+/// exceed RequestedWGs, and the returned allocation always fits within
+/// \p Caps in aggregate. Kernels requesting zero work groups receive
+/// zero and are excluded from the fairness divisor. Every other kernel
+/// receives at least one work group whenever capacity permits; when
+/// even single work groups cannot co-exist, the minimum-share floor is
+/// reverted (largest work groups first) rather than oversubscribing
+/// the device.
 std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
                                       const std::vector<KernelDemand> &Ks,
                                       const SolverOptions &Opts = {});
+
+/// Launch-time floor for a solved share: schedulers that serialize or
+/// queue executions keep one physical work group even for a share the
+/// solver clamped to zero, so a kernel's work is never silently
+/// dropped (a zero-WG launch completes instantly without executing
+/// anything).
+inline uint64_t launchWGs(uint64_t Share) { return Share ? Share : 1; }
 
 } // namespace accelos
 } // namespace accel

@@ -146,6 +146,10 @@ Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
   // Launch each request on its reduced range.
   for (size_t I = 0; I != Round.size(); ++I) {
     const PendingExecution &P = Round[I];
+    // The interpreter serializes round members, so a share the solver
+    // clamped to zero can still make progress on one physical work
+    // group without oversubscribing anything that runs concurrently.
+    uint64_t PhysWGs = launchWGs(Shares[I]);
     const passes::TransformedKernelInfo *Info =
         kernelInfo(&P.Kernel->program(), P.Kernel->name());
 
@@ -153,7 +157,7 @@ Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
     // so every physical WG can dequeue at least one batch.
     uint64_t MaxBatch = std::max<uint64_t>(
         1,
-        P.Range.totalGroups() / (4 * std::max<uint64_t>(1, Shares[I])));
+        P.Range.totalGroups() / (4 * PhysWGs));
     uint64_t Batch =
         std::min(batchSizeFor(Mode, Info->ComputeInstCount), MaxBatch);
     Expected<uint64_t> Rt =
@@ -172,7 +176,7 @@ Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
       Reduced.LocalSize[D] = P.Range.LocalSize[D];
       Reduced.GlobalSize[D] = P.Range.LocalSize[D];
     }
-    Reduced.GlobalSize[0] = Shares[I] * P.Range.LocalSize[0];
+    Reduced.GlobalSize[0] = PhysWGs * P.Range.LocalSize[0];
 
     // The scheduling kernel takes the original arguments plus rt.
     unsigned RtArgIndex = P.Kernel->function()->numArguments() - 1;
@@ -198,7 +202,7 @@ Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
     ScheduledExecution R;
     R.KernelName = P.Kernel->name();
     R.AppId = P.AppId;
-    R.PhysicalWGs = Shares[I];
+    R.PhysicalWGs = PhysWGs;
     R.OriginalWGs = P.Range.totalGroups();
     R.Batch = Batch;
     R.Stats = Stats.take();

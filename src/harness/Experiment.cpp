@@ -155,11 +155,12 @@ ExperimentDriver::buildLaunches(SchedulerKind Kind,
       L.IssueEfficiency = CK.Spec->IssueEfficiency;
       L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
       L.VirtualCosts = CK.WGCosts;
-      L.PhysicalWGs = Shares[I];
+      uint64_t PhysWGs = accelos::launchWGs(Shares[I]);
+      L.PhysicalWGs = PhysWGs;
       // Batching must never starve physical work groups of work: cap it
       // so every physical WG gets at least one batch.
-      uint64_t MaxBatch = std::max<uint64_t>(
-          1, CK.Spec->NumWGs / (4 * std::max<uint64_t>(1, Shares[I])));
+      uint64_t MaxBatch =
+          std::max<uint64_t>(1, CK.Spec->NumWGs / (4 * PhysWGs));
       L.Batch = std::min(accelos::batchSizeFor(Mode, CK.InstCount),
                          MaxBatch);
       Launches.push_back(std::move(L));

@@ -378,7 +378,7 @@ Error FunctionCodeGen::emitAssign(const AssignStmt *S) {
     if (!Conv)
       return Conv.takeError();
     bool IsFloat = Target->Ty.B == MiniType::Base::Float;
-    kir::BinOpKind Op;
+    kir::BinOpKind Op = kir::BinOpKind::Add;
     switch (S->op()) {
     case AssignOpKind::Add:
       Op = IsFloat ? kir::BinOpKind::FAdd : kir::BinOpKind::Add;

@@ -461,7 +461,7 @@ Expected<ExprPtr> Parser::parseBinaryRHS(int MinPrec, ExprPtr LHS) {
   for (;;) {
     int Prec = binaryPrecedence(peek().Kind);
     if (Prec < MinPrec)
-      return std::move(LHS);
+      return LHS;
     unsigned Line = peek().Line;
     TokKind OpTok = advance().Kind;
     Expected<ExprPtr> RHS = parseUnary();
@@ -522,7 +522,7 @@ Expected<ExprPtr> Parser::parsePostfix() {
     Result = std::make_unique<IndexExpr>(std::move(Result), Index.take(),
                                          Line);
   }
-  return std::move(Result);
+  return Result;
 }
 
 Expected<ExprPtr> Parser::parsePrimary() {

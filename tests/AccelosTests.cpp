@@ -11,6 +11,7 @@
 #include "accelos/VirtualNDRange.h"
 #include "kir/RtLayout.h"
 #include "sim/DeviceSpec.h"
+#include "support/Random.h"
 
 #include "gtest/gtest.h"
 
@@ -92,15 +93,81 @@ TEST(SolverTest, RegisterConstraintBinds) {
   EXPECT_EQ(Shares[0], 8u);
 }
 
-TEST(SolverTest, EveryKernelGetsAtLeastOneWG) {
-  // Eight kernels of 512 threads on a 1024-thread device: the pure
-  // division gives 0; the floor is 1 each.
-  std::vector<KernelDemand> Ks(8, demand(512, 0, 4, 100));
+TEST(SolverTest, EveryKernelGetsAtLeastOneWGWhenTheyFit) {
+  // Four kernels of 256 threads on a 1024-thread device: the pure
+  // division gives 1 each and all four co-exist.
+  std::vector<KernelDemand> Ks(4, demand(256, 0, 4, 100));
   SolverOptions NoGreedy;
   NoGreedy.GreedySaturation = false;
   auto Shares = solveFairShares(tinyCaps(), Ks, NoGreedy);
   for (uint64_t S : Shares)
     EXPECT_EQ(S, 1u);
+}
+
+TEST(SolverTest, MinimumShareFloorNeverOversubscribes) {
+  // Eight kernels of 512 threads on a 1024-thread device: the pure
+  // division gives 0 and the floor of 1 each would need 4096 threads.
+  // The clamp must shed floors until the allocation fits: exactly two
+  // kernels can co-exist.
+  std::vector<KernelDemand> Ks(8, demand(512, 0, 4, 100));
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(tinyCaps(), Ks, NoGreedy);
+  uint64_t Threads = 0, Granted = 0;
+  for (uint64_t S : Shares) {
+    EXPECT_LE(S, 1u);
+    Threads += S * 512;
+    Granted += S > 0;
+  }
+  EXPECT_LE(Threads, tinyCaps().Threads);
+  EXPECT_EQ(Granted, 2u);
+}
+
+TEST(SolverTest, ClampTargetsTheViolatedResource) {
+  // Three floored kernels where only local memory is oversubscribed:
+  // A (huge register demand, tiny local) is not part of the violation
+  // and must keep its work group; one of the local-memory hogs B/C is
+  // shed instead.
+  ResourceCaps Caps;
+  Caps.Threads = 10000;
+  Caps.LocalMem = 32768;
+  Caps.Regs = 300000;
+  Caps.WGSlots = 16;
+  KernelDemand A = demand(512, 2000, 512, 10);
+  KernelDemand B = demand(32, 30000, 4, 10);
+  KernelDemand C = demand(32, 30000, 4, 10);
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(Caps, {A, B, C}, NoGreedy);
+  EXPECT_EQ(Shares[0], 1u) << "kernel outside the violation was shed";
+  EXPECT_EQ(Shares[1] + Shares[2], 1u);
+}
+
+TEST(SolverTest, ZeroRequestKernelGetsZeroAndIsExcludedFromDivisor) {
+  // An idle tenant (RequestedWGs == 0) takes nothing — and must not
+  // dilute the active kernel's share: the active kernel still divides
+  // the device as if it were alone (1024/128 = 8, not /2 = 4).
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  auto Shares = solveFairShares(
+      tinyCaps(), {demand(128, 0, 4, 100), demand(128, 0, 4, 0)},
+      NoGreedy);
+  EXPECT_EQ(Shares[0], 8u);
+  EXPECT_EQ(Shares[1], 0u);
+}
+
+TEST(SolverTest, AllZeroRequestsYieldAllZeroShares) {
+  auto Shares = solveFairShares(
+      tinyCaps(), {demand(128, 0, 4, 0), demand(64, 0, 4, 0)});
+  EXPECT_EQ(Shares[0], 0u);
+  EXPECT_EQ(Shares[1], 0u);
+}
+
+TEST(SolverTest, GreedyDoesNotGrowZeroRequestKernels) {
+  auto Shares = solveFairShares(
+      tinyCaps(), {demand(64, 0, 4, 1000), demand(64, 0, 4, 0)});
+  EXPECT_GT(Shares[0], 0u);
+  EXPECT_EQ(Shares[1], 0u);
 }
 
 TEST(SolverTest, SharesCappedByRequest) {
@@ -144,6 +211,77 @@ TEST(SolverTest, WeightsSkewShares) {
   auto Shares = solveFairShares(tinyCaps(), {A, B}, NoGreedy);
   EXPECT_EQ(Shares[0], 12u); // 1024 * 0.75 / 64
   EXPECT_EQ(Shares[1], 4u);  // 1024 * 0.25 / 64
+}
+
+/// The solver's core post-condition, mirroring the solver-internal
+/// fits() check: the aggregate allocation stays within every cap.
+void expectFits(const ResourceCaps &Caps,
+                const std::vector<KernelDemand> &Ks,
+                const std::vector<uint64_t> &Shares) {
+  uint64_t Threads = 0, Local = 0, Regs = 0, Slots = 0;
+  for (size_t I = 0; I != Ks.size(); ++I) {
+    EXPECT_LE(Shares[I], Ks[I].RequestedWGs)
+        << "share exceeds request for kernel " << I;
+    Threads += Shares[I] * Ks[I].WGThreads;
+    Local += Shares[I] * Ks[I].LocalMemPerWG;
+    Regs += Shares[I] * Ks[I].WGThreads * Ks[I].RegsPerThread;
+    Slots += Shares[I];
+  }
+  EXPECT_LE(Threads, Caps.Threads);
+  EXPECT_LE(Local, Caps.LocalMem);
+  EXPECT_LE(Regs, Caps.Regs);
+  EXPECT_LE(Slots, Caps.WGSlots);
+}
+
+TEST(SolverInvariantTest, FitsHoldsAcrossRandomizedDemands) {
+  // Randomized sweep across kernel counts, weights (including strongly
+  // skewed ones) and zero-request kernels: the solved allocation must
+  // always satisfy fits(), with and without greedy saturation.
+  SplitMix64 Rng(0xACCE105);
+  ResourceCaps Caps = tinyCaps();
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    size_t K = 1 + Rng.nextBelow(12);
+    std::vector<KernelDemand> Ks;
+    for (size_t I = 0; I != K; ++I) {
+      KernelDemand D;
+      D.WGThreads = 32ull << Rng.nextBelow(5); // 32..512
+      D.LocalMemPerWG = Rng.nextBelow(5) * 8192;
+      D.RegsPerThread = Rng.nextBelow(128);
+      // One in four kernels is idle (zero-request).
+      D.RequestedWGs = Rng.nextBelow(4) == 0 ? 0 : 1 + Rng.nextBelow(256);
+      D.Weight = Rng.nextDoubleInRange(0.25, 8.0);
+      Ks.push_back(D);
+    }
+    for (bool Greedy : {false, true}) {
+      SolverOptions Opts;
+      Opts.GreedySaturation = Greedy;
+      auto Shares = solveFairShares(Caps, Ks, Opts);
+      ASSERT_EQ(Shares.size(), K);
+      expectFits(Caps, Ks, Shares);
+      for (size_t I = 0; I != K; ++I) {
+        if (Ks[I].RequestedWGs == 0) {
+          EXPECT_EQ(Shares[I], 0u) << "idle kernel " << I << " got a share";
+        }
+      }
+    }
+  }
+}
+
+TEST(SolverInvariantTest, WeightedOversubscribedMixStillFits) {
+  // A weighted mix engineered so that every kernel's fair division is
+  // zero: the floor-then-clamp path must engage and still fit.
+  std::vector<KernelDemand> Ks;
+  for (int I = 0; I != 6; ++I) {
+    KernelDemand D = demand(512, 16384, 64, 50);
+    D.Weight = I % 2 ? 4.0 : 1.0;
+    Ks.push_back(D);
+  }
+  for (bool Greedy : {false, true}) {
+    SolverOptions Opts;
+    Opts.GreedySaturation = Greedy;
+    auto Shares = solveFairShares(tinyCaps(), Ks, Opts);
+    expectFits(tinyCaps(), Ks, Shares);
+  }
 }
 
 TEST(SolverTest, CapsFromDeviceMatchSpec) {
