@@ -93,5 +93,46 @@ int main() {
   WT.print(OS);
   OS << "\nHigher weights buy proportionally more work groups; the "
         "paper's default is equal sharing.\n";
+
+  OS << "\n=== Capacity invariants: oversubscription clamp and idle "
+        "tenants ===\n\n";
+  harness::TextTable IT({"Scenario", "kernels", "granted WGs",
+                        "threads used", "thread cap"});
+  auto AddScenario = [&](const std::string &Name,
+                         const std::vector<KernelDemand> &Ds) {
+    auto Shares = solveFairShares(Caps, Ds);
+    uint64_t Threads = 0, Granted = 0;
+    for (size_t I = 0; I != Ds.size(); ++I) {
+      Threads += Shares[I] * Ds[I].WGThreads;
+      Granted += Shares[I];
+    }
+    IT.addRow({Name, std::to_string(Ds.size()), std::to_string(Granted),
+               std::to_string(Threads), std::to_string(Caps.Threads)});
+  };
+  // More maximum-size kernels than can co-exist at one WG each: the
+  // minimum-share floor must be clamped, never oversubscribed.
+  {
+    KernelDemand Huge;
+    Huge.WGThreads = sim::DeviceSpec::nvidiaK20m().MaxThreadsPerCU;
+    Huge.RegsPerThread = 4;
+    Huge.RequestedWGs = 64;
+    size_t CUs = sim::DeviceSpec::nvidiaK20m().NumCUs;
+    AddScenario("oversubscribed floor",
+                std::vector<KernelDemand>(2 * CUs, Huge));
+  }
+  // One active tenant next to idle (zero-request) ones: the idle
+  // tenants take nothing and do not dilute the active share.
+  {
+    KernelDemand Active;
+    Active.WGThreads = 128;
+    Active.RegsPerThread = 8;
+    Active.RequestedWGs = 4096;
+    KernelDemand Idle = Active;
+    Idle.RequestedWGs = 0;
+    AddScenario("one active + 3 idle", {Active, Idle, Idle, Idle});
+  }
+  IT.print(OS);
+  OS << "\nGranted work groups always stay within the device caps; "
+        "idle tenants are excluded from the fairness divisor.\n";
   return 0;
 }
