@@ -17,6 +17,7 @@
 #ifndef ACCEL_ACCELOS_ADAPTIVEPOLICY_H
 #define ACCEL_ACCELOS_ADAPTIVEPOLICY_H
 
+#include <algorithm>
 #include <cstdint>
 
 namespace accel {
@@ -47,6 +48,16 @@ inline uint64_t batchSizeFor(SchedulingMode Mode, uint64_t InstCount) {
   if (Mode == SchedulingMode::Naive)
     return 1;
   return adaptiveBatchSize(InstCount);
+}
+
+/// \returns the \p Mode batch capped so batching never starves physical
+/// work groups: every one of the \p PhysWGs granted groups can dequeue
+/// at least one batch of the \p TotalWGs-group virtual range.
+inline uint64_t cappedBatchFor(SchedulingMode Mode, uint64_t InstCount,
+                               uint64_t TotalWGs, uint64_t PhysWGs) {
+  uint64_t MaxBatch = std::max<uint64_t>(
+      1, TotalWGs / (4 * std::max<uint64_t>(PhysWGs, 1)));
+  return std::min(batchSizeFor(Mode, InstCount), MaxBatch);
 }
 
 } // namespace accelos

@@ -70,11 +70,13 @@ std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
                                       const std::vector<KernelDemand> &Ks,
                                       const SolverOptions &Opts = {});
 
-/// Launch-time floor for a solved share: schedulers that serialize or
-/// queue executions keep one physical work group even for a share the
-/// solver clamped to zero, so a kernel's work is never silently
-/// dropped (a zero-WG launch completes instantly without executing
-/// anything).
+/// Launch-time floor for a solved share. Historically every zero share
+/// was floored to one work group at launch; clamp-shed requests are now
+/// *deferred* to a later scheduling round instead (see
+/// accelos::RoundScheduler), so the only remaining caller is the
+/// scheduler's solo-round path, where a request whose single work group
+/// exceeds even the empty device must still execute (serialized by the
+/// execution layer) rather than silently losing its work.
 inline uint64_t launchWGs(uint64_t Share) { return Share ? Share : 1; }
 
 } // namespace accelos

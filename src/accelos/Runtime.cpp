@@ -99,7 +99,9 @@ Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
   if (Memory.isPaused(AppId))
     return makeError("application " + std::to_string(AppId) +
                      " is paused for memory pressure");
-  if (kernelInfo(&K.program(), K.name()) == nullptr)
+  const passes::TransformedKernelInfo *Info =
+      kernelInfo(&K.program(), K.name());
+  if (Info == nullptr)
     return makeError("kernel '" + K.name() +
                      "' was not compiled through accelOS");
   for (unsigned D = 0; D != 3; ++D) {
@@ -108,106 +110,105 @@ Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
     if (Range.GlobalSize[D] % Range.LocalSize[D] != 0)
       return makeError("global size not divisible by local size");
   }
+
   PendingExecution P;
   P.AppId = AppId;
   P.Kernel = &K;
   P.Range = Range;
-  Round.push_back(P);
+  uint64_t Id = NextRequestId++;
+  Pending.emplace(Id, P);
+
+  // The Sec. 3 demand terms of this request, captured at the arrival
+  // boundary.
+  kir::Function *Comp =
+      K.program().module()->getFunction(Info->ComputeFnName);
+  RoundRequest R;
+  R.Id = Id;
+  R.Demand.WGThreads = Range.workGroupSize();
+  R.Demand.LocalMemPerWG =
+      Info->LocalMemBytes + kir::rtlayout::schedDescBytes();
+  R.Demand.RegsPerThread = passes::estimateRegisters(*Comp);
+  R.Demand.RequestedWGs = Range.totalGroups();
+  auto WIt = Weights.find(AppId);
+  R.Demand.Weight = WIt == Weights.end() ? 1.0 : WIt->second;
+  Sched.submit(R);
   return Error::success();
 }
 
 Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
   using RetT = Expected<std::vector<ScheduledExecution>>;
   std::vector<ScheduledExecution> Results;
-  if (Round.empty())
-    return Results;
 
-  // Build the Sec. 3 demand terms for the K concurrent requests.
-  std::vector<KernelDemand> Demands;
-  for (const PendingExecution &P : Round) {
-    const passes::TransformedKernelInfo *Info =
-        kernelInfo(&P.Kernel->program(), P.Kernel->name());
-    kir::Function *Comp =
-        P.Kernel->program().module()->getFunction(Info->ComputeFnName);
-    KernelDemand D;
-    D.WGThreads = P.Range.workGroupSize();
-    D.LocalMemPerWG =
-        Info->LocalMemBytes + kir::rtlayout::schedDescBytes();
-    D.RegsPerThread = passes::estimateRegisters(*Comp);
-    D.RequestedWGs = P.Range.totalGroups();
-    auto WIt = Weights.find(P.AppId);
-    D.Weight = WIt == Weights.end() ? 1.0 : WIt->second;
-    Demands.push_back(D);
+  // On any execution error the whole flush is abandoned: pending
+  // requests are dropped so the runtime returns to a clean state.
+  auto Abandon = [&] {
+    Sched.clear();
+    Pending.clear();
+  };
+
+  for (uint64_t RoundIdx = 0; Sched.pending() != 0; ++RoundIdx) {
+    // Completion boundary: the previous round fully retired, so the
+    // shares are re-solved over everything now pending (dynamic K) —
+    // including requests the clamp deferred out of earlier rounds.
+    std::vector<RoundGrant> Grants = Sched.nextRound();
+    for (const RoundGrant &G : Grants) {
+      const PendingExecution &P = Pending.at(G.Id);
+      uint64_t PhysWGs = G.WGs;
+      const passes::TransformedKernelInfo *Info =
+          kernelInfo(&P.Kernel->program(), P.Kernel->name());
+
+      uint64_t Batch = cappedBatchFor(Mode, Info->ComputeInstCount,
+                                      P.Range.totalGroups(), PhysWGs);
+      Expected<uint64_t> Rt =
+          writeVirtualNDRange(Dev->memory(), P.Range, Batch);
+      if (!Rt) {
+        Abandon();
+        return RetT(Rt.takeError());
+      }
+
+      // Alter the global size to the reduced number of work groups; the
+      // work-group size and dimensionality are preserved (Sec. 5). The
+      // reduced physical groups are laid out along dimension 0.
+      kir::NDRangeCfg Reduced;
+      Reduced.WorkDim = P.Range.WorkDim;
+      for (unsigned D = 0; D != 3; ++D) {
+        Reduced.LocalSize[D] = P.Range.LocalSize[D];
+        Reduced.GlobalSize[D] = P.Range.LocalSize[D];
+      }
+      Reduced.GlobalSize[0] = PhysWGs * P.Range.LocalSize[0];
+
+      // The scheduling kernel takes the original arguments plus rt.
+      unsigned RtArgIndex = P.Kernel->function()->numArguments() - 1;
+      if (Error E = P.Kernel->setArg(RtArgIndex,
+                                     ocl::KernelArg::scalarI64(
+                                         static_cast<int64_t>(*Rt)))) {
+        Abandon();
+        return RetT(std::move(E));
+      }
+      Expected<std::vector<uint64_t>> Args = P.Kernel->packedArgs();
+      if (!Args) {
+        Abandon();
+        return RetT(Args.takeError());
+      }
+      Expected<kir::ExecStats> Stats =
+          Dev->interpreter().run(*P.Kernel->function(), *Args, Reduced);
+      releaseVirtualNDRange(Dev->memory(), *Rt);
+      if (!Stats) {
+        Abandon();
+        return RetT(Stats.takeError());
+      }
+
+      ScheduledExecution R;
+      R.KernelName = P.Kernel->name();
+      R.AppId = P.AppId;
+      R.Round = RoundIdx;
+      R.PhysicalWGs = PhysWGs;
+      R.OriginalWGs = P.Range.totalGroups();
+      R.Batch = Batch;
+      R.Stats = Stats.take();
+      Results.push_back(std::move(R));
+      Pending.erase(G.Id);
+    }
   }
-
-  std::vector<uint64_t> Shares = solveFairShares(
-      ResourceCaps::fromDevice(Dev->spec()), Demands);
-
-  // Launch each request on its reduced range.
-  for (size_t I = 0; I != Round.size(); ++I) {
-    const PendingExecution &P = Round[I];
-    // The interpreter serializes round members, so a share the solver
-    // clamped to zero can still make progress on one physical work
-    // group without oversubscribing anything that runs concurrently.
-    uint64_t PhysWGs = launchWGs(Shares[I]);
-    const passes::TransformedKernelInfo *Info =
-        kernelInfo(&P.Kernel->program(), P.Kernel->name());
-
-    // Batching must never starve physical work groups of work: cap it
-    // so every physical WG can dequeue at least one batch.
-    uint64_t MaxBatch = std::max<uint64_t>(
-        1,
-        P.Range.totalGroups() / (4 * PhysWGs));
-    uint64_t Batch =
-        std::min(batchSizeFor(Mode, Info->ComputeInstCount), MaxBatch);
-    Expected<uint64_t> Rt =
-        writeVirtualNDRange(Dev->memory(), P.Range, Batch);
-    if (!Rt) {
-      Round.clear();
-      return RetT(Rt.takeError());
-    }
-
-    // Alter the global size to the reduced number of work groups; the
-    // work-group size and dimensionality are preserved (Sec. 5). The
-    // reduced physical groups are laid out along dimension 0.
-    kir::NDRangeCfg Reduced;
-    Reduced.WorkDim = P.Range.WorkDim;
-    for (unsigned D = 0; D != 3; ++D) {
-      Reduced.LocalSize[D] = P.Range.LocalSize[D];
-      Reduced.GlobalSize[D] = P.Range.LocalSize[D];
-    }
-    Reduced.GlobalSize[0] = PhysWGs * P.Range.LocalSize[0];
-
-    // The scheduling kernel takes the original arguments plus rt.
-    unsigned RtArgIndex = P.Kernel->function()->numArguments() - 1;
-    if (Error E = P.Kernel->setArg(RtArgIndex,
-                                   ocl::KernelArg::scalarI64(
-                                       static_cast<int64_t>(*Rt)))) {
-      Round.clear();
-      return RetT(std::move(E));
-    }
-    Expected<std::vector<uint64_t>> Args = P.Kernel->packedArgs();
-    if (!Args) {
-      Round.clear();
-      return RetT(Args.takeError());
-    }
-    Expected<kir::ExecStats> Stats =
-        Dev->interpreter().run(*P.Kernel->function(), *Args, Reduced);
-    releaseVirtualNDRange(Dev->memory(), *Rt);
-    if (!Stats) {
-      Round.clear();
-      return RetT(Stats.takeError());
-    }
-
-    ScheduledExecution R;
-    R.KernelName = P.Kernel->name();
-    R.AppId = P.AppId;
-    R.PhysicalWGs = PhysWGs;
-    R.OriginalWGs = P.Range.totalGroups();
-    R.Batch = Batch;
-    R.Stats = Stats.take();
-    Results.push_back(std::move(R));
-  }
-  Round.clear();
   return Results;
 }

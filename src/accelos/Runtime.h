@@ -13,10 +13,13 @@
 /// memory is oversubscribed.
 ///
 /// Concurrency model: kernel execution requests from multiple
-/// applications accumulate into the current scheduling round;
-/// flushRound() sizes them against each other (K = round size), writes
-/// their Virtual NDRanges and executes them functionally. The timing
-/// dimension of concurrency is handled by sim::Engine in the harness.
+/// applications accumulate in the RoundScheduler's pending queue;
+/// flushRound() drains the queue round by round — each round sizes the
+/// granted requests against each other (dynamic K), writes their
+/// Virtual NDRanges and executes them functionally, and requests shed
+/// by the oversubscription clamp are requeued into the next round. The
+/// timing dimension of concurrency is handled by sim::Engine in the
+/// harness.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -25,6 +28,7 @@
 
 #include "accelos/AdaptivePolicy.h"
 #include "accelos/ResourceSolver.h"
+#include "accelos/Scheduler.h"
 #include "ocl/Ocl.h"
 #include "passes/AccelOSTransform.h"
 #include "support/Error.h"
@@ -71,7 +75,7 @@ private:
   std::set<int> Paused;
 };
 
-/// One kernel execution request waiting in the current scheduling round.
+/// One kernel execution request waiting in the scheduler's queue.
 struct PendingExecution {
   int AppId = 0;
   ocl::Kernel *Kernel = nullptr;
@@ -82,6 +86,7 @@ struct PendingExecution {
 struct ScheduledExecution {
   std::string KernelName;
   int AppId = 0;
+  uint64_t Round = 0;       ///< Scheduling round within this flush.
   uint64_t PhysicalWGs = 0; ///< Work groups after resource sharing.
   uint64_t OriginalWGs = 0;
   uint64_t Batch = 0;       ///< Adaptive dequeue batch (Sec. 6.4).
@@ -95,7 +100,8 @@ public:
   /// (Sec. 8.5); per-kernel weights default to equal sharing.
   explicit Runtime(ocl::Device &Dev,
                    SchedulingMode Mode = SchedulingMode::Optimized)
-      : Dev(&Dev), Mode(Mode), Memory(Dev) {}
+      : Dev(&Dev), Mode(Mode), Memory(Dev),
+        Sched(ResourceCaps::fromDevice(Dev.spec())) {}
 
   ocl::Device &device() { return *Dev; }
   MemoryManager &memory() { return Memory; }
@@ -112,9 +118,11 @@ public:
   const passes::TransformedKernelInfo *
   kernelInfo(const ocl::Program *Prog, const std::string &Name) const;
 
-  /// FSM path (b): queues a kernel execution request into the current
-  /// scheduling round. The kernel's user-visible arguments must already
-  /// be bound; the runtime fills the appended rt argument at launch.
+  /// FSM path (b): queues a kernel execution request into the
+  /// scheduler's pending queue (an arrival boundary). The kernel's
+  /// user-visible arguments must already be bound; the runtime fills
+  /// the appended rt argument at launch. The application's sharing
+  /// weight is captured at enqueue time.
   Error enqueueKernel(int AppId, ocl::Kernel &K,
                       const kir::NDRangeCfg &Range);
 
@@ -125,12 +133,18 @@ public:
   /// Sec. 2.2: sharing ratios other than equal).
   void setAppWeight(int AppId, double Weight) { Weights[AppId] = Weight; }
 
-  /// Sizes every request in the round against the others (K = round
-  /// size), writes the Virtual NDRanges, and runs the scheduling
-  /// kernels. Clears the round.
+  /// Drains the scheduler's queue round by round: each round sizes the
+  /// granted requests against each other (K = requests pending at the
+  /// round boundary), writes the Virtual NDRanges, and runs the
+  /// scheduling kernels. Requests the oversubscription clamp shed are
+  /// requeued into the next round — each execution's Round field
+  /// records which round ran it.
   Expected<std::vector<ScheduledExecution>> flushRound();
 
-  size_t pendingRequests() const { return Round.size(); }
+  size_t pendingRequests() const { return Sched.pending(); }
+
+  /// The round scheduler's observable behaviour (rounds, deferrals).
+  const SchedulerStats &schedulerStats() const { return Sched.stats(); }
 
 private:
   struct JittedProgram {
@@ -144,7 +158,9 @@ private:
   MemoryManager Memory;
   MonitorStats Stats;
   std::vector<JittedProgram> Programs;
-  std::vector<PendingExecution> Round;
+  RoundScheduler Sched;
+  std::map<uint64_t, PendingExecution> Pending; ///< By request id.
+  uint64_t NextRequestId = 0;
   std::map<int, double> Weights;
 };
 

@@ -1,0 +1,72 @@
+//===- accelos/Scheduler.cpp - Round-based kernel scheduler ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "accelos/Scheduler.h"
+
+using namespace accel;
+using namespace accel::accelos;
+
+RoundGrant RoundScheduler::soloGrant(const Entry &E) const {
+  std::vector<uint64_t> Shares = solveFairShares(Caps, {E.R.Demand}, Opts);
+  // Alone, any well-formed request solves to at least one work group.
+  // The floor below is the one remaining use of launchWGs(): a request
+  // whose single work group exceeds even the empty device can only be
+  // serialized by the execution layer, never shed — its work must not
+  // silently disappear.
+  return {E.R.Id, E.R.Demand.RequestedWGs == 0 ? 0 : launchWGs(Shares[0])};
+}
+
+std::vector<RoundGrant> RoundScheduler::nextRound() {
+  std::vector<RoundGrant> Grants;
+  if (Queue.empty())
+    return Grants;
+  ++Stats.RoundsPlanned;
+
+  std::vector<KernelDemand> Demands;
+  Demands.reserve(Queue.size());
+  for (const Entry &E : Queue)
+    Demands.push_back(E.R.Demand);
+  std::vector<uint64_t> Shares = solveFairShares(Caps, Demands, Opts);
+
+  // Anti-starvation: when the clamp would shed the queue head (always
+  // the longest-waiting request) yet again after repeated losses, give
+  // it a dedicated round instead; everyone else simply stays queued.
+  if (Shares[0] == 0 && Queue.front().R.Demand.RequestedWGs != 0 &&
+      Queue.front().DeferCount >= MaxDeferrals) {
+    ++Stats.SoloRescues;
+    Grants.push_back(soloGrant(Queue.front()));
+    Queue.pop_front();
+    return Grants;
+  }
+
+  std::deque<Entry> Deferred;
+  for (size_t I = 0; I != Shares.size(); ++I) {
+    Entry &E = Queue[I];
+    // Zero-request submissions complete trivially with zero work groups
+    // instead of deferring forever; clamp-shed requests wait for the
+    // next, smaller round.
+    if (Shares[I] == 0 && E.R.Demand.RequestedWGs != 0) {
+      ++E.DeferCount;
+      ++Stats.Deferrals;
+      Deferred.push_back(E);
+      continue;
+    }
+    Grants.push_back({E.R.Id, Shares[I]});
+  }
+
+  // Every request shed: force the head through alone so each round is
+  // guaranteed to make progress. The head is granted in *this* round
+  // after all, so the deferral charged to it above is taken back.
+  if (Grants.empty()) {
+    ++Stats.SoloRescues;
+    --Stats.Deferrals;
+    Grants.push_back(soloGrant(Deferred.front()));
+    Deferred.pop_front();
+  }
+
+  Queue = std::move(Deferred);
+  return Grants;
+}

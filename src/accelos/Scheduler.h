@@ -1,0 +1,105 @@
+//===- accelos/Scheduler.h - Round-based kernel scheduler -------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Kernel Scheduler's round policy, extracted from the runtime so
+/// the same component drives both the functional path (Runtime) and the
+/// timing harness. It maintains a FIFO queue of pending kernel
+/// execution requests and, at every scheduling boundary (a batch of
+/// arrivals or the completion of the previous round), re-solves the
+/// Sec. 3 fair shares over whatever is pending — the divisor K is
+/// dynamic, shrinking as requests complete and growing as tenants
+/// submit more work.
+///
+/// Requests the oversubscription clamp sheds (their minimum-share floor
+/// could not fit alongside the others) are *deferred*: they stay queued
+/// and are re-solved in a later, smaller round instead of being floored
+/// onto an already-full device. A request that keeps losing to the
+/// clamp is eventually granted a round of its own, so deferral never
+/// becomes starvation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_ACCELOS_SCHEDULER_H
+#define ACCEL_ACCELOS_SCHEDULER_H
+
+#include "accelos/ResourceSolver.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace accel {
+namespace accelos {
+
+/// One queued kernel execution request.
+struct RoundRequest {
+  uint64_t Id = 0; ///< Caller-owned handle, returned in the grant.
+  KernelDemand Demand;
+};
+
+/// A share grant for one member of a scheduling round.
+struct RoundGrant {
+  uint64_t Id = 0;
+  /// Solved physical work groups. Positive for every request that asked
+  /// for work; zero only for zero-request (idle) submissions.
+  uint64_t WGs = 0;
+};
+
+/// Observable scheduler behaviour.
+struct SchedulerStats {
+  uint64_t RoundsPlanned = 0;
+  /// Times a clamp-shed request was pushed into a later round.
+  uint64_t Deferrals = 0;
+  /// Times a repeatedly deferred head request was granted a solo round.
+  uint64_t SoloRescues = 0;
+};
+
+/// Round-synchronous fair-share scheduler over one device's capacity.
+class RoundScheduler {
+public:
+  /// A request deferred this many times is granted a round of its own.
+  static constexpr uint32_t MaxDeferrals = 3;
+
+  explicit RoundScheduler(const ResourceCaps &Caps,
+                          SolverOptions Opts = {})
+      : Caps(Caps), Opts(Opts) {}
+
+  /// Queues a request (an arrival boundary: the next round's K grows).
+  void submit(const RoundRequest &R) { Queue.push_back({R, 0}); }
+
+  /// Plans the next round over everything pending: solves fair shares
+  /// with K = pending(), pops and returns the granted requests, and
+  /// keeps clamp-shed requests queued (in order) for a later round.
+  /// Returns an empty vector only when nothing is pending.
+  std::vector<RoundGrant> nextRound();
+
+  size_t pending() const { return Queue.size(); }
+  const SchedulerStats &stats() const { return Stats; }
+
+  /// Drops every pending request (error recovery).
+  void clear() { Queue.clear(); }
+
+private:
+  struct Entry {
+    RoundRequest R;
+    uint32_t DeferCount = 0;
+  };
+
+  /// Grants \p E a round of its own (K = 1).
+  RoundGrant soloGrant(const Entry &E) const;
+
+  ResourceCaps Caps;
+  SolverOptions Opts;
+  std::deque<Entry> Queue;
+  SchedulerStats Stats;
+};
+
+} // namespace accelos
+} // namespace accel
+
+#endif // ACCEL_ACCELOS_SCHEDULER_H

@@ -8,6 +8,7 @@
 
 #include "accelos/AdaptivePolicy.h"
 #include "accelos/ResourceSolver.h"
+#include "accelos/Scheduler.h"
 #include "ek/ElasticKernels.h"
 #include "kir/Module.h"
 #include "kir/RtLayout.h"
@@ -93,32 +94,63 @@ sim::KernelLaunchDesc ExperimentDriver::baselineDesc(size_t Idx,
   return L;
 }
 
-std::vector<sim::KernelLaunchDesc>
-ExperimentDriver::buildLaunches(SchedulerKind Kind,
-                                const workloads::Workload &W) const {
-  std::vector<sim::KernelLaunchDesc> Launches;
+ek::EKKernelDesc ExperimentDriver::ekDesc(size_t Idx, int AppId) const {
+  const CompiledKernel &CK = Kernels[Idx];
+  ek::EKKernelDesc D;
+  D.Name = CK.Spec->Id;
+  D.AppId = AppId;
+  D.WGThreads = CK.Spec->WGSize;
+  D.LocalMemPerWG = CK.LocalMemBytes;
+  D.RegsPerThread = CK.RegsPerThread;
+  D.IssueEfficiency = CK.Spec->IssueEfficiency;
+  D.WGCosts = CK.WGCosts;
+  return D;
+}
 
+accelos::KernelDemand ExperimentDriver::demandFor(size_t Idx) const {
+  const CompiledKernel &CK = Kernels[Idx];
+  accelos::KernelDemand D;
+  D.WGThreads = CK.Spec->WGSize;
+  D.LocalMemPerWG = CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
+  D.RegsPerThread = CK.RegsPerThread;
+  D.RequestedWGs = CK.Spec->NumWGs;
+  return D;
+}
+
+sim::KernelLaunchDesc
+ExperimentDriver::accelosDesc(size_t Idx, int AppId, uint64_t PhysWGs,
+                              accelos::SchedulingMode Mode) const {
+  const CompiledKernel &CK = Kernels[Idx];
+  sim::KernelLaunchDesc L;
+  L.Name = CK.Spec->Id;
+  L.AppId = AppId;
+  L.WGThreads = CK.Spec->WGSize;
+  L.LocalMemPerWG = CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
+  L.RegsPerThread = CK.RegsPerThread;
+  L.IssueEfficiency = CK.Spec->IssueEfficiency;
+  L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
+  L.VirtualCosts = CK.WGCosts;
+  L.PhysicalWGs = PhysWGs;
+  L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, CK.Spec->NumWGs,
+                                    PhysWGs);
+  return L;
+}
+
+std::vector<std::vector<sim::KernelLaunchDesc>>
+ExperimentDriver::buildRounds(SchedulerKind Kind,
+                              const workloads::Workload &W) const {
   switch (Kind) {
   case SchedulerKind::Baseline: {
+    std::vector<sim::KernelLaunchDesc> Launches;
     for (size_t I = 0; I != W.size(); ++I)
       Launches.push_back(baselineDesc(W[I], static_cast<int>(I)));
-    return Launches;
+    return {std::move(Launches)};
   }
   case SchedulerKind::ElasticKernels: {
     std::vector<ek::EKKernelDesc> Descs;
-    for (size_t I = 0; I != W.size(); ++I) {
-      const CompiledKernel &CK = Kernels[W[I]];
-      ek::EKKernelDesc D;
-      D.Name = CK.Spec->Id;
-      D.AppId = static_cast<int>(I);
-      D.WGThreads = CK.Spec->WGSize;
-      D.LocalMemPerWG = CK.LocalMemBytes;
-      D.RegsPerThread = CK.RegsPerThread;
-      D.IssueEfficiency = CK.Spec->IssueEfficiency;
-      D.WGCosts = CK.WGCosts;
-      Descs.push_back(std::move(D));
-    }
-    return ek::planMergedLaunch(Spec, Descs);
+    for (size_t I = 0; I != W.size(); ++I)
+      Descs.push_back(ekDesc(W[I], static_cast<int>(I)));
+    return {ek::planMergedLaunch(Spec, Descs)};
   }
   case SchedulerKind::AccelOSNaive:
   case SchedulerKind::AccelOSOptimized: {
@@ -127,45 +159,27 @@ ExperimentDriver::buildLaunches(SchedulerKind Kind,
             ? accelos::SchedulingMode::Naive
             : accelos::SchedulingMode::Optimized;
 
-    // The Kernel Scheduler's Sec. 3 sizing across the K concurrent
-    // requests.
-    std::vector<accelos::KernelDemand> Demands;
+    // The Kernel Scheduler plans rounds over the K concurrent requests;
+    // clamp-shed requests requeue into later (smaller) rounds instead
+    // of being floored onto a full device.
+    accelos::RoundScheduler Sched(accelos::ResourceCaps::fromDevice(Spec));
     for (size_t I = 0; I != W.size(); ++I) {
-      const CompiledKernel &CK = Kernels[W[I]];
-      accelos::KernelDemand D;
-      D.WGThreads = CK.Spec->WGSize;
-      D.LocalMemPerWG =
-          CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
-      D.RegsPerThread = CK.RegsPerThread;
-      D.RequestedWGs = CK.Spec->NumWGs;
-      Demands.push_back(D);
+      accelos::RoundRequest R;
+      R.Id = I;
+      R.Demand = demandFor(W[I]);
+      Sched.submit(R);
     }
-    std::vector<uint64_t> Shares = accelos::solveFairShares(
-        accelos::ResourceCaps::fromDevice(Spec), Demands);
 
-    for (size_t I = 0; I != W.size(); ++I) {
-      const CompiledKernel &CK = Kernels[W[I]];
-      sim::KernelLaunchDesc L;
-      L.Name = CK.Spec->Id;
-      L.AppId = static_cast<int>(I);
-      L.WGThreads = CK.Spec->WGSize;
-      L.LocalMemPerWG =
-          CK.LocalMemBytes + kir::rtlayout::schedDescBytes();
-      L.RegsPerThread = CK.RegsPerThread;
-      L.IssueEfficiency = CK.Spec->IssueEfficiency;
-      L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
-      L.VirtualCosts = CK.WGCosts;
-      uint64_t PhysWGs = accelos::launchWGs(Shares[I]);
-      L.PhysicalWGs = PhysWGs;
-      // Batching must never starve physical work groups of work: cap it
-      // so every physical WG gets at least one batch.
-      uint64_t MaxBatch =
-          std::max<uint64_t>(1, CK.Spec->NumWGs / (4 * PhysWGs));
-      L.Batch = std::min(accelos::batchSizeFor(Mode, CK.InstCount),
-                         MaxBatch);
-      Launches.push_back(std::move(L));
+    std::vector<std::vector<sim::KernelLaunchDesc>> Rounds;
+    while (Sched.pending() != 0) {
+      std::vector<sim::KernelLaunchDesc> Launches;
+      for (const accelos::RoundGrant &G : Sched.nextRound())
+        Launches.push_back(accelosDesc(W[G.Id],
+                                       static_cast<int>(G.Id), G.WGs,
+                                       Mode));
+      Rounds.push_back(std::move(Launches));
     }
-    return Launches;
+    return Rounds;
   }
   }
   accel_unreachable("bad scheduler kind");
@@ -179,7 +193,7 @@ double ExperimentDriver::isolatedDuration(SchedulerKind Kind, size_t Idx) {
 
   workloads::Workload Solo = {Idx};
   sim::Engine Engine(Spec);
-  sim::SimResult R = Engine.run(buildLaunches(Kind, Solo));
+  sim::SimResult R = Engine.run(buildRounds(Kind, Solo).front());
   double D = R.Kernels[0].duration();
   IsolatedCache.emplace(Key, D);
   return D;
@@ -187,14 +201,28 @@ double ExperimentDriver::isolatedDuration(SchedulerKind Kind, size_t Idx) {
 
 WorkloadOutcome ExperimentDriver::runWorkload(SchedulerKind Kind,
                                               const workloads::Workload &W) {
-  sim::Engine Engine(Spec);
-  sim::SimResult R = Engine.run(buildLaunches(Kind, W));
+  // Rounds run back to back: each begins when the previous one's
+  // kernels have all completed, so per-round engine runs compose by
+  // shifting the later round's times past the earlier makespans.
+  std::vector<sim::KernelExecResult> ByPos(W.size());
+  double T = 0;
+  for (const std::vector<sim::KernelLaunchDesc> &Round :
+       buildRounds(Kind, W)) {
+    sim::Engine Engine(Spec);
+    sim::SimResult R = Engine.run(Round);
+    for (sim::KernelExecResult K : R.Kernels) {
+      K.StartTime += T;
+      K.EndTime += T;
+      ByPos[static_cast<size_t>(K.AppId)] = K;
+    }
+    T += R.Makespan;
+  }
 
   WorkloadOutcome Out;
-  Out.Makespan = R.Makespan;
+  Out.Makespan = T;
   std::vector<metrics::Interval> Intervals;
   for (size_t I = 0; I != W.size(); ++I) {
-    const sim::KernelExecResult &K = R.Kernels[I];
+    const sim::KernelExecResult &K = ByPos[I];
     double Alone = isolatedDuration(SchedulerKind::Baseline, W[I]);
     // T(s) is the turnaround from (common, t=0) submission, so queueing
     // delay behind earlier requests counts against fairness — this is

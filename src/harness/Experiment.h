@@ -18,6 +18,9 @@
 #ifndef ACCEL_HARNESS_EXPERIMENT_H
 #define ACCEL_HARNESS_EXPERIMENT_H
 
+#include "accelos/AdaptivePolicy.h"
+#include "accelos/ResourceSolver.h"
+#include "ek/ElasticKernels.h"
 #include "sim/Engine.h"
 #include "workloads/KernelSpec.h"
 #include "workloads/Sampler.h"
@@ -69,17 +72,40 @@ public:
 
   const sim::DeviceSpec &device() const { return Spec; }
 
-  /// Runs one multi-kernel workload under \p Kind.
+  /// Runs one multi-kernel workload under \p Kind. accelOS workloads
+  /// are simulated round by round: requests the oversubscription clamp
+  /// sheds are deferred to the next scheduling round, which begins when
+  /// the previous round's kernels complete.
   WorkloadOutcome runWorkload(SchedulerKind Kind,
                               const workloads::Workload &W);
 
   /// Duration of kernel \p Idx running alone under \p Kind (cached).
   double isolatedDuration(SchedulerKind Kind, size_t Idx);
 
-private:
+  /// Builds the launch descriptor of suite kernel \p Idx as the
+  /// standard OpenCL stack would submit it (also used by the streaming
+  /// harness's FIFO baseline).
   sim::KernelLaunchDesc baselineDesc(size_t Idx, int AppId) const;
-  std::vector<sim::KernelLaunchDesc>
-  buildLaunches(SchedulerKind Kind, const workloads::Workload &W) const;
+
+  /// Builds one accelOS WorkQueue launch for \p Idx with the solved
+  /// share \p PhysWGs.
+  sim::KernelLaunchDesc accelosDesc(size_t Idx, int AppId,
+                                    uint64_t PhysWGs,
+                                    accelos::SchedulingMode Mode) const;
+
+  /// Builds the Elastic Kernels merge input for suite kernel \p Idx.
+  ek::EKKernelDesc ekDesc(size_t Idx, int AppId) const;
+
+  /// The Sec. 3 demand terms of suite kernel \p Idx (full range, unit
+  /// weight — callers adjust RequestedWGs/Weight as needed).
+  accelos::KernelDemand demandFor(size_t Idx) const;
+
+private:
+  /// One engine run per scheduling round. Baseline and EK submit
+  /// everything in one round; accelOS plans rounds through the
+  /// RoundScheduler (deferred requests land in later rounds).
+  std::vector<std::vector<sim::KernelLaunchDesc>>
+  buildRounds(SchedulerKind Kind, const workloads::Workload &W) const;
 
   sim::DeviceSpec Spec;
   std::vector<CompiledKernel> Kernels;

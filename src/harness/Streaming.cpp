@@ -1,0 +1,256 @@
+//===- harness/Streaming.cpp - Streaming-arrival serving loop ----------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/Streaming.h"
+
+#include "accelos/ResourceSolver.h"
+#include "accelos/Scheduler.h"
+#include "ek/ElasticKernels.h"
+#include "metrics/Metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace accel;
+using namespace accel::harness;
+
+double harness::meanIsolatedBaselineDuration(ExperimentDriver &Driver) {
+  double Sum = 0;
+  for (size_t I = 0; I != Driver.numKernels(); ++I)
+    Sum += Driver.isolatedDuration(SchedulerKind::Baseline, I);
+  return Sum / static_cast<double>(Driver.numKernels());
+}
+
+std::map<int, std::vector<double>>
+StreamOutcome::latenciesByTenant() const {
+  std::map<int, std::vector<double>> Out;
+  for (const StreamRequestResult &R : Requests)
+    Out[R.Tenant].push_back(R.latency());
+  return Out;
+}
+
+namespace {
+
+/// Per-request progress while its work is still in flight. accelOS
+/// requests may execute across several rounds (work slicing), so the
+/// first-dispatch and last-completion times accumulate here.
+struct LiveRequest {
+  size_t Cursor = 0; ///< Next unexecuted virtual group.
+  bool Started = false;
+  double Start = 0;
+  double End = 0;
+};
+
+} // namespace
+
+StreamOutcome harness::runStream(
+    ExperimentDriver &Driver, SchedulerKind Kind,
+    const std::vector<workloads::TimedRequest> &Trace,
+    const StreamOptions &Opts) {
+  StreamOutcome Out;
+  Out.Requests.resize(Trace.size());
+  if (Trace.empty())
+    return Out;
+
+  const sim::DeviceSpec &Spec = Driver.device();
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    StreamRequestResult &R = Out.Requests[I];
+    R.RequestIdx = I;
+    R.Tenant = Trace[I].Tenant;
+    R.Kernel = Driver.kernel(Trace[I].KernelIdx).Spec->Id;
+    R.ArrivalTime = Trace[I].ArrivalTime;
+  }
+
+  if (Kind == SchedulerKind::Baseline) {
+    // The standard stack submits straight into the hardware FIFO: one
+    // engine run where every launch carries its real arrival time.
+    std::vector<sim::KernelLaunchDesc> Launches;
+    for (size_t I = 0; I != Trace.size(); ++I) {
+      sim::KernelLaunchDesc L =
+          Driver.baselineDesc(Trace[I].KernelIdx, static_cast<int>(I));
+      L.ArrivalTime = Trace[I].ArrivalTime;
+      Launches.push_back(std::move(L));
+    }
+    sim::Engine Engine(Spec);
+    sim::SimResult R = Engine.run(Launches);
+    for (const sim::KernelExecResult &K : R.Kernels) {
+      StreamRequestResult &Req =
+          Out.Requests[static_cast<size_t>(K.AppId)];
+      Req.StartTime = K.StartTime;
+      Req.EndTime = K.EndTime;
+    }
+    Out.Rounds = 1;
+  } else {
+    // Round-synchronous serving loop: requests arriving mid-round wait
+    // for the completion boundary, where the plan sees the grown queue.
+    accelos::SchedulingMode Mode =
+        Kind == SchedulerKind::AccelOSNaive
+            ? accelos::SchedulingMode::Naive
+            : accelos::SchedulingMode::Optimized;
+    const bool IsEk = Kind == SchedulerKind::ElasticKernels;
+    accelos::RoundScheduler Sched(
+        accelos::ResourceCaps::fromDevice(Spec));
+    std::deque<size_t> EkPending;
+    std::vector<LiveRequest> Live(Trace.size());
+    size_t NextArrival = 0;
+    size_t Completed = 0;
+    double T = 0;
+
+    auto Submit = [&](size_t Idx) {
+      const workloads::TimedRequest &Req = Trace[Idx];
+      accelos::RoundRequest R;
+      R.Id = Idx;
+      R.Demand = Driver.demandFor(Req.KernelIdx);
+      // A sliced request re-enters the queue asking only for what is
+      // left of its virtual range.
+      R.Demand.RequestedWGs =
+          Driver.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
+      auto WIt = Opts.Weights.find(Req.Tenant);
+      R.Demand.Weight = WIt == Opts.Weights.end() ? 1.0 : WIt->second;
+      Sched.submit(R);
+    };
+    auto Admit = [&](double Now) {
+      while (NextArrival != Trace.size() &&
+             Trace[NextArrival].ArrivalTime <= Now) {
+        if (IsEk)
+          EkPending.push_back(NextArrival);
+        else
+          Submit(NextArrival);
+        ++NextArrival;
+      }
+    };
+    auto Pending = [&] {
+      return IsEk ? EkPending.size() : Sched.pending();
+    };
+
+    Admit(T);
+    while (Completed != Trace.size()) {
+      if (Pending() == 0) {
+        // Idle device: jump to the next arrival.
+        assert(NextArrival != Trace.size() && "requests lost");
+        T = std::max(T, Trace[NextArrival].ArrivalTime);
+        Admit(T);
+        continue;
+      }
+
+      std::vector<sim::KernelLaunchDesc> Launches;
+      std::vector<size_t> Unfinished;
+      if (IsEk) {
+        std::vector<ek::EKKernelDesc> Descs;
+        for (size_t Idx : EkPending)
+          Descs.push_back(Driver.ekDesc(Trace[Idx].KernelIdx,
+                                        static_cast<int>(Idx)));
+        EkPending.clear();
+        Launches = ek::planMergedLaunch(Spec, Descs);
+      } else {
+        for (const accelos::RoundGrant &G : Sched.nextRound()) {
+          const CompiledKernel &CK = Driver.kernel(Trace[G.Id].KernelIdx);
+          LiveRequest &LR = Live[G.Id];
+
+          // A request with no (remaining) work completes at this
+          // boundary without occupying the device.
+          if (LR.Cursor == CK.WGCosts.size()) {
+            if (!LR.Started) {
+              LR.Started = true;
+              LR.Start = T;
+            }
+            LR.End = std::max(LR.End, T);
+            Out.Requests[G.Id].StartTime = LR.Start;
+            Out.Requests[G.Id].EndTime = LR.End;
+            ++Completed;
+            continue;
+          }
+
+          sim::KernelLaunchDesc L = Driver.accelosDesc(
+              Trace[G.Id].KernelIdx, static_cast<int>(G.Id), G.WGs,
+              Mode);
+
+          // Work slicing: run at most a quantum's worth of the virtual
+          // range this round (paper Sec. 2.4: the virtual work queue is
+          // what makes bounded-progress launches possible), requeueing
+          // the remainder. The budget approximates the thread-cycles
+          // the granted share retires in one quantum.
+          size_t End = CK.WGCosts.size();
+          if (Opts.RoundQuantum > 0) {
+            double Budget = Opts.RoundQuantum *
+                            static_cast<double>(G.WGs) *
+                            static_cast<double>(CK.Spec->WGSize) *
+                            CK.Spec->IssueEfficiency;
+            double Cost = 0;
+            size_t Take = LR.Cursor;
+            while (Take != End && (Take == LR.Cursor || Cost < Budget))
+              Cost += CK.WGCosts[Take++];
+            End = Take;
+          }
+          std::vector<double> Slice(
+              CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
+              CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
+          LR.Cursor = End;
+          L.PhysicalWGs =
+              std::min<uint64_t>(std::max<uint64_t>(G.WGs, 1),
+                                 Slice.size());
+          // Re-cap the dequeue batch against the slice, not the full
+          // range: every granted physical WG must still be able to
+          // dequeue at least one batch of this round's work.
+          L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount,
+                                            Slice.size(),
+                                            L.PhysicalWGs);
+          L.VirtualCosts = std::move(Slice);
+          if (LR.Cursor != CK.WGCosts.size())
+            Unfinished.push_back(G.Id);
+          Launches.push_back(std::move(L));
+        }
+      }
+
+      sim::Engine Engine(Spec);
+      sim::SimResult R = Engine.run(Launches);
+      for (const sim::KernelExecResult &K : R.Kernels) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        LiveRequest &LR = Live[Idx];
+        if (!LR.Started) {
+          LR.Started = true;
+          LR.Start = K.StartTime + T;
+        }
+        LR.End = K.EndTime + T;
+      }
+      T += R.Makespan;
+      ++Out.Rounds;
+
+      // Completion boundary: finished requests retire, sliced ones
+      // requeue (ahead of this boundary's new arrivals — they are
+      // older), and the next round re-solves over the new queue.
+      for (const sim::KernelExecResult &K : R.Kernels) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        bool Done =
+            IsEk || Live[Idx].Cursor ==
+                        Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size();
+        if (!Done)
+          continue;
+        Out.Requests[Idx].StartTime = Live[Idx].Start;
+        Out.Requests[Idx].EndTime = Live[Idx].End;
+        ++Completed;
+      }
+      for (size_t Idx : Unfinished)
+        Submit(Idx);
+      Admit(T);
+    }
+    if (!IsEk)
+      Out.Deferrals = Sched.stats().Deferrals;
+  }
+
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    const StreamRequestResult &R = Out.Requests[I];
+    Out.Makespan = std::max(Out.Makespan, R.EndTime);
+    double Alone =
+        Driver.isolatedDuration(SchedulerKind::Baseline,
+                                Trace[I].KernelIdx);
+    Out.Slowdowns.push_back(
+        metrics::individualSlowdown(R.EndTime - R.ArrivalTime, Alone));
+  }
+  Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
+  return Out;
+}

@@ -1,0 +1,96 @@
+//===- harness/Streaming.h - Streaming-arrival serving loop -----*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event-driven multi-tenant serving loop: replays an open-loop
+/// arrival trace (workloads::poissonTrace) under the compared
+/// schedulers and reports per-request latencies and fairness.
+///
+///  - Baseline: the standard stack's FIFO hardware queue — one engine
+///    run where every launch carries its real ArrivalTime;
+///  - Elastic Kernels: at each round boundary the pending requests are
+///    statically merged and co-dispatched;
+///  - accelOS: the RoundScheduler re-solves fair shares at every
+///    arrival/completion boundary (dynamic K) and requeues clamp-shed
+///    requests into later rounds. Because accelOS kernels drain a
+///    virtual work queue, a round may run each kernel for a bounded
+///    *quantum* of its virtual groups and requeue the remainder — the
+///    software analogue of preemption that keeps rounds short, so a
+///    newly arrived kernel is never serialized behind a giant one.
+///
+/// Rounds are completion-synchronous: requests arriving while a round
+/// executes wait for the next boundary, where the share solve sees the
+/// grown queue.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_HARNESS_STREAMING_H
+#define ACCEL_HARNESS_STREAMING_H
+
+#include "harness/Experiment.h"
+#include "workloads/Arrivals.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace harness {
+
+/// Timing of one completed streaming request.
+struct StreamRequestResult {
+  size_t RequestIdx = 0; ///< Position in the replayed trace.
+  int Tenant = 0;
+  std::string Kernel;
+  double ArrivalTime = 0;
+  double StartTime = 0;
+  double EndTime = 0;
+
+  /// Submission-to-completion latency (queueing included).
+  double latency() const { return EndTime - ArrivalTime; }
+};
+
+/// Whole-trace outcome under one scheduler.
+struct StreamOutcome {
+  std::vector<StreamRequestResult> Requests; ///< Indexed by trace order.
+  /// Per-request turnaround normalized to the kernel's isolated
+  /// baseline duration (the streaming analogue of IS_i).
+  std::vector<double> Slowdowns;
+  double Makespan = 0;   ///< Completion time of the last request.
+  double Unfairness = 1; ///< max/min over Slowdowns.
+  size_t Rounds = 0;     ///< Scheduling rounds executed (1 for FIFO).
+  uint64_t Deferrals = 0; ///< Clamp-shed requeues (accelOS only).
+
+  /// Latencies grouped by tenant, for percentile reporting.
+  std::map<int, std::vector<double>> latenciesByTenant() const;
+};
+
+/// Streaming replay knobs.
+struct StreamOptions {
+  /// Per-tenant sharing weights (absent tenants weigh 1.0); only
+  /// accelOS honours weights.
+  std::map<int, double> Weights;
+  /// accelOS work-slicing quantum in simulation time units: each round
+  /// runs every granted kernel for roughly this long (sized through its
+  /// virtual-group costs) and requeues the unfinished remainder. Zero
+  /// disables slicing — granted kernels run to completion within their
+  /// round.
+  double RoundQuantum = 0;
+};
+
+/// Replays \p Trace under \p Kind on \p Driver's device.
+StreamOutcome runStream(ExperimentDriver &Driver, SchedulerKind Kind,
+                        const std::vector<workloads::TimedRequest> &Trace,
+                        const StreamOptions &Opts = {});
+
+/// Mean isolated (solo, baseline) duration across the suite: the
+/// natural time unit for calibrating arrival rates and round quanta.
+double meanIsolatedBaselineDuration(ExperimentDriver &Driver);
+
+} // namespace harness
+} // namespace accel
+
+#endif // ACCEL_HARNESS_STREAMING_H

@@ -53,6 +53,33 @@ double averageNormalizedTurnaround(const std::vector<double> &Slowdowns);
 /// Worst-case normalized turnaround time.
 double worstNormalizedTurnaround(const std::vector<double> &Slowdowns);
 
+/// The \p Pct-th percentile (0..100) of \p Values, by linear
+/// interpolation between the closest ranks. \p Values need not be
+/// sorted and must be non-empty. Used for per-tenant latency p50/p95/
+/// p99 in the streaming evaluation.
+double latencyPercentile(std::vector<double> Values, double Pct);
+
+/// A measurement stamped with the time it was observed (e.g. a
+/// request's slowdown stamped with its completion time).
+struct TimedSample {
+  double Time = 0;
+  double Value = 0;
+};
+
+/// Unfairness over time: tiles [0, max sample time] into windows of
+/// \p WindowLength and returns max/min of the values observed in each
+/// window. Windows holding fewer than two samples report 1 (a lone
+/// request cannot be treated unfairly relative to the window). Returns
+/// an empty vector for an empty sample set; \p WindowLength must be
+/// positive.
+std::vector<double> windowedUnfairness(
+    const std::vector<TimedSample> &Samples, double WindowLength);
+
+/// The worst window of windowedUnfairness() (1 when there are no
+/// windows) — transient unfairness that whole-trace averages hide.
+double peakWindowedUnfairness(const std::vector<TimedSample> &Samples,
+                              double WindowLength);
+
 } // namespace metrics
 } // namespace accel
 

@@ -113,6 +113,16 @@ public:
       S.D = &D;
       States.push_back(S);
     }
+    // The device queue is ordered by arrival; the stable sort keeps
+    // vector order for ties (and the identity for all-zero arrivals).
+    QueueOrder.resize(States.size());
+    for (size_t I = 0; I != States.size(); ++I)
+      QueueOrder[I] = I;
+    std::stable_sort(QueueOrder.begin(), QueueOrder.end(),
+                     [&](size_t A, size_t B) {
+                       return States[A].D->ArrivalTime <
+                              States[B].D->ArrivalTime;
+                     });
   }
 
   SimResult run();
@@ -125,18 +135,23 @@ private:
     bool operator>(const HeapEntry &O) const { return Time > O.Time; }
   };
 
-  bool allEarlierComplete(size_t Li) const {
-    for (size_t I = 0; I != Li; ++I)
-      if (!States[I].Finished)
+  /// Earlier/later relations below are in *queue positions*: indices
+  /// into QueueOrder, i.e. arrival order. Only the arrived prefix
+  /// [0, ArrivedCount) is visible to admission and dispatch — a launch
+  /// that has not arrived yet neither blocks nor is blocked.
+  bool allEarlierComplete(size_t Pos) const {
+    for (size_t P = 0; P != Pos; ++P)
+      if (!States[QueueOrder[P]].Finished)
         return false;
     return true;
   }
 
-  bool sharesMergeGroupWithEarlier(size_t Li) const {
-    if (States[Li].D->MergeGroup < 0)
+  bool sharesMergeGroupWithEarlier(size_t Pos) const {
+    const LaunchState &L = States[QueueOrder[Pos]];
+    if (L.D->MergeGroup < 0)
       return false;
-    for (size_t I = 0; I != Li; ++I)
-      if (States[I].D->MergeGroup == States[Li].D->MergeGroup)
+    for (size_t P = 0; P != Pos; ++P)
+      if (States[QueueOrder[P]].D->MergeGroup == L.D->MergeGroup)
         return true;
     return false;
   }
@@ -156,23 +171,23 @@ private:
     }
   }
 
-  /// May launch \p Li begin dispatching under the device's admission
-  /// policy?
-  bool canStart(size_t Li) const {
-    if (Li == 0 || allEarlierComplete(Li))
+  /// May the launch at queue position \p Pos begin dispatching under
+  /// the device's admission policy?
+  bool canStart(size_t Pos) const {
+    if (Pos == 0 || allEarlierComplete(Pos))
       return true;
-    if (sharesMergeGroupWithEarlier(Li))
+    if (sharesMergeGroupWithEarlier(Pos))
       return true;
     // All earlier launches must at least have drained their pending
     // queues (WG-granular FIFO).
-    for (size_t I = 0; I != Li; ++I)
-      if (!States[I].dispatchDone())
+    for (size_t P = 0; P != Pos; ++P)
+      if (!States[QueueOrder[P]].dispatchDone())
         return false;
     if (Spec.Admission == KernelAdmissionKind::GreedyTail)
       return true;
     // ExclusiveUnlessFits: the whole remaining footprint must fit in
     // the currently free space.
-    const KernelLaunchDesc &D = *States[Li].D;
+    const KernelLaunchDesc &D = *States[QueueOrder[Pos]].D;
     uint64_t FreeThreads, FreeLocal, FreeRegs, FreeSlots;
     freeCapacity(FreeThreads, FreeLocal, FreeRegs, FreeSlots);
     uint64_t WGs = D.numPhysicalWGs();
@@ -257,9 +272,9 @@ private:
   /// no member monopolises freed slots.
   void dispatchMergeGroup(int Group, double Now) {
     std::vector<size_t> Members;
-    for (size_t Li = 0; Li != States.size(); ++Li)
-      if (States[Li].D->MergeGroup == Group)
-        Members.push_back(Li);
+    for (size_t P = 0; P != ArrivedCount; ++P)
+      if (States[QueueOrder[P]].D->MergeGroup == Group)
+        Members.push_back(QueueOrder[P]);
     size_t &Cursor = GroupCursor[Group];
     for (bool Progress = true; Progress;) {
       Progress = false;
@@ -276,16 +291,18 @@ private:
     }
   }
 
-  /// Dispatches as much pending work as policies and space allow.
+  /// Dispatches as much pending work as policies and space allow,
+  /// considering only launches that have arrived.
   void dispatchAll(double Now) {
     std::set<int> GroupsDone;
-    for (size_t Li = 0; Li != States.size(); ++Li) {
+    for (size_t Pos = 0; Pos != ArrivedCount; ++Pos) {
+      size_t Li = QueueOrder[Pos];
       LaunchState &L = States[Li];
       if (L.dispatchDone())
         continue;
       // Admission check applies to merged batches through their first
       // pending member: later batches queue behind earlier ones.
-      if (!L.Started && !canStart(Li))
+      if (!L.Started && !canStart(Pos))
         break;
       if (L.D->MergeGroup >= 0) {
         if (GroupsDone.insert(L.D->MergeGroup).second)
@@ -319,9 +336,19 @@ private:
     }
   }
 
+  /// Admits every launch whose arrival time has passed. QueueOrder is
+  /// sorted by arrival, so the arrived set is always a prefix.
+  void admitArrivals(double Now) {
+    while (ArrivedCount != QueueOrder.size() &&
+           States[QueueOrder[ArrivedCount]].D->ArrivalTime <= Now)
+      ++ArrivedCount;
+  }
+
   const DeviceSpec &Spec;
   std::vector<CUState> CUs;
   std::vector<LaunchState> States;
+  std::vector<size_t> QueueOrder; ///< Launch indices in arrival order.
+  size_t ArrivedCount = 0;        ///< Arrived prefix of QueueOrder.
   std::vector<size_t> Dirty;
   std::map<int, size_t> GroupCursor;
   unsigned RoundRobin = 0;
@@ -329,10 +356,12 @@ private:
 
 SimResult Simulation::run() {
   SimResult Result;
-  // Degenerate launches complete immediately.
+  // Degenerate launches complete immediately upon arrival.
   for (LaunchState &L : States) {
-    if (L.D->numPhysicalWGs() == 0)
+    if (L.D->numPhysicalWGs() == 0) {
       L.Finished = true;
+      L.Start = L.End = L.D->ArrivalTime;
+    }
     assert(L.D->WGThreads <= Spec.MaxThreadsPerCU &&
            L.D->LocalMemPerWG <= Spec.LocalMemPerCU &&
            L.D->WGThreads * L.D->RegsPerThread <= Spec.RegsPerCU &&
@@ -351,12 +380,28 @@ SimResult Simulation::run() {
 
   double Now = 0;
   Dirty.clear();
+  admitArrivals(Now);
   dispatchAll(Now);
   for (size_t I = 0; I != CUs.size(); ++I)
     PushCU(I);
 
   uint64_t Events = 0;
-  while (!Heap.empty()) {
+  while (!Heap.empty() || ArrivedCount != QueueOrder.size()) {
+    // Arrival events interleave with work-group completions; ties go to
+    // the arrival so newly submitted work can co-dispatch into the
+    // space freed at the same instant.
+    if (ArrivedCount != QueueOrder.size()) {
+      double NextArrival = States[QueueOrder[ArrivedCount]].D->ArrivalTime;
+      if (Heap.empty() || NextArrival <= Heap.top().Time) {
+        Now = std::max(Now, NextArrival);
+        admitArrivals(Now);
+        Dirty.clear();
+        dispatchAll(Now);
+        for (size_t CUIdx : Dirty)
+          PushCU(CUIdx);
+        continue;
+      }
+    }
     HeapEntry E = Heap.top();
     Heap.pop();
     CUState &CU = CUs[E.CU];
@@ -425,6 +470,7 @@ SimResult Simulation::run() {
     KernelExecResult R;
     R.Name = L.D->Name;
     R.AppId = L.D->AppId;
+    R.ArrivalTime = L.D->ArrivalTime;
     R.StartTime = L.Start;
     R.EndTime = L.End;
     R.DispatchedWGs = L.NextWG;

@@ -17,6 +17,10 @@
 ///    virtual groups from a shared queue with a per-dequeue atomic cost
 ///    (accelOS, paper Sec. 2.4/6.4).
 ///
+/// Launches enter the device queue at their ArrivalTime, so the same
+/// model covers both the paper's one-shot batches (all arrivals zero)
+/// and open-loop streams of requests arriving over time.
+///
 /// All of the paper's scheduling effects — serialization and unfairness
 /// under FIFO, space sharing under accelOS, load balancing from dynamic
 /// dequeue, batching amortization — are emergent behaviours of this
@@ -40,6 +44,13 @@ namespace sim {
 struct KernelLaunchDesc {
   std::string Name;
   int AppId = 0;
+
+  /// Simulation time at which this launch reaches the device. The
+  /// hardware dispatcher's FIFO queue is ordered by arrival (vector
+  /// order breaks ties), and a launch is invisible to admission and
+  /// dispatch before this time. Zero (the default) reproduces the
+  /// one-shot batch model where every launch is submitted together.
+  double ArrivalTime = 0;
 
   /// Physical work-group shape and per-WG resource footprint.
   uint64_t WGThreads = 0;     ///< w_i: threads per work group.
@@ -79,12 +90,20 @@ struct KernelLaunchDesc {
 struct KernelExecResult {
   std::string Name;
   int AppId = 0;
-  double StartTime = 0; ///< First work-group dispatch.
-  double EndTime = 0;   ///< Last work-group completion.
+  double ArrivalTime = 0; ///< Submission to the device queue.
+  double StartTime = 0;   ///< First work-group dispatch.
+  double EndTime = 0;     ///< Last work-group completion.
   uint64_t DispatchedWGs = 0;
   uint64_t DequeueOps = 0;
 
   double duration() const { return EndTime - StartTime; }
+
+  /// Time from submission to completion (queueing included) — the
+  /// latency a tenant observes in a streaming workload.
+  double turnaround() const { return EndTime - ArrivalTime; }
+
+  /// Time spent waiting in the device queue before the first dispatch.
+  double queueDelay() const { return StartTime - ArrivalTime; }
 };
 
 /// Result of simulating one workload.
@@ -93,8 +112,11 @@ struct SimResult {
   double Makespan = 0;
 };
 
-/// Discrete-event executor for a batch of concurrently submitted kernel
-/// launches (all arrive at time 0, in vector order).
+/// Discrete-event executor for a stream of kernel launches. Each launch
+/// is admitted to the device queue at its ArrivalTime (arrival events
+/// interleave with work-group completions); launches that all arrive at
+/// time 0 reproduce the classic concurrently-submitted batch, in vector
+/// order.
 class Engine {
 public:
   explicit Engine(const DeviceSpec &Spec) : Spec(Spec) {}

@@ -1,0 +1,38 @@
+//===- workloads/Arrivals.cpp - Open-loop arrival traces ---------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Arrivals.h"
+
+#include "support/Random.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace accel;
+using namespace accel::workloads;
+
+std::vector<TimedRequest> workloads::poissonTrace(size_t SuiteSize,
+                                                  const TraceOptions &Opts) {
+  assert(SuiteSize > 0 && "empty kernel suite");
+  assert(Opts.NumTenants > 0 && "trace needs at least one tenant");
+  assert(Opts.MeanInterarrival > 0 && "non-positive mean inter-arrival");
+
+  SplitMix64 Rng(Opts.Seed);
+  std::vector<TimedRequest> Trace;
+  Trace.reserve(Opts.NumRequests);
+  double T = 0;
+  for (size_t I = 0; I != Opts.NumRequests; ++I) {
+    // Exponential inter-arrival: -mean * ln(1 - U), U in [0, 1).
+    T += -Opts.MeanInterarrival * std::log1p(-Rng.nextDouble());
+    TimedRequest R;
+    R.KernelIdx = static_cast<size_t>(Rng.nextBelow(SuiteSize));
+    R.Tenant = static_cast<int>(
+        Rng.nextBelow(static_cast<uint64_t>(Opts.NumTenants)));
+    R.ArrivalTime = T;
+    Trace.push_back(R);
+  }
+  return Trace;
+}

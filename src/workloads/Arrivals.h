@@ -1,0 +1,52 @@
+//===- workloads/Arrivals.h - Open-loop arrival traces ----------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Open-loop arrival generation for the streaming evaluation: a Poisson
+/// process (exponential inter-arrival times) emits kernel execution
+/// requests drawn from the Parboil-like suite and attributed to a set
+/// of tenants. Traces are deterministic for a given seed (SplitMix64),
+/// so every scheduler replays the *same* stream of work.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_WORKLOADS_ARRIVALS_H
+#define ACCEL_WORKLOADS_ARRIVALS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace accel {
+namespace workloads {
+
+/// One kernel execution request of an arrival trace.
+struct TimedRequest {
+  size_t KernelIdx = 0;   ///< Index into parboilSuite() / the driver.
+  int Tenant = 0;         ///< Submitting application.
+  double ArrivalTime = 0; ///< Simulation time of submission.
+};
+
+/// Parameters of a Poisson (open-loop) arrival trace.
+struct TraceOptions {
+  size_t NumRequests = 0;
+  int NumTenants = 1;
+  /// Mean inter-arrival time (1 / lambda) in simulation time units.
+  double MeanInterarrival = 0;
+  uint64_t Seed = 0;
+};
+
+/// Generates \p Opts.NumRequests requests with exponential
+/// inter-arrival times; each request's kernel is drawn uniformly from
+/// [0, SuiteSize) and its tenant uniformly from [0, NumTenants). The
+/// result is sorted by ArrivalTime by construction.
+std::vector<TimedRequest> poissonTrace(size_t SuiteSize,
+                                       const TraceOptions &Opts);
+
+} // namespace workloads
+} // namespace accel
+
+#endif // ACCEL_WORKLOADS_ARRIVALS_H

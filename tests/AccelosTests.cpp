@@ -8,12 +8,15 @@
 #include "accelos/ProxyCL.h"
 #include "accelos/ResourceSolver.h"
 #include "accelos/Runtime.h"
+#include "accelos/Scheduler.h"
 #include "accelos/VirtualNDRange.h"
 #include "kir/RtLayout.h"
 #include "sim/DeviceSpec.h"
 #include "support/Random.h"
 
 #include "gtest/gtest.h"
+
+#include <set>
 
 using namespace accel;
 using namespace accel::accelos;
@@ -294,6 +297,155 @@ TEST(SolverTest, CapsFromDeviceMatchSpec) {
 }
 
 //===----------------------------------------------------------------------===//
+// Round scheduler: dynamic K and deferred-kernel requeue
+//===----------------------------------------------------------------------===//
+
+RoundRequest request(uint64_t Id, const KernelDemand &D) {
+  RoundRequest R;
+  R.Id = Id;
+  R.Demand = D;
+  return R;
+}
+
+TEST(RoundSchedulerTest, SingleRequestGetsSoloShare) {
+  RoundScheduler S(tinyCaps());
+  S.submit(request(7, demand(128, 0, 4, 100)));
+  auto Grants = S.nextRound();
+  ASSERT_EQ(Grants.size(), 1u);
+  EXPECT_EQ(Grants[0].Id, 7u);
+  EXPECT_GE(Grants[0].WGs, 8u); // 1024/128, grown by greedy saturation
+  EXPECT_EQ(S.pending(), 0u);
+}
+
+TEST(RoundSchedulerTest, ClampShedRequestsDeferToLaterRounds) {
+  // Eight 512-thread kernels on a 1024-thread device: two fit per
+  // round, so the queue drains in four rounds of exactly two grants —
+  // nothing is ever floored onto the full device.
+  RoundScheduler S(tinyCaps());
+  for (uint64_t I = 0; I != 8; ++I)
+    S.submit(request(I, demand(512, 0, 4, 100)));
+
+  std::set<uint64_t> Granted;
+  size_t Rounds = 0;
+  while (S.pending() != 0) {
+    auto Grants = S.nextRound();
+    EXPECT_EQ(Grants.size(), 2u) << "round " << Rounds;
+    for (const RoundGrant &G : Grants) {
+      EXPECT_GE(G.WGs, 1u);
+      EXPECT_TRUE(Granted.insert(G.Id).second)
+          << "request granted twice";
+    }
+    ++Rounds;
+    ASSERT_LE(Rounds, 8u) << "scheduler failed to drain";
+  }
+  EXPECT_EQ(Rounds, 4u);
+  EXPECT_EQ(Granted.size(), 8u);
+  EXPECT_EQ(S.stats().RoundsPlanned, 4u);
+  // 6 deferred after round 1, 4 after round 2, 2 after round 3.
+  EXPECT_EQ(S.stats().Deferrals, 12u);
+}
+
+TEST(RoundSchedulerTest, DynamicKGrowsSharesAsQueueDrains) {
+  // Round 1 solves with K = 2 (4 WGs each of 128 threads without
+  // greedy growth); once those complete, a lone late submission solves
+  // with K = 1 and gets the whole device.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  RoundScheduler S(tinyCaps(), NoGreedy);
+  S.submit(request(0, demand(128, 0, 4, 100)));
+  S.submit(request(1, demand(128, 0, 4, 100)));
+  auto First = S.nextRound();
+  ASSERT_EQ(First.size(), 2u);
+  EXPECT_EQ(First[0].WGs, 4u);
+  EXPECT_EQ(First[1].WGs, 4u);
+
+  S.submit(request(2, demand(128, 0, 4, 100)));
+  auto Second = S.nextRound();
+  ASSERT_EQ(Second.size(), 1u);
+  EXPECT_EQ(Second[0].WGs, 8u); // 1024 / (1 * 128)
+}
+
+TEST(RoundSchedulerTest, ZeroRequestCompletesInsteadOfDeferring) {
+  RoundScheduler S(tinyCaps());
+  S.submit(request(0, demand(128, 0, 4, 0)));
+  S.submit(request(1, demand(128, 0, 4, 100)));
+  auto Grants = S.nextRound();
+  ASSERT_EQ(Grants.size(), 2u);
+  EXPECT_EQ(Grants[0].WGs, 0u);
+  EXPECT_GT(Grants[1].WGs, 0u);
+  EXPECT_EQ(S.pending(), 0u);
+  EXPECT_EQ(S.stats().Deferrals, 0u);
+}
+
+TEST(RoundSchedulerTest, RepeatedlyDeferredHeadGetsSoloRound) {
+  // The 1024-thread kernel is always the clamp's victim next to two
+  // small kernels; after MaxDeferrals losses the scheduler gives it a
+  // dedicated round rather than starving it behind a stream of small
+  // arrivals.
+  RoundScheduler S(tinyCaps());
+  KernelDemand Big = demand(1024, 0, 4, 10);
+  KernelDemand Small = demand(64, 0, 4, 10);
+
+  S.submit(request(1000, Big));
+  uint64_t NextId = 0;
+  bool BigGranted = false;
+  for (int Round = 0; Round != 8 && !BigGranted; ++Round) {
+    S.submit(request(NextId++, Small));
+    S.submit(request(NextId++, Small));
+    for (const RoundGrant &G : S.nextRound())
+      if (G.Id == 1000) {
+        BigGranted = true;
+        EXPECT_GE(G.WGs, 1u);
+      }
+  }
+  EXPECT_TRUE(BigGranted) << "big kernel starved";
+  EXPECT_GE(S.stats().SoloRescues, 1u);
+  EXPECT_LE(S.stats().Deferrals, RoundScheduler::MaxDeferrals + 1);
+}
+
+TEST(RoundSchedulerTest, EveryRoundFitsTheDevice) {
+  // Randomized drain: whatever the mix, each round's aggregate grant
+  // fits the caps and the queue always empties.
+  SplitMix64 Rng(0x5CEDD);
+  for (int Trial = 0; Trial != 50; ++Trial) {
+    RoundScheduler S(tinyCaps());
+    size_t N = 1 + Rng.nextBelow(12);
+    std::vector<KernelDemand> Ds;
+    for (size_t I = 0; I != N; ++I) {
+      KernelDemand D;
+      D.WGThreads = 32ull << Rng.nextBelow(5);
+      D.LocalMemPerWG = Rng.nextBelow(4) * 8192;
+      D.RegsPerThread = Rng.nextBelow(64);
+      D.RequestedWGs = Rng.nextBelow(4) == 0 ? 0 : 1 + Rng.nextBelow(128);
+      D.Weight = Rng.nextDoubleInRange(0.5, 4.0);
+      Ds.push_back(D);
+      S.submit(request(I, D));
+    }
+    size_t Rounds = 0, Granted = 0;
+    while (S.pending() != 0) {
+      auto Grants = S.nextRound();
+      ASSERT_FALSE(Grants.empty()) << "round made no progress";
+      uint64_t Threads = 0, Local = 0, Regs = 0, Slots = 0;
+      for (const RoundGrant &G : Grants) {
+        const KernelDemand &D = Ds[G.Id];
+        Threads += G.WGs * D.WGThreads;
+        Local += G.WGs * D.LocalMemPerWG;
+        Regs += G.WGs * D.WGThreads * D.RegsPerThread;
+        Slots += G.WGs;
+        ++Granted;
+      }
+      ResourceCaps C = tinyCaps();
+      EXPECT_LE(Threads, C.Threads);
+      EXPECT_LE(Local, C.LocalMem);
+      EXPECT_LE(Regs, C.Regs);
+      EXPECT_LE(Slots, C.WGSlots);
+      ASSERT_LE(++Rounds, N + 1) << "scheduler failed to drain";
+    }
+    EXPECT_EQ(Granted, N);
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // Adaptive batching (paper Sec. 6.4)
 //===----------------------------------------------------------------------===//
 
@@ -469,6 +621,85 @@ TEST(RuntimeTest, TwoApplicationsShareOneRound) {
   for (int I = 0; I < 128; ++I) {
     EXPECT_FLOAT_EQ(COut[I], 3.0f);
     EXPECT_FLOAT_EQ(DOut[I], 8.0f);
+  }
+}
+
+TEST(RuntimeTest, OversubscribedFlushDefersToLaterRounds) {
+  // A 256-thread device where three 128-thread tenants cannot co-exist:
+  // the flush must split into rounds (two tenants, then the deferred
+  // one re-solved with K = 1) — never floor a zero share onto the full
+  // device — while every tenant's results stay correct.
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  Spec.NumCUs = 1;
+  Spec.MaxThreadsPerCU = 256;
+  Spec.MaxWGsPerCU = 8;
+  ocl::Device Dev(Spec);
+  Runtime RT(Dev);
+
+  constexpr int NumApps = 3;
+  constexpr int N = 256;
+  std::vector<std::unique_ptr<ProxyCL>> Apps;
+  struct Bound {
+    ocl::Program *P;
+    std::unique_ptr<ocl::Kernel> K;
+    std::unique_ptr<ocl::Buffer> A, B, C;
+  };
+  std::vector<Bound> Bounds;
+  std::vector<float> VA(N), VB(N);
+  for (int I = 0; I < N; ++I) {
+    VA[I] = static_cast<float>(I);
+    VB[I] = 100.0f + I;
+  }
+  for (int App = 0; App != NumApps; ++App) {
+    Apps.push_back(std::make_unique<ProxyCL>(RT, App + 1));
+    Bound B;
+    B.P = cantFail(Apps.back()->createProgram(VaddSource));
+    B.K = std::make_unique<ocl::Kernel>(
+        cantFail(Apps.back()->createKernel(*B.P, "vadd")));
+    B.A = std::make_unique<ocl::Buffer>(
+        cantFail(Apps.back()->createBuffer(N * 4)));
+    B.B = std::make_unique<ocl::Buffer>(
+        cantFail(Apps.back()->createBuffer(N * 4)));
+    B.C = std::make_unique<ocl::Buffer>(
+        cantFail(Apps.back()->createBuffer(N * 4)));
+    cantFail(B.A->write(VA.data(), N * 4));
+    cantFail(B.B->write(VB.data(), N * 4));
+    cantFail(Apps.back()->setKernelArg(*B.K, 0,
+                                       ocl::KernelArg::buffer(*B.A)));
+    cantFail(Apps.back()->setKernelArg(*B.K, 1,
+                                       ocl::KernelArg::buffer(*B.B)));
+    cantFail(Apps.back()->setKernelArg(*B.K, 2,
+                                       ocl::KernelArg::buffer(*B.C)));
+    kir::NDRangeCfg Range;
+    Range.GlobalSize[0] = N;
+    Range.LocalSize[0] = 128;
+    cantFail(Apps.back()->enqueueNDRange(*B.K, Range));
+    Bounds.push_back(std::move(B));
+  }
+  EXPECT_EQ(RT.pendingRequests(), 3u);
+
+  auto Execs = RT.flushRound();
+  ASSERT_TRUE(static_cast<bool>(Execs)) << Execs.message();
+  ASSERT_EQ(Execs->size(), 3u);
+  EXPECT_EQ(RT.pendingRequests(), 0u);
+
+  // Two rounds: the first grants the two requests that fit, the third
+  // is deferred and re-solved alone (K = 1 -> both its work groups).
+  EXPECT_EQ((*Execs)[0].Round, 0u);
+  EXPECT_EQ((*Execs)[1].Round, 0u);
+  EXPECT_EQ((*Execs)[2].Round, 1u);
+  EXPECT_EQ((*Execs)[2].PhysicalWGs, 2u);
+  for (const ScheduledExecution &E : *Execs)
+    EXPECT_GE(E.PhysicalWGs, 1u) << "no kernel may be starved";
+  EXPECT_EQ(RT.schedulerStats().RoundsPlanned, 2u);
+  EXPECT_EQ(RT.schedulerStats().Deferrals, 1u);
+
+  // Every tenant's computation is intact despite the deferral.
+  for (int App = 0; App != NumApps; ++App) {
+    std::vector<float> Out(N);
+    cantFail(Bounds[App].C->read(Out.data(), N * 4));
+    for (int I = 0; I < N; ++I)
+      ASSERT_FLOAT_EQ(Out[I], VA[I] + VB[I]) << "app " << App;
   }
 }
 

@@ -72,4 +72,84 @@ TEST(MetricsTest, AnttIsMeanSlowdown) {
   EXPECT_DOUBLE_EQ(worstNormalizedTurnaround({1.0, 3.0, 2.0}), 3.0);
 }
 
+//===----------------------------------------------------------------------===//
+// Latency percentiles
+//===----------------------------------------------------------------------===//
+
+TEST(PercentileTest, EndpointsAreMinAndMax) {
+  std::vector<double> V = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(latencyPercentile(V, 0), 1.0);
+  EXPECT_DOUBLE_EQ(latencyPercentile(V, 100), 9.0);
+}
+
+TEST(PercentileTest, LinearInterpolationBetweenRanks) {
+  // Sorted: 1, 3, 5, 9. p50 -> rank 1.5 -> 3 + 0.5*(5-3) = 4.
+  std::vector<double> V = {5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(latencyPercentile(V, 50), 4.0);
+  // p25 -> rank 0.75 -> 1 + 0.75*(3-1) = 2.5.
+  EXPECT_DOUBLE_EQ(latencyPercentile(V, 25), 2.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(latencyPercentile({7.0}, 0), 7.0);
+  EXPECT_DOUBLE_EQ(latencyPercentile({7.0}, 50), 7.0);
+  EXPECT_DOUBLE_EQ(latencyPercentile({7.0}, 99), 7.0);
+}
+
+TEST(PercentileTest, InputNeedNotBeSorted) {
+  std::vector<double> Sorted = {1.0, 2.0, 3.0, 4.0, 5.0};
+  std::vector<double> Shuffled = {4.0, 1.0, 5.0, 3.0, 2.0};
+  for (double P : {0.0, 10.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(latencyPercentile(Sorted, P),
+                     latencyPercentile(Shuffled, P));
+}
+
+//===----------------------------------------------------------------------===//
+// Time-windowed unfairness
+//===----------------------------------------------------------------------===//
+
+TEST(WindowedUnfairnessTest, PerWindowMaxOverMin) {
+  // Window [0,10): slowdowns 2 and 8 -> 4; window [10,20): 3 and 3 -> 1.
+  std::vector<TimedSample> S = {
+      {1.0, 2.0}, {9.0, 8.0}, {12.0, 3.0}, {19.0, 3.0}};
+  std::vector<double> W = windowedUnfairness(S, 10.0);
+  ASSERT_EQ(W.size(), 2u);
+  EXPECT_DOUBLE_EQ(W[0], 4.0);
+  EXPECT_DOUBLE_EQ(W[1], 1.0);
+}
+
+TEST(WindowedUnfairnessTest, SparseWindowsReportOne) {
+  // A lone sample per window cannot be unfair relative to the window;
+  // empty middle windows report 1 too.
+  std::vector<TimedSample> S = {{1.0, 5.0}, {25.0, 9.0}};
+  std::vector<double> W = windowedUnfairness(S, 10.0);
+  ASSERT_EQ(W.size(), 3u);
+  EXPECT_DOUBLE_EQ(W[0], 1.0);
+  EXPECT_DOUBLE_EQ(W[1], 1.0);
+  EXPECT_DOUBLE_EQ(W[2], 1.0);
+}
+
+TEST(WindowedUnfairnessTest, EmptySamplesYieldNoWindows) {
+  EXPECT_TRUE(windowedUnfairness({}, 10.0).empty());
+  EXPECT_DOUBLE_EQ(peakWindowedUnfairness({}, 10.0), 1.0);
+}
+
+TEST(WindowedUnfairnessTest, PeakPicksWorstWindow) {
+  std::vector<TimedSample> S = {
+      {1.0, 2.0}, {2.0, 4.0},   // window 0: U = 2
+      {11.0, 1.0}, {12.0, 10.0} // window 1: U = 10
+  };
+  EXPECT_DOUBLE_EQ(peakWindowedUnfairness(S, 10.0), 10.0);
+}
+
+TEST(WindowedUnfairnessTest, PeakExposesTransientUnfairness) {
+  // Whole-trace unfairness is mild (4/2 = 2 overall extrema are in the
+  // same window), but the second window is transiently 4x unfair.
+  std::vector<TimedSample> S = {
+      {1.0, 3.0}, {2.0, 3.0}, {11.0, 2.0}, {12.0, 8.0}, {13.0, 4.0}};
+  EXPECT_DOUBLE_EQ(peakWindowedUnfairness(S, 10.0), 4.0);
+  std::vector<double> W = windowedUnfairness(S, 10.0);
+  EXPECT_DOUBLE_EQ(W[0], 1.0); // two equal samples
+}
+
 } // namespace

@@ -171,6 +171,133 @@ INSTANTIATE_TEST_SUITE_P(Seeds, EngineProperty,
                          ::testing::Range(1, 11));
 
 //===----------------------------------------------------------------------===//
+// Engine properties under randomized arrival traces
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A randomized mixed-mode launch set with arrivals in [0, Spread).
+std::vector<sim::KernelLaunchDesc> randomArrivalLaunches(SplitMix64 &Rng,
+                                                         double Spread) {
+  std::vector<sim::KernelLaunchDesc> Launches;
+  size_t N = 2 + Rng.nextBelow(5);
+  for (size_t I = 0; I != N; ++I) {
+    sim::KernelLaunchDesc L;
+    L.Name = "k" + std::to_string(I);
+    L.AppId = static_cast<int>(I);
+    L.WGThreads = 32ull << Rng.nextBelow(4);
+    L.RegsPerThread = 8;
+    L.IssueEfficiency = 0.25 + 0.75 * Rng.nextDouble();
+    L.ArrivalTime = Rng.nextDouble() * Spread;
+    size_t WGs = 1 + Rng.nextBelow(64);
+    if (Rng.nextBelow(2) == 0) {
+      L.Mode = sim::KernelLaunchDesc::ModeKind::Static;
+      for (size_t W = 0; W != WGs; ++W)
+        L.StaticCosts.push_back(500.0 + Rng.nextDouble() * 40000.0);
+    } else {
+      L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
+      for (size_t W = 0; W != WGs; ++W)
+        L.VirtualCosts.push_back(500.0 + Rng.nextDouble() * 40000.0);
+      L.PhysicalWGs = 1 + Rng.nextBelow(8);
+      L.Batch = 1 + Rng.nextBelow(4);
+    }
+    Launches.push_back(std::move(L));
+  }
+  return Launches;
+}
+
+} // namespace
+
+class ArrivalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrivalProperty, NeverStartsBeforeArrivalAndConservesWork) {
+  SplitMix64 Rng(GetParam() * 7129);
+  sim::DeviceSpec D = sim::DeviceSpec::nvidiaK20m();
+  D.WGDispatchCycles = 0;
+  D.DequeueCycles = 0;
+
+  std::vector<sim::KernelLaunchDesc> Launches =
+      randomArrivalLaunches(Rng, /*Spread=*/50000.0);
+  double TotalWork = 0, FirstArrival = Launches[0].ArrivalTime;
+  for (const auto &L : Launches) {
+    TotalWork += L.totalWork();
+    FirstArrival = std::min(FirstArrival, L.ArrivalTime);
+  }
+
+  sim::Engine E(D);
+  sim::SimResult R = E.run(Launches);
+  double PeakRate =
+      static_cast<double>(D.NumCUs) * static_cast<double>(D.LanesPerCU);
+  // Work conservation: no work can retire before the first arrival or
+  // faster than the whole device at peak rate.
+  EXPECT_GE((R.Makespan - FirstArrival) * PeakRate, TotalWork * 0.999);
+  for (const sim::KernelExecResult &K : R.Kernels) {
+    EXPECT_GE(K.StartTime, K.ArrivalTime - 1e-9)
+        << K.Name << " started before it arrived";
+    EXPECT_GE(K.EndTime, K.StartTime);
+    EXPECT_GE(K.turnaround(), 0.0);
+    EXPECT_GE(K.queueDelay(), -1e-9);
+  }
+}
+
+TEST_P(ArrivalProperty, TimeShiftInvariance) {
+  // Shifting every arrival by a constant shifts every start/end by the
+  // same constant: the engine has no hidden absolute-time behaviour.
+  SplitMix64 Rng(GetParam() * 40493);
+  sim::DeviceSpec D = sim::DeviceSpec::nvidiaK20m();
+  std::vector<sim::KernelLaunchDesc> Launches =
+      randomArrivalLaunches(Rng, /*Spread=*/20000.0);
+
+  sim::Engine E(D);
+  sim::SimResult Base = E.run(Launches);
+  constexpr double Shift = 12345.0;
+  for (sim::KernelLaunchDesc &L : Launches)
+    L.ArrivalTime += Shift;
+  sim::SimResult Shifted = E.run(Launches);
+
+  ASSERT_EQ(Base.Kernels.size(), Shifted.Kernels.size());
+  for (size_t I = 0; I != Base.Kernels.size(); ++I) {
+    double Tol = 1e-2 * (1.0 + Base.Kernels[I].EndTime);
+    EXPECT_NEAR(Shifted.Kernels[I].StartTime,
+                Base.Kernels[I].StartTime + Shift, Tol);
+    EXPECT_NEAR(Shifted.Kernels[I].EndTime,
+                Base.Kernels[I].EndTime + Shift, Tol);
+  }
+}
+
+TEST_P(ArrivalProperty, WidelySpacedArrivalsRunInIsolation) {
+  // Arrivals spaced far beyond every duration never interfere: each
+  // launch's duration equals its solo duration.
+  SplitMix64 Rng(GetParam() * 65537);
+  sim::DeviceSpec D = sim::DeviceSpec::nvidiaK20m();
+  std::vector<sim::KernelLaunchDesc> Launches =
+      randomArrivalLaunches(Rng, /*Spread=*/0.0);
+  sim::Engine E(D);
+
+  std::vector<double> Solo;
+  double SumSolo = 0;
+  for (const auto &L : Launches) {
+    Solo.push_back(E.run({L}).Kernels[0].duration());
+    SumSolo += Solo.back();
+  }
+
+  // A gap longer than all work combined guarantees no overlap; staying
+  // within a few sums keeps absolute times small enough that the
+  // engine's time-domain completion epsilon is negligible.
+  double Gap = 2.0 * SumSolo + 1.0;
+  for (size_t I = 0; I != Launches.size(); ++I)
+    Launches[I].ArrivalTime = static_cast<double>(I) * Gap;
+  sim::SimResult R = E.run(Launches);
+  for (size_t I = 0; I != Launches.size(); ++I)
+    EXPECT_NEAR(R.Kernels[I].duration(), Solo[I],
+                1e-2 * (1.0 + Solo[I]))
+        << "launch " << I << " was interfered with";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArrivalProperty,
+                         ::testing::Range(1, 11));
+
+//===----------------------------------------------------------------------===//
 // Metric identities on random slowdown vectors
 //===----------------------------------------------------------------------===//
 

@@ -268,4 +268,112 @@ TEST(EngineTest, LocalMemoryLimitsResidency) {
   EXPECT_NEAR(R.Makespan, 2 * 100.0, 1e-6);
 }
 
+//===----------------------------------------------------------------------===//
+// Streaming arrivals
+//===----------------------------------------------------------------------===//
+
+TEST(EngineArrivalTest, ArrivalDelaysStartAndExtendsMakespan) {
+  // A lone kernel arriving at t=500 runs 500..600: the device idles
+  // until the arrival event.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto L = staticKernel("k", 0, 32, 1, 3200.0);
+  L.ArrivalTime = 500.0;
+  SimResult R = E.run({L});
+  EXPECT_NEAR(R.Kernels[0].StartTime, 500.0, 1e-6);
+  EXPECT_NEAR(R.Kernels[0].EndTime, 600.0, 1e-6);
+  EXPECT_NEAR(R.Makespan, 600.0, 1e-6);
+  EXPECT_NEAR(R.Kernels[0].turnaround(), 100.0, 1e-6);
+  EXPECT_NEAR(R.Kernels[0].queueDelay(), 0.0, 1e-6);
+}
+
+TEST(EngineArrivalTest, LateArrivalRunsAfterIdleGap) {
+  // First kernel finishes at 100; the second arrives at 500 and must
+  // not be pulled forward into the idle gap's start.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto A = staticKernel("a", 0, 32, 1, 3200.0);
+  auto B = staticKernel("b", 1, 32, 1, 3200.0);
+  B.ArrivalTime = 500.0;
+  SimResult R = E.run({A, B});
+  EXPECT_NEAR(R.Kernels[0].EndTime, 100.0, 1e-6);
+  EXPECT_NEAR(R.Kernels[1].StartTime, 500.0, 1e-6);
+  EXPECT_NEAR(R.Makespan, 600.0, 1e-6);
+}
+
+TEST(EngineArrivalTest, ArrivalCoSchedulesIntoFreeSpace) {
+  // A small kernel arriving mid-flight of another small kernel
+  // co-dispatches immediately (space is free, FIFO queue is drained).
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto A = staticKernel("a", 0, 32, 2, 32000.0); // runs to t=1000
+  auto B = staticKernel("b", 1, 32, 2, 3200.0);
+  B.ArrivalTime = 200.0;
+  SimResult R = E.run({A, B});
+  EXPECT_NEAR(R.Kernels[1].StartTime, 200.0, 1e-6);
+  EXPECT_LT(R.Kernels[1].EndTime, R.Kernels[0].EndTime);
+}
+
+TEST(EngineArrivalTest, QueueOrderFollowsArrivalNotVectorOrder) {
+  // The device queue is ordered by arrival: the vector-first kernel
+  // arrives *later* and must wait behind the device-filling earlier
+  // arrival (strict FIFO on the tiny device).
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  auto Late = staticKernel("late", 0, 256, 16, 25600.0);
+  Late.ArrivalTime = 10.0;
+  auto Early = staticKernel("early", 1, 256, 16, 25600.0);
+  SimResult R = E.run({Late, Early});
+  EXPECT_NEAR(R.Kernels[1].StartTime, 0.0, 1e-6);
+  EXPECT_GT(R.Kernels[0].StartTime, R.Kernels[1].StartTime);
+  EXPECT_GT(R.Kernels[0].EndTime, R.Kernels[1].EndTime);
+}
+
+TEST(EngineArrivalTest, ExclusiveAdmissionHoldsAcrossArrivals) {
+  // AMD-like policy with a late large arrival: it still waits for the
+  // resident kernel to fully complete.
+  DeviceSpec D = tinyDevice();
+  D.Admission = KernelAdmissionKind::ExclusiveUnlessFits;
+  Engine E(D);
+  auto A = staticKernel("a", 0, 256, 16, 25600.0);
+  auto B = staticKernel("b", 1, 256, 16, 25600.0);
+  B.ArrivalTime = 100.0;
+  SimResult R = E.run({A, B});
+  EXPECT_GE(R.Kernels[1].StartTime, R.Kernels[0].EndTime - 1e-9);
+}
+
+TEST(EngineArrivalTest, ZeroWGLaunchCompletesAtArrival) {
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  KernelLaunchDesc L;
+  L.Name = "empty";
+  L.WGThreads = 32;
+  L.ArrivalTime = 250.0;
+  SimResult R = E.run({L});
+  EXPECT_NEAR(R.Kernels[0].StartTime, 250.0, 1e-6);
+  EXPECT_NEAR(R.Kernels[0].EndTime, 250.0, 1e-6);
+}
+
+TEST(EngineArrivalTest, AllZeroArrivalsReproduceBatchSemantics) {
+  // Explicit zero arrivals are bit-identical to the legacy batch model
+  // (the default): same starts, ends, dispatch counts.
+  DeviceSpec D = tinyDevice();
+  Engine E(D);
+  std::vector<KernelLaunchDesc> Batch = {
+      staticKernel("a", 0, 256, 16, 25600.0),
+      staticKernel("b", 1, 32, 4, 3200.0)};
+  SimResult Legacy = E.run(Batch);
+  for (KernelLaunchDesc &L : Batch)
+    L.ArrivalTime = 0.0;
+  SimResult Stream = E.run(Batch);
+  ASSERT_EQ(Legacy.Kernels.size(), Stream.Kernels.size());
+  EXPECT_EQ(Legacy.Makespan, Stream.Makespan);
+  for (size_t I = 0; I != Legacy.Kernels.size(); ++I) {
+    EXPECT_EQ(Legacy.Kernels[I].StartTime, Stream.Kernels[I].StartTime);
+    EXPECT_EQ(Legacy.Kernels[I].EndTime, Stream.Kernels[I].EndTime);
+    EXPECT_EQ(Legacy.Kernels[I].DispatchedWGs,
+              Stream.Kernels[I].DispatchedWGs);
+  }
+}
+
 } // namespace
