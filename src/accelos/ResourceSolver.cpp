@@ -30,10 +30,11 @@ bool fits(const ResourceCaps &Caps, const std::vector<KernelDemand> &Ks,
           const std::vector<uint64_t> &Shares) {
   uint64_t Threads = 0, Local = 0, Regs = 0, Slots = 0;
   for (size_t I = 0; I != Ks.size(); ++I) {
-    Threads += Shares[I] * Ks[I].WGThreads;
-    Local += Shares[I] * Ks[I].LocalMemPerWG;
-    Regs += Shares[I] * Ks[I].WGThreads * Ks[I].RegsPerThread;
-    Slots += Shares[I];
+    ResourceUse Use = footprintOf(Ks[I], Shares[I]);
+    Threads += Use.Threads;
+    Local += Use.LocalMem;
+    Regs += Use.Regs;
+    Slots += Use.WGSlots;
   }
   return Threads <= Caps.Threads && Local <= Caps.LocalMem &&
          Regs <= Caps.Regs && Slots <= Caps.WGSlots;
@@ -111,10 +112,11 @@ accelos::solveFairShares(const ResourceCaps &Caps,
   while (!fits(Caps, Ks, Shares)) {
     uint64_t Use[4] = {0, 0, 0, 0};
     for (size_t I = 0; I != K; ++I) {
-      Use[0] += Shares[I] * Ks[I].WGThreads;
-      Use[1] += Shares[I] * Ks[I].LocalMemPerWG;
-      Use[2] += Shares[I] * Ks[I].WGThreads * Ks[I].RegsPerThread;
-      Use[3] += Shares[I];
+      ResourceUse U = footprintOf(Ks[I], Shares[I]);
+      Use[0] += U.Threads;
+      Use[1] += U.LocalMem;
+      Use[2] += U.Regs;
+      Use[3] += U.WGSlots;
     }
     const uint64_t Cap[4] = {Caps.Threads, Caps.LocalMem, Caps.Regs,
                              Caps.WGSlots};
@@ -140,23 +142,53 @@ accelos::solveFairShares(const ResourceCaps &Caps,
         return 1;
       }
     };
+    // Victim selection (the first step of the ROADMAP bin-covering
+    // pass): prefer a floored kernel whose reversion *alone* restores
+    // feasibility — the fewest-reverts choice — and break ties toward
+    // the largest contributor to the most-oversubscribed resource (the
+    // previous heuristic, which stays in force when no single revert
+    // suffices and remains optimal when the largest contributor is
+    // also a single-revert fix).
     size_t Victim = K;
+    bool VictimRestores = false;
     for (size_t I = 0; I != K; ++I) {
       if (!Floored[I] || Shares[I] == 0)
         continue;
-      if (Victim == K || DemandIn(I) >= DemandIn(Victim))
+      uint64_t Saved = Shares[I];
+      Shares[I] = 0;
+      bool Restores = fits(Caps, Ks, Shares);
+      Shares[I] = Saved;
+      if (Victim == K || (Restores && !VictimRestores) ||
+          (Restores == VictimRestores &&
+           DemandIn(I) >= DemandIn(Victim))) {
         Victim = I;
+        VictimRestores = Restores;
+      }
     }
     if (Victim == K) {
       // No floor left to revert; cannot happen for well-formed demands
       // (the floorless allocation fits by construction), but stay
-      // defensive: shed the largest remaining share.
-      for (size_t I = 0; I != K; ++I)
-        if (Shares[I] > 0 && (Victim == K || Shares[I] > Shares[Victim]))
-          Victim = I;
-      if (Victim == K)
-        break;
-      --Shares[Victim];
+      // defensive: shed proportionally in ONE pass instead of one work
+      // group at a time (which is O(total shares)). Scaling every
+      // share by the tightest cap/use ratio fits all four dimensions
+      // at once: sum(floor(S_i*F)*d_i) <= F*Use_D <= Cap_D for the
+      // binding dimension, and non-binding dimensions only improve.
+      double F = 1.0;
+      for (unsigned D = 0; D != 4; ++D)
+        if (Use[D] > Cap[D])
+          F = std::min(F, static_cast<double>(Cap[D]) /
+                              static_cast<double>(Use[D]));
+      bool Any = false;
+      for (size_t I = 0; I != K; ++I) {
+        uint64_t S = static_cast<uint64_t>(
+            static_cast<double>(Shares[I]) * F);
+        if (S != Shares[I]) {
+          Shares[I] = S;
+          Any = true;
+        }
+      }
+      if (!Any)
+        break; // Nothing left to shed; give up rather than loop.
       continue;
     }
     Shares[Victim] = 0;

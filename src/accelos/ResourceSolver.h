@@ -52,6 +52,22 @@ struct ResourceCaps {
   static ResourceCaps fromDevice(const sim::DeviceSpec &Spec);
 };
 
+/// The aggregate footprint of \p WGs work groups of demand \p D, in
+/// the same dimensions as ResourceCaps — the single definition of the
+/// demand model shared by the solver's feasibility check and the
+/// schedulers' residual-capacity accounting.
+struct ResourceUse {
+  uint64_t Threads = 0;
+  uint64_t LocalMem = 0;
+  uint64_t Regs = 0;
+  uint64_t WGSlots = 0;
+};
+
+inline ResourceUse footprintOf(const KernelDemand &D, uint64_t WGs) {
+  return {WGs * D.WGThreads, WGs * D.LocalMemPerWG,
+          WGs * D.WGThreads * D.RegsPerThread, WGs};
+}
+
 /// Options controlling the solver (the greedy phase can be disabled for
 /// the ablation study).
 struct SolverOptions {
@@ -63,9 +79,11 @@ struct SolverOptions {
 /// \p Caps in aggregate. Kernels requesting zero work groups receive
 /// zero and are excluded from the fairness divisor. Every other kernel
 /// receives at least one work group whenever capacity permits; when
-/// even single work groups cannot co-exist, the minimum-share floor is
-/// reverted (largest work groups first) rather than oversubscribing
-/// the device.
+/// even single work groups cannot co-exist, minimum-share floors are
+/// reverted rather than oversubscribing the device — preferring a
+/// floored kernel whose reversion alone restores feasibility, then
+/// falling back to the largest contributor to the most-oversubscribed
+/// resource.
 std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
                                       const std::vector<KernelDemand> &Ks,
                                       const SolverOptions &Opts = {});

@@ -6,8 +6,38 @@
 
 #include "accelos/Scheduler.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace accel;
 using namespace accel::accelos;
+
+namespace {
+
+/// \returns how many work groups of \p D fit into \p Free.
+uint64_t maxFitting(const ResourceCaps &Free, const KernelDemand &D) {
+  ResourceUse PerWG = footprintOf(D, 1);
+  assert(PerWG.Threads > 0 && "zero-thread work group");
+  uint64_t Fit = Free.Threads / PerWG.Threads;
+  if (PerWG.LocalMem)
+    Fit = std::min(Fit, Free.LocalMem / PerWG.LocalMem);
+  if (PerWG.Regs)
+    Fit = std::min(Fit, Free.Regs / PerWG.Regs);
+  return std::min(Fit, Free.WGSlots);
+}
+
+/// Saturating in-place subtraction of one grant's footprint.
+void subtractFootprint(ResourceCaps &Free, const KernelDemand &D,
+                       uint64_t WGs) {
+  ResourceUse Use = footprintOf(D, WGs);
+  auto Sub = [](uint64_t &Cap, uint64_t U) { Cap -= std::min(Cap, U); };
+  Sub(Free.Threads, Use.Threads);
+  Sub(Free.LocalMem, Use.LocalMem);
+  Sub(Free.Regs, Use.Regs);
+  Sub(Free.WGSlots, Use.WGSlots);
+}
+
+} // namespace
 
 RoundGrant RoundScheduler::soloGrant(const Entry &E) const {
   std::vector<uint64_t> Shares = solveFairShares(Caps, {E.R.Demand}, Opts);
@@ -68,5 +98,110 @@ std::vector<RoundGrant> RoundScheduler::nextRound() {
   }
 
   Queue = std::move(Deferred);
+  return Grants;
+}
+
+//===----------------------------------------------------------------------===//
+// ContinuousScheduler
+//===----------------------------------------------------------------------===//
+
+ResourceCaps ContinuousScheduler::residual() const {
+  ResourceCaps Free = Caps;
+  for (const auto &[Id, F] : Flights)
+    subtractFootprint(Free, F.Demand, F.WGs);
+  return Free;
+}
+
+void ContinuousScheduler::complete(uint64_t Id) {
+  [[maybe_unused]] size_t Erased = Flights.erase(Id);
+  assert(Erased == 1 && "completing an execution that is not in flight");
+}
+
+void ContinuousScheduler::shrink(uint64_t Id, uint64_t WGs) {
+  auto It = Flights.find(Id);
+  assert(It != Flights.end() && "shrinking an execution not in flight");
+  assert(WGs > 0 && WGs <= It->second.WGs &&
+         "shrink must narrow a grant, not grow it");
+  It->second.WGs = WGs;
+}
+
+std::vector<RoundGrant> ContinuousScheduler::admit() {
+  std::vector<RoundGrant> Grants;
+  if (Queue.empty())
+    return Grants;
+  ++Stats.RoundsPlanned;
+
+  // Fair-share targets over everything active. In-flight executions
+  // keep their grants (no preemption) but stay in the divisor, capped
+  // at what they actually occupy, so a pending request's target is the
+  // share it deserves *next to* the current residents.
+  std::vector<KernelDemand> Demands;
+  Demands.reserve(Flights.size() + Queue.size());
+  for (const auto &[Id, F] : Flights) {
+    KernelDemand D = F.Demand;
+    D.RequestedWGs = F.WGs;
+    Demands.push_back(D);
+  }
+  for (const Entry &E : Queue) {
+    KernelDemand D = E.R.Demand;
+    // Degenerate zero-thread demands must not reach the solver's (or
+    // maxFitting's) divisions; they are granted zero work groups below.
+    if (D.WGThreads == 0)
+      D.RequestedWGs = 0;
+    Demands.push_back(D);
+  }
+  std::vector<uint64_t> Shares = solveFairShares(Caps, Demands, Opts);
+  // Queue entries follow the in-flight block in the solve; grants below
+  // grow Flights, so the offset must be pinned here.
+  const size_t QueueBase = Flights.size();
+
+  ResourceCaps Free = residual();
+  std::deque<Entry> Kept;
+  // Everyone still in Kept when a younger grant lands was overtaken;
+  // each is charged at most one deferral per pass.
+  size_t ChargedUpTo = 0;
+  bool Blocked = false;
+  bool AnyCapacityGrant = false;
+  for (size_t I = 0; I != Queue.size(); ++I) {
+    Entry &E = Queue[I];
+    uint64_t Target = Shares[QueueBase + I];
+    // Zero-work (or degenerate zero-thread) requests complete
+    // trivially: zero work groups, no flight, no capacity.
+    if (E.R.Demand.RequestedWGs == 0 || E.R.Demand.WGThreads == 0) {
+      Grants.push_back({E.R.Id, 0});
+      continue;
+    }
+    uint64_t WGs = 0;
+    if (!Blocked) {
+      WGs = std::min(Target, maxFitting(Free, E.R.Demand));
+      if (WGs == 0 && Flights.empty() && !AnyCapacityGrant) {
+        // Work conservation: an idle device never refuses its oldest
+        // request. Mirror the round scheduler's solo grant (launchWGs
+        // floors the pathological over-sized single work group).
+        WGs = launchWGs(
+            solveFairShares(Caps, {E.R.Demand}, Opts).front());
+        ++Stats.SoloRescues;
+      }
+    }
+    if (WGs == 0) {
+      if (E.DeferCount >= MaxDeferrals)
+        Blocked = true; // Starving: hold every younger request back.
+      Kept.push_back(E);
+      continue;
+    }
+    for (size_t J = ChargedUpTo; J != Kept.size(); ++J) {
+      ++Kept[J].DeferCount;
+      ++Stats.Deferrals;
+    }
+    ChargedUpTo = Kept.size();
+    Grants.push_back({E.R.Id, WGs});
+    assert(!Flights.count(E.R.Id) &&
+           "request admitted while already in flight");
+    Flights[E.R.Id] = {E.R.Demand, WGs};
+    subtractFootprint(Free, E.R.Demand, WGs);
+    AnyCapacityGrant = true;
+  }
+
+  Queue = std::move(Kept);
   return Grants;
 }

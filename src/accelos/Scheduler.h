@@ -21,6 +21,16 @@
 /// clamp is eventually granted a round of its own, so deferral never
 /// becomes starvation.
 ///
+/// Two admission disciplines share the queue/grant vocabulary:
+///
+///  - RoundScheduler: completion-round-synchronous — every grant of a
+///    round ends before the next round is solved (the paper's global
+///    scheduling boundary);
+///  - ContinuousScheduler: event-driven — in-flight executions keep
+///    their grants while newly arrived (or requeued sliced) requests
+///    are admitted into the *residual* capacity at every
+///    arrival/completion event, with no global barrier.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ACCEL_ACCELOS_SCHEDULER_H
@@ -31,6 +41,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <vector>
 
 namespace accel {
@@ -52,10 +63,17 @@ struct RoundGrant {
 
 /// Observable scheduler behaviour.
 struct SchedulerStats {
+  /// Scheduling decisions solved: rounds for RoundScheduler, admission
+  /// passes (one per arrival/completion event with a non-empty queue)
+  /// for ContinuousScheduler.
   uint64_t RoundsPlanned = 0;
-  /// Times a clamp-shed request was pushed into a later round.
+  /// Times a request was pushed past a scheduling decision: clamp-shed
+  /// requeues for RoundScheduler; for ContinuousScheduler, the times a
+  /// waiting request was overtaken by a younger grant in the same pass
+  /// (the bypasses the anti-starvation bound counts).
   uint64_t Deferrals = 0;
-  /// Times a repeatedly deferred head request was granted a solo round.
+  /// Times an anti-starvation escape engaged: solo rounds for
+  /// RoundScheduler, forced idle-device grants for ContinuousScheduler.
   uint64_t SoloRescues = 0;
 };
 
@@ -96,6 +114,86 @@ private:
   ResourceCaps Caps;
   SolverOptions Opts;
   std::deque<Entry> Queue;
+  SchedulerStats Stats;
+};
+
+/// Event-driven fair-share scheduler: the continuous-admission growth
+/// of RoundScheduler. Instead of waiting for a whole round to complete,
+/// the caller reports individual completions (complete()) and asks for
+/// new admissions (admit()) at every arrival/completion event; pending
+/// requests are granted out of the capacity left over by in-flight
+/// executions, so a request arriving just after others started never
+/// waits out their makespan when the device has room.
+///
+/// Fairness without preemption: in-flight executions keep their grants,
+/// but they stay in the fair-share divisor, so a newly admitted request
+/// only claims its fair fraction of the device. The quantum slicing
+/// done by the serving loop bounds how long any grant occupies its
+/// share, which is what lets the allocation converge to the fair point
+/// without ever revoking work.
+///
+/// Anti-starvation: a pending request that is overtaken (a younger
+/// request admitted past it) MaxDeferrals times blocks all younger
+/// admissions until capacity drains enough to admit it — bounded
+/// bypassing, in place of RoundScheduler's solo rounds.
+class ContinuousScheduler {
+public:
+  /// A request overtaken this many times blocks younger admissions.
+  static constexpr uint32_t MaxDeferrals = RoundScheduler::MaxDeferrals;
+
+  explicit ContinuousScheduler(const ResourceCaps &Caps,
+                               SolverOptions Opts = {})
+      : Caps(Caps), Opts(Opts) {}
+
+  /// Queues a request (an arrival event; call admit() to act on it).
+  void submit(const RoundRequest &R) { Queue.push_back({R, 0}); }
+
+  /// Marks the in-flight execution \p Id complete, returning its
+  /// capacity to the pool (a completion event; call admit() next).
+  void complete(uint64_t Id);
+
+  /// Narrows the reserved footprint of in-flight execution \p Id to
+  /// the \p WGs actually launched. A quantum slice shorter than the
+  /// grant runs fewer physical work groups; the difference is idle
+  /// capacity the next admission pass may hand out.
+  void shrink(uint64_t Id, uint64_t WGs);
+
+  /// Plans admissions for the current event: re-solves fair shares over
+  /// everything active (in-flight + pending) and grants each pending
+  /// request, in FIFO order, the smaller of its fair share and what
+  /// still fits the residual capacity. Requests that get nothing stay
+  /// queued. Zero-work requests are granted zero work groups and leave
+  /// the queue immediately. An idle device never refuses its oldest
+  /// request (work conservation), even when the clamp shed it.
+  std::vector<RoundGrant> admit();
+
+  size_t pending() const { return Queue.size(); }
+  size_t inFlight() const { return Flights.size(); }
+  const SchedulerStats &stats() const { return Stats; }
+
+  /// Drops every pending request (error recovery); in-flight
+  /// executions are unaffected.
+  void clear() { Queue.clear(); }
+
+private:
+  struct Entry {
+    RoundRequest R;
+    uint32_t DeferCount = 0;
+  };
+  /// One admitted, not-yet-completed execution and the footprint it
+  /// holds.
+  struct Flight {
+    KernelDemand Demand;
+    uint64_t WGs = 0;
+  };
+
+  /// Device capacity minus every in-flight footprint.
+  ResourceCaps residual() const;
+
+  ResourceCaps Caps;
+  SolverOptions Opts;
+  std::deque<Entry> Queue;
+  std::map<uint64_t, Flight> Flights; ///< Keyed by request Id.
   SchedulerStats Stats;
 };
 

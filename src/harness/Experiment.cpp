@@ -193,7 +193,8 @@ double ExperimentDriver::isolatedDuration(SchedulerKind Kind, size_t Idx) {
 
   workloads::Workload Solo = {Idx};
   sim::Engine Engine(Spec);
-  sim::SimResult R = Engine.run(buildRounds(Kind, Solo).front());
+  sim::SimResult R =
+      Engine.run(std::move(buildRounds(Kind, Solo).front()));
   double D = R.Kernels[0].duration();
   IsolatedCache.emplace(Key, D);
   return D;
@@ -206,10 +207,9 @@ WorkloadOutcome ExperimentDriver::runWorkload(SchedulerKind Kind,
   // shifting the later round's times past the earlier makespans.
   std::vector<sim::KernelExecResult> ByPos(W.size());
   double T = 0;
-  for (const std::vector<sim::KernelLaunchDesc> &Round :
-       buildRounds(Kind, W)) {
+  for (std::vector<sim::KernelLaunchDesc> &Round : buildRounds(Kind, W)) {
     sim::Engine Engine(Spec);
-    sim::SimResult R = Engine.run(Round);
+    sim::SimResult R = Engine.run(std::move(Round));
     for (sim::KernelExecResult K : R.Kernels) {
       K.StartTime += T;
       K.EndTime += T;

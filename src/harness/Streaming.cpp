@@ -33,10 +33,42 @@ StreamOutcome::latenciesByTenant() const {
   return Out;
 }
 
+std::vector<double> StreamOutcome::queueDelays() const {
+  std::vector<double> Out;
+  Out.reserve(Requests.size());
+  for (const StreamRequestResult &R : Requests)
+    Out.push_back(R.queueDelay());
+  return Out;
+}
+
+size_t harness::quantumSliceEnd(const std::vector<double> &WGCosts,
+                                size_t Cursor, uint64_t GrantWGs,
+                                uint64_t WGThreads,
+                                double IssueEfficiency, double Quantum) {
+  size_t End = WGCosts.size();
+  assert(Cursor <= End && "slice cursor past the virtual range");
+  if (Quantum <= 0 || Cursor == End)
+    return End;
+  // The budget approximates the thread-cycles retired in one quantum by
+  // the workers that will actually run: the grant capped to the
+  // remaining virtual groups. Budgeting the uncapped grant would let a
+  // tail slice (fewer groups left than granted workers) overrun the
+  // quantum.
+  uint64_t Workers =
+      std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1), End - Cursor);
+  double Budget = Quantum * static_cast<double>(Workers) *
+                  static_cast<double>(WGThreads) * IssueEfficiency;
+  double Cost = 0;
+  size_t Take = Cursor;
+  while (Take != End && (Take == Cursor || Cost < Budget))
+    Cost += WGCosts[Take++];
+  return Take;
+}
+
 namespace {
 
 /// Per-request progress while its work is still in flight. accelOS
-/// requests may execute across several rounds (work slicing), so the
+/// requests may execute across several grants (work slicing), so the
 /// first-dispatch and last-completion times accumulate here.
 struct LiveRequest {
   size_t Cursor = 0; ///< Next unexecuted virtual group.
@@ -65,6 +97,78 @@ StreamOutcome harness::runStream(
     R.ArrivalTime = Trace[I].ArrivalTime;
   }
 
+  const bool IsEk = Kind == SchedulerKind::ElasticKernels;
+  const bool IsAccelOS = Kind == SchedulerKind::AccelOSNaive ||
+                         Kind == SchedulerKind::AccelOSOptimized;
+  accelos::SchedulingMode Mode =
+      Kind == SchedulerKind::AccelOSNaive
+          ? accelos::SchedulingMode::Naive
+          : accelos::SchedulingMode::Optimized;
+
+  std::vector<LiveRequest> Live(Trace.size());
+
+  /// The Sec. 3 demand of request \p Idx, narrowed to what is left of
+  /// its virtual range (a sliced request re-enters the queue asking
+  /// only for the remainder) and weighted by its tenant.
+  auto DemandOf = [&](size_t Idx) {
+    const workloads::TimedRequest &Req = Trace[Idx];
+    accelos::KernelDemand D = Driver.demandFor(Req.KernelIdx);
+    D.RequestedWGs =
+        Driver.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
+    auto WIt = Opts.Weights.find(Req.Tenant);
+    D.Weight = WIt == Opts.Weights.end() ? 1.0 : WIt->second;
+    return D;
+  };
+
+  /// Builds one quantum-bounded WorkQueue launch for the granted share
+  /// \p GrantWGs of request \p Idx, advancing its slice cursor.
+  auto MakeSliceLaunch = [&](size_t Idx, uint64_t GrantWGs,
+                             double Arrival) {
+    const CompiledKernel &CK = Driver.kernel(Trace[Idx].KernelIdx);
+    LiveRequest &LR = Live[Idx];
+    sim::KernelLaunchDesc L = Driver.accelosDesc(
+        Trace[Idx].KernelIdx, static_cast<int>(Idx), GrantWGs, Mode);
+    // Work slicing: run at most a quantum's worth of the virtual range
+    // (paper Sec. 2.4: the virtual work queue is what makes
+    // bounded-progress launches possible), requeueing the remainder.
+    size_t End = quantumSliceEnd(CK.WGCosts, LR.Cursor, GrantWGs,
+                                 CK.Spec->WGSize,
+                                 CK.Spec->IssueEfficiency,
+                                 Opts.RoundQuantum);
+    std::vector<double> Slice(
+        CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
+        CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
+    LR.Cursor = End;
+    L.PhysicalWGs = std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1),
+                                       Slice.size());
+    // Re-cap the dequeue batch against the slice, not the full range:
+    // every granted physical WG must still be able to dequeue at least
+    // one batch of this launch's work.
+    L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, Slice.size(),
+                                      L.PhysicalWGs);
+    L.VirtualCosts = std::move(Slice);
+    L.ArrivalTime = Arrival;
+    return L;
+  };
+
+  auto RemainingGroups = [&](size_t Idx) {
+    return Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size() -
+           Live[Idx].Cursor;
+  };
+
+  /// Retires a request that has no (remaining) work at time \p T: it
+  /// completes at the boundary without occupying the device.
+  auto CompleteZeroWork = [&](size_t Idx, double T) {
+    LiveRequest &LR = Live[Idx];
+    if (!LR.Started) {
+      LR.Started = true;
+      LR.Start = T;
+    }
+    LR.End = std::max(LR.End, T);
+    Out.Requests[Idx].StartTime = LR.Start;
+    Out.Requests[Idx].EndTime = LR.End;
+  };
+
   if (Kind == SchedulerKind::Baseline) {
     // The standard stack submits straight into the hardware FIFO: one
     // engine run where every launch carries its real arrival time.
@@ -76,7 +180,7 @@ StreamOutcome harness::runStream(
       Launches.push_back(std::move(L));
     }
     sim::Engine Engine(Spec);
-    sim::SimResult R = Engine.run(Launches);
+    sim::SimResult R = Engine.run(std::move(Launches));
     for (const sim::KernelExecResult &K : R.Kernels) {
       StreamRequestResult &Req =
           Out.Requests[static_cast<size_t>(K.AppId)];
@@ -84,33 +188,118 @@ StreamOutcome harness::runStream(
       Req.EndTime = K.EndTime;
     }
     Out.Rounds = 1;
+  } else if (IsAccelOS &&
+             Opts.Admission == StreamOptions::AdmissionMode::Continuous) {
+    // Continuous admission: ONE persistent engine session. The
+    // scheduler reacts to every arrival and completion event,
+    // immediately filling the residual capacity left by in-flight
+    // grants with newly arrived (or requeued sliced) kernels — no
+    // round boundary, so a request never waits out the makespan of a
+    // round it just missed.
+    accelos::ContinuousScheduler Sched(
+        accelos::ResourceCaps::fromDevice(Spec));
+    sim::EngineSession Session(Spec);
+    size_t NextArrival = 0;
+    size_t Completed = 0;
+
+    auto Submit = [&](size_t Idx) {
+      accelos::RoundRequest R;
+      R.Id = Idx;
+      R.Demand = DemandOf(Idx);
+      Sched.submit(R);
+    };
+
+    // An admission pass can only grant something new after an arrival
+    // or a completion changed the queue or the residual capacity;
+    // engine-internal events (work-group legs, dequeues) free nothing
+    // the scheduler can see, so re-solving there would be wasted work.
+    bool NeedAdmit = true;
+    while (Completed != Trace.size()) {
+      double T = Session.now();
+      // Arrival events at or before the current time enter the queue.
+      while (NextArrival != Trace.size() &&
+             Trace[NextArrival].ArrivalTime <= T) {
+        Submit(NextArrival++);
+        NeedAdmit = true;
+      }
+
+      // Admission event: fill whatever residual capacity the in-flight
+      // grants leave. Loops when a pass itself freed capacity (tail
+      // slices shrinking their reservation) so it is handed out at the
+      // same instant; each re-pass needs a fresh shrink, so this
+      // terminates.
+      while (NeedAdmit) {
+        NeedAdmit = false;
+        std::vector<sim::KernelLaunchDesc> Launches;
+        for (const accelos::RoundGrant &G : Sched.admit()) {
+          size_t Idx = static_cast<size_t>(G.Id);
+          if (RemainingGroups(Idx) == 0) {
+            CompleteZeroWork(Idx, T);
+            ++Completed;
+            continue;
+          }
+          sim::KernelLaunchDesc L = MakeSliceLaunch(Idx, G.WGs, T);
+          // A tail slice runs fewer physical WGs than granted; return
+          // the unused reservation and re-admit at this same instant
+          // so waiting requests can take it.
+          if (L.PhysicalWGs < G.WGs) {
+            Sched.shrink(G.Id, L.PhysicalWGs);
+            NeedAdmit = true;
+          }
+          Launches.push_back(std::move(L));
+        }
+        if (!Launches.empty())
+          Session.admit(std::move(Launches));
+      }
+
+      // Advance to the next event: a completion inside the session or
+      // the next trace arrival, whichever comes first.
+      double NextEvent = Session.nextEventTime();
+      double NextTrace = NextArrival != Trace.size()
+                             ? Trace[NextArrival].ArrivalTime
+                             : -1;
+      assert((NextEvent >= 0 || NextTrace >= 0) && "requests lost");
+      double Target = NextEvent;
+      if (Target < 0 || (NextTrace >= 0 && NextTrace < Target))
+        Target = NextTrace;
+      for (const sim::KernelExecResult &K :
+           Session.advanceTo(std::max(Target, T))) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        LiveRequest &LR = Live[Idx];
+        if (!LR.Started) {
+          LR.Started = true;
+          LR.Start = K.StartTime;
+        }
+        LR.End = K.EndTime;
+        Sched.complete(Idx);
+        NeedAdmit = true;
+        if (RemainingGroups(Idx) != 0) {
+          // Sliced: requeue the remainder; it re-enters the fair-share
+          // solve at this very event.
+          Submit(Idx);
+        } else {
+          Out.Requests[Idx].StartTime = LR.Start;
+          Out.Requests[Idx].EndTime = LR.End;
+          ++Completed;
+        }
+      }
+    }
+    Out.Rounds = Sched.stats().RoundsPlanned;
+    Out.Deferrals = Sched.stats().Deferrals;
   } else {
     // Round-synchronous serving loop: requests arriving mid-round wait
     // for the completion boundary, where the plan sees the grown queue.
-    accelos::SchedulingMode Mode =
-        Kind == SchedulerKind::AccelOSNaive
-            ? accelos::SchedulingMode::Naive
-            : accelos::SchedulingMode::Optimized;
-    const bool IsEk = Kind == SchedulerKind::ElasticKernels;
     accelos::RoundScheduler Sched(
         accelos::ResourceCaps::fromDevice(Spec));
     std::deque<size_t> EkPending;
-    std::vector<LiveRequest> Live(Trace.size());
     size_t NextArrival = 0;
     size_t Completed = 0;
     double T = 0;
 
     auto Submit = [&](size_t Idx) {
-      const workloads::TimedRequest &Req = Trace[Idx];
       accelos::RoundRequest R;
       R.Id = Idx;
-      R.Demand = Driver.demandFor(Req.KernelIdx);
-      // A sliced request re-enters the queue asking only for what is
-      // left of its virtual range.
-      R.Demand.RequestedWGs =
-          Driver.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
-      auto WIt = Opts.Weights.find(Req.Tenant);
-      R.Demand.Weight = WIt == Opts.Weights.end() ? 1.0 : WIt->second;
+      R.Demand = DemandOf(Idx);
       Sched.submit(R);
     };
     auto Admit = [&](double Now) {
@@ -148,66 +337,20 @@ StreamOutcome harness::runStream(
         Launches = ek::planMergedLaunch(Spec, Descs);
       } else {
         for (const accelos::RoundGrant &G : Sched.nextRound()) {
-          const CompiledKernel &CK = Driver.kernel(Trace[G.Id].KernelIdx);
-          LiveRequest &LR = Live[G.Id];
-
-          // A request with no (remaining) work completes at this
-          // boundary without occupying the device.
-          if (LR.Cursor == CK.WGCosts.size()) {
-            if (!LR.Started) {
-              LR.Started = true;
-              LR.Start = T;
-            }
-            LR.End = std::max(LR.End, T);
-            Out.Requests[G.Id].StartTime = LR.Start;
-            Out.Requests[G.Id].EndTime = LR.End;
+          size_t Idx = static_cast<size_t>(G.Id);
+          if (RemainingGroups(Idx) == 0) {
+            CompleteZeroWork(Idx, T);
             ++Completed;
             continue;
           }
-
-          sim::KernelLaunchDesc L = Driver.accelosDesc(
-              Trace[G.Id].KernelIdx, static_cast<int>(G.Id), G.WGs,
-              Mode);
-
-          // Work slicing: run at most a quantum's worth of the virtual
-          // range this round (paper Sec. 2.4: the virtual work queue is
-          // what makes bounded-progress launches possible), requeueing
-          // the remainder. The budget approximates the thread-cycles
-          // the granted share retires in one quantum.
-          size_t End = CK.WGCosts.size();
-          if (Opts.RoundQuantum > 0) {
-            double Budget = Opts.RoundQuantum *
-                            static_cast<double>(G.WGs) *
-                            static_cast<double>(CK.Spec->WGSize) *
-                            CK.Spec->IssueEfficiency;
-            double Cost = 0;
-            size_t Take = LR.Cursor;
-            while (Take != End && (Take == LR.Cursor || Cost < Budget))
-              Cost += CK.WGCosts[Take++];
-            End = Take;
-          }
-          std::vector<double> Slice(
-              CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
-              CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
-          LR.Cursor = End;
-          L.PhysicalWGs =
-              std::min<uint64_t>(std::max<uint64_t>(G.WGs, 1),
-                                 Slice.size());
-          // Re-cap the dequeue batch against the slice, not the full
-          // range: every granted physical WG must still be able to
-          // dequeue at least one batch of this round's work.
-          L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount,
-                                            Slice.size(),
-                                            L.PhysicalWGs);
-          L.VirtualCosts = std::move(Slice);
-          if (LR.Cursor != CK.WGCosts.size())
-            Unfinished.push_back(G.Id);
-          Launches.push_back(std::move(L));
+          Launches.push_back(MakeSliceLaunch(Idx, G.WGs, /*Arrival=*/0));
+          if (RemainingGroups(Idx) != 0)
+            Unfinished.push_back(Idx);
         }
       }
 
       sim::Engine Engine(Spec);
-      sim::SimResult R = Engine.run(Launches);
+      sim::SimResult R = Engine.run(std::move(Launches));
       for (const sim::KernelExecResult &K : R.Kernels) {
         size_t Idx = static_cast<size_t>(K.AppId);
         LiveRequest &LR = Live[Idx];
@@ -225,9 +368,7 @@ StreamOutcome harness::runStream(
       // older), and the next round re-solves over the new queue.
       for (const sim::KernelExecResult &K : R.Kernels) {
         size_t Idx = static_cast<size_t>(K.AppId);
-        bool Done =
-            IsEk || Live[Idx].Cursor ==
-                        Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size();
+        bool Done = IsEk || RemainingGroups(Idx) == 0;
         if (!Done)
           continue;
         Out.Requests[Idx].StartTime = Live[Idx].Start;
@@ -248,8 +389,11 @@ StreamOutcome harness::runStream(
     double Alone =
         Driver.isolatedDuration(SchedulerKind::Baseline,
                                 Trace[I].KernelIdx);
+    // streamSlowdown floors the zero-work corner: a request with no
+    // work completes at its arrival boundary with zero turnaround,
+    // which would trip the positivity asserts in the metrics.
     Out.Slowdowns.push_back(
-        metrics::individualSlowdown(R.EndTime - R.ArrivalTime, Alone));
+        streamSlowdown(R.EndTime - R.ArrivalTime, Alone));
   }
   Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
   return Out;

@@ -13,17 +13,32 @@
 ///    run where every launch carries its real ArrivalTime;
 ///  - Elastic Kernels: at each round boundary the pending requests are
 ///    statically merged and co-dispatched;
-///  - accelOS: the RoundScheduler re-solves fair shares at every
+///  - accelOS: the scheduler re-solves fair shares at every
 ///    arrival/completion boundary (dynamic K) and requeues clamp-shed
-///    requests into later rounds. Because accelOS kernels drain a
-///    virtual work queue, a round may run each kernel for a bounded
-///    *quantum* of its virtual groups and requeue the remainder — the
-///    software analogue of preemption that keeps rounds short, so a
-///    newly arrived kernel is never serialized behind a giant one.
+///    requests. Because accelOS kernels drain a virtual work queue, a
+///    grant may run each kernel for a bounded *quantum* of its virtual
+///    groups and requeue the remainder — the software analogue of
+///    preemption that keeps occupancy short, so a newly arrived kernel
+///    is never serialized behind a giant one.
 ///
-/// Rounds are completion-synchronous: requests arriving while a round
-/// executes wait for the next boundary, where the share solve sees the
-/// grown queue.
+/// The accelOS path has two admission disciplines
+/// (StreamOptions::Admission):
+///
+///  - RoundSync: completion-round-synchronous. Requests arriving while
+///    a round executes wait for the next global boundary, where the
+///    share solve sees the grown queue. Kept as the regression
+///    reference — and as the demonstration of the round-boundary
+///    convoy it suffers from.
+///  - Continuous: arrival-aware continuous admission inside ONE
+///    persistent engine session (sim::EngineSession). Fair shares are
+///    re-solved at every arrival/completion event and newly arrived or
+///    requeued sliced kernels immediately fill the residual capacity
+///    left by in-flight grants (accelos::ContinuousScheduler) — no
+///    global barrier, no preemption needed. On an all-zero-arrival
+///    trace with slicing disabled this reproduces the round-sync
+///    schedule bit-for-bit (regression-tested); under streaming
+///    arrivals it cuts queueing delay because a request no longer
+///    waits out the makespan of a round it missed.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +46,7 @@
 #define ACCEL_HARNESS_STREAMING_H
 
 #include "harness/Experiment.h"
+#include "metrics/Metrics.h"
 #include "workloads/Arrivals.h"
 
 #include <map>
@@ -51,6 +67,9 @@ struct StreamRequestResult {
 
   /// Submission-to-completion latency (queueing included).
   double latency() const { return EndTime - ArrivalTime; }
+
+  /// Time spent waiting before the first work-group dispatch.
+  double queueDelay() const { return StartTime - ArrivalTime; }
 };
 
 /// Whole-trace outcome under one scheduler.
@@ -61,25 +80,72 @@ struct StreamOutcome {
   std::vector<double> Slowdowns;
   double Makespan = 0;   ///< Completion time of the last request.
   double Unfairness = 1; ///< max/min over Slowdowns.
-  size_t Rounds = 0;     ///< Scheduling rounds executed (1 for FIFO).
-  uint64_t Deferrals = 0; ///< Clamp-shed requeues (accelOS only).
+  /// Scheduling decisions: engine rounds for RoundSync (1 for FIFO),
+  /// admission passes for Continuous.
+  size_t Rounds = 0;
+  uint64_t Deferrals = 0; ///< Scheduler deferrals (accelOS only).
 
   /// Latencies grouped by tenant, for percentile reporting.
   std::map<int, std::vector<double>> latenciesByTenant() const;
+
+  /// Per-request queueing delays, in trace order.
+  std::vector<double> queueDelays() const;
 };
 
 /// Streaming replay knobs.
 struct StreamOptions {
+  /// How the accelOS scheduler admits work into the device. The FIFO
+  /// baseline and Elastic Kernels have fixed disciplines of their own
+  /// and ignore this knob.
+  enum class AdmissionMode {
+    /// Completion-round-synchronous: a global boundary per round.
+    RoundSync,
+    /// Event-driven admission into one persistent engine session.
+    Continuous,
+  };
+
   /// Per-tenant sharing weights (absent tenants weigh 1.0); only
   /// accelOS honours weights.
   std::map<int, double> Weights;
-  /// accelOS work-slicing quantum in simulation time units: each round
-  /// runs every granted kernel for roughly this long (sized through its
+  /// accelOS work-slicing quantum in simulation time units: each grant
+  /// runs the kernel for roughly this long (sized through its
   /// virtual-group costs) and requeues the unfinished remainder. Zero
-  /// disables slicing — granted kernels run to completion within their
-  /// round.
+  /// disables slicing — granted kernels run to completion.
   double RoundQuantum = 0;
+  /// Admission discipline for the accelOS path.
+  AdmissionMode Admission = AdmissionMode::RoundSync;
 };
+
+/// Degenerate-latency threshold, as a fraction of the request's
+/// isolated baseline duration: below it a turnaround is considered
+/// zero-work. Far smaller than any real request's latency (which is at
+/// least its own execution time).
+constexpr double ZeroWorkLatencyEpsilon = 1e-9;
+
+/// The streaming slowdown of one request: latency over the isolated
+/// baseline duration. A zero-work request completes at its admission
+/// boundary, so both its shared and isolated durations are (near)
+/// zero; its slowdown is the 0/0 limit — ideal service, exactly 1.
+/// (Reporting the raw epsilon ratio instead would both trip the
+/// metrics' positivity asserts at zero and, clamped, inflate max/min
+/// unfairness by nine orders of magnitude.)
+inline double streamSlowdown(double Latency, double AloneDuration) {
+  if (AloneDuration <= 0 ||
+      Latency <= ZeroWorkLatencyEpsilon * AloneDuration)
+    return 1.0;
+  return metrics::individualSlowdown(Latency, AloneDuration);
+}
+
+/// Computes the end of the quantum-bounded slice [Cursor, End) of a
+/// virtual work range. The thread-cycle budget is derived from the
+/// physical work groups that will actually run — \p GrantWGs capped to
+/// the remaining virtual groups — so tail slices (fewer groups left
+/// than granted workers) do not overrun the quantum the way a budget
+/// computed from the uncapped grant would. Always takes at least one
+/// group; \p Quantum <= 0 disables slicing (returns the full range).
+size_t quantumSliceEnd(const std::vector<double> &WGCosts, size_t Cursor,
+                       uint64_t GrantWGs, uint64_t WGThreads,
+                       double IssueEfficiency, double Quantum);
 
 /// Replays \p Trace under \p Kind on \p Driver's device.
 StreamOutcome runStream(ExperimentDriver &Driver, SchedulerKind Kind,

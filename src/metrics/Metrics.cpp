@@ -6,6 +6,8 @@
 
 #include "metrics/Metrics.h"
 
+#include "support/Statistics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -109,6 +111,10 @@ double metrics::latencyPercentile(std::vector<double> Values, double Pct) {
   size_t Hi = std::min(Lo + 1, Values.size() - 1);
   double Frac = Rank - static_cast<double>(Lo);
   return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+}
+
+double metrics::mean(const std::vector<double> &Values) {
+  return meanOf(Values);
 }
 
 std::vector<double>

@@ -59,6 +59,10 @@ double worstNormalizedTurnaround(const std::vector<double> &Slowdowns);
 /// p99 in the streaming evaluation.
 double latencyPercentile(std::vector<double> Values, double Pct);
 
+/// Arithmetic mean of \p Values (0 for an empty set) — the companion
+/// aggregate to latencyPercentile for latency/queue-delay reporting.
+double mean(const std::vector<double> &Values);
+
 /// A measurement stamped with the time it was observed (e.g. a
 /// request's slowdown stamped with its completion time).
 struct TimedSample {

@@ -12,6 +12,7 @@
 #include <cassert>
 #include <cmath>
 #include <cstdio>
+#include <deque>
 #include <map>
 #include <queue>
 #include <set>
@@ -32,102 +33,100 @@ namespace {
 
 constexpr double Eps = 1e-7;
 
-/// One work group resident on a compute unit.
-struct ResidentWG {
-  size_t Launch = 0;
-  double Remaining = 0; ///< Thread-cycles left in the current leg.
-  double Weight = 0;    ///< Threads x issue efficiency: share weight.
-  uint64_t Threads = 0;
-  bool Retired = false;
-};
+} // namespace
 
-/// A compute unit under processor sharing.
-struct CUState {
-  double LastUpdate = 0;
-  std::vector<ResidentWG> Residents;
-  uint64_t UsedThreads = 0;
-  uint64_t UsedLocal = 0;
-  uint64_t UsedRegs = 0;
-  double SumWeights = 0;
-  uint64_t Epoch = 0;
+namespace accel {
+namespace sim {
+namespace detail {
 
-  double rateScale(unsigned Lanes) const {
-    if (SumWeights <= Lanes)
-      return 1.0;
-    return static_cast<double>(Lanes) / SumWeights;
-  }
-
-  /// Advances every resident's progress to time \p T.
-  void advanceTo(double T, unsigned Lanes) {
-    double Dt = T - LastUpdate;
-    if (Dt > 0 && !Residents.empty()) {
-      double Scale = rateScale(Lanes);
-      for (ResidentWG &R : Residents)
-        R.Remaining -= R.Weight * Scale * Dt;
-    }
-    LastUpdate = T;
-  }
-
-  /// \returns the absolute time of the next leg completion, or a
-  /// negative value when idle.
-  double nextCompletion(unsigned Lanes) const {
-    if (Residents.empty())
-      return -1.0;
-    double Scale = rateScale(Lanes);
-    double MinDt = -1.0;
-    for (const ResidentWG &R : Residents) {
-      double Dt = std::max(0.0, R.Remaining) / (R.Weight * Scale);
-      if (MinDt < 0 || Dt < MinDt)
-        MinDt = Dt;
-    }
-    return LastUpdate + MinDt;
-  }
-};
-
-/// Book-keeping for one launch.
-struct LaunchState {
-  const KernelLaunchDesc *D = nullptr;
-  uint64_t NextWG = 0;
-  uint64_t DoneWGs = 0;
-  uint64_t LiveWGs = 0;
-  uint64_t QueueCursor = 0;
-  uint64_t Dequeues = 0;
-  bool Started = false;
-  bool Finished = false;
-  double Start = 0;
-  double End = 0;
-
-  bool dispatchDone() const { return NextWG >= D->numPhysicalWGs(); }
-};
-
-/// The whole simulation for one Engine::run call.
-class Simulation {
+/// The persistent simulation state behind EngineSession (and, through
+/// it, Engine::run). Launches are admitted incrementally; advanceTo
+/// processes arrival and completion events up to a time bound, so the
+/// caller can interleave scheduling decisions with device progress.
+class SessionState {
 public:
-  Simulation(const DeviceSpec &Spec,
-             const std::vector<KernelLaunchDesc> &Launches)
-      : Spec(Spec) {
+  explicit SessionState(const DeviceSpec &Spec) : Spec(Spec) {
     CUs.resize(Spec.NumCUs);
-    States.reserve(Launches.size());
-    for (const KernelLaunchDesc &D : Launches) {
-      LaunchState S;
-      S.D = &D;
-      States.push_back(S);
-    }
-    // The device queue is ordered by arrival; the stable sort keeps
-    // vector order for ties (and the identity for all-zero arrivals).
-    QueueOrder.resize(States.size());
-    for (size_t I = 0; I != States.size(); ++I)
-      QueueOrder[I] = I;
-    std::stable_sort(QueueOrder.begin(), QueueOrder.end(),
-                     [&](size_t A, size_t B) {
-                       return States[A].D->ArrivalTime <
-                              States[B].D->ArrivalTime;
-                     });
   }
 
-  SimResult run();
+  void admit(std::vector<KernelLaunchDesc> Launches);
+  double now() const { return Now; }
+  double nextEventTime();
+  std::vector<KernelExecResult> advanceTo(double T);
+  std::vector<KernelExecResult> drain();
+  size_t inFlight() const { return States.size() - FinishedCount; }
+  std::vector<KernelExecResult> history() const;
 
 private:
+  /// One work group resident on a compute unit.
+  struct ResidentWG {
+    size_t Launch = 0;
+    double Remaining = 0; ///< Thread-cycles left in the current leg.
+    double Weight = 0;    ///< Threads x issue efficiency: share weight.
+    uint64_t Threads = 0;
+    bool Retired = false;
+  };
+
+  /// A compute unit under processor sharing.
+  struct CUState {
+    double LastUpdate = 0;
+    std::vector<ResidentWG> Residents;
+    uint64_t UsedThreads = 0;
+    uint64_t UsedLocal = 0;
+    uint64_t UsedRegs = 0;
+    double SumWeights = 0;
+    uint64_t Epoch = 0;
+
+    double rateScale(unsigned Lanes) const {
+      if (SumWeights <= Lanes)
+        return 1.0;
+      return static_cast<double>(Lanes) / SumWeights;
+    }
+
+    /// Advances every resident's progress to time \p T.
+    void advanceTo(double T, unsigned Lanes) {
+      double Dt = T - LastUpdate;
+      if (Dt > 0 && !Residents.empty()) {
+        double Scale = rateScale(Lanes);
+        for (ResidentWG &R : Residents)
+          R.Remaining -= R.Weight * Scale * Dt;
+      }
+      LastUpdate = T;
+    }
+
+    /// \returns the absolute time of the next leg completion, or a
+    /// negative value when idle.
+    double nextCompletion(unsigned Lanes) const {
+      if (Residents.empty())
+        return -1.0;
+      double Scale = rateScale(Lanes);
+      double MinDt = -1.0;
+      for (const ResidentWG &R : Residents) {
+        double Dt = std::max(0.0, R.Remaining) / (R.Weight * Scale);
+        if (MinDt < 0 || Dt < MinDt)
+          MinDt = Dt;
+      }
+      return LastUpdate + MinDt;
+    }
+  };
+
+  /// Book-keeping for one launch. The session owns the descriptor so
+  /// callers need not keep their vectors alive between admits.
+  struct LaunchState {
+    KernelLaunchDesc Desc;
+    uint64_t NextWG = 0;
+    uint64_t DoneWGs = 0;
+    uint64_t LiveWGs = 0;
+    uint64_t QueueCursor = 0;
+    uint64_t Dequeues = 0;
+    bool Started = false;
+    bool Finished = false;
+    double Start = 0;
+    double End = 0;
+
+    bool dispatchDone() const { return NextWG >= Desc.numPhysicalWGs(); }
+  };
+
   struct HeapEntry {
     double Time;
     size_t CU;
@@ -135,12 +134,27 @@ private:
     bool operator>(const HeapEntry &O) const { return Time > O.Time; }
   };
 
+  KernelExecResult resultFor(const LaunchState &L) const {
+    KernelExecResult R;
+    R.Name = L.Desc.Name;
+    R.AppId = L.Desc.AppId;
+    R.ArrivalTime = L.Desc.ArrivalTime;
+    R.StartTime = L.Start;
+    R.EndTime = L.End;
+    R.DispatchedWGs = L.NextWG;
+    R.DequeueOps = L.Dequeues;
+    return R;
+  }
+
   /// Earlier/later relations below are in *queue positions*: indices
   /// into QueueOrder, i.e. arrival order. Only the arrived prefix
   /// [0, ArrivedCount) is visible to admission and dispatch — a launch
   /// that has not arrived yet neither blocks nor is blocked.
+  /// [0, DonePrefix) is entirely finished and can be skipped, which
+  /// keeps a long-lived session's per-event work proportional to the
+  /// *active* launches, not everything ever admitted.
   bool allEarlierComplete(size_t Pos) const {
-    for (size_t P = 0; P != Pos; ++P)
+    for (size_t P = DonePrefix; P < Pos; ++P)
       if (!States[QueueOrder[P]].Finished)
         return false;
     return true;
@@ -148,10 +162,10 @@ private:
 
   bool sharesMergeGroupWithEarlier(size_t Pos) const {
     const LaunchState &L = States[QueueOrder[Pos]];
-    if (L.D->MergeGroup < 0)
+    if (L.Desc.MergeGroup < 0)
       return false;
     for (size_t P = 0; P != Pos; ++P)
-      if (States[QueueOrder[P]].D->MergeGroup == L.D->MergeGroup)
+      if (States[QueueOrder[P]].Desc.MergeGroup == L.Desc.MergeGroup)
         return true;
     return false;
   }
@@ -179,15 +193,15 @@ private:
     if (sharesMergeGroupWithEarlier(Pos))
       return true;
     // All earlier launches must at least have drained their pending
-    // queues (WG-granular FIFO).
-    for (size_t P = 0; P != Pos; ++P)
+    // queues (WG-granular FIFO; the finished prefix trivially has).
+    for (size_t P = DonePrefix; P < Pos; ++P)
       if (!States[QueueOrder[P]].dispatchDone())
         return false;
     if (Spec.Admission == KernelAdmissionKind::GreedyTail)
       return true;
     // ExclusiveUnlessFits: the whole remaining footprint must fit in
     // the currently free space.
-    const KernelLaunchDesc &D = *States[QueueOrder[Pos]].D;
+    const KernelLaunchDesc &D = States[QueueOrder[Pos]].Desc;
     uint64_t FreeThreads, FreeLocal, FreeRegs, FreeSlots;
     freeCapacity(FreeThreads, FreeLocal, FreeRegs, FreeSlots);
     uint64_t WGs = D.numPhysicalWGs();
@@ -218,7 +232,7 @@ private:
   /// \returns the leg cost in thread-cycles, or a bare dequeue cost when
   /// the queue is empty (termination discovery).
   double takeBatch(LaunchState &L) {
-    const KernelLaunchDesc &D = *L.D;
+    const KernelLaunchDesc &D = L.Desc;
     double Cost = Spec.DequeueCycles * static_cast<double>(D.WGThreads);
     ++L.Dequeues;
     uint64_t N = std::min<uint64_t>(D.Batch,
@@ -232,7 +246,7 @@ private:
   /// Places the next WG of launch \p Li. \returns false when no CU fits.
   bool placeWG(size_t Li, double Now) {
     LaunchState &L = States[Li];
-    const KernelLaunchDesc &D = *L.D;
+    const KernelLaunchDesc &D = L.Desc;
     int CUIdx = findCU(D);
     if (CUIdx < 0)
       return false;
@@ -273,7 +287,7 @@ private:
   void dispatchMergeGroup(int Group, double Now) {
     std::vector<size_t> Members;
     for (size_t P = 0; P != ArrivedCount; ++P)
-      if (States[QueueOrder[P]].D->MergeGroup == Group)
+      if (States[QueueOrder[P]].Desc.MergeGroup == Group)
         Members.push_back(QueueOrder[P]);
     size_t &Cursor = GroupCursor[Group];
     for (bool Progress = true; Progress;) {
@@ -294,8 +308,11 @@ private:
   /// Dispatches as much pending work as policies and space allow,
   /// considering only launches that have arrived.
   void dispatchAll(double Now) {
+    while (DonePrefix != ArrivedCount &&
+           States[QueueOrder[DonePrefix]].Finished)
+      ++DonePrefix;
     std::set<int> GroupsDone;
-    for (size_t Pos = 0; Pos != ArrivedCount; ++Pos) {
+    for (size_t Pos = DonePrefix; Pos != ArrivedCount; ++Pos) {
       size_t Li = QueueOrder[Pos];
       LaunchState &L = States[Li];
       if (L.dispatchDone())
@@ -304,9 +321,9 @@ private:
       // pending member: later batches queue behind earlier ones.
       if (!L.Started && !canStart(Pos))
         break;
-      if (L.D->MergeGroup >= 0) {
-        if (GroupsDone.insert(L.D->MergeGroup).second)
-          dispatchMergeGroup(L.D->MergeGroup, Now);
+      if (L.Desc.MergeGroup >= 0) {
+        if (GroupsDone.insert(L.Desc.MergeGroup).second)
+          dispatchMergeGroup(L.Desc.MergeGroup, Now);
         if (!L.dispatchDone())
           break; // Batch still has pending work; later batches wait.
         continue;
@@ -322,7 +339,7 @@ private:
   void retireWG(CUState &CU, size_t ResidentIdx, double Now) {
     ResidentWG &R = CU.Residents[ResidentIdx];
     LaunchState &L = States[R.Launch];
-    const KernelLaunchDesc &D = *L.D;
+    const KernelLaunchDesc &D = L.Desc;
     CU.UsedThreads -= D.WGThreads;
     CU.UsedLocal -= D.LocalMemPerWG;
     CU.UsedRegs -= D.WGThreads * D.RegsPerThread;
@@ -333,81 +350,164 @@ private:
     if (L.DoneWGs == D.numPhysicalWGs()) {
       L.Finished = true;
       L.End = Now;
+      ++FinishedCount;
+      Completed.push_back(resultFor(L));
+      // A persistent session keeps finished LaunchStates for history();
+      // the drained virtual queue is the one part nothing reads again,
+      // and per-group cost vectors dominate a long session's footprint.
+      // (StaticCosts must stay: numPhysicalWGs() is its size.)
+      L.Desc.VirtualCosts.clear();
+      L.Desc.VirtualCosts.shrink_to_fit();
     }
   }
 
   /// Admits every launch whose arrival time has passed. QueueOrder is
-  /// sorted by arrival, so the arrived set is always a prefix.
+  /// sorted by arrival, so the arrived set is always a prefix. A launch
+  /// that is already Finished when it arrives is a zero-work launch:
+  /// its completion is reported the moment the session crosses its
+  /// arrival time.
   void admitArrivals(double Now) {
     while (ArrivedCount != QueueOrder.size() &&
-           States[QueueOrder[ArrivedCount]].D->ArrivalTime <= Now)
+           States[QueueOrder[ArrivedCount]].Desc.ArrivalTime <= Now) {
+      const LaunchState &L = States[QueueOrder[ArrivedCount]];
+      if (L.Finished) {
+        ++FinishedCount;
+        Completed.push_back(resultFor(L));
+      }
       ++ArrivedCount;
-  }
-
-  const DeviceSpec &Spec;
-  std::vector<CUState> CUs;
-  std::vector<LaunchState> States;
-  std::vector<size_t> QueueOrder; ///< Launch indices in arrival order.
-  size_t ArrivedCount = 0;        ///< Arrived prefix of QueueOrder.
-  std::vector<size_t> Dirty;
-  std::map<int, size_t> GroupCursor;
-  unsigned RoundRobin = 0;
-};
-
-SimResult Simulation::run() {
-  SimResult Result;
-  // Degenerate launches complete immediately upon arrival.
-  for (LaunchState &L : States) {
-    if (L.D->numPhysicalWGs() == 0) {
-      L.Finished = true;
-      L.Start = L.End = L.D->ArrivalTime;
     }
-    assert(L.D->WGThreads <= Spec.MaxThreadsPerCU &&
-           L.D->LocalMemPerWG <= Spec.LocalMemPerCU &&
-           L.D->WGThreads * L.D->RegsPerThread <= Spec.RegsPerCU &&
-           "work group can never fit a compute unit");
   }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
-                      std::greater<HeapEntry>>
-      Heap;
-
-  auto PushCU = [&](size_t CUIdx) {
+  void pushCU(size_t CUIdx) {
     double T = CUs[CUIdx].nextCompletion(Spec.LanesPerCU);
     if (T >= 0)
       Heap.push({T, CUIdx, CUs[CUIdx].Epoch});
-  };
+  }
 
+  void purgeStaleHeap() {
+    while (!Heap.empty() &&
+           Heap.top().Epoch != CUs[Heap.top().CU].Epoch)
+      Heap.pop();
+  }
+
+  DeviceSpec Spec;
+  std::vector<CUState> CUs;
+  std::deque<LaunchState> States; ///< Stable across incremental admits.
+  std::vector<size_t> QueueOrder; ///< Launch indices in arrival order.
+  size_t ArrivedCount = 0;        ///< Arrived prefix of QueueOrder.
+  size_t DonePrefix = 0;          ///< Finished prefix of QueueOrder.
+  size_t FinishedCount = 0;
+  std::vector<size_t> Dirty;
+  std::map<int, size_t> GroupCursor;
+  unsigned RoundRobin = 0;
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                      std::greater<HeapEntry>>
+      Heap;
   double Now = 0;
-  Dirty.clear();
-  admitArrivals(Now);
-  dispatchAll(Now);
-  for (size_t I = 0; I != CUs.size(); ++I)
-    PushCU(I);
+  /// Livelock guard: a legitimate simulation performs a bounded amount
+  /// of work per *instant*, so only events that fail to advance the
+  /// clock by a resolvable step (the same Eps*(1+Now) threshold the
+  /// retire logic uses) count toward the budget. A persistent session
+  /// legitimately accumulates unbounded events over its lifetime and
+  /// must not trip it; a runaway whose clock creeps by ULP-sized
+  /// sub-threshold steps still does.
+  double LastEventTime = -1.0;
+  uint64_t SameTimeEvents = 0;
+  /// Completion records since the last advanceTo/drain handed results
+  /// back to the caller.
+  std::vector<KernelExecResult> Completed;
+};
 
-  uint64_t Events = 0;
-  while (!Heap.empty() || ArrivedCount != QueueOrder.size()) {
+void SessionState::admit(std::vector<KernelLaunchDesc> Launches) {
+  if (Launches.empty())
+    return;
+  bool AnyDue = false;
+  for (KernelLaunchDesc &D : Launches) {
+    assert(D.WGThreads <= Spec.MaxThreadsPerCU &&
+           D.LocalMemPerWG <= Spec.LocalMemPerCU &&
+           D.WGThreads * D.RegsPerThread <= Spec.RegsPerCU &&
+           "work group can never fit a compute unit");
+    size_t Li = States.size();
+    LaunchState S;
+    S.Desc = std::move(D);
+    // A launch admitted after its nominal arrival reached the device
+    // late: it becomes visible now.
+    if (S.Desc.ArrivalTime < Now)
+      S.Desc.ArrivalTime = Now;
+    // Degenerate launches complete immediately upon arrival. They stay
+    // "in flight" until the session crosses their arrival time and
+    // delivers the completion record (admitArrivals).
+    if (S.Desc.numPhysicalWGs() == 0) {
+      S.Finished = true;
+      S.Start = S.End = S.Desc.ArrivalTime;
+    }
+    AnyDue |= S.Desc.ArrivalTime <= Now;
+    States.push_back(std::move(S));
+    QueueOrder.push_back(Li);
+  }
+  // Merge into the un-arrived suffix: it stays sorted by arrival, and
+  // the stable sort keeps admission order for ties (and the identity
+  // for an all-zero-arrival batch).
+  std::stable_sort(QueueOrder.begin() +
+                       static_cast<ptrdiff_t>(ArrivedCount),
+                   QueueOrder.end(), [&](size_t A, size_t B) {
+                     return States[A].Desc.ArrivalTime <
+                            States[B].Desc.ArrivalTime;
+                   });
+  if (AnyDue) {
+    admitArrivals(Now);
+    Dirty.clear();
+    dispatchAll(Now);
+    for (size_t CUIdx : Dirty)
+      pushCU(CUIdx);
+  }
+}
+
+double SessionState::nextEventTime() {
+  purgeStaleHeap();
+  double T = -1.0;
+  if (ArrivedCount != QueueOrder.size())
+    T = States[QueueOrder[ArrivedCount]].Desc.ArrivalTime;
+  if (!Heap.empty() && (T < 0 || Heap.top().Time < T))
+    T = Heap.top().Time;
+  return T;
+}
+
+std::vector<KernelExecResult> SessionState::advanceTo(double T) {
+  for (;;) {
+    purgeStaleHeap();
+    bool HaveArrival = ArrivedCount != QueueOrder.size();
+    double NextArrival =
+        HaveArrival ? States[QueueOrder[ArrivedCount]].Desc.ArrivalTime
+                    : 0;
+    bool ArrivalDue = HaveArrival && NextArrival <= T;
+    bool CompletionDue = !Heap.empty() && Heap.top().Time <= T;
     // Arrival events interleave with work-group completions; ties go to
     // the arrival so newly submitted work can co-dispatch into the
     // space freed at the same instant.
-    if (ArrivedCount != QueueOrder.size()) {
-      double NextArrival = States[QueueOrder[ArrivedCount]].D->ArrivalTime;
-      if (Heap.empty() || NextArrival <= Heap.top().Time) {
-        Now = std::max(Now, NextArrival);
-        admitArrivals(Now);
-        Dirty.clear();
-        dispatchAll(Now);
-        for (size_t CUIdx : Dirty)
-          PushCU(CUIdx);
-        continue;
-      }
+    if (ArrivalDue &&
+        (!CompletionDue || NextArrival <= Heap.top().Time)) {
+      Now = std::max(Now, NextArrival);
+      admitArrivals(Now);
+      Dirty.clear();
+      dispatchAll(Now);
+      for (size_t CUIdx : Dirty)
+        pushCU(CUIdx);
+      continue;
     }
+    if (!CompletionDue)
+      break;
     HeapEntry E = Heap.top();
     Heap.pop();
     CUState &CU = CUs[E.CU];
     if (E.Epoch != CU.Epoch)
       continue; // Stale: residency changed since this entry was pushed.
-    if (++Events > 200'000'000) {
+    if (E.Time >
+        LastEventTime + Eps * (1.0 + std::max(LastEventTime, 0.0))) {
+      LastEventTime = E.Time;
+      SameTimeEvents = 0;
+    }
+    if (++SameTimeEvents > 200'000'000) {
       std::fprintf(stderr,
                    "engine livelock? now=%g cu=%zu residents=%zu "
                    "heap=%zu\n",
@@ -416,7 +516,7 @@ SimResult Simulation::run() {
         std::fprintf(stderr,
                      "  launch %s next=%llu done=%llu live=%llu "
                      "cursor=%llu fin=%d\n",
-                     L.D->Name.c_str(),
+                     L.Desc.Name.c_str(),
                      (unsigned long long)L.NextWG,
                      (unsigned long long)L.DoneWGs,
                      (unsigned long long)L.LiveWGs,
@@ -440,8 +540,8 @@ SimResult Simulation::run() {
       if (TimeLeft > Eps * (1.0 + Now))
         continue;
       LaunchState &L = States[R.Launch];
-      if (L.D->Mode == KernelLaunchDesc::ModeKind::WorkQueue &&
-          L.QueueCursor < L.D->VirtualCosts.size()) {
+      if (L.Desc.Mode == KernelLaunchDesc::ModeKind::WorkQueue &&
+          L.QueueCursor < L.Desc.VirtualCosts.size()) {
         // Dequeue the next batch and keep running.
         R.Remaining = takeBatch(L);
         Changed = true;
@@ -456,37 +556,86 @@ SimResult Simulation::run() {
       ++CU.Epoch;
       Dirty.clear();
       dispatchAll(Now);
-      PushCU(E.CU);
+      pushCU(E.CU);
       for (size_t CUIdx : Dirty)
         if (CUIdx != E.CU)
-          PushCU(CUIdx);
+          pushCU(CUIdx);
       // Re-push CUs whose epochs changed through dispatch onto this CU.
     } else {
-      PushCU(E.CU);
+      pushCU(E.CU);
     }
   }
-
-  for (const LaunchState &L : States) {
-    KernelExecResult R;
-    R.Name = L.D->Name;
-    R.AppId = L.D->AppId;
-    R.ArrivalTime = L.D->ArrivalTime;
-    R.StartTime = L.Start;
-    R.EndTime = L.End;
-    R.DispatchedWGs = L.NextWG;
-    R.DequeueOps = L.Dequeues;
-    Result.Kernels.push_back(R);
-    Result.Makespan = std::max(Result.Makespan, L.End);
-  }
-  assert(std::all_of(States.begin(), States.end(),
-                     [](const LaunchState &L) { return L.Finished; }) &&
-         "simulation ended with unfinished launches");
-  return Result;
+  Now = std::max(Now, T);
+  std::vector<KernelExecResult> Out;
+  Out.swap(Completed);
+  return Out;
 }
 
-} // namespace
+std::vector<KernelExecResult> SessionState::drain() {
+  std::vector<KernelExecResult> Out;
+  for (;;) {
+    double T = nextEventTime();
+    if (T < 0)
+      break;
+    std::vector<KernelExecResult> Batch = advanceTo(T);
+    Out.insert(Out.end(), Batch.begin(), Batch.end());
+  }
+  // Completions recorded since the last advance (zero-work launches
+  // admitted at the current time when nothing else is pending).
+  Out.insert(Out.end(), Completed.begin(), Completed.end());
+  Completed.clear();
+  assert(FinishedCount == States.size() &&
+         "session drained with unfinished launches");
+  return Out;
+}
 
-SimResult Engine::run(const std::vector<KernelLaunchDesc> &Launches) {
-  Simulation S(Spec, Launches);
-  return S.run();
+std::vector<KernelExecResult> SessionState::history() const {
+  std::vector<KernelExecResult> Out;
+  Out.reserve(States.size());
+  for (const LaunchState &L : States)
+    Out.push_back(resultFor(L));
+  return Out;
+}
+
+} // namespace detail
+} // namespace sim
+} // namespace accel
+
+EngineSession::EngineSession(const DeviceSpec &Spec)
+    : State(std::make_unique<detail::SessionState>(Spec)) {}
+EngineSession::~EngineSession() = default;
+EngineSession::EngineSession(EngineSession &&) noexcept = default;
+EngineSession &EngineSession::operator=(EngineSession &&) noexcept = default;
+
+void EngineSession::admit(std::vector<KernelLaunchDesc> Launches) {
+  State->admit(std::move(Launches));
+}
+
+double EngineSession::now() const { return State->now(); }
+
+double EngineSession::nextEventTime() { return State->nextEventTime(); }
+
+std::vector<KernelExecResult> EngineSession::advanceTo(double T) {
+  return State->advanceTo(T);
+}
+
+std::vector<KernelExecResult> EngineSession::drain() {
+  return State->drain();
+}
+
+size_t EngineSession::inFlight() const { return State->inFlight(); }
+
+std::vector<KernelExecResult> EngineSession::history() const {
+  return State->history();
+}
+
+SimResult Engine::run(std::vector<KernelLaunchDesc> Launches) {
+  EngineSession S(Spec);
+  S.admit(std::move(Launches));
+  S.drain();
+  SimResult Result;
+  Result.Kernels = S.history();
+  for (const KernelExecResult &K : Result.Kernels)
+    Result.Makespan = std::max(Result.Makespan, K.EndTime);
+  return Result;
 }

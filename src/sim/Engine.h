@@ -19,7 +19,14 @@
 ///
 /// Launches enter the device queue at their ArrivalTime, so the same
 /// model covers both the paper's one-shot batches (all arrivals zero)
-/// and open-loop streams of requests arriving over time.
+/// and open-loop streams of requests arriving over time. Two driving
+/// styles share one implementation:
+///
+///  - Engine::run — simulate a fixed launch vector to completion;
+///  - EngineSession — a persistent incremental session (admit /
+///    advanceTo / drain) that lets a host-side scheduler inject
+///    launches mid-run and react to individual completions, which is
+///    what arrival-aware continuous admission is built on.
 ///
 /// All of the paper's scheduling effects — serialization and unfairness
 /// under FIFO, space sharing under accelOS, load balancing from dynamic
@@ -34,6 +41,7 @@
 #include "sim/DeviceSpec.h"
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -112,17 +120,91 @@ struct SimResult {
   double Makespan = 0;
 };
 
+namespace detail {
+class SessionState;
+}
+
+/// A persistent simulation session: the incremental form of the engine.
+///
+/// Where Engine::run tears the whole simulation down after one batch, a
+/// session keeps the device state (resident work groups, the FIFO
+/// device queue, the event heap) alive between calls, so a host-side
+/// scheduler can inject launches at arbitrary simulation times and
+/// react to each completion as it happens — the substrate for
+/// arrival-aware continuous admission (no global round boundaries).
+///
+/// The protocol is pull-based:
+///
+///   EngineSession S(Spec);
+///   S.admit(Batch1);                 // visible at their ArrivalTime
+///   while ((T = S.nextEventTime()) >= 0) {
+///     for (const KernelExecResult &K : S.advanceTo(T))
+///       react(K);                    // completions in (now, T]
+///     S.admit(moreWork);             // e.g. at ArrivalTime == S.now()
+///   }
+///
+/// Determinism contract: admitting every launch up front and draining
+/// the session is event-for-event identical to Engine::run on the same
+/// vector (Engine::run is implemented exactly that way), so the
+/// one-shot batch semantics are preserved bit-for-bit.
+class EngineSession {
+public:
+  explicit EngineSession(const DeviceSpec &Spec);
+  ~EngineSession();
+  EngineSession(EngineSession &&) noexcept;
+  EngineSession &operator=(EngineSession &&) noexcept;
+
+  /// Submits launches to the device queue. Each launch becomes visible
+  /// to admission and dispatch at max(ArrivalTime, now()): a launch
+  /// admitted after its nominal arrival has simply reached the device
+  /// late. Ties keep admission order (and, within one call, vector
+  /// order). Zero-work launches complete immediately at their arrival.
+  void admit(std::vector<KernelLaunchDesc> Launches);
+
+  /// Current simulation time: advances monotonically via advanceTo.
+  double now() const;
+
+  /// Absolute time of the next pending event (a work-group completion
+  /// or a not-yet-arrived launch), or a negative value when the session
+  /// is idle and the queue is empty.
+  double nextEventTime();
+
+  /// Advances the simulation through every event at times <= \p T and
+  /// sets now() to at least \p T. \returns the launches that completed
+  /// in the window, in completion order.
+  std::vector<KernelExecResult> advanceTo(double T);
+
+  /// Runs every admitted launch to completion (the batch semantics).
+  /// \returns the completions, in completion order.
+  std::vector<KernelExecResult> drain();
+
+  /// Launches admitted but not yet finished.
+  size_t inFlight() const;
+
+  /// Per-launch results in admission order. Finished launches carry
+  /// their final times; unfinished ones report partial state.
+  std::vector<KernelExecResult> history() const;
+
+private:
+  std::unique_ptr<detail::SessionState> State;
+};
+
 /// Discrete-event executor for a stream of kernel launches. Each launch
 /// is admitted to the device queue at its ArrivalTime (arrival events
 /// interleave with work-group completions); launches that all arrive at
 /// time 0 reproduce the classic concurrently-submitted batch, in vector
 /// order.
+///
+/// Engine::run is the one-shot convenience wrapper over EngineSession:
+/// admit everything, drain, report in submission order.
 class Engine {
 public:
   explicit Engine(const DeviceSpec &Spec) : Spec(Spec) {}
 
-  /// Simulates the launches to completion.
-  SimResult run(const std::vector<KernelLaunchDesc> &Launches);
+  /// Simulates the launches to completion. Taken by value so callers
+  /// can std::move a batch in and skip copying the per-WG cost
+  /// vectors; an lvalue argument is copied exactly once, as before.
+  SimResult run(std::vector<KernelLaunchDesc> Launches);
 
 private:
   const DeviceSpec &Spec;

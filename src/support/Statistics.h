@@ -22,6 +22,17 @@
 
 namespace accel {
 
+/// Arithmetic mean of \p Values (0 for an empty set) — the single
+/// definition behind SampleStats::mean and metrics::mean.
+inline double meanOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
 /// Accumulates doubles and answers summary queries. Retains all samples
 /// so percentiles and fractions are exact.
 class SampleStats {
@@ -35,14 +46,7 @@ public:
   bool empty() const { return Samples.empty(); }
 
   /// \returns the arithmetic mean (0 when empty).
-  double mean() const {
-    if (Samples.empty())
-      return 0.0;
-    double Sum = 0.0;
-    for (double S : Samples)
-      Sum += S;
-    return Sum / static_cast<double>(Samples.size());
-  }
+  double mean() const { return meanOf(Samples); }
 
   /// \returns the geometric mean; all samples must be positive.
   double geomean() const {

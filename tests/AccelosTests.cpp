@@ -16,6 +16,7 @@
 
 #include "gtest/gtest.h"
 
+#include <map>
 #include <set>
 
 using namespace accel;
@@ -287,6 +288,45 @@ TEST(SolverInvariantTest, WeightedOversubscribedMixStillFits) {
   }
 }
 
+TEST(SolverTest, ClampVictimKeepsLargestContributorWhenOptimal) {
+  // Only threads are oversubscribed by the floors, and reverting the
+  // largest thread contributor restores feasibility in one revert: the
+  // new fewest-reverts preference and the old largest-contributor
+  // heuristic agree, pinning the previous behaviour.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  std::vector<KernelDemand> Ks = {demand(512, 0, 4, 100),
+                                  demand(512, 0, 4, 100),
+                                  demand(640, 0, 4, 100)};
+  auto Shares = solveFairShares(tinyCaps(), Ks, NoGreedy);
+  EXPECT_EQ(Shares[0], 1u);
+  EXPECT_EQ(Shares[1], 1u);
+  EXPECT_EQ(Shares[2], 0u); // 640 threads: largest, and a one-revert fix
+}
+
+TEST(SolverTest, ClampVictimPrefersSingleRevertFeasibility) {
+  // Threads AND local memory are both oversubscribed by the floors.
+  // Reverting the largest thread contributor (kernel 0: 600 threads,
+  // no local memory) fixes threads but leaves local memory violated —
+  // the old heuristic then shed a second kernel. Reverting kernel 1
+  // (500 threads + 60000 bytes) alone restores both dimensions, so the
+  // fewest-reverts pass must shed exactly that one.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ResourceCaps Caps;
+  Caps.Threads = 1024;
+  Caps.LocalMem = 65536;
+  Caps.Regs = 262144;
+  Caps.WGSlots = 16;
+  std::vector<KernelDemand> Ks = {demand(600, 0, 0, 10),
+                                  demand(500, 60000, 0, 10),
+                                  demand(400, 10000, 0, 10)};
+  auto Shares = solveFairShares(Caps, Ks, NoGreedy);
+  EXPECT_EQ(Shares[0], 1u);
+  EXPECT_EQ(Shares[1], 0u);
+  EXPECT_EQ(Shares[2], 1u);
+}
+
 TEST(SolverTest, CapsFromDeviceMatchSpec) {
   sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
   ResourceCaps C = ResourceCaps::fromDevice(Spec);
@@ -442,6 +482,201 @@ TEST(RoundSchedulerTest, EveryRoundFitsTheDevice) {
       ASSERT_LE(++Rounds, N + 1) << "scheduler failed to drain";
     }
     EXPECT_EQ(Granted, N);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Continuous scheduler: event-driven residual-capacity admission
+//===----------------------------------------------------------------------===//
+
+TEST(ContinuousSchedulerTest, SoloRequestGetsFairShare) {
+  ContinuousScheduler S(tinyCaps());
+  S.submit(request(7, demand(128, 0, 4, 100)));
+  auto Grants = S.admit();
+  ASSERT_EQ(Grants.size(), 1u);
+  EXPECT_EQ(Grants[0].Id, 7u);
+  EXPECT_GE(Grants[0].WGs, 8u); // 1024/128, grown by greedy saturation
+  EXPECT_EQ(S.pending(), 0u);
+  EXPECT_EQ(S.inFlight(), 1u);
+}
+
+TEST(ContinuousSchedulerTest, ArrivalFillsResidualCapacityImmediately) {
+  // A holds a bounded share (2 WGs of 128 threads); B arrives while A
+  // is in flight and is admitted into the remainder at once — no
+  // completion boundary in between.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ContinuousScheduler S(tinyCaps(), NoGreedy);
+  S.submit(request(0, demand(128, 0, 4, 2)));
+  auto G0 = S.admit();
+  ASSERT_EQ(G0.size(), 1u);
+  EXPECT_EQ(G0[0].WGs, 2u);
+
+  S.submit(request(1, demand(128, 0, 4, 100)));
+  auto G1 = S.admit();
+  ASSERT_EQ(G1.size(), 1u);
+  EXPECT_EQ(G1[0].Id, 1u);
+  // The in-flight grant stays in the divisor: B's fair target next to
+  // A is 1024/(2*128) = 4 work groups, and they fit the residual.
+  EXPECT_EQ(G1[0].WGs, 4u);
+  EXPECT_EQ(S.inFlight(), 2u);
+}
+
+TEST(ContinuousSchedulerTest, FullDeviceDefersUntilCompletion) {
+  ContinuousScheduler S(tinyCaps());
+  S.submit(request(0, demand(512, 0, 4, 100)));
+  auto G0 = S.admit(); // greedy saturation fills the device: 2 x 512
+  ASSERT_EQ(G0.size(), 1u);
+  EXPECT_EQ(G0[0].WGs, 2u);
+
+  S.submit(request(1, demand(512, 0, 4, 100)));
+  EXPECT_TRUE(S.admit().empty()); // no residual capacity, no grant
+  EXPECT_EQ(S.pending(), 1u);
+
+  S.complete(0);
+  auto G1 = S.admit();
+  ASSERT_EQ(G1.size(), 1u);
+  EXPECT_EQ(G1[0].Id, 1u);
+  EXPECT_GE(G1[0].WGs, 1u);
+  EXPECT_EQ(S.inFlight(), 1u);
+}
+
+TEST(ContinuousSchedulerTest, BypassesChargeDeferralsThenBlock) {
+  // A big request is repeatedly overtaken by small arrivals that fit
+  // the residual; each bypass charges a deferral, and after
+  // MaxDeferrals the scheduler holds younger work back until the big
+  // request is admitted (bounded bypassing, no starvation).
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ContinuousScheduler S(tinyCaps(), NoGreedy);
+  S.submit(request(100, demand(128, 0, 4, 4))); // flight: 512 threads
+  ASSERT_EQ(S.admit().size(), 1u);
+  S.submit(request(200, demand(1024, 0, 4, 10))); // cannot fit beside
+  EXPECT_TRUE(S.admit().empty());
+
+  uint64_t SmallId = 0;
+  for (uint32_t I = 0; I != ContinuousScheduler::MaxDeferrals; ++I) {
+    S.submit(request(SmallId, demand(64, 0, 4, 1)));
+    auto G = S.admit();
+    ASSERT_EQ(G.size(), 1u); // the small request jumps the big one
+    EXPECT_EQ(G[0].Id, SmallId);
+    S.complete(SmallId++);
+  }
+  EXPECT_EQ(S.stats().Deferrals,
+            uint64_t(ContinuousScheduler::MaxDeferrals));
+
+  // Starvation bound reached: younger requests are now held back.
+  S.submit(request(999, demand(64, 0, 4, 1)));
+  EXPECT_TRUE(S.admit().empty());
+
+  // Capacity drains; the starved request is admitted first.
+  S.complete(100);
+  auto G = S.admit();
+  ASSERT_FALSE(G.empty());
+  EXPECT_EQ(G[0].Id, 200u);
+  EXPECT_GE(G[0].WGs, 1u);
+}
+
+TEST(ContinuousSchedulerTest, ShrinkReturnsUnusedReservation) {
+  // A tail slice runs fewer physical WGs than its grant; shrinking the
+  // flight frees the difference for the very next admission pass.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ContinuousScheduler S(tinyCaps(), NoGreedy);
+  S.submit(request(0, demand(128, 0, 4, 100)));
+  auto G0 = S.admit();
+  ASSERT_EQ(G0.size(), 1u);
+  EXPECT_EQ(G0[0].WGs, 8u); // 1024/128, alone
+  S.shrink(0, 2);           // only 2 physical WGs actually launched
+
+  S.submit(request(1, demand(128, 0, 4, 100)));
+  auto G1 = S.admit();
+  ASSERT_EQ(G1.size(), 1u);
+  // Without the shrink the residual would be zero and this would
+  // defer; with it, the fair target next to the 2-WG flight fits.
+  EXPECT_EQ(G1[0].WGs, 4u);
+}
+
+TEST(ContinuousSchedulerTest, ZeroWorkRequestsGrantZeroWithoutFlight) {
+  ContinuousScheduler S(tinyCaps());
+  S.submit(request(0, demand(128, 0, 4, 0)));
+  S.submit(request(1, demand(128, 0, 4, 100)));
+  auto G = S.admit();
+  ASSERT_EQ(G.size(), 2u);
+  EXPECT_EQ(G[0].WGs, 0u);
+  EXPECT_GT(G[1].WGs, 0u);
+  EXPECT_EQ(S.pending(), 0u);
+  EXPECT_EQ(S.inFlight(), 1u); // only the real request holds capacity
+  EXPECT_EQ(S.stats().Deferrals, 0u);
+}
+
+TEST(ContinuousSchedulerTest, InFlightFootprintNeverExceedsCaps) {
+  // Randomized event soup: arrivals and completions interleave; after
+  // every admission the aggregate in-flight footprint fits the caps,
+  // and the queue always drains once arrivals stop.
+  SplitMix64 Rng(0xC0117);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    ContinuousScheduler S(tinyCaps());
+    std::map<uint64_t, KernelDemand> Flights;
+    std::map<uint64_t, KernelDemand> Demands;
+    std::map<uint64_t, uint64_t> FlightWGs;
+    uint64_t NextId = 0;
+    size_t Submitted = 0;
+
+    auto CheckAndTrack = [&] {
+      for (const RoundGrant &G : S.admit()) {
+        if (G.WGs == 0)
+          continue;
+        Flights[G.Id] = Demands[G.Id];
+        FlightWGs[G.Id] = G.WGs;
+      }
+      uint64_t Threads = 0, Local = 0, Regs = 0, Slots = 0;
+      for (const auto &[Id, D] : Flights) {
+        Threads += FlightWGs[Id] * D.WGThreads;
+        Local += FlightWGs[Id] * D.LocalMemPerWG;
+        Regs += FlightWGs[Id] * D.WGThreads * D.RegsPerThread;
+        Slots += FlightWGs[Id];
+      }
+      ResourceCaps C = tinyCaps();
+      EXPECT_LE(Threads, C.Threads);
+      EXPECT_LE(Local, C.LocalMem);
+      EXPECT_LE(Regs, C.Regs);
+      EXPECT_LE(Slots, C.WGSlots);
+    };
+
+    for (int Step = 0; Step != 60; ++Step) {
+      bool Arrive = Flights.empty() || Rng.nextBelow(2) == 0;
+      if (Arrive && Submitted < 20) {
+        KernelDemand D;
+        D.WGThreads = 32ull << Rng.nextBelow(5);
+        D.LocalMemPerWG = Rng.nextBelow(4) * 8192;
+        D.RegsPerThread = Rng.nextBelow(64);
+        D.RequestedWGs =
+            Rng.nextBelow(4) == 0 ? 0 : 1 + Rng.nextBelow(128);
+        D.Weight = Rng.nextDoubleInRange(0.5, 4.0);
+        Demands[NextId] = D;
+        S.submit(request(NextId++, D));
+        ++Submitted;
+      } else if (!Flights.empty()) {
+        uint64_t Id = Flights.begin()->first;
+        S.complete(Id);
+        Flights.erase(Id);
+        FlightWGs.erase(Id);
+      }
+      CheckAndTrack();
+    }
+    // Drain: completions only. Bounded bypassing guarantees progress.
+    size_t Guard = 0;
+    while (S.pending() != 0 || !Flights.empty()) {
+      if (!Flights.empty()) {
+        uint64_t Id = Flights.begin()->first;
+        S.complete(Id);
+        Flights.erase(Id);
+        FlightWGs.erase(Id);
+      }
+      CheckAndTrack();
+      ASSERT_LE(++Guard, 200u) << "continuous scheduler failed to drain";
+    }
   }
 }
 

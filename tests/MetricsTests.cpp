@@ -76,6 +76,12 @@ TEST(MetricsTest, AnttIsMeanSlowdown) {
 // Latency percentiles
 //===----------------------------------------------------------------------===//
 
+TEST(MetricsTest, MeanAggregatesAndHandlesEmpty) {
+  EXPECT_DOUBLE_EQ(mean({2.0, 4.0, 6.0}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
 TEST(PercentileTest, EndpointsAreMinAndMax) {
   std::vector<double> V = {5.0, 1.0, 9.0, 3.0};
   EXPECT_DOUBLE_EQ(latencyPercentile(V, 0), 1.0);

@@ -1,0 +1,217 @@
+//===- tests/StreamingTests.cpp - Streaming serving-loop tests ---------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the streaming serving loop, centred on arrival-aware
+/// continuous admission: no request starts before it arrives, an
+/// all-zero-arrival trace reproduces the round-synchronous schedule
+/// bit-for-bit (batch semantics), and continuous admission never makes
+/// tail latency worse than the round-boundary convoy. Plus the
+/// regression units for the zero-work latency clamp and the
+/// capped-worker quantum budget.
+///
+//===----------------------------------------------------------------------===//
+
+#include "harness/Streaming.h"
+#include "metrics/Metrics.h"
+#include "workloads/Arrivals.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::harness;
+
+namespace {
+
+class StreamingTest : public ::testing::Test {
+protected:
+  static ExperimentDriver &driver() {
+    static ExperimentDriver D(sim::DeviceSpec::nvidiaK20m());
+    return D;
+  }
+
+  static double meanDur() {
+    static double D = meanIsolatedBaselineDuration(driver());
+    return D;
+  }
+
+  static std::vector<workloads::TimedRequest> poisson(size_t N,
+                                                      uint64_t Seed) {
+    workloads::TraceOptions TOpts;
+    TOpts.NumRequests = N;
+    TOpts.NumTenants = 4;
+    TOpts.MeanInterarrival = meanDur();
+    TOpts.Seed = Seed;
+    return workloads::poissonTrace(driver().numKernels(), TOpts);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Continuous admission properties
+//===----------------------------------------------------------------------===//
+
+TEST_F(StreamingTest, ContinuousNeverStartsBeforeArrival) {
+  StreamOptions Opts;
+  Opts.RoundQuantum = 0.25 * meanDur();
+  Opts.Admission = StreamOptions::AdmissionMode::Continuous;
+  StreamOutcome O = runStream(driver(), SchedulerKind::AccelOSOptimized,
+                              poisson(24, 42), Opts);
+  for (const StreamRequestResult &R : O.Requests) {
+    EXPECT_GE(R.StartTime, R.ArrivalTime - 1e-9)
+        << "request " << R.RequestIdx << " started before it arrived";
+    EXPECT_GE(R.EndTime, R.StartTime);
+  }
+  for (double S : O.Slowdowns)
+    EXPECT_GT(S, 0.0);
+}
+
+TEST_F(StreamingTest, AllZeroArrivalsReproduceRoundSyncSchedule) {
+  // When every request is present from time zero and slicing is off,
+  // one share solve grants the whole set: continuous admission has no
+  // mid-run event to react to and must replay the round-synchronous
+  // schedule bit-for-bit — the batch semantics of the persistent
+  // engine session are identical to the per-round engine runs.
+  std::vector<workloads::TimedRequest> Trace;
+  size_t Kernels[] = {0, 3, 7, 11, 19};
+  int Tenant = 0;
+  for (size_t K : Kernels) {
+    workloads::TimedRequest R;
+    R.KernelIdx = K % driver().numKernels();
+    R.Tenant = Tenant++ % 2;
+    R.ArrivalTime = 0;
+    Trace.push_back(R);
+  }
+
+  StreamOptions Round;
+  StreamOptions Cont;
+  Cont.Admission = StreamOptions::AdmissionMode::Continuous;
+  StreamOutcome A =
+      runStream(driver(), SchedulerKind::AccelOSOptimized, Trace, Round);
+  StreamOutcome B =
+      runStream(driver(), SchedulerKind::AccelOSOptimized, Trace, Cont);
+
+  EXPECT_EQ(A.Rounds, 1u);
+  EXPECT_EQ(B.Rounds, 1u);
+  ASSERT_EQ(A.Requests.size(), B.Requests.size());
+  for (size_t I = 0; I != A.Requests.size(); ++I) {
+    EXPECT_EQ(A.Requests[I].StartTime, B.Requests[I].StartTime)
+        << "request " << I;
+    EXPECT_EQ(A.Requests[I].EndTime, B.Requests[I].EndTime)
+        << "request " << I;
+  }
+  EXPECT_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.Unfairness, B.Unfairness);
+}
+
+TEST_F(StreamingTest, ContinuousTailLatencyNotWorseThanRoundSync) {
+  // The point of the refactor: on an open-loop Poisson trace the
+  // continuous path must not lose to the round-boundary convoy on tail
+  // latency or queueing delay.
+  StreamOptions Round;
+  Round.RoundQuantum = 0.25 * meanDur();
+  StreamOptions Cont = Round;
+  Cont.Admission = StreamOptions::AdmissionMode::Continuous;
+  for (uint64_t Seed : {20260730ull, 7ull}) {
+    std::vector<workloads::TimedRequest> Trace = poisson(32, Seed);
+    StreamOutcome Rs = runStream(
+        driver(), SchedulerKind::AccelOSOptimized, Trace, Round);
+    StreamOutcome Cs = runStream(
+        driver(), SchedulerKind::AccelOSOptimized, Trace, Cont);
+
+    std::vector<double> RsLat, CsLat;
+    for (const StreamRequestResult &R : Rs.Requests)
+      RsLat.push_back(R.latency());
+    for (const StreamRequestResult &R : Cs.Requests)
+      CsLat.push_back(R.latency());
+    EXPECT_LE(metrics::latencyPercentile(CsLat, 95),
+              metrics::latencyPercentile(RsLat, 95))
+        << "seed " << Seed;
+    EXPECT_LE(metrics::mean(Cs.queueDelays()),
+              metrics::mean(Rs.queueDelays()))
+        << "seed " << Seed;
+    EXPECT_LE(metrics::latencyPercentile(Cs.queueDelays(), 95),
+              metrics::latencyPercentile(Rs.queueDelays(), 95))
+        << "seed " << Seed;
+  }
+}
+
+TEST_F(StreamingTest, ContinuousRespectsWeightsAndCompletesEverything) {
+  StreamOptions Opts;
+  Opts.RoundQuantum = 0.25 * meanDur();
+  Opts.Admission = StreamOptions::AdmissionMode::Continuous;
+  Opts.Weights = {{0, 3.0}, {1, 1.0}};
+  workloads::TraceOptions TOpts;
+  TOpts.NumRequests = 24;
+  TOpts.NumTenants = 2;
+  TOpts.MeanInterarrival = meanDur();
+  TOpts.Seed = 7;
+  StreamOutcome O = runStream(
+      driver(), SchedulerKind::AccelOSOptimized,
+      workloads::poissonTrace(driver().numKernels(), TOpts), Opts);
+  // Every request completed with a positive span.
+  for (const StreamRequestResult &R : O.Requests)
+    EXPECT_GT(R.EndTime, 0.0);
+  // The weighted tenant is served no worse at the median.
+  auto ByTenant = O.latenciesByTenant();
+  ASSERT_EQ(ByTenant.size(), 2u);
+  EXPECT_LE(metrics::latencyPercentile(ByTenant[0], 50),
+            metrics::latencyPercentile(ByTenant[1], 50));
+}
+
+//===----------------------------------------------------------------------===//
+// Zero-work latency clamp (regression: zero-turnaround crash)
+//===----------------------------------------------------------------------===//
+
+TEST(StreamSlowdownTest, ZeroWorkLatencyIsIdealService) {
+  // A zero-work request completes at its arrival boundary with a
+  // turnaround of exactly zero: slowdown is the 0/0 limit, ideal
+  // service, exactly 1 — positive (no metrics assert) and neutral to
+  // max/min unfairness (a tiny epsilon ratio would have inflated it by
+  // nine orders of magnitude).
+  double S = streamSlowdown(0.0, 5000.0);
+  EXPECT_DOUBLE_EQ(S, 1.0);
+  std::vector<double> Slowdowns = {S, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(metrics::systemUnfairness(Slowdowns), 2.0);
+  // A kernel whose isolated run is itself empty is also ideal service.
+  EXPECT_DOUBLE_EQ(streamSlowdown(0.0, 0.0), 1.0);
+}
+
+TEST(StreamSlowdownTest, RealLatenciesUnchanged) {
+  EXPECT_DOUBLE_EQ(streamSlowdown(10000.0, 5000.0), 2.0);
+  EXPECT_DOUBLE_EQ(streamSlowdown(5000.0, 5000.0), 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Quantum slicing (regression: budget from the uncapped grant)
+//===----------------------------------------------------------------------===//
+
+TEST(QuantumSliceTest, BudgetUsesCappedWorkerCount) {
+  // 8 remaining groups of cost 100, WG size 10: a grant of 32 workers
+  // is capped to the 8 groups that exist, so the quantum-5 budget is
+  // 5 * 8 * 10 = 400 thread-cycles -> 4 groups. The old uncapped
+  // budget (5 * 32 * 10 = 1600) would have swallowed the entire tail
+  // and overrun the quantum fourfold.
+  std::vector<double> Costs(8, 100.0);
+  EXPECT_EQ(quantumSliceEnd(Costs, 0, /*GrantWGs=*/32, /*WGThreads=*/10,
+                            /*IssueEfficiency=*/1.0, /*Quantum=*/5.0),
+            4u);
+  // A grant already within the remaining range is unaffected.
+  EXPECT_EQ(quantumSliceEnd(Costs, 0, 8, 10, 1.0, 5.0), 4u);
+}
+
+TEST(QuantumSliceTest, AlwaysTakesAtLeastOneGroup) {
+  std::vector<double> Costs(4, 1000.0);
+  EXPECT_EQ(quantumSliceEnd(Costs, 3, 1, 10, 1.0, 1e-6), 4u);
+  EXPECT_EQ(quantumSliceEnd(Costs, 0, 1, 10, 1.0, 1e-6), 1u);
+}
+
+TEST(QuantumSliceTest, ZeroQuantumDisablesSlicing) {
+  std::vector<double> Costs(16, 100.0);
+  EXPECT_EQ(quantumSliceEnd(Costs, 5, 2, 10, 1.0, 0.0), 16u);
+  EXPECT_EQ(quantumSliceEnd(Costs, 16, 2, 10, 1.0, 1.0), 16u);
+}
+
+} // namespace
