@@ -197,19 +197,72 @@ accelos::solveFairShares(const ResourceCaps &Caps,
   if (!Opts.GreedySaturation)
     return Shares;
 
-  // Greedy saturation (Sec. 3): grow shares round-robin until no kernel
-  // can take another work group.
-  for (bool Progress = true; Progress;) {
-    Progress = false;
-    for (size_t I = 0; I != K; ++I) {
-      if (Shares[I] >= Ks[I].RequestedWGs)
-        continue;
-      ++Shares[I];
-      if (fits(Caps, Ks, Shares)) {
-        Progress = true;
-      } else {
-        --Shares[I];
+  // Only active kernels' weights matter: a zero-work request neither
+  // takes a share nor may its (arbitrary) weight flip the solve onto
+  // the weighted path.
+  bool EqualWeights = true;
+  double RefWeight = 0;
+  bool HaveRef = false;
+  for (const KernelDemand &D : Ks) {
+    if (D.RequestedWGs == 0)
+      continue;
+    if (!HaveRef) {
+      RefWeight = D.Weight;
+      HaveRef = true;
+    } else if (D.Weight != RefWeight) {
+      EqualWeights = false;
+      break;
+    }
+  }
+
+  if (EqualWeights) {
+    // Greedy saturation (Sec. 3): grow shares round-robin until no
+    // kernel can take another work group.
+    for (bool Progress = true; Progress;) {
+      Progress = false;
+      for (size_t I = 0; I != K; ++I) {
+        if (Shares[I] >= Ks[I].RequestedWGs)
+          continue;
+        ++Shares[I];
+        if (fits(Caps, Ks, Shares)) {
+          Progress = true;
+        } else {
+          --Shares[I];
+        }
       }
+    }
+    return Shares;
+  }
+
+  // Weighted saturation (Sec. 2.2 non-equal sharing ratios): plain
+  // round-robin would hand every kernel the same number of extra work
+  // groups and wash the weights out of the final allocation exactly
+  // when they matter most — under contention, where the base divisions
+  // are a small fraction of what saturation hands out. Instead run
+  // weighted max-min filling: always grow the unsaturated kernel with
+  // the smallest weight-normalized share (ties to the lower index, so
+  // the result is deterministic), until nothing fits. Equal weights
+  // reduce to the round-robin above, which is kept verbatim so the
+  // paper-default allocations stay bit-identical.
+  std::vector<bool> Saturated(K, false);
+  for (;;) {
+    size_t Next = K;
+    double NextNorm = 0;
+    for (size_t I = 0; I != K; ++I) {
+      if (Saturated[I] || Shares[I] >= Ks[I].RequestedWGs)
+        continue;
+      double Norm = static_cast<double>(Shares[I]) / Ks[I].Weight;
+      if (Next == K || Norm < NextNorm) {
+        Next = I;
+        NextNorm = Norm;
+      }
+    }
+    if (Next == K)
+      break;
+    ++Shares[Next];
+    if (!fits(Caps, Ks, Shares)) {
+      --Shares[Next];
+      Saturated[Next] = true;
     }
   }
   return Shares;

@@ -13,8 +13,11 @@
 ///   x_i = T / (K * w_i),  y_i = L / (K * m_i),  z_i = R / (K * r_i)
 ///
 /// with the final share min(x_i, y_i, z_i). Because the Diophantine
-/// solutions are conservative, a greedy pass grows shares round-robin
-/// until resource saturation.
+/// solutions are conservative, a greedy pass grows shares until
+/// resource saturation: round-robin under equal weights (the paper
+/// default, kept bit-identical), weighted max-min filling under
+/// non-equal sharing ratios (Sec. 2.2) so the weights survive
+/// saturation instead of being washed out by it.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -6,6 +6,8 @@
 
 #include "accelos/Scheduler.h"
 
+#include "metrics/Metrics.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -155,16 +157,55 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
   // grow Flights, so the offset must be pinned here.
   const size_t QueueBase = Flights.size();
 
+  // Admission order. The paper-default equal-weight discipline is plain
+  // FIFO (kept verbatim: bit-identical). With non-equal weights, FIFO
+  // would defeat the weights exactly under saturation — a heavy
+  // tenant's requeued slice waits out every lighter request ahead of it
+  // each cycle — so pending requests are served highest-weight first,
+  // FIFO among equal weights. A starving request (DeferCount at the
+  // MaxDeferrals bound) goes first regardless of weight, so weighted
+  // priority cannot bypass anyone indefinitely.
+  std::vector<size_t> Order(Queue.size());
+  for (size_t I = 0; I != Order.size(); ++I)
+    Order[I] = I;
+  // Mixed-weight detection over work-carrying entries only: zero-work
+  // submissions complete trivially wherever they sit, so their weights
+  // must not flip the queue into priority order.
+  bool MixedWeights = false;
+  double RefWeight = 0;
+  bool HaveRef = false;
+  for (const Entry &E : Queue) {
+    if (E.R.Demand.RequestedWGs == 0)
+      continue;
+    if (!HaveRef) {
+      RefWeight = E.R.Demand.Weight;
+      HaveRef = true;
+    } else if (E.R.Demand.Weight != RefWeight) {
+      MixedWeights = true;
+      break;
+    }
+  }
+  if (MixedWeights)
+    std::stable_sort(Order.begin(), Order.end(),
+                     [&](size_t A, size_t B) {
+                       bool SA = Queue[A].DeferCount >= MaxDeferrals;
+                       bool SB = Queue[B].DeferCount >= MaxDeferrals;
+                       if (SA != SB)
+                         return SA;
+                       return Queue[A].R.Demand.Weight >
+                              Queue[B].R.Demand.Weight;
+                     });
+
   ResourceCaps Free = residual();
   std::deque<Entry> Kept;
-  // Everyone still in Kept when a younger grant lands was overtaken;
-  // each is charged at most one deferral per pass.
+  // Everyone still in Kept when a later grant lands was overtaken; each
+  // is charged at most one deferral per pass.
   size_t ChargedUpTo = 0;
   bool Blocked = false;
   bool AnyCapacityGrant = false;
-  for (size_t I = 0; I != Queue.size(); ++I) {
-    Entry &E = Queue[I];
-    uint64_t Target = Shares[QueueBase + I];
+  for (size_t OI = 0; OI != Order.size(); ++OI) {
+    Entry &E = Queue[Order[OI]];
+    uint64_t Target = Shares[QueueBase + Order[OI]];
     // Zero-work (or degenerate zero-thread) requests complete
     // trivially: zero work groups, no flight, no capacity.
     if (E.R.Demand.RequestedWGs == 0 || E.R.Demand.WGThreads == 0) {
@@ -189,11 +230,18 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
       Kept.push_back(E);
       continue;
     }
-    for (size_t J = ChargedUpTo; J != Kept.size(); ++J) {
-      ++Kept[J].DeferCount;
-      ++Stats.Deferrals;
+    // FIFO order: everyone still in Kept when this (younger) grant
+    // lands was overtaken. Under weighted priority the grants land
+    // FIRST (heaviest served before anyone is kept), so this loop
+    // would never charge exactly the requests being bypassed; the
+    // whole-pass charge below replaces it.
+    if (!MixedWeights) {
+      for (size_t J = ChargedUpTo; J != Kept.size(); ++J) {
+        ++Kept[J].DeferCount;
+        ++Stats.Deferrals;
+      }
+      ChargedUpTo = Kept.size();
     }
-    ChargedUpTo = Kept.size();
     Grants.push_back({E.R.Id, WGs});
     assert(!Flights.count(E.R.Id) &&
            "request admitted while already in flight");
@@ -202,6 +250,99 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
     AnyCapacityGrant = true;
   }
 
+  // Weighted priority: every work-carrying request passed over while
+  // this pass granted capacity was bypassed, no matter where the grant
+  // sat in the iteration. Charging here (once per pass) is what makes
+  // the starving-first override reachable — after MaxDeferrals such
+  // passes the request sorts ahead of any weight.
+  if (MixedWeights && AnyCapacityGrant)
+    for (Entry &E : Kept)
+      if (E.R.Demand.RequestedWGs > 0) {
+        ++E.DeferCount;
+        ++Stats.Deferrals;
+      }
+
   Queue = std::move(Kept);
   return Grants;
+}
+
+//===----------------------------------------------------------------------===//
+// SloWeightController
+//===----------------------------------------------------------------------===//
+
+SloWeightController::SloWeightController(
+    const std::map<int, double> &Targets,
+    const std::map<int, double> &BaseWeights, double Interval,
+    SloControllerOptions Opts)
+    : Interval(Interval), NextUpdate(Interval), Opts(Opts) {
+  assert(Interval > 0 && "non-positive control interval");
+  assert(Opts.IncreaseFactor > 1 && Opts.DecayFactor > 1 &&
+         Opts.MaxBoost >= 1 && "degenerate controller tuning");
+  for (const auto &[Tenant, Base] : BaseWeights) {
+    assert(Base > 0 && "non-positive static weight");
+    Tenants[Tenant].Base = Base;
+  }
+  for (const auto &[Tenant, Target] : Targets) {
+    assert(Target > 0 && "non-positive SLO target");
+    Tenants[Tenant].Target = Target;
+  }
+}
+
+SloWeightController::TenantState &SloWeightController::state(int Tenant) {
+  return Tenants[Tenant]; // Default state: no target, base 1, boost 1.
+}
+
+void SloWeightController::observe(int Tenant, double QueueDelay) {
+  TenantState &S = state(Tenant);
+  if (S.Target > 0)
+    S.Window.push_back(QueueDelay);
+}
+
+bool SloWeightController::maybeUpdate(double Now) {
+  if (Now < NextUpdate)
+    return false;
+  // Events can be sparse; re-arm one interval from *now* rather than
+  // replaying every missed period against the same stale window.
+  NextUpdate = Now + Interval;
+  ++Stats.Updates;
+
+  bool Changed = false;
+  for (auto &[Tenant, S] : Tenants) {
+    std::vector<double> Window = std::move(S.Window);
+    S.Window.clear();
+    if (S.Target <= 0 || Window.size() < Opts.MinSamples)
+      continue;
+    double P95 = metrics::latencyPercentile(std::move(Window), 95);
+    if (P95 > S.Target) {
+      // Missed SLO: multiplicative increase toward the bound.
+      double Next = std::min(S.Boost * Opts.IncreaseFactor, Opts.MaxBoost);
+      Changed |= Next != S.Boost;
+      if (Next != S.Boost)
+        ++Stats.Increases;
+      S.Boost = Next;
+    } else if (P95 <= Opts.Headroom * S.Target && S.Boost > 1.0) {
+      // Comfortable attainment: decay back toward the static weight.
+      S.Boost = std::max(S.Boost / Opts.DecayFactor, 1.0);
+      ++Stats.Decays;
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+double SloWeightController::weight(int Tenant) const {
+  auto It = Tenants.find(Tenant);
+  return It == Tenants.end() ? 1.0 : It->second.Base * It->second.Boost;
+}
+
+double SloWeightController::boost(int Tenant) const {
+  auto It = Tenants.find(Tenant);
+  return It == Tenants.end() ? 1.0 : It->second.Boost;
+}
+
+std::map<int, double> SloWeightController::weights() const {
+  std::map<int, double> Out;
+  for (const auto &[Tenant, S] : Tenants)
+    Out[Tenant] = S.Base * S.Boost;
+  return Out;
 }

@@ -160,11 +160,17 @@ public:
 
   /// Plans admissions for the current event: re-solves fair shares over
   /// everything active (in-flight + pending) and grants each pending
-  /// request, in FIFO order, the smaller of its fair share and what
-  /// still fits the residual capacity. Requests that get nothing stay
-  /// queued. Zero-work requests are granted zero work groups and leave
-  /// the queue immediately. An idle device never refuses its oldest
-  /// request (work conservation), even when the clamp shed it.
+  /// request the smaller of its fair share and what still fits the
+  /// residual capacity. Equal-weight requests are served in FIFO order
+  /// (the paper default, kept bit-identical); with non-equal weights
+  /// the queue is served highest-weight first — under saturation FIFO
+  /// would make every requeued slice of a heavy tenant wait out the
+  /// lighter queue, defeating the weights — except that a starving
+  /// request (MaxDeferrals overtakes) always goes first. Requests that
+  /// get nothing stay queued. Zero-work requests are granted zero work
+  /// groups and leave the queue immediately. An idle device never
+  /// refuses its oldest request (work conservation), even when the
+  /// clamp shed it.
   std::vector<RoundGrant> admit();
 
   size_t pending() const { return Queue.size(); }
@@ -195,6 +201,101 @@ private:
   std::deque<Entry> Queue;
   std::map<uint64_t, Flight> Flights; ///< Keyed by request Id.
   SchedulerStats Stats;
+};
+
+/// Tuning of the SLO weight controller. Like AdaptivePolicy.h's batch
+/// thresholds these are policy constants, not per-request knobs; the
+/// defaults keep adaptation gentle enough that one control interval
+/// never swings a tenant's share by more than IncreaseFactor.
+struct SloControllerOptions {
+  /// Multiplicative increase applied to a tenant's boost when its
+  /// windowed p95 queueing delay misses the SLO target.
+  double IncreaseFactor = 1.5;
+  /// Divisor applied when the tenant comfortably attains (p95 under
+  /// Headroom * target): the boost decays back toward neutral so a
+  /// once-starved tenant does not hold extra share forever.
+  double DecayFactor = 1.2;
+  /// Hard cap on the boost. This is the aggregate-fairness bound: a
+  /// tenant's effective weight never exceeds MaxBoost times its static
+  /// weight, so the solver's weighted shares stay within a bounded
+  /// factor of the operator's configured ratios (property-tested).
+  double MaxBoost = 8.0;
+  /// Attainment headroom: only decay when p95 is safely under target,
+  /// leaving a hysteresis band [Headroom * target, target] where the
+  /// boost holds steady instead of oscillating.
+  double Headroom = 0.8;
+  /// A control window with fewer samples than this is ignored — a lone
+  /// outlier must not re-weight the whole system.
+  size_t MinSamples = 3;
+};
+
+/// Feedback from observed latency into the fair-share weight policy:
+/// the control loop that turns the Sec. 3 fairness *mechanism* into an
+/// SLO-driven serving policy (THEMIS/Gavel-style). Tenants declare a
+/// target on per-request queueing time; the serving loop reports every
+/// completion's aggregate queueing time via observe(), and once per
+/// control interval maybeUpdate() compares each tenant's windowed p95
+/// against its target:
+///
+///  - miss  (p95 > target):            boost *= IncreaseFactor;
+///  - attain (p95 <= Headroom*target): boost /= DecayFactor;
+///
+/// with the boost clamped to [1, MaxBoost]. The effective weight handed
+/// to the solver is static base weight x boost, so adaptation is
+/// bounded: it can *favour* a missing tenant but never starve the
+/// others (any two tenants' effective weights stay within MaxBoost of
+/// their configured ratio). Tenants without a target keep boost 1.
+class SloWeightController {
+public:
+  /// Observable adaptation behaviour.
+  struct ControllerStats {
+    uint64_t Updates = 0;   ///< Control intervals evaluated.
+    uint64_t Increases = 0; ///< Boost raises (missed SLOs).
+    uint64_t Decays = 0;    ///< Boost decays (comfortable attainment).
+  };
+
+  /// \p Targets maps tenant -> p95 queueing-delay target; \p
+  /// BaseWeights carries the operator's static weights (absent tenants
+  /// weigh 1). \p Interval is the control period in simulation time.
+  SloWeightController(const std::map<int, double> &Targets,
+                      const std::map<int, double> &BaseWeights,
+                      double Interval, SloControllerOptions Opts = {});
+
+  /// Records one completed request's queueing delay for \p Tenant's
+  /// current control window.
+  void observe(int Tenant, double QueueDelay);
+
+  /// Runs the control law when a full interval has elapsed since the
+  /// last update. \returns true when any tenant's weight changed (the
+  /// caller should re-read weights for subsequent submissions).
+  bool maybeUpdate(double Now);
+
+  /// The effective solver weight of \p Tenant: static base x boost.
+  double weight(int Tenant) const;
+
+  /// The current adaptation boost of \p Tenant, in [1, MaxBoost].
+  double boost(int Tenant) const;
+
+  /// Effective weights of every tenant known to the controller.
+  std::map<int, double> weights() const;
+
+  const ControllerStats &stats() const { return Stats; }
+
+private:
+  struct TenantState {
+    double Target = 0; ///< 0 = no SLO; boost stays 1.
+    double Base = 1.0;
+    double Boost = 1.0;
+    std::vector<double> Window; ///< Queue delays since last update.
+  };
+
+  TenantState &state(int Tenant);
+
+  double Interval;
+  double NextUpdate;
+  SloControllerOptions Opts;
+  std::map<int, TenantState> Tenants;
+  ControllerStats Stats;
 };
 
 } // namespace accelos

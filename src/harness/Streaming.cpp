@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cassert>
 #include <deque>
+#include <optional>
+#include <queue>
 
 using namespace accel;
 using namespace accel::harness;
@@ -38,6 +40,22 @@ std::vector<double> StreamOutcome::queueDelays() const {
   Out.reserve(Requests.size());
   for (const StreamRequestResult &R : Requests)
     Out.push_back(R.queueDelay());
+  return Out;
+}
+
+std::map<int, std::vector<double>>
+StreamOutcome::queueDelaysByTenant() const {
+  std::map<int, std::vector<double>> Out;
+  for (const StreamRequestResult &R : Requests)
+    Out[R.Tenant].push_back(R.queueDelay());
+  return Out;
+}
+
+std::map<int, std::vector<double>>
+StreamOutcome::queueingExcessByTenant() const {
+  std::map<int, std::vector<double>> Out;
+  for (const StreamRequestResult &R : Requests)
+    Out[R.Tenant].push_back(R.queueingExcess());
   return Out;
 }
 
@@ -77,53 +95,69 @@ struct LiveRequest {
   double End = 0;
 };
 
-} // namespace
+/// The request-level machinery shared by the open-loop replay
+/// (runStream) and the closed-loop tenant loop (runClosedLoop): the
+/// materialized request list, per-request slice progress, and the
+/// demand/launch builders handed to the schedulers. Trace may keep
+/// growing during a closed-loop run; every accessor indexes it afresh.
+class ReplayState {
+public:
+  ReplayState(ExperimentDriver &Driver, const StreamOptions &Opts,
+              accelos::SchedulingMode Mode, StreamOutcome &Out)
+      : Driver(Driver), Opts(Opts), Mode(Mode), Out(Out) {}
 
-StreamOutcome harness::runStream(
-    ExperimentDriver &Driver, SchedulerKind Kind,
-    const std::vector<workloads::TimedRequest> &Trace,
-    const StreamOptions &Opts) {
-  StreamOutcome Out;
-  Out.Requests.resize(Trace.size());
-  if (Trace.empty())
-    return Out;
+  std::vector<workloads::TimedRequest> Trace;
+  std::vector<LiveRequest> Live;
 
-  const sim::DeviceSpec &Spec = Driver.device();
-  for (size_t I = 0; I != Trace.size(); ++I) {
-    StreamRequestResult &R = Out.Requests[I];
-    R.RequestIdx = I;
-    R.Tenant = Trace[I].Tenant;
-    R.Kernel = Driver.kernel(Trace[I].KernelIdx).Spec->Id;
-    R.ArrivalTime = Trace[I].ArrivalTime;
+  /// Routes tenant-weight lookups through the SLO controller for the
+  /// rest of the run (adaptive closed loop); new and requeued
+  /// submissions then pick up whatever the control law last decided.
+  void adoptController(const accelos::SloWeightController *C) { Ctl = C; }
+
+  double weightOf(int Tenant) const {
+    if (Ctl)
+      return Ctl->weight(Tenant);
+    auto It = Opts.Weights.find(Tenant);
+    return It == Opts.Weights.end() ? 1.0 : It->second;
   }
 
-  const bool IsEk = Kind == SchedulerKind::ElasticKernels;
-  const bool IsAccelOS = Kind == SchedulerKind::AccelOSNaive ||
-                         Kind == SchedulerKind::AccelOSOptimized;
-  accelos::SchedulingMode Mode =
-      Kind == SchedulerKind::AccelOSNaive
-          ? accelos::SchedulingMode::Naive
-          : accelos::SchedulingMode::Optimized;
-
-  std::vector<LiveRequest> Live(Trace.size());
+  /// Appends one materialized request; \returns its global index.
+  size_t append(const workloads::TimedRequest &R) {
+    size_t Idx = Trace.size();
+    Trace.push_back(R);
+    Live.emplace_back();
+    StreamRequestResult Res;
+    Res.RequestIdx = Idx;
+    Res.Tenant = R.Tenant;
+    Res.Kernel = Driver.kernel(R.KernelIdx).Spec->Id;
+    Res.ArrivalTime = R.ArrivalTime;
+    Res.AloneDuration =
+        Driver.isolatedDuration(SchedulerKind::Baseline, R.KernelIdx);
+    Out.Requests.push_back(std::move(Res));
+    return Idx;
+  }
 
   /// The Sec. 3 demand of request \p Idx, narrowed to what is left of
   /// its virtual range (a sliced request re-enters the queue asking
   /// only for the remainder) and weighted by its tenant.
-  auto DemandOf = [&](size_t Idx) {
+  accelos::KernelDemand demandOf(size_t Idx) const {
     const workloads::TimedRequest &Req = Trace[Idx];
     accelos::KernelDemand D = Driver.demandFor(Req.KernelIdx);
     D.RequestedWGs =
         Driver.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
-    auto WIt = Opts.Weights.find(Req.Tenant);
-    D.Weight = WIt == Opts.Weights.end() ? 1.0 : WIt->second;
+    D.Weight = weightOf(Req.Tenant);
     return D;
-  };
+  }
+
+  size_t remainingGroups(size_t Idx) const {
+    return Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size() -
+           Live[Idx].Cursor;
+  }
 
   /// Builds one quantum-bounded WorkQueue launch for the granted share
   /// \p GrantWGs of request \p Idx, advancing its slice cursor.
-  auto MakeSliceLaunch = [&](size_t Idx, uint64_t GrantWGs,
-                             double Arrival) {
+  sim::KernelLaunchDesc makeSliceLaunch(size_t Idx, uint64_t GrantWGs,
+                                        double Arrival) {
     const CompiledKernel &CK = Driver.kernel(Trace[Idx].KernelIdx);
     LiveRequest &LR = Live[Idx];
     sim::KernelLaunchDesc L = Driver.accelosDesc(
@@ -149,16 +183,11 @@ StreamOutcome harness::runStream(
     L.VirtualCosts = std::move(Slice);
     L.ArrivalTime = Arrival;
     return L;
-  };
-
-  auto RemainingGroups = [&](size_t Idx) {
-    return Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size() -
-           Live[Idx].Cursor;
-  };
+  }
 
   /// Retires a request that has no (remaining) work at time \p T: it
   /// completes at the boundary without occupying the device.
-  auto CompleteZeroWork = [&](size_t Idx, double T) {
+  void completeZeroWork(size_t Idx, double T) {
     LiveRequest &LR = Live[Idx];
     if (!LR.Started) {
       LR.Started = true;
@@ -167,7 +196,81 @@ StreamOutcome harness::runStream(
     LR.End = std::max(LR.End, T);
     Out.Requests[Idx].StartTime = LR.Start;
     Out.Requests[Idx].EndTime = LR.End;
-  };
+  }
+
+  /// Computes the whole-outcome aggregates once every request retired.
+  void finalize() {
+    for (size_t I = 0; I != Trace.size(); ++I) {
+      const StreamRequestResult &R = Out.Requests[I];
+      Out.Makespan = std::max(Out.Makespan, R.EndTime);
+      // streamSlowdown floors the zero-work corner: a request with no
+      // work completes at its arrival boundary with zero turnaround,
+      // which would trip the positivity asserts in the metrics.
+      Out.Slowdowns.push_back(
+          streamSlowdown(R.EndTime - R.ArrivalTime, R.AloneDuration));
+    }
+    if (!Out.Slowdowns.empty())
+      Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
+    Out.FinalWeights = Opts.Weights;
+    if (Ctl)
+      for (const auto &[Tenant, W] : Ctl->weights())
+        Out.FinalWeights[Tenant] = W;
+  }
+
+private:
+  ExperimentDriver &Driver;
+  const StreamOptions &Opts;
+  accelos::SchedulingMode Mode;
+  StreamOutcome &Out;
+  const accelos::SloWeightController *Ctl = nullptr;
+};
+
+accelos::SchedulingMode modeFor(SchedulerKind Kind) {
+  return Kind == SchedulerKind::AccelOSNaive
+             ? accelos::SchedulingMode::Naive
+             : accelos::SchedulingMode::Optimized;
+}
+
+/// The capacity the continuous scheduler shares out: the device caps,
+/// with the thread dimension optionally clamped to a bounded
+/// oversubscription of the issue lanes (StreamOptions::
+/// IssueCapacityFactor) so admission controls the contended resource.
+accelos::SolverOptions solverOptsFor(const StreamOptions &Opts) {
+  accelos::SolverOptions SOpts;
+  SOpts.GreedySaturation = !Opts.StrictShares;
+  return SOpts;
+}
+
+accelos::ResourceCaps capsFor(const sim::DeviceSpec &Spec,
+                              const StreamOptions &Opts) {
+  accelos::ResourceCaps Caps = accelos::ResourceCaps::fromDevice(Spec);
+  if (Opts.IssueCapacityFactor > 0)
+    Caps.Threads = std::min(
+        Caps.Threads,
+        static_cast<uint64_t>(Opts.IssueCapacityFactor *
+                              static_cast<double>(Spec.NumCUs) *
+                              static_cast<double>(Spec.LanesPerCU)));
+  return Caps;
+}
+
+} // namespace
+
+StreamOutcome harness::runStream(
+    ExperimentDriver &Driver, SchedulerKind Kind,
+    const std::vector<workloads::TimedRequest> &Trace,
+    const StreamOptions &Opts) {
+  StreamOutcome Out;
+  if (Trace.empty())
+    return Out;
+
+  const sim::DeviceSpec &Spec = Driver.device();
+  ReplayState RS(Driver, Opts, modeFor(Kind), Out);
+  for (const workloads::TimedRequest &R : Trace)
+    RS.append(R);
+
+  const bool IsEk = Kind == SchedulerKind::ElasticKernels;
+  const bool IsAccelOS = Kind == SchedulerKind::AccelOSNaive ||
+                         Kind == SchedulerKind::AccelOSOptimized;
 
   if (Kind == SchedulerKind::Baseline) {
     // The standard stack submits straight into the hardware FIFO: one
@@ -196,8 +299,8 @@ StreamOutcome harness::runStream(
     // grants with newly arrived (or requeued sliced) kernels — no
     // round boundary, so a request never waits out the makespan of a
     // round it just missed.
-    accelos::ContinuousScheduler Sched(
-        accelos::ResourceCaps::fromDevice(Spec));
+    accelos::ContinuousScheduler Sched(capsFor(Spec, Opts),
+                                       solverOptsFor(Opts));
     sim::EngineSession Session(Spec);
     size_t NextArrival = 0;
     size_t Completed = 0;
@@ -205,7 +308,7 @@ StreamOutcome harness::runStream(
     auto Submit = [&](size_t Idx) {
       accelos::RoundRequest R;
       R.Id = Idx;
-      R.Demand = DemandOf(Idx);
+      R.Demand = RS.demandOf(Idx);
       Sched.submit(R);
     };
 
@@ -233,12 +336,12 @@ StreamOutcome harness::runStream(
         std::vector<sim::KernelLaunchDesc> Launches;
         for (const accelos::RoundGrant &G : Sched.admit()) {
           size_t Idx = static_cast<size_t>(G.Id);
-          if (RemainingGroups(Idx) == 0) {
-            CompleteZeroWork(Idx, T);
+          if (RS.remainingGroups(Idx) == 0) {
+            RS.completeZeroWork(Idx, T);
             ++Completed;
             continue;
           }
-          sim::KernelLaunchDesc L = MakeSliceLaunch(Idx, G.WGs, T);
+          sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
           // A tail slice runs fewer physical WGs than granted; return
           // the unused reservation and re-admit at this same instant
           // so waiting requests can take it.
@@ -265,7 +368,7 @@ StreamOutcome harness::runStream(
       for (const sim::KernelExecResult &K :
            Session.advanceTo(std::max(Target, T))) {
         size_t Idx = static_cast<size_t>(K.AppId);
-        LiveRequest &LR = Live[Idx];
+        LiveRequest &LR = RS.Live[Idx];
         if (!LR.Started) {
           LR.Started = true;
           LR.Start = K.StartTime;
@@ -273,7 +376,7 @@ StreamOutcome harness::runStream(
         LR.End = K.EndTime;
         Sched.complete(Idx);
         NeedAdmit = true;
-        if (RemainingGroups(Idx) != 0) {
+        if (RS.remainingGroups(Idx) != 0) {
           // Sliced: requeue the remainder; it re-enters the fair-share
           // solve at this very event.
           Submit(Idx);
@@ -299,7 +402,7 @@ StreamOutcome harness::runStream(
     auto Submit = [&](size_t Idx) {
       accelos::RoundRequest R;
       R.Id = Idx;
-      R.Demand = DemandOf(Idx);
+      R.Demand = RS.demandOf(Idx);
       Sched.submit(R);
     };
     auto Admit = [&](double Now) {
@@ -338,13 +441,14 @@ StreamOutcome harness::runStream(
       } else {
         for (const accelos::RoundGrant &G : Sched.nextRound()) {
           size_t Idx = static_cast<size_t>(G.Id);
-          if (RemainingGroups(Idx) == 0) {
-            CompleteZeroWork(Idx, T);
+          if (RS.remainingGroups(Idx) == 0) {
+            RS.completeZeroWork(Idx, T);
             ++Completed;
             continue;
           }
-          Launches.push_back(MakeSliceLaunch(Idx, G.WGs, /*Arrival=*/0));
-          if (RemainingGroups(Idx) != 0)
+          Launches.push_back(
+              RS.makeSliceLaunch(Idx, G.WGs, /*Arrival=*/0));
+          if (RS.remainingGroups(Idx) != 0)
             Unfinished.push_back(Idx);
         }
       }
@@ -353,7 +457,7 @@ StreamOutcome harness::runStream(
       sim::SimResult R = Engine.run(std::move(Launches));
       for (const sim::KernelExecResult &K : R.Kernels) {
         size_t Idx = static_cast<size_t>(K.AppId);
-        LiveRequest &LR = Live[Idx];
+        LiveRequest &LR = RS.Live[Idx];
         if (!LR.Started) {
           LR.Started = true;
           LR.Start = K.StartTime + T;
@@ -368,11 +472,11 @@ StreamOutcome harness::runStream(
       // older), and the next round re-solves over the new queue.
       for (const sim::KernelExecResult &K : R.Kernels) {
         size_t Idx = static_cast<size_t>(K.AppId);
-        bool Done = IsEk || RemainingGroups(Idx) == 0;
+        bool Done = IsEk || RS.remainingGroups(Idx) == 0;
         if (!Done)
           continue;
-        Out.Requests[Idx].StartTime = Live[Idx].Start;
-        Out.Requests[Idx].EndTime = Live[Idx].End;
+        Out.Requests[Idx].StartTime = RS.Live[Idx].Start;
+        Out.Requests[Idx].EndTime = RS.Live[Idx].End;
         ++Completed;
       }
       for (size_t Idx : Unfinished)
@@ -383,18 +487,257 @@ StreamOutcome harness::runStream(
       Out.Deferrals = Sched.stats().Deferrals;
   }
 
-  for (size_t I = 0; I != Trace.size(); ++I) {
-    const StreamRequestResult &R = Out.Requests[I];
-    Out.Makespan = std::max(Out.Makespan, R.EndTime);
-    double Alone =
-        Driver.isolatedDuration(SchedulerKind::Baseline,
-                                Trace[I].KernelIdx);
-    // streamSlowdown floors the zero-work corner: a request with no
-    // work completes at its arrival boundary with zero turnaround,
-    // which would trip the positivity asserts in the metrics.
-    Out.Slowdowns.push_back(
-        streamSlowdown(R.EndTime - R.ArrivalTime, Alone));
+  RS.finalize();
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Closed-loop tenant replay (the TenantLoop mode)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A scripted request whose arrival instant has been decided (issue
+/// time + think time) but which has not been materialized yet. Seq
+/// breaks arrival-time ties deterministically in issue order.
+struct IssuedRequest {
+  double Time = 0;
+  uint64_t Seq = 0;
+  size_t TenantPos = 0; ///< Index into the script's tenant list.
+  size_t KernelIdx = 0;
+
+  bool operator>(const IssuedRequest &O) const {
+    return Time != O.Time ? Time > O.Time : Seq > O.Seq;
   }
-  Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
+};
+
+/// Drives the reactive half of a closed-loop run: per-tenant script
+/// cursors and the min-heap of issued-but-not-yet-arrived requests.
+class ClosedLoopDriver {
+public:
+  explicit ClosedLoopDriver(const workloads::ClosedLoopScript &Script)
+      : Script(Script), Cursor(Script.Tenants.size(), 0) {
+    // Each tenant opens with its first Concurrency scripted requests,
+    // issued from time 0 (their think times stagger the arrivals).
+    for (size_t TP = 0; TP != Script.Tenants.size(); ++TP)
+      for (size_t S = 0; S != Script.Tenants[TP].Concurrency; ++S)
+        issue(TP, 0);
+  }
+
+  /// Issues tenant \p TP's next scripted request \p From a completion
+  /// instant (backpressure: called once per completed request).
+  void issue(size_t TP, double From) {
+    size_t &C = Cursor[TP];
+    if (C == Script.Sequences[TP].size())
+      return; // Script exhausted: the tenant's population drains.
+    const workloads::ScriptedRequest &SR = Script.Sequences[TP][C++];
+    Heap.push({From + SR.ThinkTime, NextSeq++, TP, SR.KernelIdx});
+  }
+
+  bool empty() const { return Heap.empty(); }
+  double nextTime() const { return Heap.top().Time; }
+
+  /// Pops the earliest issued request and materializes it in \p RS.
+  /// \returns the new request's global index.
+  size_t materialize(ReplayState &RS) {
+    IssuedRequest R = Heap.top();
+    Heap.pop();
+    workloads::TimedRequest Req;
+    Req.KernelIdx = R.KernelIdx;
+    Req.Tenant = Script.Tenants[R.TenantPos].Tenant;
+    Req.ArrivalTime = R.Time;
+    size_t Idx = RS.append(Req);
+    TenantPosOf.push_back(R.TenantPos);
+    return Idx;
+  }
+
+  /// The script position of materialized request \p Idx, for reissuing
+  /// on its completion.
+  size_t tenantPos(size_t Idx) const { return TenantPosOf[Idx]; }
+
+private:
+  const workloads::ClosedLoopScript &Script;
+  std::vector<size_t> Cursor; ///< Next unissued script entry per tenant.
+  std::priority_queue<IssuedRequest, std::vector<IssuedRequest>,
+                      std::greater<IssuedRequest>>
+      Heap;
+  uint64_t NextSeq = 0;
+  std::vector<size_t> TenantPosOf; ///< Parallel to the materialized trace.
+};
+
+} // namespace
+
+StreamOutcome harness::runClosedLoop(
+    ExperimentDriver &Driver, SchedulerKind Kind,
+    const workloads::ClosedLoopScript &Script,
+    const StreamOptions &Opts) {
+  StreamOutcome Out;
+  const size_t Total = Script.totalRequests();
+  Out.FinalWeights = Opts.Weights;
+  if (Total == 0)
+    return Out;
+
+  const sim::DeviceSpec &Spec = Driver.device();
+  ReplayState RS(Driver, Opts, modeFor(Kind), Out);
+  ClosedLoopDriver Loop(Script);
+  size_t Completed = 0;
+  // Declared at function scope: ReplayState keeps a pointer to the
+  // controller and finalize() reads the final weights after the
+  // scheduling branch below ends.
+  std::optional<accelos::SloWeightController> Ctl;
+
+  if (Kind == SchedulerKind::Baseline) {
+    // FIFO: each issued request is admitted into the hardware queue the
+    // moment the tenant decides it (the session holds it invisible
+    // until its ArrivalTime); completions trigger the next issues.
+    sim::EngineSession Session(Spec);
+    while (Completed != Total) {
+      std::vector<sim::KernelLaunchDesc> Launches;
+      while (!Loop.empty()) {
+        double At = Loop.nextTime();
+        size_t Idx = Loop.materialize(RS);
+        sim::KernelLaunchDesc L = Driver.baselineDesc(
+            RS.Trace[Idx].KernelIdx, static_cast<int>(Idx));
+        L.ArrivalTime = At;
+        Launches.push_back(std::move(L));
+      }
+      if (!Launches.empty())
+        Session.admit(std::move(Launches));
+      double Next = Session.nextEventTime();
+      assert(Next >= 0 && "closed loop stalled with requests pending");
+      for (const sim::KernelExecResult &K : Session.advanceTo(Next)) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        Out.Requests[Idx].StartTime = K.StartTime;
+        Out.Requests[Idx].EndTime = K.EndTime;
+        ++Completed;
+        Loop.issue(Loop.tenantPos(Idx), K.EndTime);
+      }
+    }
+    Out.Rounds = 1;
+  } else if (Kind == SchedulerKind::ElasticKernels) {
+    // EK: requests pending at a round boundary are statically merged
+    // and co-dispatched; completions mid-round issue follow-ups that
+    // wait for the next boundary.
+    std::deque<size_t> Pending;
+    double T = 0;
+    while (Completed != Total) {
+      while (!Loop.empty() && Loop.nextTime() <= T)
+        Pending.push_back(Loop.materialize(RS));
+      if (Pending.empty()) {
+        assert(!Loop.empty() && "closed loop stalled with requests pending");
+        T = std::max(T, Loop.nextTime());
+        continue;
+      }
+      std::vector<ek::EKKernelDesc> Descs;
+      for (size_t Idx : Pending)
+        Descs.push_back(Driver.ekDesc(RS.Trace[Idx].KernelIdx,
+                                      static_cast<int>(Idx)));
+      Pending.clear();
+      sim::Engine Engine(Spec);
+      sim::SimResult R = Engine.run(ek::planMergedLaunch(Spec, Descs));
+      for (const sim::KernelExecResult &K : R.Kernels) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        Out.Requests[Idx].StartTime = K.StartTime + T;
+        Out.Requests[Idx].EndTime = K.EndTime + T;
+        ++Completed;
+        Loop.issue(Loop.tenantPos(Idx), K.EndTime + T);
+      }
+      T += R.Makespan;
+      ++Out.Rounds;
+    }
+  } else {
+    // accelOS: arrival-aware continuous admission (one persistent
+    // engine session), optionally closing a second loop — the SLO
+    // controller's — around the first: every completion's queueing
+    // delay is observed, and once per control interval tenant weights
+    // move toward their latency targets.
+    assert(!Opts.AdaptiveSloWeights || Opts.SloControlInterval > 0);
+    if (Opts.AdaptiveSloWeights) {
+      Ctl.emplace(Opts.SloTargets, Opts.Weights, Opts.SloControlInterval,
+                  Opts.SloTuning);
+      RS.adoptController(&*Ctl);
+    }
+
+    accelos::ContinuousScheduler Sched(capsFor(Spec, Opts),
+                                       solverOptsFor(Opts));
+    sim::EngineSession Session(Spec);
+
+    auto Submit = [&](size_t Idx) {
+      accelos::RoundRequest R;
+      R.Id = Idx;
+      R.Demand = RS.demandOf(Idx);
+      Sched.submit(R);
+    };
+
+    bool NeedAdmit = true;
+    while (Completed != Total) {
+      double T = Session.now();
+      while (!Loop.empty() && Loop.nextTime() <= T) {
+        Submit(Loop.materialize(RS));
+        NeedAdmit = true;
+      }
+
+      while (NeedAdmit) {
+        NeedAdmit = false;
+        std::vector<sim::KernelLaunchDesc> Launches;
+        for (const accelos::RoundGrant &G : Sched.admit()) {
+          size_t Idx = static_cast<size_t>(G.Id);
+          if (RS.remainingGroups(Idx) == 0) {
+            RS.completeZeroWork(Idx, T);
+            ++Completed;
+            Loop.issue(Loop.tenantPos(Idx), T);
+            continue;
+          }
+          sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
+          if (L.PhysicalWGs < G.WGs) {
+            Sched.shrink(G.Id, L.PhysicalWGs);
+            NeedAdmit = true;
+          }
+          Launches.push_back(std::move(L));
+        }
+        if (!Launches.empty())
+          Session.admit(std::move(Launches));
+      }
+
+      double NextEvent = Session.nextEventTime();
+      double NextIssue = Loop.empty() ? -1 : Loop.nextTime();
+      assert((NextEvent >= 0 || NextIssue >= 0) && "requests lost");
+      double Target = NextEvent;
+      if (Target < 0 || (NextIssue >= 0 && NextIssue < Target))
+        Target = NextIssue;
+      for (const sim::KernelExecResult &K :
+           Session.advanceTo(std::max(Target, T))) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        LiveRequest &LR = RS.Live[Idx];
+        if (!LR.Started) {
+          LR.Started = true;
+          LR.Start = K.StartTime;
+        }
+        LR.End = K.EndTime;
+        Sched.complete(Idx);
+        NeedAdmit = true;
+        if (RS.remainingGroups(Idx) != 0) {
+          Submit(Idx);
+        } else {
+          Out.Requests[Idx].StartTime = LR.Start;
+          Out.Requests[Idx].EndTime = LR.End;
+          ++Completed;
+          // The tenant's think clock and the SLO controller's window
+          // both start from this completion.
+          if (Ctl)
+            Ctl->observe(RS.Trace[Idx].Tenant,
+                         Out.Requests[Idx].queueingExcess());
+          Loop.issue(Loop.tenantPos(Idx), LR.End);
+        }
+      }
+      if (Ctl && Ctl->maybeUpdate(Session.now()))
+        ++Out.WeightUpdates;
+    }
+    Out.Rounds = Sched.stats().RoundsPlanned;
+    Out.Deferrals = Sched.stats().Deferrals;
+  }
+
+  assert(RS.Trace.size() == Total && "script not fully replayed");
+  RS.finalize();
   return Out;
 }

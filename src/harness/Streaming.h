@@ -6,8 +6,9 @@
 ///
 /// \file
 /// The event-driven multi-tenant serving loop: replays an open-loop
-/// arrival trace (workloads::poissonTrace) under the compared
-/// schedulers and reports per-request latencies and fairness.
+/// arrival trace (workloads::poissonTrace) or a closed-loop tenant
+/// script (workloads::closedLoopTrace) under the compared schedulers
+/// and reports per-request latencies, fairness, and SLO attainment.
 ///
 ///  - Baseline: the standard stack's FIFO hardware queue — one engine
 ///    run where every launch carries its real ArrivalTime;
@@ -40,15 +41,27 @@
 ///    arrivals it cuts queueing delay because a request no longer
 ///    waits out the makespan of a round it missed.
 ///
+/// Beyond the open loop, runClosedLoop() is the *TenantLoop* mode:
+/// arrivals are not a fixed trace but reactions — each tenant keeps at
+/// most its Concurrency requests outstanding and issues the next
+/// scripted request only after a predecessor drains plus a think time
+/// (backpressure). The accelOS path reuses sim::EngineSession +
+/// accelos::ContinuousScheduler, and an optional SLO layer
+/// (StreamOptions::SloTargets + AdaptiveSloWeights) feeds each tenant's
+/// observed p95 queueing delay back into its fair-share weight through
+/// accelos::SloWeightController.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef ACCEL_HARNESS_STREAMING_H
 #define ACCEL_HARNESS_STREAMING_H
 
+#include "accelos/Scheduler.h"
 #include "harness/Experiment.h"
 #include "metrics/Metrics.h"
 #include "workloads/Arrivals.h"
 
+#include <algorithm>
 #include <map>
 #include <string>
 #include <vector>
@@ -64,12 +77,24 @@ struct StreamRequestResult {
   double ArrivalTime = 0;
   double StartTime = 0;
   double EndTime = 0;
+  /// The kernel's isolated (solo baseline) duration — the latency this
+  /// request would have seen on an idle device.
+  double AloneDuration = 0;
 
   /// Submission-to-completion latency (queueing included).
   double latency() const { return EndTime - ArrivalTime; }
 
   /// Time spent waiting before the first work-group dispatch.
   double queueDelay() const { return StartTime - ArrivalTime; }
+
+  /// Total time this request spent queued rather than served: latency
+  /// minus the kernel's isolated duration. Under work slicing a request
+  /// waits *between* grants too, so this — not queueDelay() — is the
+  /// request's true aggregate queueing time, and it is the value
+  /// per-tenant SLO targets are judged on.
+  double queueingExcess() const {
+    return std::max(0.0, latency() - AloneDuration);
+  }
 };
 
 /// Whole-trace outcome under one scheduler.
@@ -85,11 +110,26 @@ struct StreamOutcome {
   size_t Rounds = 0;
   uint64_t Deferrals = 0; ///< Scheduler deferrals (accelOS only).
 
+  /// Effective per-tenant weights when the run ended: the static
+  /// StreamOptions::Weights, overlaid with the SLO controller's final
+  /// boosts when AdaptiveSloWeights adapted them.
+  std::map<int, double> FinalWeights;
+  /// Times the SLO controller changed any weight (adaptive runs only).
+  uint64_t WeightUpdates = 0;
+
   /// Latencies grouped by tenant, for percentile reporting.
   std::map<int, std::vector<double>> latenciesByTenant() const;
 
   /// Per-request queueing delays, in trace order.
   std::vector<double> queueDelays() const;
+
+  /// First-dispatch queueing delays grouped by tenant.
+  std::map<int, std::vector<double>> queueDelaysByTenant() const;
+
+  /// Aggregate queueing times (StreamRequestResult::queueingExcess)
+  /// grouped by tenant — the values SLO attainment and goodput are
+  /// judged on (metrics::sloAttainment).
+  std::map<int, std::vector<double>> queueingExcessByTenant() const;
 };
 
 /// Streaming replay knobs.
@@ -112,8 +152,53 @@ struct StreamOptions {
   /// virtual-group costs) and requeues the unfinished remainder. Zero
   /// disables slicing — granted kernels run to completion.
   double RoundQuantum = 0;
-  /// Admission discipline for the accelOS path.
+  /// Admission discipline for the accelOS path. The closed-loop tenant
+  /// loop always runs continuous admission (its whole point is reacting
+  /// to individual completions), so runClosedLoop ignores this knob.
   AdmissionMode Admission = AdmissionMode::RoundSync;
+
+  /// Per-tenant SLO: a latency target expressed as a bound on each
+  /// request's aggregate queueing time (queueingExcess: latency over
+  /// the kernel's isolated duration), in simulation time units.
+  /// Tenants absent here have no target (they attain trivially).
+  /// Drives SLO-attainment/goodput reporting and, when
+  /// AdaptiveSloWeights is set, the weight controller.
+  std::map<int, double> SloTargets;
+  /// Closed-loop accelOS only: periodically re-weight tenants from
+  /// their observed p95 queueing time via accelos::SloWeightController
+  /// (multiplicative increase toward missed SLOs, bounded boost). The
+  /// FIFO and EK baselines have no weights to steer and ignore this.
+  bool AdaptiveSloWeights = false;
+  /// Control interval of the SLO controller, in simulation time units.
+  /// Must be positive when AdaptiveSloWeights is set.
+  double SloControlInterval = 0;
+  /// Controller tuning (bounds, factors, hysteresis).
+  accelos::SloControllerOptions SloTuning;
+  /// Issue-aware admission (continuous accelOS only; 0 disables, the
+  /// bit-identical default). A device's resident-thread capacity is an
+  /// *occupancy* bound, many times its issue bandwidth (lanes): sharing
+  /// out raw thread slots lets every tenant become fully resident, at
+  /// which point the compute units' weight-blind processor sharing —
+  /// not the solver — decides service rates and fair-share weights stop
+  /// binding. When positive, the scheduler's thread capacity is clamped
+  /// to Factor x (NumCUs x LanesPerCU), so admission shares out (a
+  /// bounded oversubscription of) the bandwidth that is actually
+  /// contended; weighted shares then translate into service rates.
+  /// Factor ~2 keeps the lanes saturated while queueing the excess.
+  double IssueCapacityFactor = 0;
+  /// Strict weighted entitlements (continuous accelOS only; off is the
+  /// bit-identical default). The work-conserving discipline grants
+  /// every request min(saturated share, residual fit) — which is
+  /// *request*-bound on an empty device and *fit*-bound on a full one,
+  /// so the weighted share target between the two almost never binds
+  /// and weights barely steer service. With StrictShares the admission
+  /// targets come from the solver WITHOUT greedy saturation: each
+  /// request is granted its weighted entitlement and no more, so the
+  /// capacity a light tenant leaves on the table flows to the heavy
+  /// (or SLO-boosted) tenants' next slices instead of being backfilled.
+  /// Entitlements sum to (nearly) the full capacity, so under load the
+  /// device stays as busy as before; what changes is who occupies it.
+  bool StrictShares = false;
 };
 
 /// Degenerate-latency threshold, as a fraction of the request's
@@ -151,6 +236,23 @@ size_t quantumSliceEnd(const std::vector<double> &WGCosts, size_t Cursor,
 StreamOutcome runStream(ExperimentDriver &Driver, SchedulerKind Kind,
                         const std::vector<workloads::TimedRequest> &Trace,
                         const StreamOptions &Opts = {});
+
+/// The TenantLoop mode: replays the closed-loop \p Script under \p Kind.
+/// Each tenant starts with its first Concurrency scripted requests (at
+/// their think-time offsets from time 0) and issues the next one only
+/// when a predecessor completes — so the arrival stream emerges from
+/// scheduling decisions instead of being fixed up front, and a slow
+/// scheduler is offered less load (backpressure), exactly like a real
+/// closed-loop serving client. The accelOS path runs arrival-aware
+/// continuous admission (one sim::EngineSession +
+/// accelos::ContinuousScheduler); FIFO submits reactively into the
+/// hardware queue and EK merges whatever is pending at each round
+/// boundary. With AdaptiveSloWeights, completions feed the
+/// SloWeightController and new/requeued submissions pick up the adapted
+/// weights. The outcome's Requests are in arrival order.
+StreamOutcome runClosedLoop(ExperimentDriver &Driver, SchedulerKind Kind,
+                            const workloads::ClosedLoopScript &Script,
+                            const StreamOptions &Opts = {});
 
 /// Mean isolated (solo, baseline) duration across the suite: the
 /// natural time unit for calibrating arrival rates and round quanta.

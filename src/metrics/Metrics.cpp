@@ -117,6 +117,26 @@ double metrics::mean(const std::vector<double> &Values) {
   return meanOf(Values);
 }
 
+double metrics::sloAttainment(const std::vector<double> &Values,
+                              double Target) {
+  assert(Target > 0 && "non-positive SLO target");
+  if (Values.empty())
+    return 1.0;
+  size_t Attained = 0;
+  for (double V : Values)
+    if (V <= Target)
+      ++Attained;
+  return static_cast<double>(Attained) /
+         static_cast<double>(Values.size());
+}
+
+double metrics::goodput(const std::vector<double> &Values, double Target,
+                        double Makespan) {
+  assert(Makespan > 0 && "non-positive makespan");
+  return sloAttainment(Values, Target) *
+         static_cast<double>(Values.size()) / Makespan;
+}
+
 std::vector<double>
 metrics::windowedUnfairness(const std::vector<TimedSample> &Samples,
                             double WindowLength) {

@@ -84,6 +84,19 @@ std::vector<double> windowedUnfairness(
 double peakWindowedUnfairness(const std::vector<TimedSample> &Samples,
                               double WindowLength);
 
+/// SLO attainment: the fraction of \p Values at or below \p Target
+/// (e.g. per-request queueing delays against a tenant's latency
+/// target). An empty set attains trivially (1). \p Target must be
+/// positive.
+double sloAttainment(const std::vector<double> &Values, double Target);
+
+/// Goodput: requests that attained their SLO per unit time —
+/// |{v in Values : v <= Target}| / \p Makespan. The serving-system
+/// companion to raw throughput: work that missed its deadline does not
+/// count. \p Makespan must be positive.
+double goodput(const std::vector<double> &Values, double Target,
+               double Makespan);
+
 } // namespace metrics
 } // namespace accel
 

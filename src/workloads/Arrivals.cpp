@@ -36,3 +36,42 @@ std::vector<TimedRequest> workloads::poissonTrace(size_t SuiteSize,
   }
   return Trace;
 }
+
+size_t ClosedLoopScript::totalRequests() const {
+  size_t Total = 0;
+  for (const std::vector<ScriptedRequest> &Seq : Sequences)
+    Total += Seq.size();
+  return Total;
+}
+
+ClosedLoopScript
+workloads::closedLoopTrace(size_t SuiteSize,
+                           const std::vector<ClosedLoopTenant> &Tenants) {
+  assert(SuiteSize > 0 && "empty kernel suite");
+  ClosedLoopScript Script;
+  Script.Tenants = Tenants;
+  Script.Sequences.reserve(Tenants.size());
+  for (const ClosedLoopTenant &T : Tenants) {
+    assert(T.Concurrency > 0 && "closed-loop tenant needs a stream");
+    assert(T.MeanThinkTime >= 0 && "negative mean think time");
+    SplitMix64 Rng(T.Seed);
+    std::vector<ScriptedRequest> Seq;
+    Seq.reserve(T.NumRequests);
+    for (size_t I = 0; I != T.NumRequests; ++I) {
+      ScriptedRequest R;
+      if (T.KernelPool.empty()) {
+        R.KernelIdx = static_cast<size_t>(Rng.nextBelow(SuiteSize));
+      } else {
+        R.KernelIdx = T.KernelPool[static_cast<size_t>(
+            Rng.nextBelow(T.KernelPool.size()))];
+        assert(R.KernelIdx < SuiteSize && "kernel pool out of range");
+      }
+      // Exponential think time: -mean * ln(1 - U), U in [0, 1).
+      if (T.MeanThinkTime > 0)
+        R.ThinkTime = -T.MeanThinkTime * std::log1p(-Rng.nextDouble());
+      Seq.push_back(R);
+    }
+    Script.Sequences.push_back(std::move(Seq));
+  }
+  return Script;
+}

@@ -5,11 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Open-loop arrival generation for the streaming evaluation: a Poisson
-/// process (exponential inter-arrival times) emits kernel execution
-/// requests drawn from the Parboil-like suite and attributed to a set
-/// of tenants. Traces are deterministic for a given seed (SplitMix64),
-/// so every scheduler replays the *same* stream of work.
+/// Arrival generation for the streaming evaluation, in two flavours:
+///
+///  - Open loop: a Poisson process (exponential inter-arrival times)
+///    emits kernel execution requests drawn from the Parboil-like suite
+///    and attributed to a set of tenants, independent of how fast the
+///    system serves them.
+///  - Closed loop: each tenant keeps a bounded number of requests in
+///    flight and issues the next one only after a predecessor completes
+///    and an exponential think time elapses — the system's own speed
+///    throttles the offered load (backpressure). Because arrival times
+///    then depend on scheduling decisions, what is pre-generated here
+///    is the deterministic *script* (kernel sequence + think times);
+///    the harness turns completions into arrivals at replay time.
+///
+/// Both are deterministic for a given seed (SplitMix64), so every
+/// scheduler replays the *same* stream (open loop) or the *same*
+/// scripted reactions (closed loop).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -45,6 +57,51 @@ struct TraceOptions {
 /// result is sorted by ArrivalTime by construction.
 std::vector<TimedRequest> poissonTrace(size_t SuiteSize,
                                        const TraceOptions &Opts);
+
+/// One closed-loop tenant: an emulated user population that keeps at
+/// most \p Concurrency requests outstanding and, after each completion,
+/// "thinks" for an exponential time before issuing the next request.
+struct ClosedLoopTenant {
+  int Tenant = 0;
+  size_t NumRequests = 0; ///< Total requests this tenant ever issues.
+  /// In-flight cap: the tenant's first Concurrency scripted requests
+  /// enter the system from time 0; afterwards a new request is issued
+  /// only when one of the outstanding ones completes (backpressure).
+  size_t Concurrency = 1;
+  /// Mean of the exponential think time separating a completion from
+  /// the next issued request. Zero means the tenant reacts instantly.
+  double MeanThinkTime = 0;
+  uint64_t Seed = 0; ///< Per-tenant RNG stream.
+  /// Kernels this tenant draws from (suite indices); empty means the
+  /// whole suite. An interactive tenant, say, runs short requests.
+  std::vector<size_t> KernelPool;
+};
+
+/// One scripted closed-loop request: which kernel the tenant runs next
+/// and how long it thinks before submitting it.
+struct ScriptedRequest {
+  size_t KernelIdx = 0;
+  double ThinkTime = 0;
+};
+
+/// The deterministic half of a closed-loop run: per-tenant scripted
+/// kernel/think-time sequences. Arrival times are deliberately absent —
+/// they emerge from completions when the harness replays the script, so
+/// different schedulers see different arrival instants but identical
+/// scripted reactions.
+struct ClosedLoopScript {
+  std::vector<ClosedLoopTenant> Tenants; ///< Parallel to Sequences.
+  std::vector<std::vector<ScriptedRequest>> Sequences;
+
+  size_t totalRequests() const;
+};
+
+/// Scripts \p Tenants over a \p SuiteSize-kernel suite: request kernels
+/// are drawn uniformly and think times exponentially (mean
+/// MeanThinkTime) from each tenant's own SplitMix64 stream, so a
+/// tenant's script is independent of the other tenants' parameters.
+ClosedLoopScript closedLoopTrace(size_t SuiteSize,
+                                 const std::vector<ClosedLoopTenant> &Tenants);
 
 } // namespace workloads
 } // namespace accel

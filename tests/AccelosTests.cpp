@@ -981,4 +981,189 @@ TEST(RuntimeTest, UnknownKernelRejected) {
             std::string::npos);
 }
 
+//===----------------------------------------------------------------------===//
+// SloWeightController
+//===----------------------------------------------------------------------===//
+
+/// Feeds \p Ctl one full control window of \p N samples of value \p V
+/// for tenant 0 and runs the update at time \p T.
+static bool feedWindow(SloWeightController &Ctl, double T, size_t N,
+                       double V) {
+  for (size_t I = 0; I != N; ++I)
+    Ctl.observe(0, V);
+  return Ctl.maybeUpdate(T);
+}
+
+TEST(SloWeightControllerTest, MonotoneIncreaseUnderSustainedMisses) {
+  SloWeightController Ctl({{0, 100.0}}, {}, /*Interval=*/10.0);
+  double Prev = Ctl.boost(0);
+  EXPECT_DOUBLE_EQ(Prev, 1.0);
+  // Every window misses (p95 >> target): the boost must never decrease,
+  // must strictly increase until it hits the cap, and must stop there.
+  bool ReachedCap = false;
+  for (int W = 1; W <= 12; ++W) {
+    feedWindow(Ctl, 10.0 * W, 4, 500.0);
+    double B = Ctl.boost(0);
+    EXPECT_GE(B, Prev) << "boost decreased under sustained misses";
+    if (!ReachedCap) {
+      EXPECT_TRUE(B > Prev || B == SloControllerOptions().MaxBoost)
+          << "boost stalled below the cap despite misses";
+    }
+    ReachedCap = B == SloControllerOptions().MaxBoost;
+    Prev = B;
+  }
+  EXPECT_TRUE(ReachedCap);
+  EXPECT_DOUBLE_EQ(Ctl.boost(0), SloControllerOptions().MaxBoost);
+}
+
+TEST(SloWeightControllerTest, BoundedWeightInvariant) {
+  // Property: under ANY observation sequence the boost stays within
+  // [1, MaxBoost], so two tenants' effective weights never drift more
+  // than MaxBoost apart from their configured ratio.
+  SloControllerOptions Opts;
+  SloWeightController Ctl({{0, 100.0}, {1, 50.0}}, {{0, 2.0}, {1, 0.5}},
+                          /*Interval=*/5.0, Opts);
+  SplitMix64 Rng(20260730);
+  double T = 0;
+  for (int Step = 0; Step != 400; ++Step) {
+    int Tenant = static_cast<int>(Rng.nextBelow(2));
+    Ctl.observe(Tenant, Rng.nextDoubleInRange(0.0, 400.0));
+    if (Rng.nextBelow(4) == 0) {
+      T += 5.0;
+      Ctl.maybeUpdate(T);
+    }
+    for (int Ten : {0, 1}) {
+      EXPECT_GE(Ctl.boost(Ten), 1.0);
+      EXPECT_LE(Ctl.boost(Ten), Opts.MaxBoost);
+    }
+    // Effective weight = static base x bounded boost.
+    EXPECT_GE(Ctl.weight(0), 2.0);
+    EXPECT_LE(Ctl.weight(0), 2.0 * Opts.MaxBoost);
+    EXPECT_GE(Ctl.weight(1), 0.5);
+    EXPECT_LE(Ctl.weight(1), 0.5 * Opts.MaxBoost);
+  }
+}
+
+TEST(SloWeightControllerTest, DecaysBackTowardBaseOnAttainment) {
+  SloWeightController Ctl({{0, 100.0}}, {}, /*Interval=*/10.0);
+  for (int W = 1; W <= 3; ++W)
+    feedWindow(Ctl, 10.0 * W, 4, 500.0);
+  double Boosted = Ctl.boost(0);
+  EXPECT_GT(Boosted, 1.0);
+  // Comfortable attainment (p95 far under target) decays the boost,
+  // floored at neutral.
+  for (int W = 4; W <= 40; ++W)
+    feedWindow(Ctl, 10.0 * W, 4, 5.0);
+  EXPECT_DOUBLE_EQ(Ctl.boost(0), 1.0);
+  EXPECT_DOUBLE_EQ(Ctl.weight(0), 1.0);
+}
+
+TEST(SloWeightControllerTest, HysteresisBandHoldsSteady) {
+  // p95 between Headroom*target and target: neither a miss nor a
+  // comfortable attainment — the boost must hold.
+  SloWeightController Ctl({{0, 100.0}}, {}, /*Interval=*/10.0);
+  feedWindow(Ctl, 10.0, 4, 500.0); // One miss: boost rises.
+  double Boosted = Ctl.boost(0);
+  EXPECT_GT(Boosted, 1.0);
+  EXPECT_FALSE(feedWindow(Ctl, 20.0, 4, 90.0));
+  EXPECT_DOUBLE_EQ(Ctl.boost(0), Boosted);
+}
+
+TEST(SloWeightControllerTest, SparseWindowsAndUntargetedTenants) {
+  SloControllerOptions Opts; // MinSamples = 3.
+  SloWeightController Ctl({{0, 100.0}}, {}, /*Interval=*/10.0, Opts);
+  // Too few samples: the window is ignored, no matter how bad.
+  EXPECT_FALSE(feedWindow(Ctl, 10.0, Opts.MinSamples - 1, 1e9));
+  EXPECT_DOUBLE_EQ(Ctl.boost(0), 1.0);
+  // Observations of a tenant without a target never adapt anything.
+  for (int I = 0; I != 10; ++I)
+    Ctl.observe(7, 1e9);
+  EXPECT_FALSE(Ctl.maybeUpdate(20.0));
+  EXPECT_DOUBLE_EQ(Ctl.weight(7), 1.0);
+  // No update fires before a full interval has elapsed.
+  Ctl.observe(0, 1e9);
+  Ctl.observe(0, 1e9);
+  Ctl.observe(0, 1e9);
+  EXPECT_FALSE(Ctl.maybeUpdate(25.0));
+  EXPECT_TRUE(Ctl.maybeUpdate(30.0));
+  EXPECT_GT(Ctl.boost(0), 1.0);
+}
+
+TEST(ContinuousSchedulerTest, WeightedPriorityCannotStarveLightRequests) {
+  // Under weighted priority the heavy grants land before anyone is
+  // kept, so the FIFO in-pass charging never touches the bypassed
+  // light request; the whole-pass charge must still age it into the
+  // starving-first override after MaxDeferrals bypassed passes.
+  ResourceCaps Caps = tinyCaps(); // 1024 threads, 16 WG slots.
+  ContinuousScheduler Sched(Caps);
+  KernelDemand Heavy = demand(64, 0, 0, 16);
+  Heavy.Weight = 8.0;
+  // The light request's single work group needs half the device, so
+  // it never fits next to a fresh heavy grant.
+  KernelDemand Light = demand(512, 0, 0, 2);
+
+  Sched.submit({1, Heavy});
+  std::vector<RoundGrant> Grants = Sched.admit();
+  ASSERT_EQ(Grants.size(), 1u);
+  Sched.submit({100, Light});
+
+  uint64_t NextHeavy = 2;
+  for (uint32_t Cycle = 0; Cycle != ContinuousScheduler::MaxDeferrals;
+       ++Cycle) {
+    Sched.complete(Grants.front().Id);
+    Sched.submit({NextHeavy++, Heavy});
+    Grants = Sched.admit();
+    // The heavy tenant keeps winning the freed capacity...
+    ASSERT_EQ(Grants.size(), 1u);
+    EXPECT_NE(Grants.front().Id, 100u) << "cycle " << Cycle;
+    // ...but the bypassed light request is charged each pass.
+    EXPECT_EQ(Sched.stats().Deferrals, Cycle + 1);
+  }
+
+  // Starving now: the light request outranks any weight for the next
+  // freed capacity.
+  Sched.complete(Grants.front().Id);
+  Sched.submit({NextHeavy, Heavy});
+  Grants = Sched.admit();
+  ASSERT_FALSE(Grants.empty());
+  EXPECT_EQ(Grants.front().Id, 100u);
+  EXPECT_GT(Grants.front().WGs, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Weighted greedy saturation (the SLO boost's transmission into shares)
+//===----------------------------------------------------------------------===//
+
+TEST(WeightedSaturationTest, EqualWeightsKeepRoundRobinAllocation) {
+  // Weight 2.0 for everyone is still *equal* sharing: the allocation
+  // must be bit-identical to the unit-weight solve (the paper default).
+  ResourceCaps Caps = tinyCaps();
+  std::vector<KernelDemand> Unit = {demand(64, 0, 16, 64),
+                                    demand(128, 4096, 32, 64),
+                                    demand(64, 2048, 8, 64)};
+  std::vector<KernelDemand> Scaled = Unit;
+  for (KernelDemand &D : Scaled)
+    D.Weight = 2.0;
+  EXPECT_EQ(solveFairShares(Caps, Unit), solveFairShares(Caps, Scaled));
+}
+
+TEST(WeightedSaturationTest, SaturationPreservesWeightRatios) {
+  // Two identical kernels, 4:1 weights, demand far beyond the device:
+  // after saturation the heavy kernel must hold roughly four times the
+  // light kernel's share — round-robin growth would have split the
+  // device 1:1 instead.
+  ResourceCaps Caps = tinyCaps();
+  std::vector<KernelDemand> Ks = {demand(64, 0, 0, 1024),
+                                  demand(64, 0, 0, 1024)};
+  Ks[0].Weight = 4.0;
+  std::vector<uint64_t> Shares = solveFairShares(Caps, Ks);
+  ASSERT_GT(Shares[1], 0u);
+  double Ratio = static_cast<double>(Shares[0]) /
+                 static_cast<double>(Shares[1]);
+  EXPECT_GE(Ratio, 3.0);
+  EXPECT_LE(Ratio, 5.0);
+  // The allocation still saturates the device (work conservation).
+  EXPECT_EQ(Shares[0] + Shares[1], Caps.WGSlots);
+}
+
 } // namespace

@@ -158,4 +158,21 @@ TEST(WindowedUnfairnessTest, PeakExposesTransientUnfairness) {
   EXPECT_DOUBLE_EQ(W[0], 1.0); // two equal samples
 }
 
+TEST(SloMetricsTest, AttainmentIsFractionAtOrBelowTarget) {
+  std::vector<double> V = {50.0, 100.0, 150.0, 200.0};
+  EXPECT_DOUBLE_EQ(sloAttainment(V, 100.0), 0.5); // boundary attains
+  EXPECT_DOUBLE_EQ(sloAttainment(V, 25.0), 0.0);
+  EXPECT_DOUBLE_EQ(sloAttainment(V, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(sloAttainment({}, 100.0), 1.0); // trivially attained
+}
+
+TEST(SloMetricsTest, GoodputCountsOnlyAttainedRequests) {
+  std::vector<double> V = {50.0, 100.0, 150.0, 200.0};
+  // Two of four attain over a makespan of 8: 0.25 requests per unit.
+  EXPECT_DOUBLE_EQ(goodput(V, 100.0, 8.0), 0.25);
+  // All attained: plain throughput.
+  EXPECT_DOUBLE_EQ(goodput(V, 1000.0, 8.0), 0.5);
+  EXPECT_DOUBLE_EQ(goodput({}, 100.0, 8.0), 0.0);
+}
+
 } // namespace

@@ -214,4 +214,120 @@ TEST(QuantumSliceTest, ZeroQuantumDisablesSlicing) {
   EXPECT_EQ(quantumSliceEnd(Costs, 16, 2, 10, 1.0, 1.0), 16u);
 }
 
+//===----------------------------------------------------------------------===//
+// Closed-loop tenant replay (the TenantLoop mode)
+//===----------------------------------------------------------------------===//
+
+class ClosedLoopTest : public StreamingTest {
+protected:
+  static workloads::ClosedLoopScript script() {
+    std::vector<workloads::ClosedLoopTenant> Tenants(3);
+    Tenants[0] = {0, 10, 1, 0.25 * meanDur(), 11, {0, 1, 2, 3}};
+    Tenants[1] = {1, 8, 3, 0.05 * meanDur(), 12, {}};
+    Tenants[2] = {2, 6, 2, 0.50 * meanDur(), 13, {}};
+    return workloads::closedLoopTrace(driver().numKernels(), Tenants);
+  }
+
+  static StreamOptions options() {
+    StreamOptions Opts;
+    Opts.RoundQuantum = 0.25 * meanDur();
+    Opts.StrictShares = true;
+    Opts.SloTargets = {{0, meanDur()}};
+    return Opts;
+  }
+
+  static StreamOptions adaptiveOptions() {
+    StreamOptions Opts = options();
+    Opts.AdaptiveSloWeights = true;
+    Opts.SloControlInterval = meanDur();
+    Opts.SloTuning.MinSamples = 1;
+    return Opts;
+  }
+};
+
+TEST_F(ClosedLoopTest, CompletesEveryScriptedRequest) {
+  workloads::ClosedLoopScript Script = script();
+  for (SchedulerKind Kind :
+       {SchedulerKind::Baseline, SchedulerKind::ElasticKernels,
+        SchedulerKind::AccelOSOptimized}) {
+    StreamOutcome O = runClosedLoop(driver(), Kind, Script, options());
+    ASSERT_EQ(O.Requests.size(), Script.totalRequests());
+    for (const StreamRequestResult &R : O.Requests) {
+      EXPECT_GE(R.StartTime, R.ArrivalTime - 1e-9)
+          << "request " << R.RequestIdx << " started before it arrived";
+      EXPECT_GE(R.EndTime, R.StartTime);
+      EXPECT_GT(R.AloneDuration, 0.0);
+    }
+    for (double S : O.Slowdowns)
+      EXPECT_GT(S, 0.0);
+  }
+}
+
+TEST_F(ClosedLoopTest, BackpressureBoundsInFlightPerTenant) {
+  // The defining closed-loop property: a tenant never has more than
+  // Concurrency requests between arrival and completion at any instant
+  // (issued-but-still-thinking requests only tighten the bound).
+  workloads::ClosedLoopScript Script = script();
+  for (SchedulerKind Kind :
+       {SchedulerKind::Baseline, SchedulerKind::AccelOSOptimized}) {
+    StreamOutcome O = runClosedLoop(driver(), Kind, Script, options());
+    std::map<int, std::vector<const StreamRequestResult *>> ByTenant;
+    for (const StreamRequestResult &R : O.Requests)
+      ByTenant[R.Tenant].push_back(&R);
+    for (size_t TI = 0; TI != Script.Tenants.size(); ++TI) {
+      const workloads::ClosedLoopTenant &T = Script.Tenants[TI];
+      const auto &Rs = ByTenant[T.Tenant];
+      ASSERT_EQ(Rs.size(), Script.Sequences[TI].size());
+      // Probe just after every arrival: the overlap count can only
+      // change at arrival/completion instants.
+      for (const StreamRequestResult *Probe : Rs) {
+        double Now = Probe->ArrivalTime;
+        size_t InFlight = 0;
+        for (const StreamRequestResult *R : Rs)
+          if (R->ArrivalTime <= Now && R->EndTime > Now + 1e-9)
+            ++InFlight;
+        EXPECT_LE(InFlight, T.Concurrency)
+            << "tenant " << T.Tenant << " exceeded its in-flight cap at "
+            << Now;
+      }
+    }
+  }
+}
+
+TEST_F(ClosedLoopTest, SameScriptIsBitIdentical) {
+  // Closed-loop determinism regression: the same script replayed twice
+  // (and a script regenerated from the same seeds) must produce a
+  // bit-identical history — arrival, start, and end of every request.
+  StreamOutcome A = runClosedLoop(driver(), SchedulerKind::AccelOSOptimized,
+                                  script(), adaptiveOptions());
+  StreamOutcome B = runClosedLoop(driver(), SchedulerKind::AccelOSOptimized,
+                                  script(), adaptiveOptions());
+  ASSERT_EQ(A.Requests.size(), B.Requests.size());
+  for (size_t I = 0; I != A.Requests.size(); ++I) {
+    EXPECT_EQ(A.Requests[I].Tenant, B.Requests[I].Tenant);
+    EXPECT_EQ(A.Requests[I].ArrivalTime, B.Requests[I].ArrivalTime);
+    EXPECT_EQ(A.Requests[I].StartTime, B.Requests[I].StartTime);
+    EXPECT_EQ(A.Requests[I].EndTime, B.Requests[I].EndTime);
+  }
+  EXPECT_EQ(A.Makespan, B.Makespan);
+  EXPECT_EQ(A.WeightUpdates, B.WeightUpdates);
+  EXPECT_EQ(A.FinalWeights, B.FinalWeights);
+}
+
+TEST_F(ClosedLoopTest, AdaptiveWeightsReactToMissedSlo) {
+  // Under sustained misses the controller must actually move weights,
+  // and the boost must stay within the bounded-fairness envelope.
+  StreamOutcome O = runClosedLoop(driver(), SchedulerKind::AccelOSOptimized,
+                                  script(), adaptiveOptions());
+  ASSERT_EQ(O.FinalWeights.count(0), 1u);
+  EXPECT_GE(O.FinalWeights.at(0), 1.0);
+  EXPECT_LE(O.FinalWeights.at(0),
+            accelos::SloControllerOptions().MaxBoost);
+  // Static weights report as configured (all default 1).
+  StreamOutcome S = runClosedLoop(driver(), SchedulerKind::AccelOSOptimized,
+                                  script(), options());
+  EXPECT_EQ(S.WeightUpdates, 0u);
+  EXPECT_TRUE(S.FinalWeights.empty());
+}
+
 } // namespace

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "workloads/Arrivals.h"
 #include "workloads/KernelSpec.h"
 #include "workloads/Sampler.h"
 
@@ -162,6 +163,57 @@ TEST(SamplerTest, RandomCombinationsRespectShape) {
   EXPECT_EQ(Combos, Again);
   auto Different = randomCombinations(4, 100, 43);
   EXPECT_NE(Combos, Different);
+}
+
+TEST(ClosedLoopTraceTest, ScriptsAreDeterministicAndWellFormed) {
+  std::vector<ClosedLoopTenant> Tenants(2);
+  Tenants[0] = {0, 12, 2, 5000.0, 7, {1, 3, 5}};
+  Tenants[1] = {1, 8, 3, 0.0, 8, {}};
+  ClosedLoopScript A = closedLoopTrace(25, Tenants);
+  ASSERT_EQ(A.Sequences.size(), 2u);
+  EXPECT_EQ(A.totalRequests(), 20u);
+  EXPECT_EQ(A.Sequences[0].size(), 12u);
+  EXPECT_EQ(A.Sequences[1].size(), 8u);
+  for (const ScriptedRequest &R : A.Sequences[0]) {
+    // Pooled tenants draw only from their pool.
+    EXPECT_TRUE(R.KernelIdx == 1 || R.KernelIdx == 3 || R.KernelIdx == 5);
+    EXPECT_GT(R.ThinkTime, 0.0);
+  }
+  for (const ScriptedRequest &R : A.Sequences[1]) {
+    EXPECT_LT(R.KernelIdx, 25u);
+    // Zero mean think time scripts instant reactions.
+    EXPECT_DOUBLE_EQ(R.ThinkTime, 0.0);
+  }
+
+  // Same seeds => bit-identical script; a different seed diverges.
+  ClosedLoopScript B = closedLoopTrace(25, Tenants);
+  for (size_t TI = 0; TI != 2; ++TI)
+    for (size_t I = 0; I != A.Sequences[TI].size(); ++I) {
+      EXPECT_EQ(A.Sequences[TI][I].KernelIdx, B.Sequences[TI][I].KernelIdx);
+      EXPECT_EQ(A.Sequences[TI][I].ThinkTime, B.Sequences[TI][I].ThinkTime);
+    }
+  Tenants[0].Seed = 99;
+  ClosedLoopScript C = closedLoopTrace(25, Tenants);
+  bool AnyDiff = false;
+  for (size_t I = 0; I != C.Sequences[0].size(); ++I)
+    AnyDiff |= C.Sequences[0][I].KernelIdx != A.Sequences[0][I].KernelIdx;
+  EXPECT_TRUE(AnyDiff);
+}
+
+TEST(ClosedLoopTraceTest, TenantScriptsAreIndependent) {
+  // A tenant's script depends only on its own parameters and seed:
+  // reordering or dropping the other tenants must not change it.
+  ClosedLoopTenant T0 = {0, 10, 2, 1000.0, 41, {}};
+  ClosedLoopTenant T1 = {1, 6, 1, 2000.0, 42, {}};
+  ClosedLoopScript Pair = closedLoopTrace(25, {T0, T1});
+  ClosedLoopScript Solo = closedLoopTrace(25, {T1});
+  ASSERT_EQ(Solo.Sequences[0].size(), Pair.Sequences[1].size());
+  for (size_t I = 0; I != Solo.Sequences[0].size(); ++I) {
+    EXPECT_EQ(Solo.Sequences[0][I].KernelIdx,
+              Pair.Sequences[1][I].KernelIdx);
+    EXPECT_EQ(Solo.Sequences[0][I].ThinkTime,
+              Pair.Sequences[1][I].ThinkTime);
+  }
 }
 
 } // namespace

@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the streaming serving benchmark.
+
+Compares a freshly produced BENCH_streaming.json against the committed
+baseline (bench/baselines/BENCH_streaming.baseline.json) and exits
+non-zero when any scheme on any platform regressed by more than the
+threshold (default 10%) on a lower-is-better serving metric:
+
+  * whole-trace unfairness,
+  * peak windowed unfairness,
+  * mean queueing delay,
+  * p95 queueing delay.
+
+The simulation is deterministic, so on an unchanged scheduler the two
+files agree bit-for-bit; the threshold only leaves room for intentional
+small trade-offs and cross-compiler floating-point drift. Improvements
+beyond the threshold are reported (not failed) as a nudge to refresh
+the baseline so future regressions are judged from the better level.
+
+Usage:
+  check_bench.py CURRENT BASELINE [--threshold 0.10]
+  check_bench.py --self-test
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+# (json-path-in-scheme, label) of every gated metric.
+METRICS = [
+    (("unfairness",), "unfairness"),
+    (("peak_windowed_unfairness",), "peak windowed unfairness"),
+    (("queue_delay", "mean"), "mean queueing delay"),
+    (("queue_delay", "p95"), "p95 queueing delay"),
+]
+
+# Regressions smaller than this absolute delta never fail: a ratio on a
+# near-zero metric is noise, not a regression.
+ABS_EPSILON = 1e-6
+
+
+def metric_value(scheme, path):
+    value = scheme
+    for key in path:
+        value = value[key]
+    return float(value)
+
+
+def compare(current, baseline, threshold):
+    """Returns (failures, improvements) as lists of report lines."""
+    failures = []
+    improvements = []
+    # Coverage must be symmetric: a platform/scheme that vanished from
+    # the current run silently escapes every metric check otherwise.
+    cur_platforms = {p["name"]: p for p in current["platforms"]}
+    for base_plat in baseline["platforms"]:
+        cur_plat = cur_platforms.get(base_plat["name"])
+        if cur_plat is None:
+            failures.append(
+                f"platform {base_plat['name']!r} missing from current run")
+            continue
+        cur_names = {s["name"] for s in cur_plat["schemes"]}
+        for base_scheme in base_plat["schemes"]:
+            if base_scheme["name"] not in cur_names:
+                failures.append(
+                    f"{base_plat['name']}: scheme {base_scheme['name']!r} "
+                    "missing from current run")
+    base_platforms = {p["name"]: p for p in baseline["platforms"]}
+    for plat in current["platforms"]:
+        base_plat = base_platforms.get(plat["name"])
+        if base_plat is None:
+            failures.append(f"platform {plat['name']!r} missing from baseline")
+            continue
+        base_schemes = {s["name"]: s for s in base_plat["schemes"]}
+        for scheme in plat["schemes"]:
+            base_scheme = base_schemes.get(scheme["name"])
+            if base_scheme is None:
+                failures.append(
+                    f"{plat['name']}: scheme {scheme['name']!r} missing "
+                    "from baseline")
+                continue
+            for path, label in METRICS:
+                cur = metric_value(scheme, path)
+                base = metric_value(base_scheme, path)
+                where = f"{plat['name']} / {scheme['name']}: {label}"
+                if cur - base <= ABS_EPSILON:
+                    if base > ABS_EPSILON and cur < base * (1 - threshold):
+                        improvements.append(
+                            f"{where} improved {base:.4g} -> {cur:.4g}; "
+                            "consider refreshing the baseline")
+                    continue
+                if base <= ABS_EPSILON or cur > base * (1 + threshold):
+                    failures.append(
+                        f"{where} regressed {base:.4g} -> {cur:.4g} "
+                        f"(+{100 * (cur - base) / base:.1f}%, limit "
+                        f"{100 * threshold:.0f}%)")
+    return failures, improvements
+
+
+def self_test(baseline_path, threshold):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    # An identical run must pass.
+    failures, _ = compare(baseline, baseline, threshold)
+    if failures:
+        print("self-test FAILED: identical files reported regressions:")
+        for line in failures:
+            print(" ", line)
+        return 1
+
+    # A synthetic regression beyond the threshold must be rejected.
+    regressed = copy.deepcopy(baseline)
+    scheme = regressed["platforms"][0]["schemes"][0]
+    scheme["queue_delay"]["mean"] *= 1 + threshold + 0.05
+    scheme["unfairness"] *= 1 + threshold + 0.05
+    failures, _ = compare(regressed, baseline, threshold)
+    if len(failures) != 2:
+        print("self-test FAILED: synthetic regression not detected "
+              f"(got {len(failures)} failures, expected 2)")
+        return 1
+
+    # A regression inside the threshold must pass.
+    tolerated = copy.deepcopy(baseline)
+    scheme = tolerated["platforms"][0]["schemes"][0]
+    scheme["queue_delay"]["p95"] *= 1 + threshold / 2
+    failures, _ = compare(tolerated, baseline, threshold)
+    if failures:
+        print("self-test FAILED: in-threshold drift rejected:")
+        for line in failures:
+            print(" ", line)
+        return 1
+
+    print("self-test passed: gate accepts identical runs, tolerates "
+          f"<{100 * threshold:.0f}% drift, rejects larger regressions")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", nargs="?",
+                        help="freshly produced BENCH_streaming.json")
+    parser.add_argument("baseline", nargs="?",
+                        default="bench/baselines/"
+                                "BENCH_streaming.baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative regression (default 0.10)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate detects a synthetic "
+                             "regression against the committed baseline")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test(args.baseline, args.threshold)
+
+    if not args.current:
+        parser.error("CURRENT json required unless --self-test")
+    with open(args.current) as f:
+        current = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures, improvements = compare(current, baseline, args.threshold)
+    for line in improvements:
+        print("note:", line)
+    if failures:
+        print(f"bench regression gate FAILED ({len(failures)} metric(s)):")
+        for line in failures:
+            print(" ", line)
+        return 1
+    print(f"bench regression gate passed: {args.current} within "
+          f"{100 * args.threshold:.0f}% of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
