@@ -36,7 +36,12 @@ int main() {
   raw_ostream &OS = outs();
   OS << "=== Closed-loop server: SLO-driven weight adaptation ===\n\n";
 
-  harness::ExperimentDriver Driver(sim::DeviceSpec::nvidiaK20m());
+  // Swap in any spec — a custom fleet device included — and the rest
+  // of the example follows it: every label below comes from the spec,
+  // nothing is hardcoded to the K20m default.
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  harness::ExperimentDriver Driver(Spec);
+  OS << "device: " << Driver.device().Name << "\n\n";
   double MeanDur = harness::meanIsolatedBaselineDuration(Driver);
 
   // The interactive tenant runs the shortest quarter of the suite.

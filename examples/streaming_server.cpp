@@ -94,8 +94,12 @@ int main() {
   OS << "result check (1*2+1): " << OutV[0] << "\n\n";
 
   // --- Timing view: a Poisson stream replayed under the weights. ---------
-  OS << "Timing view: 32 requests, 2 tenants, premium weighted 3:1\n";
-  harness::ExperimentDriver Driver(sim::DeviceSpec::nvidiaK20m());
+  // The spec is the single source of the device identity: swap in a
+  // custom fleet spec and the printed label follows it.
+  sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
+  harness::ExperimentDriver Driver(Spec);
+  OS << "Timing view: 32 requests, 2 tenants, premium weighted 3:1, on "
+     << Driver.device().Name << "\n";
   double MeanDur = harness::meanIsolatedBaselineDuration(Driver);
 
   workloads::TraceOptions TOpts;

@@ -142,13 +142,14 @@ accelos::solveFairShares(const ResourceCaps &Caps,
         return 1;
       }
     };
-    // Victim selection (the first step of the ROADMAP bin-covering
-    // pass): prefer a floored kernel whose reversion *alone* restores
-    // feasibility — the fewest-reverts choice — and break ties toward
-    // the largest contributor to the most-oversubscribed resource (the
-    // previous heuristic, which stays in force when no single revert
-    // suffices and remains optimal when the largest contributor is
-    // also a single-revert fix).
+    // Victim selection: prefer a floored kernel whose reversion
+    // *alone* restores feasibility — the fewest-reverts choice — and
+    // break ties toward the largest contributor to the
+    // most-oversubscribed resource (the previous heuristic, which
+    // remains optimal when the largest contributor is also a
+    // single-revert fix). When no single reversion suffices, the
+    // bounded multi-revert search below takes over before this
+    // fallback fires.
     size_t Victim = K;
     bool VictimRestores = false;
     for (size_t I = 0; I != K; ++I) {
@@ -190,6 +191,83 @@ accelos::solveFairShares(const ResourceCaps &Caps,
       if (!Any)
         break; // Nothing left to shed; give up rather than loop.
       continue;
+    }
+    if (!VictimRestores) {
+      // Bounded bin-covering search (the ROADMAP follow-up to the
+      // single-revert preference): no single floor reversion restores
+      // feasibility, so search the floored kernels for the smallest
+      // revert set — pairs, then triples — whose joint reversion does.
+      // Every floored share is exactly one work group, so the smallest
+      // set is the revert choice minimizing shed WGs; the iterative
+      // largest-contributor fallback can overshoot by one when the
+      // violated dimensions alternate (shed the thread hog, then the
+      // local-memory hog, then a third kernel, where one balanced pair
+      // would have covered both dimensions). Ties between same-size
+      // sets go to the largest total demand in the most-oversubscribed
+      // dimension (the existing heuristic's preference), then to the
+      // earliest candidates — deterministic either way. The search is
+      // bounded twice over: subsets of size <= 3 only, and skipped
+      // entirely past a candidate-count cap so clamp time cannot blow
+      // up cubically on a pathological queue.
+      std::vector<size_t> Cands;
+      for (size_t I = 0; I != K; ++I)
+        if (Floored[I] && Shares[I] != 0)
+          Cands.push_back(I);
+      auto Restores = [&](std::initializer_list<size_t> Set) {
+        uint64_t Freed[4] = {0, 0, 0, 0};
+        for (size_t I : Set) {
+          ResourceUse U = footprintOf(Ks[I], Shares[I]);
+          Freed[0] += U.Threads;
+          Freed[1] += U.LocalMem;
+          Freed[2] += U.Regs;
+          Freed[3] += U.WGSlots;
+        }
+        for (unsigned D = 0; D != 4; ++D)
+          if (Use[D] - Freed[D] > Cap[D])
+            return false;
+        return true;
+      };
+      auto DemandSum = [&](std::initializer_list<size_t> Set) {
+        uint64_t Sum = 0;
+        for (size_t I : Set)
+          Sum += DemandIn(I);
+        return Sum;
+      };
+      constexpr size_t PairCap = 256, TripleCap = 48;
+      std::vector<size_t> Best;
+      uint64_t BestDemand = 0;
+      if (Cands.size() <= PairCap) {
+        for (size_t X = 0; X != Cands.size(); ++X)
+          for (size_t Y = X + 1; Y != Cands.size(); ++Y) {
+            size_t A = Cands[X], B = Cands[Y];
+            if (!Restores({A, B}))
+              continue;
+            uint64_t D = DemandSum({A, B});
+            if (Best.empty() || D > BestDemand) {
+              Best = {A, B};
+              BestDemand = D;
+            }
+          }
+      }
+      if (Best.empty() && Cands.size() <= TripleCap) {
+        for (size_t X = 0; X != Cands.size(); ++X)
+          for (size_t Y = X + 1; Y != Cands.size(); ++Y)
+            for (size_t Z = Y + 1; Z != Cands.size(); ++Z) {
+              size_t A = Cands[X], B = Cands[Y], C = Cands[Z];
+              if (!Restores({A, B, C}))
+                continue;
+              uint64_t D = DemandSum({A, B, C});
+              if (Best.empty() || D > BestDemand) {
+                Best = {A, B, C};
+                BestDemand = D;
+              }
+            }
+      }
+      if (!Best.empty()) {
+        for (size_t I : Best)
+          Shares[I] = 0;
+        continue; // fits() holds now; the loop exits.
+      }
     }
     Shares[Victim] = 0;
   }

@@ -84,9 +84,12 @@ struct SolverOptions {
 /// receives at least one work group whenever capacity permits; when
 /// even single work groups cannot co-exist, minimum-share floors are
 /// reverted rather than oversubscribing the device — preferring a
-/// floored kernel whose reversion alone restores feasibility, then
-/// falling back to the largest contributor to the most-oversubscribed
-/// resource.
+/// floored kernel whose reversion alone restores feasibility; when no
+/// single reversion suffices, a bounded bin-covering search over
+/// revert subsets of size two and three picks the set minimizing shed
+/// work groups (ties to the largest demand in the most-oversubscribed
+/// resource); only past those bounds does the iterative
+/// largest-contributor heuristic fire.
 std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
                                       const std::vector<KernelDemand> &Ks,
                                       const SolverOptions &Opts = {});

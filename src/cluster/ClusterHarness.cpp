@@ -1,0 +1,341 @@
+//===- cluster/ClusterHarness.cpp - Fleet-wide serving loop ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterHarness.h"
+
+#include "accelos/Scheduler.h"
+#include "harness/ReplayDetail.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+
+using namespace accel;
+using namespace accel::harness;
+using detail::ClosedLoopDriver;
+using detail::LiveRequest;
+using detail::ReplayState;
+
+namespace {
+
+/// One fleet member's live serving state.
+struct DeviceState {
+  std::optional<sim::EngineSession> Session;
+  std::optional<accelos::ContinuousScheduler> Sched;
+  /// An admission pass is pending (an arrival or completion changed
+  /// this device's queue or residual capacity). Starts true, exactly
+  /// like the single-device loop's initial pass.
+  bool NeedAdmit = true;
+  /// Thread-cycles placed on this device and not yet completed.
+  double OutstandingCost = 0;
+  size_t OutstandingRequests = 0;
+  double BusyTime = 0;
+  size_t PlacedRequests = 0;
+};
+
+/// The merged-clock replay over N per-device continuous schedulers:
+/// the single-device continuous loop of runStream, generalized. Each
+/// iteration (1) places and submits every arrival due at the current
+/// merged time, (2) runs the pending admission passes device by
+/// device, (3) advances every session to the earliest next event
+/// anywhere in the fleet, reacting to completions. With N == 1 the
+/// event order is exactly runStream's, so the output is bit-identical
+/// (regression-tested).
+class ClusterReplay {
+public:
+  ClusterReplay(cluster::Fleet &Fleet, cluster::PlacementPolicy &Policy,
+                const ClusterOptions &Opts, ClusterOutcome &Out)
+      : RS(Fleet.driver(0), Opts.Stream, Opts.Mode, Out.Stream),
+        Fleet(Fleet), Policy(Policy), Opts(Opts), Out(Out) {
+    assert(!Fleet.empty() && "cluster replay over an empty fleet");
+    Policy.reset();
+    Devices.resize(Fleet.size());
+    for (size_t D = 0; D != Fleet.size(); ++D) {
+      Devices[D].Session.emplace(Fleet.device(D));
+      Devices[D].Sched.emplace(
+          detail::capsFor(Fleet.device(D), Opts.Stream),
+          detail::solverOptsFor(Opts.Stream));
+    }
+    if (Opts.Stream.AdaptiveSloWeights) {
+      assert(Opts.Stream.SloControlInterval > 0 &&
+             "adaptive SLO weights need a positive control interval");
+      Ctl.emplace(Opts.Stream.SloTargets, Opts.Stream.Weights,
+                  Opts.Stream.SloControlInterval, Opts.Stream.SloTuning);
+      RS.adoptController(&*Ctl);
+    }
+  }
+
+  ReplayState RS;
+  ClosedLoopDriver *Loop = nullptr; ///< Set for closed-loop replays.
+  size_t Completed = 0;
+
+  /// Decides the device for an arrival (sticky affinity first, then
+  /// the policy over a load snapshot). \p KernelIdx sizes the
+  /// per-device solo-duration estimate.
+  size_t decide(int Tenant, size_t KernelIdx, double ArrivalTime) {
+    if (Opts.StickyTenantAffinity) {
+      auto It = Affinity.find(Tenant);
+      if (It != Affinity.end())
+        return It->second;
+    }
+    std::vector<cluster::DeviceLoad> Loads(Devices.size());
+    for (size_t D = 0; D != Devices.size(); ++D) {
+      Loads[D].OutstandingCost = Devices[D].OutstandingCost;
+      Loads[D].OutstandingRequests = Devices[D].OutstandingRequests;
+      Loads[D].ServiceRate = Fleet.serviceRate(D);
+      Loads[D].SoloDuration = Fleet.driver(D).isolatedDuration(
+          SchedulerKind::Baseline, KernelIdx);
+    }
+    cluster::PlacementRequest Req;
+    Req.Tenant = Tenant;
+    Req.KernelIdx = KernelIdx;
+    Req.ArrivalTime = ArrivalTime;
+    size_t D = Policy.place(Req, Loads);
+    assert(D < Devices.size() && "policy placed outside the fleet");
+    if (Opts.StickyTenantAffinity)
+      Affinity.emplace(Tenant, D);
+    return D;
+  }
+
+  /// Binds materialized request \p Idx to device \p D and queues it.
+  void commit(size_t Idx, size_t D) {
+    Out.Placement.push_back(D);
+    DeviceOf.push_back(D);
+    double Cost = RS.remainingCost(Idx);
+    Accounted.push_back(Cost);
+    Devices[D].OutstandingCost += Cost;
+    ++Devices[D].OutstandingRequests;
+    ++Devices[D].PlacedRequests;
+    submit(Idx, D);
+    Devices[D].NeedAdmit = true;
+  }
+
+  /// Runs the pending admission passes of every device, in fleet
+  /// order — the exact single-device pass (detail::admissionPass), so
+  /// the N == 1 degeneration stays bit-identical by construction.
+  void admitAll(double T) {
+    for (size_t D = 0; D != Devices.size(); ++D) {
+      DeviceState &DS = Devices[D];
+      while (DS.NeedAdmit)
+        DS.NeedAdmit = detail::admissionPass(
+            *DS.Sched, *DS.Session, RS, T,
+            [&](size_t Idx) { retire(Idx, T); });
+    }
+  }
+
+  /// The earliest pending event anywhere in the fleet, or negative
+  /// when every session is idle.
+  double nextFleetEvent() {
+    double Next = -1;
+    for (DeviceState &DS : Devices) {
+      double E = DS.Session->nextEventTime();
+      if (E >= 0 && (Next < 0 || E < Next))
+        Next = E;
+    }
+    return Next;
+  }
+
+  /// Advances every session from merged time \p T to \p Target,
+  /// reacting to completions; accounts per-device busy time.
+  void advanceAll(double T, double Target) {
+    double NewNow = std::max(Target, T);
+    for (size_t D = 0; D != Devices.size(); ++D) {
+      DeviceState &DS = Devices[D];
+      if (DS.Session->inFlight() > 0)
+        DS.BusyTime += NewNow - T;
+      for (const sim::KernelExecResult &K :
+           DS.Session->advanceTo(NewNow)) {
+        size_t Idx = static_cast<size_t>(K.AppId);
+        LiveRequest &LR = RS.Live[Idx];
+        if (!LR.Started) {
+          LR.Started = true;
+          LR.Start = K.StartTime;
+        }
+        LR.End = K.EndTime;
+        DS.Sched->complete(Idx);
+        DS.NeedAdmit = true;
+        settle(Idx, D);
+        if (RS.remainingGroups(Idx) != 0) {
+          // Sliced: requeue the remainder on the SAME device; it
+          // re-enters that device's fair-share solve at this event.
+          submit(Idx, D);
+        } else {
+          Out.Stream.Requests[Idx].StartTime = LR.Start;
+          Out.Stream.Requests[Idx].EndTime = LR.End;
+          finish(Idx, LR.End);
+        }
+      }
+    }
+    if (Ctl && Ctl->maybeUpdate(NewNow))
+      ++Out.Stream.WeightUpdates;
+  }
+
+  /// Folds per-device scheduler stats and utilization into the outcome.
+  void finalize() {
+    RS.finalize();
+    Out.Devices.resize(Devices.size());
+    for (size_t D = 0; D != Devices.size(); ++D) {
+      ClusterDeviceOutcome &DO = Out.Devices[D];
+      DO.Name = Fleet.device(D).Name;
+      DO.Requests = Devices[D].PlacedRequests;
+      DO.BusyTime = Devices[D].BusyTime;
+      DO.Utilization = Out.Stream.Makespan > 0
+                           ? Devices[D].BusyTime / Out.Stream.Makespan
+                           : 0;
+      DO.Rounds = Devices[D].Sched->stats().RoundsPlanned;
+      DO.Deferrals = Devices[D].Sched->stats().Deferrals;
+      Out.Stream.Rounds += DO.Rounds;
+      Out.Stream.Deferrals += DO.Deferrals;
+    }
+  }
+
+private:
+  void submit(size_t Idx, size_t D) {
+    detail::submitRequest(*Devices[D].Sched, RS, Idx);
+  }
+
+  /// Re-measures request \p Idx's remaining cost after a completion
+  /// event and returns the drained work to the device's outstanding
+  /// tally (the placement policies' residual-work term).
+  void settle(size_t Idx, size_t D) {
+    double Remaining = RS.remainingCost(Idx);
+    Devices[D].OutstandingCost -= Accounted[Idx] - Remaining;
+    Accounted[Idx] = Remaining;
+  }
+
+  /// Retires a zero-work request at the admission boundary. Matching
+  /// the single-device loops, the SLO controller does NOT observe it
+  /// (it never occupied the device), so the N == 1 adaptive replay
+  /// stays equivalent to runClosedLoop in this corner too; the
+  /// tenant's think clock still starts here.
+  void retire(size_t Idx, double T) {
+    size_t D = DeviceOf[Idx];
+    Devices[D].OutstandingCost -= Accounted[Idx];
+    Accounted[Idx] = 0;
+    --Devices[D].OutstandingRequests;
+    ++Completed;
+    if (Loop)
+      Loop->issue(Loop->tenantPos(Idx), T);
+  }
+
+  /// Common full-completion bookkeeping: the SLO controller observes
+  /// the aggregate queueing time, and a closed-loop tenant's think
+  /// clock starts from this completion.
+  void finish(size_t Idx, double At) {
+    --Devices[DeviceOf[Idx]].OutstandingRequests;
+    ++Completed;
+    if (Ctl)
+      Ctl->observe(RS.Trace[Idx].Tenant,
+                   Out.Stream.Requests[Idx].queueingExcess());
+    if (Loop)
+      Loop->issue(Loop->tenantPos(Idx), At);
+  }
+
+  cluster::Fleet &Fleet;
+  cluster::PlacementPolicy &Policy;
+  const ClusterOptions &Opts;
+  ClusterOutcome &Out;
+  std::vector<DeviceState> Devices;
+  std::optional<accelos::SloWeightController> Ctl;
+  std::map<int, size_t> Affinity; ///< Tenant -> device (sticky mode).
+  std::vector<size_t> DeviceOf;   ///< Parallel to RS.Trace.
+  std::vector<double> Accounted;  ///< Remaining cost counted per request.
+};
+
+/// Keeps the Devices-indexed-by-fleet-position contract on the
+/// degenerate no-requests paths: every device reports, just idle.
+void fillIdleDevices(cluster::Fleet &Fleet, ClusterOutcome &Out) {
+  Out.Devices.resize(Fleet.size());
+  for (size_t D = 0; D != Fleet.size(); ++D)
+    Out.Devices[D].Name = Fleet.device(D).Name;
+}
+
+} // namespace
+
+ClusterOutcome harness::runCluster(
+    cluster::Fleet &Fleet, cluster::PlacementPolicy &Policy,
+    const std::vector<workloads::TimedRequest> &Trace,
+    const ClusterOptions &Opts) {
+  ClusterOutcome Out;
+  Out.Stream.FinalWeights = Opts.Stream.Weights;
+  if (Trace.empty() || Fleet.empty()) {
+    fillIdleDevices(Fleet, Out);
+    return Out;
+  }
+
+  ClusterReplay CR(Fleet, Policy, Opts, Out);
+  size_t NextArrival = 0;
+  double Now = 0;
+
+  while (CR.Completed != Trace.size()) {
+    double T = Now;
+    while (NextArrival != Trace.size() &&
+           Trace[NextArrival].ArrivalTime <= T) {
+      const workloads::TimedRequest &R = Trace[NextArrival++];
+      size_t D = CR.decide(R.Tenant, R.KernelIdx, R.ArrivalTime);
+      CR.commit(CR.RS.append(R, Fleet.driver(D)), D);
+    }
+
+    CR.admitAll(T);
+
+    double NextEvent = CR.nextFleetEvent();
+    double NextTrace = NextArrival != Trace.size()
+                           ? Trace[NextArrival].ArrivalTime
+                           : -1;
+    assert((NextEvent >= 0 || NextTrace >= 0) && "requests lost");
+    double Target = NextEvent;
+    if (Target < 0 || (NextTrace >= 0 && NextTrace < Target))
+      Target = NextTrace;
+    CR.advanceAll(T, Target);
+    Now = std::max(Target, T);
+  }
+
+  CR.finalize();
+  return Out;
+}
+
+ClusterOutcome harness::runClusterClosedLoop(
+    cluster::Fleet &Fleet, cluster::PlacementPolicy &Policy,
+    const workloads::ClosedLoopScript &Script,
+    const ClusterOptions &Opts) {
+  ClusterOutcome Out;
+  Out.Stream.FinalWeights = Opts.Stream.Weights;
+  const size_t Total = Script.totalRequests();
+  if (Total == 0 || Fleet.empty()) {
+    fillIdleDevices(Fleet, Out);
+    return Out;
+  }
+
+  ClusterReplay CR(Fleet, Policy, Opts, Out);
+  ClosedLoopDriver Loop(Script);
+  CR.Loop = &Loop;
+  double Now = 0;
+
+  while (CR.Completed != Total) {
+    double T = Now;
+    while (!Loop.empty() && Loop.nextTime() <= T) {
+      detail::IssuedRequest R = Loop.pop();
+      size_t D = CR.decide(Loop.tenantOf(R), R.KernelIdx, R.Time);
+      CR.commit(Loop.materializeOn(CR.RS, R, Fleet.driver(D)), D);
+    }
+
+    CR.admitAll(T);
+
+    double NextEvent = CR.nextFleetEvent();
+    double NextIssue = Loop.empty() ? -1 : Loop.nextTime();
+    assert((NextEvent >= 0 || NextIssue >= 0) && "requests lost");
+    double Target = NextEvent;
+    if (Target < 0 || (NextIssue >= 0 && NextIssue < Target))
+      Target = NextIssue;
+    CR.advanceAll(T, Target);
+    Now = std::max(Target, T);
+  }
+
+  assert(CR.RS.Trace.size() == Total && "script not fully replayed");
+  CR.finalize();
+  return Out;
+}

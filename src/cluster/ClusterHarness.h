@@ -1,0 +1,112 @@
+//===- cluster/ClusterHarness.h - Fleet-wide serving loop -------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cluster serving loop: one request stream scheduled across a
+/// cluster::Fleet of heterogeneous simulated devices on a single merged
+/// event clock. Every device runs its own arrival-aware continuous
+/// scheduler (sim::EngineSession + accelos::ContinuousScheduler,
+/// exactly the per-device discipline of harness::runStream's Continuous
+/// mode); the cluster layer adds the placement decision — which device
+/// a newly arrived request lands on (cluster::PlacementPolicy) — and
+/// keeps fairness cluster-wide:
+///
+///  - per-tenant sharing weights apply on every device a tenant's
+///    requests land on;
+///  - with StreamOptions::AdaptiveSloWeights, ONE SLO controller
+///    (accelos::SloWeightController) observes the aggregate queueing
+///    time of completions from ALL devices, and its adapted weights
+///    propagate to every device's scheduler through the next
+///    submissions and slice requeues.
+///
+/// The merged clock works like the single-device continuous loop
+/// generalized over N sessions: arrivals due now are placed and
+/// admitted, then every session advances to the earliest next event
+/// anywhere in the fleet (or the next arrival, whichever is first).
+/// With a single-device fleet the loop degenerates to exactly
+/// runStream's continuous replay — same events in the same order, so
+/// the output is bit-identical (regression-tested).
+///
+/// Work-slice requeues stay on the placed device: placement binds a
+/// request at arrival time (the Arax-style decoupling happens at the
+/// submission seam), and migrating half-executed virtual ranges between
+/// devices would forfeit the determinism the whole evaluation rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_CLUSTER_CLUSTERHARNESS_H
+#define ACCEL_CLUSTER_CLUSTERHARNESS_H
+
+#include "cluster/Fleet.h"
+#include "harness/Streaming.h"
+#include "workloads/Arrivals.h"
+
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace harness {
+
+/// Per-device serving numbers of one cluster replay.
+struct ClusterDeviceOutcome {
+  std::string Name;     ///< The device spec's name.
+  size_t Requests = 0;  ///< Requests placed on this device.
+  double BusyTime = 0;  ///< Time the device had work in flight.
+  double Utilization = 0; ///< BusyTime over the cluster makespan.
+  size_t Rounds = 0;      ///< Admission passes solved on this device.
+  uint64_t Deferrals = 0; ///< Scheduler deferrals on this device.
+};
+
+/// Whole-fleet outcome of one cluster replay.
+struct ClusterOutcome {
+  /// Cluster-wide request metrics, in the shape every single-device
+  /// consumer already understands: per-request timings, slowdowns
+  /// (normalized to the isolated duration on the *placed* device),
+  /// unfairness, makespan, FinalWeights. Rounds/Deferrals aggregate
+  /// over the fleet.
+  StreamOutcome Stream;
+  std::vector<ClusterDeviceOutcome> Devices; ///< Indexed by fleet position.
+  /// The placement decision of every request, parallel to
+  /// Stream.Requests (trace order).
+  std::vector<size_t> Placement;
+};
+
+/// Cluster replay knobs: the single-device streaming options (weights,
+/// quantum, SLO targets/adaptation, strict shares, issue-capacity
+/// clamp) apply per device; Admission is ignored — the cluster always
+/// runs arrival-aware continuous admission.
+struct ClusterOptions {
+  StreamOptions Stream;
+  /// accelOS batching mode of the per-device work-queue launches.
+  accelos::SchedulingMode Mode = accelos::SchedulingMode::Optimized;
+  /// Per-tenant sticky affinity: once a tenant's first request is
+  /// placed, every later request of that tenant follows it to the same
+  /// device (cache/session locality); the policy only decides each
+  /// tenant's first placement.
+  bool StickyTenantAffinity = false;
+};
+
+/// Replays the open-loop \p Trace across \p Fleet under \p Policy.
+/// Unlike runStream, AdaptiveSloWeights is honoured here too: the
+/// open-loop cluster has a genuine cross-device control plane.
+ClusterOutcome runCluster(cluster::Fleet &Fleet,
+                          cluster::PlacementPolicy &Policy,
+                          const std::vector<workloads::TimedRequest> &Trace,
+                          const ClusterOptions &Opts = {});
+
+/// Replays the closed-loop \p Script across \p Fleet under \p Policy:
+/// each tenant's next scripted request is issued on a completion (plus
+/// think time) exactly as in runClosedLoop, and placed at its arrival.
+ClusterOutcome
+runClusterClosedLoop(cluster::Fleet &Fleet,
+                     cluster::PlacementPolicy &Policy,
+                     const workloads::ClosedLoopScript &Script,
+                     const ClusterOptions &Opts = {});
+
+} // namespace harness
+} // namespace accel
+
+#endif // ACCEL_CLUSTER_CLUSTERHARNESS_H

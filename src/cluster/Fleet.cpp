@@ -1,0 +1,135 @@
+//===- cluster/Fleet.cpp - Multi-device fleet and placement ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "cluster/Fleet.h"
+
+#include "harness/Streaming.h"
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <limits>
+
+using namespace accel;
+using namespace accel::cluster;
+
+size_t Fleet::addDevice(const sim::DeviceSpec &Spec) {
+  size_t Idx = Drivers.size();
+  Drivers.emplace_back(Spec);
+  harness::ExperimentDriver &D = Drivers.back();
+  double Solo = harness::meanIsolatedBaselineDuration(D);
+  double Work = 0;
+  for (size_t I = 0; I != D.numKernels(); ++I) {
+    for (double C : D.kernel(I).WGCosts)
+      Work += C;
+  }
+  Work /= static_cast<double>(D.numKernels());
+  MeanSolo.push_back(Solo);
+  Rate.push_back(Solo > 0 ? Work / Solo : 1.0);
+  return Idx;
+}
+
+double Fleet::meanSoloDurationAcrossFleet() const {
+  assert(!MeanSolo.empty() && "empty fleet has no time unit");
+  double Sum = 0;
+  for (double S : MeanSolo)
+    Sum += S;
+  return Sum / static_cast<double>(MeanSolo.size());
+}
+
+PlacementPolicy::~PlacementPolicy() = default;
+
+namespace {
+
+/// Blind rotation: device (i mod N) serves the i-th placed request.
+/// The baseline a heterogeneous fleet punishes — a slow device receives
+/// an equal slice of the traffic and backs up.
+class RoundRobinPlacement : public PlacementPolicy {
+public:
+  void reset() override { Next = 0; }
+
+  size_t place(const PlacementRequest &,
+               const std::vector<DeviceLoad> &Loads) override {
+    return Next++ % Loads.size();
+  }
+
+  const char *name() const override { return "round-robin"; }
+
+private:
+  size_t Next = 0;
+};
+
+/// Join-shortest-residual-work: the device with the least outstanding
+/// thread-cycles wins (ties to the lowest index). Load-aware but
+/// speed-blind: a cycle of work on a slow device counts the same as one
+/// on a fast device.
+class LeastLoadedPlacement : public PlacementPolicy {
+public:
+  size_t place(const PlacementRequest &,
+               const std::vector<DeviceLoad> &Loads) override {
+    size_t Best = 0;
+    for (size_t I = 1; I != Loads.size(); ++I)
+      if (Loads[I].OutstandingCost < Loads[Best].OutstandingCost)
+        Best = I;
+    return Best;
+  }
+
+  const char *name() const override { return "least-loaded"; }
+};
+
+/// Join-shortest-expected-completion (Gavel-style): estimate when each
+/// device would finish the request — its outstanding work divided by
+/// its measured service rate, plus the request's own isolated duration
+/// on that device — and place on the earliest (ties to the lowest
+/// index). A device half as fast sees its backlog weighted double, so
+/// it is handed proportionally less traffic and the fleet-wide fair
+/// shares survive heterogeneity.
+class HeterogeneityAwarePlacement : public PlacementPolicy {
+public:
+  size_t place(const PlacementRequest &,
+               const std::vector<DeviceLoad> &Loads) override {
+    size_t Best = 0;
+    double BestTime = std::numeric_limits<double>::infinity();
+    for (size_t I = 0; I != Loads.size(); ++I) {
+      const DeviceLoad &L = Loads[I];
+      double Rate = L.ServiceRate > 0 ? L.ServiceRate : 1.0;
+      double Est = L.OutstandingCost / Rate + L.SoloDuration;
+      if (Est < BestTime) {
+        Best = I;
+        BestTime = Est;
+      }
+    }
+    return Best;
+  }
+
+  const char *name() const override { return "heterogeneity-aware"; }
+};
+
+} // namespace
+
+std::unique_ptr<PlacementPolicy>
+cluster::makePlacementPolicy(PlacementKind Kind) {
+  switch (Kind) {
+  case PlacementKind::RoundRobin:
+    return std::make_unique<RoundRobinPlacement>();
+  case PlacementKind::LeastLoaded:
+    return std::make_unique<LeastLoadedPlacement>();
+  case PlacementKind::HeterogeneityAware:
+    return std::make_unique<HeterogeneityAwarePlacement>();
+  }
+  accel_unreachable("bad placement kind");
+}
+
+const char *cluster::placementName(PlacementKind Kind) {
+  switch (Kind) {
+  case PlacementKind::RoundRobin:
+    return "round-robin";
+  case PlacementKind::LeastLoaded:
+    return "least-loaded";
+  case PlacementKind::HeterogeneityAware:
+    return "heterogeneity-aware";
+  }
+  accel_unreachable("bad placement kind");
+}

@@ -1,0 +1,153 @@
+//===- cluster/Fleet.h - Multi-device fleet and placement -------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fleet layer: where the paper's runtime fair-shares ONE
+/// accelerator, a production serving system shards traffic across many,
+/// usually heterogeneous, devices. A cluster::Fleet is a registry of
+/// simulated devices — any mix of sim::DeviceSpec::nvidiaK20m(),
+/// amdR9295X2(), or custom specs — each carrying its own compiled
+/// workload view (harness::ExperimentDriver), and each served by its
+/// own sim::EngineSession + accelos::ContinuousScheduler when the
+/// cluster replay (harness::runCluster) drives them on one merged event
+/// clock.
+///
+/// Placement is the new scheduling decision this layer introduces:
+/// which device a newly arrived request lands on. It is pluggable
+/// (cluster::PlacementPolicy) with three built-ins:
+///
+///  - RoundRobin: rotate blindly — the baseline every load balancer
+///    starts from, and exactly what heterogeneity punishes (a slow
+///    device is handed an equal share of the traffic);
+///  - LeastLoaded: join-shortest-residual-work — place on the device
+///    with the least outstanding (queued + in-flight) work, measured in
+///    thread-cycles;
+///  - HeterogeneityAware: normalize the residual work by each device's
+///    measured throughput and add the request's own isolated duration
+///    *on that device* — join-shortest-expected-completion, the
+///    Gavel-style correction (Narayanan et al.): a device half as fast
+///    must be handed half the work for the fleet-wide shares to stay
+///    fair.
+///
+/// Applications never name a device (the Arax-style decoupling): they
+/// submit against the fleet, the policy binds the request at arrival
+/// time, and work-slice requeues stay on the placed device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_CLUSTER_FLEET_H
+#define ACCEL_CLUSTER_FLEET_H
+
+#include "harness/Experiment.h"
+#include "sim/DeviceSpec.h"
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace accel {
+namespace cluster {
+
+/// A registry of simulated devices, each with its own compiled workload
+/// view. Devices are append-only; drivers and specs are
+/// reference-stable once added (the replay keeps pointers into them).
+class Fleet {
+public:
+  /// Adds one device to the fleet. Compiles the workload suite for it
+  /// and measures its mean isolated (solo) kernel duration — the
+  /// throughput probe heterogeneity-aware placement normalizes by.
+  /// \returns the device's fleet index.
+  size_t addDevice(const sim::DeviceSpec &Spec);
+
+  size_t size() const { return Drivers.size(); }
+  bool empty() const { return Drivers.empty(); }
+
+  /// The compiled workload view of device \p I (non-const: isolated
+  /// durations are cached lazily).
+  harness::ExperimentDriver &driver(size_t I) { return Drivers[I]; }
+
+  const sim::DeviceSpec &device(size_t I) const {
+    return Drivers[I].device();
+  }
+
+  /// Mean isolated (solo, baseline) duration of the suite on device
+  /// \p I: the natural time unit of that device.
+  double meanSoloDuration(size_t I) const { return MeanSolo[I]; }
+
+  /// Measured service rate of device \p I in thread-cycles of suite
+  /// work per simulation time unit: mean kernel work over mean solo
+  /// duration. The ratio between two devices' rates is the
+  /// heterogeneity the placement policies reason about.
+  double serviceRate(size_t I) const { return Rate[I]; }
+
+  /// Mean of meanSoloDuration over the fleet — the natural time unit
+  /// for calibrating cluster-wide arrival rates and round quanta.
+  double meanSoloDurationAcrossFleet() const;
+
+private:
+  std::deque<harness::ExperimentDriver> Drivers; ///< Reference-stable.
+  std::vector<double> MeanSolo;
+  std::vector<double> Rate;
+};
+
+/// What a placement policy sees of one device when deciding where a
+/// request lands.
+struct DeviceLoad {
+  /// Thread-cycles of work placed on the device and not yet completed
+  /// (queued and in-flight requests' remaining virtual groups).
+  double OutstandingCost = 0;
+  /// Requests placed and not yet completed.
+  size_t OutstandingRequests = 0;
+  /// Fleet::serviceRate of the device.
+  double ServiceRate = 1.0;
+  /// Isolated duration of THIS request's kernel on THIS device.
+  double SoloDuration = 0;
+};
+
+/// One placement decision's input.
+struct PlacementRequest {
+  int Tenant = 0;
+  size_t KernelIdx = 0;
+  double ArrivalTime = 0;
+};
+
+/// Pluggable dispatch: which device a newly arrived request lands on.
+/// Policies may keep state across decisions (e.g. a rotation cursor);
+/// runCluster calls reset() at the start of every replay so the same
+/// policy object replays deterministically.
+class PlacementPolicy {
+public:
+  virtual ~PlacementPolicy();
+
+  /// Clears any cross-decision state. Called once per replay.
+  virtual void reset() {}
+
+  /// Picks the fleet index for \p Req. \p Loads has one entry per
+  /// device, indexed by fleet position; never empty.
+  virtual size_t place(const PlacementRequest &Req,
+                       const std::vector<DeviceLoad> &Loads) = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// The built-in policies.
+enum class PlacementKind {
+  RoundRobin,
+  LeastLoaded,
+  HeterogeneityAware,
+};
+
+/// \returns a fresh instance of the built-in policy \p Kind.
+std::unique_ptr<PlacementPolicy> makePlacementPolicy(PlacementKind Kind);
+
+/// \returns a short printable policy name.
+const char *placementName(PlacementKind Kind);
+
+} // namespace cluster
+} // namespace accel
+
+#endif // ACCEL_CLUSTER_FLEET_H

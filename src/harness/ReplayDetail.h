@@ -1,0 +1,387 @@
+//===- harness/ReplayDetail.h - Shared streaming replay machinery -*-C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request-level machinery behind the serving loops, shared by the
+/// single-device replays (harness::runStream / runClosedLoop) and the
+/// multi-device cluster replay (harness::runCluster): per-request slice
+/// progress, the demand/launch builders handed to the schedulers, and
+/// the closed-loop issue heap. Internal to the library — everything
+/// lives in harness::detail and the types leak no ABI promises.
+///
+/// ReplayState grew one cluster-shaped extension: every materialized
+/// request may carry its *own* ExperimentDriver (the compiled view of
+/// the device it was placed on), so demands, slice launches, and
+/// isolated baselines all come from the device that actually serves the
+/// request. Single-device callers never pass a driver and the original
+/// behaviour is bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_HARNESS_REPLAYDETAIL_H
+#define ACCEL_HARNESS_REPLAYDETAIL_H
+
+#include "accelos/ResourceSolver.h"
+#include "accelos/Scheduler.h"
+#include "harness/Streaming.h"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace accel {
+namespace harness {
+namespace detail {
+
+/// Per-request progress while its work is still in flight. accelOS
+/// requests may execute across several grants (work slicing), so the
+/// first-dispatch and last-completion times accumulate here.
+struct LiveRequest {
+  size_t Cursor = 0; ///< Next unexecuted virtual group.
+  bool Started = false;
+  double Start = 0;
+  double End = 0;
+};
+
+/// The request-level machinery shared by the open-loop replay
+/// (runStream), the closed-loop tenant loop (runClosedLoop), and the
+/// cluster replay (runCluster): the materialized request list,
+/// per-request slice progress, and the demand/launch builders handed to
+/// the schedulers. Trace may keep growing during a closed-loop run;
+/// every accessor indexes it afresh.
+class ReplayState {
+public:
+  ReplayState(ExperimentDriver &Driver, const StreamOptions &Opts,
+              accelos::SchedulingMode Mode, StreamOutcome &Out)
+      : Driver(Driver), Opts(Opts), Mode(Mode), Out(Out) {}
+
+  std::vector<workloads::TimedRequest> Trace;
+  std::vector<LiveRequest> Live;
+
+  /// Routes tenant-weight lookups through the SLO controller for the
+  /// rest of the run (adaptive closed loop); new and requeued
+  /// submissions then pick up whatever the control law last decided.
+  void adoptController(const accelos::SloWeightController *C) { Ctl = C; }
+
+  double weightOf(int Tenant) const {
+    if (Ctl)
+      return Ctl->weight(Tenant);
+    auto It = Opts.Weights.find(Tenant);
+    return It == Opts.Weights.end() ? 1.0 : It->second;
+  }
+
+  /// Appends one materialized request; \returns its global index. The
+  /// request is served by the default driver's device.
+  size_t append(const workloads::TimedRequest &R) {
+    return append(R, Driver);
+  }
+
+  /// Appends one materialized request placed on \p D's device: demand,
+  /// slice launches, and the isolated baseline all come from \p D. The
+  /// driver must outlive the replay.
+  size_t append(const workloads::TimedRequest &R, ExperimentDriver &D) {
+    size_t Idx = Trace.size();
+    Trace.push_back(R);
+    Live.emplace_back();
+    Drivers.push_back(&D);
+    double Cost = 0;
+    for (double C : D.kernel(R.KernelIdx).WGCosts)
+      Cost += C;
+    RemainingCostOf.push_back(Cost);
+    StreamRequestResult Res;
+    Res.RequestIdx = Idx;
+    Res.Tenant = R.Tenant;
+    Res.Kernel = D.kernel(R.KernelIdx).Spec->Id;
+    Res.ArrivalTime = R.ArrivalTime;
+    Res.AloneDuration =
+        D.isolatedDuration(SchedulerKind::Baseline, R.KernelIdx);
+    Out.Requests.push_back(std::move(Res));
+    return Idx;
+  }
+
+  /// The driver (device view) serving request \p Idx.
+  ExperimentDriver &driverOf(size_t Idx) const { return *Drivers[Idx]; }
+
+  /// The Sec. 3 demand of request \p Idx, narrowed to what is left of
+  /// its virtual range (a sliced request re-enters the queue asking
+  /// only for the remainder) and weighted by its tenant.
+  accelos::KernelDemand demandOf(size_t Idx) const {
+    const workloads::TimedRequest &Req = Trace[Idx];
+    ExperimentDriver &D = driverOf(Idx);
+    accelos::KernelDemand Demand = D.demandFor(Req.KernelIdx);
+    Demand.RequestedWGs =
+        D.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
+    Demand.Weight = weightOf(Req.Tenant);
+    return Demand;
+  }
+
+  size_t remainingGroups(size_t Idx) const {
+    return driverOf(Idx).kernel(Trace[Idx].KernelIdx).WGCosts.size() -
+           Live[Idx].Cursor;
+  }
+
+  /// Cost, in thread-cycles, of request \p Idx's not-yet-executed
+  /// virtual groups — the residual-work term of cluster placement.
+  /// Maintained incrementally (full cost at append, each slice's cost
+  /// subtracted when the slice launch is built), so reading it per
+  /// completion event is O(1) instead of rescanning the range.
+  double remainingCost(size_t Idx) const { return RemainingCostOf[Idx]; }
+
+  /// Builds one quantum-bounded WorkQueue launch for the granted share
+  /// \p GrantWGs of request \p Idx, advancing its slice cursor.
+  sim::KernelLaunchDesc makeSliceLaunch(size_t Idx, uint64_t GrantWGs,
+                                        double Arrival) {
+    ExperimentDriver &D = driverOf(Idx);
+    const CompiledKernel &CK = D.kernel(Trace[Idx].KernelIdx);
+    LiveRequest &LR = Live[Idx];
+    sim::KernelLaunchDesc L = D.accelosDesc(
+        Trace[Idx].KernelIdx, static_cast<int>(Idx), GrantWGs, Mode);
+    // Work slicing: run at most a quantum's worth of the virtual range
+    // (paper Sec. 2.4: the virtual work queue is what makes
+    // bounded-progress launches possible), requeueing the remainder.
+    size_t End = quantumSliceEnd(CK.WGCosts, LR.Cursor, GrantWGs,
+                                 CK.Spec->WGSize,
+                                 CK.Spec->IssueEfficiency,
+                                 Opts.RoundQuantum);
+    std::vector<double> Slice(
+        CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
+        CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
+    for (double C : Slice)
+      RemainingCostOf[Idx] -= C;
+    LR.Cursor = End;
+    L.PhysicalWGs = std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1),
+                                       Slice.size());
+    // Re-cap the dequeue batch against the slice, not the full range:
+    // every granted physical WG must still be able to dequeue at least
+    // one batch of this launch's work.
+    L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, Slice.size(),
+                                      L.PhysicalWGs);
+    L.VirtualCosts = std::move(Slice);
+    L.ArrivalTime = Arrival;
+    return L;
+  }
+
+  /// Retires a request that has no (remaining) work at time \p T: it
+  /// completes at the boundary without occupying the device.
+  void completeZeroWork(size_t Idx, double T) {
+    LiveRequest &LR = Live[Idx];
+    if (!LR.Started) {
+      LR.Started = true;
+      LR.Start = T;
+    }
+    LR.End = std::max(LR.End, T);
+    Out.Requests[Idx].StartTime = LR.Start;
+    Out.Requests[Idx].EndTime = LR.End;
+  }
+
+  /// Computes the whole-outcome aggregates once every request retired.
+  void finalize() {
+    for (size_t I = 0; I != Trace.size(); ++I) {
+      const StreamRequestResult &R = Out.Requests[I];
+      Out.Makespan = std::max(Out.Makespan, R.EndTime);
+      // streamSlowdown floors the zero-work corner: a request with no
+      // work completes at its arrival boundary with zero turnaround,
+      // which would trip the positivity asserts in the metrics.
+      Out.Slowdowns.push_back(
+          streamSlowdown(R.EndTime - R.ArrivalTime, R.AloneDuration));
+    }
+    if (!Out.Slowdowns.empty())
+      Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
+    Out.FinalWeights = Opts.Weights;
+    if (Ctl)
+      for (const auto &[Tenant, W] : Ctl->weights())
+        Out.FinalWeights[Tenant] = W;
+  }
+
+private:
+  ExperimentDriver &Driver;
+  const StreamOptions &Opts;
+  accelos::SchedulingMode Mode;
+  StreamOutcome &Out;
+  const accelos::SloWeightController *Ctl = nullptr;
+  std::vector<ExperimentDriver *> Drivers; ///< Parallel to Trace.
+  std::vector<double> RemainingCostOf;     ///< Parallel to Trace.
+};
+
+/// Queues request \p Idx — with its current remaining demand and
+/// tenant weight — on \p Sched (an arrival or slice-requeue event).
+inline void submitRequest(accelos::ContinuousScheduler &Sched,
+                          const ReplayState &RS, size_t Idx) {
+  accelos::RoundRequest R;
+  R.Id = Idx;
+  R.Demand = RS.demandOf(Idx);
+  Sched.submit(R);
+}
+
+/// One continuous-admission pass at time \p T, shared verbatim by the
+/// single-device loops (runStream / runClosedLoop) and every device of
+/// the cluster replay: grant whatever fits the residual capacity,
+/// turning each grant into a quantum-bounded slice launch. Requests
+/// with no remaining work complete at the boundary without occupying
+/// the device — \p RetireZeroWork is called to do the caller's
+/// completion bookkeeping (ReplayState::completeZeroWork has already
+/// recorded the timing). \returns true when the pass itself freed
+/// capacity (a tail slice shrinking its reservation) and must re-run
+/// at this same instant; each re-pass needs a fresh shrink, so the
+/// caller's loop terminates.
+template <typename RetireFn>
+inline bool admissionPass(accelos::ContinuousScheduler &Sched,
+                          sim::EngineSession &Session, ReplayState &RS,
+                          double T, RetireFn &&RetireZeroWork) {
+  bool Repass = false;
+  std::vector<sim::KernelLaunchDesc> Launches;
+  for (const accelos::RoundGrant &G : Sched.admit()) {
+    size_t Idx = static_cast<size_t>(G.Id);
+    if (RS.remainingGroups(Idx) == 0) {
+      RS.completeZeroWork(Idx, T);
+      RetireZeroWork(Idx);
+      continue;
+    }
+    sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
+    // A tail slice runs fewer physical WGs than granted; return the
+    // unused reservation and re-admit at this same instant so waiting
+    // requests can take it.
+    if (L.PhysicalWGs < G.WGs) {
+      Sched.shrink(G.Id, L.PhysicalWGs);
+      Repass = true;
+    }
+    Launches.push_back(std::move(L));
+  }
+  if (!Launches.empty())
+    Session.admit(std::move(Launches));
+  return Repass;
+}
+
+inline accelos::SchedulingMode modeFor(SchedulerKind Kind) {
+  return Kind == SchedulerKind::AccelOSNaive
+             ? accelos::SchedulingMode::Naive
+             : accelos::SchedulingMode::Optimized;
+}
+
+/// The solver options the continuous scheduler runs under:
+/// StreamOptions::StrictShares turns greedy saturation off so admission
+/// targets are pure weighted entitlements.
+inline accelos::SolverOptions solverOptsFor(const StreamOptions &Opts) {
+  accelos::SolverOptions SOpts;
+  SOpts.GreedySaturation = !Opts.StrictShares;
+  return SOpts;
+}
+
+/// The capacity the continuous scheduler shares out: the device caps,
+/// with the thread dimension optionally clamped to a bounded
+/// oversubscription of the issue lanes (StreamOptions::
+/// IssueCapacityFactor) so admission controls the contended resource.
+inline accelos::ResourceCaps capsFor(const sim::DeviceSpec &Spec,
+                                     const StreamOptions &Opts) {
+  accelos::ResourceCaps Caps = accelos::ResourceCaps::fromDevice(Spec);
+  if (Opts.IssueCapacityFactor > 0)
+    Caps.Threads = std::min(
+        Caps.Threads,
+        static_cast<uint64_t>(Opts.IssueCapacityFactor *
+                              static_cast<double>(Spec.NumCUs) *
+                              static_cast<double>(Spec.LanesPerCU)));
+  return Caps;
+}
+
+/// A scripted request whose arrival instant has been decided (issue
+/// time + think time) but which has not been materialized yet. Seq
+/// breaks arrival-time ties deterministically in issue order.
+struct IssuedRequest {
+  double Time = 0;
+  uint64_t Seq = 0;
+  size_t TenantPos = 0; ///< Index into the script's tenant list.
+  size_t KernelIdx = 0;
+
+  bool operator>(const IssuedRequest &O) const {
+    return Time != O.Time ? Time > O.Time : Seq > O.Seq;
+  }
+};
+
+/// Drives the reactive half of a closed-loop run: per-tenant script
+/// cursors and the min-heap of issued-but-not-yet-arrived requests.
+class ClosedLoopDriver {
+public:
+  explicit ClosedLoopDriver(const workloads::ClosedLoopScript &Script)
+      : Script(Script), Cursor(Script.Tenants.size(), 0) {
+    // Each tenant opens with its first Concurrency scripted requests,
+    // issued from time 0 (their think times stagger the arrivals).
+    for (size_t TP = 0; TP != Script.Tenants.size(); ++TP)
+      for (size_t S = 0; S != Script.Tenants[TP].Concurrency; ++S)
+        issue(TP, 0);
+  }
+
+  /// Issues tenant \p TP's next scripted request \p From a completion
+  /// instant (backpressure: called once per completed request).
+  void issue(size_t TP, double From) {
+    size_t &C = Cursor[TP];
+    if (C == Script.Sequences[TP].size())
+      return; // Script exhausted: the tenant's population drains.
+    const workloads::ScriptedRequest &SR = Script.Sequences[TP][C++];
+    Heap.push({From + SR.ThinkTime, NextSeq++, TP, SR.KernelIdx});
+  }
+
+  bool empty() const { return Heap.empty(); }
+  double nextTime() const { return Heap.top().Time; }
+
+  /// Pops the earliest issued request and materializes it in \p RS on
+  /// the default driver's device. \returns the new request's index.
+  size_t materialize(ReplayState &RS) {
+    IssuedRequest R = pop();
+    size_t Idx = RS.append(timed(R));
+    TenantPosOf.push_back(R.TenantPos);
+    return Idx;
+  }
+
+  /// Cluster form: pops the earliest issued request *without*
+  /// materializing it, so the caller can pick a device first and then
+  /// commit with materializeOn().
+  IssuedRequest pop() {
+    IssuedRequest R = Heap.top();
+    Heap.pop();
+    return R;
+  }
+
+  /// Materializes a popped request in \p RS on \p D's device.
+  size_t materializeOn(ReplayState &RS, const IssuedRequest &R,
+                       ExperimentDriver &D) {
+    size_t Idx = RS.append(timed(R), D);
+    TenantPosOf.push_back(R.TenantPos);
+    return Idx;
+  }
+
+  /// The tenant id (not the position) behind a popped request.
+  int tenantOf(const IssuedRequest &R) const {
+    return Script.Tenants[R.TenantPos].Tenant;
+  }
+
+  /// The script position of materialized request \p Idx, for reissuing
+  /// on its completion.
+  size_t tenantPos(size_t Idx) const { return TenantPosOf[Idx]; }
+
+private:
+  workloads::TimedRequest timed(const IssuedRequest &R) const {
+    workloads::TimedRequest Req;
+    Req.KernelIdx = R.KernelIdx;
+    Req.Tenant = Script.Tenants[R.TenantPos].Tenant;
+    Req.ArrivalTime = R.Time;
+    return Req;
+  }
+
+  const workloads::ClosedLoopScript &Script;
+  std::vector<size_t> Cursor; ///< Next unissued script entry per tenant.
+  std::priority_queue<IssuedRequest, std::vector<IssuedRequest>,
+                      std::greater<IssuedRequest>>
+      Heap;
+  uint64_t NextSeq = 0;
+  std::vector<size_t> TenantPosOf; ///< Parallel to the materialized trace.
+};
+
+} // namespace detail
+} // namespace harness
+} // namespace accel
+
+#endif // ACCEL_HARNESS_REPLAYDETAIL_H

@@ -9,16 +9,22 @@
 #include "accelos/ResourceSolver.h"
 #include "accelos/Scheduler.h"
 #include "ek/ElasticKernels.h"
+#include "harness/ReplayDetail.h"
 #include "metrics/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
 #include <deque>
 #include <optional>
-#include <queue>
 
 using namespace accel;
 using namespace accel::harness;
+using detail::ClosedLoopDriver;
+using detail::LiveRequest;
+using detail::ReplayState;
+using detail::capsFor;
+using detail::modeFor;
+using detail::solverOptsFor;
 
 double harness::meanIsolatedBaselineDuration(ExperimentDriver &Driver) {
   double Sum = 0;
@@ -83,178 +89,6 @@ size_t harness::quantumSliceEnd(const std::vector<double> &WGCosts,
   return Take;
 }
 
-namespace {
-
-/// Per-request progress while its work is still in flight. accelOS
-/// requests may execute across several grants (work slicing), so the
-/// first-dispatch and last-completion times accumulate here.
-struct LiveRequest {
-  size_t Cursor = 0; ///< Next unexecuted virtual group.
-  bool Started = false;
-  double Start = 0;
-  double End = 0;
-};
-
-/// The request-level machinery shared by the open-loop replay
-/// (runStream) and the closed-loop tenant loop (runClosedLoop): the
-/// materialized request list, per-request slice progress, and the
-/// demand/launch builders handed to the schedulers. Trace may keep
-/// growing during a closed-loop run; every accessor indexes it afresh.
-class ReplayState {
-public:
-  ReplayState(ExperimentDriver &Driver, const StreamOptions &Opts,
-              accelos::SchedulingMode Mode, StreamOutcome &Out)
-      : Driver(Driver), Opts(Opts), Mode(Mode), Out(Out) {}
-
-  std::vector<workloads::TimedRequest> Trace;
-  std::vector<LiveRequest> Live;
-
-  /// Routes tenant-weight lookups through the SLO controller for the
-  /// rest of the run (adaptive closed loop); new and requeued
-  /// submissions then pick up whatever the control law last decided.
-  void adoptController(const accelos::SloWeightController *C) { Ctl = C; }
-
-  double weightOf(int Tenant) const {
-    if (Ctl)
-      return Ctl->weight(Tenant);
-    auto It = Opts.Weights.find(Tenant);
-    return It == Opts.Weights.end() ? 1.0 : It->second;
-  }
-
-  /// Appends one materialized request; \returns its global index.
-  size_t append(const workloads::TimedRequest &R) {
-    size_t Idx = Trace.size();
-    Trace.push_back(R);
-    Live.emplace_back();
-    StreamRequestResult Res;
-    Res.RequestIdx = Idx;
-    Res.Tenant = R.Tenant;
-    Res.Kernel = Driver.kernel(R.KernelIdx).Spec->Id;
-    Res.ArrivalTime = R.ArrivalTime;
-    Res.AloneDuration =
-        Driver.isolatedDuration(SchedulerKind::Baseline, R.KernelIdx);
-    Out.Requests.push_back(std::move(Res));
-    return Idx;
-  }
-
-  /// The Sec. 3 demand of request \p Idx, narrowed to what is left of
-  /// its virtual range (a sliced request re-enters the queue asking
-  /// only for the remainder) and weighted by its tenant.
-  accelos::KernelDemand demandOf(size_t Idx) const {
-    const workloads::TimedRequest &Req = Trace[Idx];
-    accelos::KernelDemand D = Driver.demandFor(Req.KernelIdx);
-    D.RequestedWGs =
-        Driver.kernel(Req.KernelIdx).WGCosts.size() - Live[Idx].Cursor;
-    D.Weight = weightOf(Req.Tenant);
-    return D;
-  }
-
-  size_t remainingGroups(size_t Idx) const {
-    return Driver.kernel(Trace[Idx].KernelIdx).WGCosts.size() -
-           Live[Idx].Cursor;
-  }
-
-  /// Builds one quantum-bounded WorkQueue launch for the granted share
-  /// \p GrantWGs of request \p Idx, advancing its slice cursor.
-  sim::KernelLaunchDesc makeSliceLaunch(size_t Idx, uint64_t GrantWGs,
-                                        double Arrival) {
-    const CompiledKernel &CK = Driver.kernel(Trace[Idx].KernelIdx);
-    LiveRequest &LR = Live[Idx];
-    sim::KernelLaunchDesc L = Driver.accelosDesc(
-        Trace[Idx].KernelIdx, static_cast<int>(Idx), GrantWGs, Mode);
-    // Work slicing: run at most a quantum's worth of the virtual range
-    // (paper Sec. 2.4: the virtual work queue is what makes
-    // bounded-progress launches possible), requeueing the remainder.
-    size_t End = quantumSliceEnd(CK.WGCosts, LR.Cursor, GrantWGs,
-                                 CK.Spec->WGSize,
-                                 CK.Spec->IssueEfficiency,
-                                 Opts.RoundQuantum);
-    std::vector<double> Slice(
-        CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
-        CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
-    LR.Cursor = End;
-    L.PhysicalWGs = std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1),
-                                       Slice.size());
-    // Re-cap the dequeue batch against the slice, not the full range:
-    // every granted physical WG must still be able to dequeue at least
-    // one batch of this launch's work.
-    L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, Slice.size(),
-                                      L.PhysicalWGs);
-    L.VirtualCosts = std::move(Slice);
-    L.ArrivalTime = Arrival;
-    return L;
-  }
-
-  /// Retires a request that has no (remaining) work at time \p T: it
-  /// completes at the boundary without occupying the device.
-  void completeZeroWork(size_t Idx, double T) {
-    LiveRequest &LR = Live[Idx];
-    if (!LR.Started) {
-      LR.Started = true;
-      LR.Start = T;
-    }
-    LR.End = std::max(LR.End, T);
-    Out.Requests[Idx].StartTime = LR.Start;
-    Out.Requests[Idx].EndTime = LR.End;
-  }
-
-  /// Computes the whole-outcome aggregates once every request retired.
-  void finalize() {
-    for (size_t I = 0; I != Trace.size(); ++I) {
-      const StreamRequestResult &R = Out.Requests[I];
-      Out.Makespan = std::max(Out.Makespan, R.EndTime);
-      // streamSlowdown floors the zero-work corner: a request with no
-      // work completes at its arrival boundary with zero turnaround,
-      // which would trip the positivity asserts in the metrics.
-      Out.Slowdowns.push_back(
-          streamSlowdown(R.EndTime - R.ArrivalTime, R.AloneDuration));
-    }
-    if (!Out.Slowdowns.empty())
-      Out.Unfairness = metrics::systemUnfairness(Out.Slowdowns);
-    Out.FinalWeights = Opts.Weights;
-    if (Ctl)
-      for (const auto &[Tenant, W] : Ctl->weights())
-        Out.FinalWeights[Tenant] = W;
-  }
-
-private:
-  ExperimentDriver &Driver;
-  const StreamOptions &Opts;
-  accelos::SchedulingMode Mode;
-  StreamOutcome &Out;
-  const accelos::SloWeightController *Ctl = nullptr;
-};
-
-accelos::SchedulingMode modeFor(SchedulerKind Kind) {
-  return Kind == SchedulerKind::AccelOSNaive
-             ? accelos::SchedulingMode::Naive
-             : accelos::SchedulingMode::Optimized;
-}
-
-/// The capacity the continuous scheduler shares out: the device caps,
-/// with the thread dimension optionally clamped to a bounded
-/// oversubscription of the issue lanes (StreamOptions::
-/// IssueCapacityFactor) so admission controls the contended resource.
-accelos::SolverOptions solverOptsFor(const StreamOptions &Opts) {
-  accelos::SolverOptions SOpts;
-  SOpts.GreedySaturation = !Opts.StrictShares;
-  return SOpts;
-}
-
-accelos::ResourceCaps capsFor(const sim::DeviceSpec &Spec,
-                              const StreamOptions &Opts) {
-  accelos::ResourceCaps Caps = accelos::ResourceCaps::fromDevice(Spec);
-  if (Opts.IssueCapacityFactor > 0)
-    Caps.Threads = std::min(
-        Caps.Threads,
-        static_cast<uint64_t>(Opts.IssueCapacityFactor *
-                              static_cast<double>(Spec.NumCUs) *
-                              static_cast<double>(Spec.LanesPerCU)));
-  return Caps;
-}
-
-} // namespace
-
 StreamOutcome harness::runStream(
     ExperimentDriver &Driver, SchedulerKind Kind,
     const std::vector<workloads::TimedRequest> &Trace,
@@ -305,13 +139,6 @@ StreamOutcome harness::runStream(
     size_t NextArrival = 0;
     size_t Completed = 0;
 
-    auto Submit = [&](size_t Idx) {
-      accelos::RoundRequest R;
-      R.Id = Idx;
-      R.Demand = RS.demandOf(Idx);
-      Sched.submit(R);
-    };
-
     // An admission pass can only grant something new after an arrival
     // or a completion changed the queue or the residual capacity;
     // engine-internal events (work-group legs, dequeues) free nothing
@@ -322,38 +149,15 @@ StreamOutcome harness::runStream(
       // Arrival events at or before the current time enter the queue.
       while (NextArrival != Trace.size() &&
              Trace[NextArrival].ArrivalTime <= T) {
-        Submit(NextArrival++);
+        detail::submitRequest(Sched, RS, NextArrival++);
         NeedAdmit = true;
       }
 
       // Admission event: fill whatever residual capacity the in-flight
-      // grants leave. Loops when a pass itself freed capacity (tail
-      // slices shrinking their reservation) so it is handed out at the
-      // same instant; each re-pass needs a fresh shrink, so this
-      // terminates.
-      while (NeedAdmit) {
-        NeedAdmit = false;
-        std::vector<sim::KernelLaunchDesc> Launches;
-        for (const accelos::RoundGrant &G : Sched.admit()) {
-          size_t Idx = static_cast<size_t>(G.Id);
-          if (RS.remainingGroups(Idx) == 0) {
-            RS.completeZeroWork(Idx, T);
-            ++Completed;
-            continue;
-          }
-          sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
-          // A tail slice runs fewer physical WGs than granted; return
-          // the unused reservation and re-admit at this same instant
-          // so waiting requests can take it.
-          if (L.PhysicalWGs < G.WGs) {
-            Sched.shrink(G.Id, L.PhysicalWGs);
-            NeedAdmit = true;
-          }
-          Launches.push_back(std::move(L));
-        }
-        if (!Launches.empty())
-          Session.admit(std::move(Launches));
-      }
+      // grants leave (re-passing while a pass itself freed capacity).
+      while (NeedAdmit)
+        NeedAdmit = detail::admissionPass(
+            Sched, Session, RS, T, [&](size_t) { ++Completed; });
 
       // Advance to the next event: a completion inside the session or
       // the next trace arrival, whichever comes first.
@@ -379,7 +183,7 @@ StreamOutcome harness::runStream(
         if (RS.remainingGroups(Idx) != 0) {
           // Sliced: requeue the remainder; it re-enters the fair-share
           // solve at this very event.
-          Submit(Idx);
+          detail::submitRequest(Sched, RS, Idx);
         } else {
           Out.Requests[Idx].StartTime = LR.Start;
           Out.Requests[Idx].EndTime = LR.End;
@@ -495,78 +299,6 @@ StreamOutcome harness::runStream(
 // Closed-loop tenant replay (the TenantLoop mode)
 //===----------------------------------------------------------------------===//
 
-namespace {
-
-/// A scripted request whose arrival instant has been decided (issue
-/// time + think time) but which has not been materialized yet. Seq
-/// breaks arrival-time ties deterministically in issue order.
-struct IssuedRequest {
-  double Time = 0;
-  uint64_t Seq = 0;
-  size_t TenantPos = 0; ///< Index into the script's tenant list.
-  size_t KernelIdx = 0;
-
-  bool operator>(const IssuedRequest &O) const {
-    return Time != O.Time ? Time > O.Time : Seq > O.Seq;
-  }
-};
-
-/// Drives the reactive half of a closed-loop run: per-tenant script
-/// cursors and the min-heap of issued-but-not-yet-arrived requests.
-class ClosedLoopDriver {
-public:
-  explicit ClosedLoopDriver(const workloads::ClosedLoopScript &Script)
-      : Script(Script), Cursor(Script.Tenants.size(), 0) {
-    // Each tenant opens with its first Concurrency scripted requests,
-    // issued from time 0 (their think times stagger the arrivals).
-    for (size_t TP = 0; TP != Script.Tenants.size(); ++TP)
-      for (size_t S = 0; S != Script.Tenants[TP].Concurrency; ++S)
-        issue(TP, 0);
-  }
-
-  /// Issues tenant \p TP's next scripted request \p From a completion
-  /// instant (backpressure: called once per completed request).
-  void issue(size_t TP, double From) {
-    size_t &C = Cursor[TP];
-    if (C == Script.Sequences[TP].size())
-      return; // Script exhausted: the tenant's population drains.
-    const workloads::ScriptedRequest &SR = Script.Sequences[TP][C++];
-    Heap.push({From + SR.ThinkTime, NextSeq++, TP, SR.KernelIdx});
-  }
-
-  bool empty() const { return Heap.empty(); }
-  double nextTime() const { return Heap.top().Time; }
-
-  /// Pops the earliest issued request and materializes it in \p RS.
-  /// \returns the new request's global index.
-  size_t materialize(ReplayState &RS) {
-    IssuedRequest R = Heap.top();
-    Heap.pop();
-    workloads::TimedRequest Req;
-    Req.KernelIdx = R.KernelIdx;
-    Req.Tenant = Script.Tenants[R.TenantPos].Tenant;
-    Req.ArrivalTime = R.Time;
-    size_t Idx = RS.append(Req);
-    TenantPosOf.push_back(R.TenantPos);
-    return Idx;
-  }
-
-  /// The script position of materialized request \p Idx, for reissuing
-  /// on its completion.
-  size_t tenantPos(size_t Idx) const { return TenantPosOf[Idx]; }
-
-private:
-  const workloads::ClosedLoopScript &Script;
-  std::vector<size_t> Cursor; ///< Next unissued script entry per tenant.
-  std::priority_queue<IssuedRequest, std::vector<IssuedRequest>,
-                      std::greater<IssuedRequest>>
-      Heap;
-  uint64_t NextSeq = 0;
-  std::vector<size_t> TenantPosOf; ///< Parallel to the materialized trace.
-};
-
-} // namespace
-
 StreamOutcome harness::runClosedLoop(
     ExperimentDriver &Driver, SchedulerKind Kind,
     const workloads::ClosedLoopScript &Script,
@@ -662,42 +394,24 @@ StreamOutcome harness::runClosedLoop(
                                        solverOptsFor(Opts));
     sim::EngineSession Session(Spec);
 
-    auto Submit = [&](size_t Idx) {
-      accelos::RoundRequest R;
-      R.Id = Idx;
-      R.Demand = RS.demandOf(Idx);
-      Sched.submit(R);
-    };
-
     bool NeedAdmit = true;
     while (Completed != Total) {
       double T = Session.now();
       while (!Loop.empty() && Loop.nextTime() <= T) {
-        Submit(Loop.materialize(RS));
+        detail::submitRequest(Sched, RS, Loop.materialize(RS));
         NeedAdmit = true;
       }
 
-      while (NeedAdmit) {
-        NeedAdmit = false;
-        std::vector<sim::KernelLaunchDesc> Launches;
-        for (const accelos::RoundGrant &G : Sched.admit()) {
-          size_t Idx = static_cast<size_t>(G.Id);
-          if (RS.remainingGroups(Idx) == 0) {
-            RS.completeZeroWork(Idx, T);
-            ++Completed;
-            Loop.issue(Loop.tenantPos(Idx), T);
-            continue;
-          }
-          sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
-          if (L.PhysicalWGs < G.WGs) {
-            Sched.shrink(G.Id, L.PhysicalWGs);
-            NeedAdmit = true;
-          }
-          Launches.push_back(std::move(L));
-        }
-        if (!Launches.empty())
-          Session.admit(std::move(Launches));
-      }
+      // Zero-work requests retire at the boundary: the tenant's think
+      // clock starts here, and — like the single-device open loop —
+      // the SLO controller does not observe them (they never occupied
+      // the device).
+      while (NeedAdmit)
+        NeedAdmit = detail::admissionPass(
+            Sched, Session, RS, T, [&](size_t Idx) {
+              ++Completed;
+              Loop.issue(Loop.tenantPos(Idx), T);
+            });
 
       double NextEvent = Session.nextEventTime();
       double NextIssue = Loop.empty() ? -1 : Loop.nextTime();
@@ -717,7 +431,7 @@ StreamOutcome harness::runClosedLoop(
         Sched.complete(Idx);
         NeedAdmit = true;
         if (RS.remainingGroups(Idx) != 0) {
-          Submit(Idx);
+          detail::submitRequest(Sched, RS, Idx);
         } else {
           Out.Requests[Idx].StartTime = LR.Start;
           Out.Requests[Idx].EndTime = LR.End;

@@ -327,6 +327,73 @@ TEST(SolverTest, ClampVictimPrefersSingleRevertFeasibility) {
   EXPECT_EQ(Shares[2], 1u);
 }
 
+TEST(SolverTest, ClampPairRevertBeatsIterativeGreedy) {
+  // Threads AND local memory are oversubscribed by 600 each, and no
+  // single floored kernel covers both (max per-kernel demand is 590).
+  // The iterative largest-contributor path sheds A (the thread hog),
+  // then must shed BOTH balanced kernels to cover the remaining local
+  // overflow — three work groups. The bounded pair search finds that
+  // reverting the two balanced kernels alone covers both dimensions:
+  // two work groups shed, and the pair with the largest demand in the
+  // most-oversubscribed dimension wins the tie against {C1, D}/{C2, D}.
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ResourceCaps Caps;
+  Caps.Threads = 1000;
+  Caps.LocalMem = 1000;
+  Caps.Regs = 1u << 30;
+  Caps.WGSlots = 16;
+  std::vector<KernelDemand> Ks = {
+      demand(590, 10, 0, 10),  // A: thread hog
+      demand(350, 350, 0, 10), // C1: balanced
+      demand(350, 350, 0, 10), // C2: balanced
+      demand(300, 300, 0, 10), // D: balanced, smaller
+      demand(5, 295, 0, 10),   // F1: local filler
+      demand(5, 295, 0, 10),   // F2: local filler
+  };
+  auto Shares = solveFairShares(Caps, Ks, NoGreedy);
+  EXPECT_EQ(Shares[0], 1u) << "thread hog was shed unnecessarily";
+  EXPECT_EQ(Shares[1], 0u);
+  EXPECT_EQ(Shares[2], 0u);
+  EXPECT_EQ(Shares[3], 1u);
+  EXPECT_EQ(Shares[4], 1u);
+  EXPECT_EQ(Shares[5], 1u);
+}
+
+TEST(SolverTest, ClampTripleRevertWhenNoPairSuffices) {
+  // Threads are oversubscribed by 900 and every floored kernel demands
+  // at most 350: no single and no pair covers it, so the size-3 search
+  // must fire and shed exactly three work groups (never a fourth).
+  SolverOptions NoGreedy;
+  NoGreedy.GreedySaturation = false;
+  ResourceCaps Caps;
+  Caps.Threads = 1000;
+  Caps.LocalMem = 1u << 30;
+  Caps.Regs = 1u << 30;
+  Caps.WGSlots = 16;
+  // Totals 1900 threads: overflow 900; max pair 700 < 900; the triple
+  // of the three largest (350+350+300 = 1000) covers it.
+  std::vector<KernelDemand> Ks = {
+      demand(350, 0, 0, 10), demand(350, 0, 0, 10),
+      demand(300, 0, 0, 10), demand(300, 0, 0, 10),
+      demand(300, 0, 0, 10), demand(200, 0, 0, 10),
+      demand(100, 0, 0, 10),
+  };
+  auto Shares = solveFairShares(Caps, Ks, NoGreedy);
+  size_t Shed = 0;
+  uint64_t Threads = 0;
+  for (size_t I = 0; I != Ks.size(); ++I) {
+    Shed += Shares[I] == 0;
+    Threads += Shares[I] * Ks[I].WGThreads;
+  }
+  EXPECT_EQ(Shed, 3u);
+  EXPECT_LE(Threads, Caps.Threads);
+  // The max-demand tie-break picks the largest covering triple.
+  EXPECT_EQ(Shares[0], 0u);
+  EXPECT_EQ(Shares[1], 0u);
+  EXPECT_EQ(Shares[2], 0u);
+}
+
 TEST(SolverTest, CapsFromDeviceMatchSpec) {
   sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
   ResourceCaps C = ResourceCaps::fromDevice(Spec);

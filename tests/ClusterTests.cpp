@@ -1,0 +1,402 @@
+//===- tests/ClusterTests.cpp - Fleet scheduling tests -----------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Properties of the cluster layer: placement-policy decisions over
+/// synthetic load snapshots, the determinism contract (same trace +
+/// fleet + policy => bit-identical per-device histories and placement
+/// decisions), the single-device degeneration (an equal-weight
+/// one-device fleet replays runStream's continuous schedule
+/// bit-for-bit), sticky tenant affinity, closed-loop replay, and
+/// cluster-wide SLO weight adaptation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "cluster/ClusterHarness.h"
+#include "cluster/Fleet.h"
+#include "metrics/Metrics.h"
+#include "workloads/Arrivals.h"
+
+#include "gtest/gtest.h"
+
+using namespace accel;
+using namespace accel::cluster;
+using harness::ClusterOptions;
+using harness::ClusterOutcome;
+using harness::SchedulerKind;
+using harness::StreamOptions;
+using harness::StreamOutcome;
+using harness::StreamRequestResult;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Placement policies over synthetic load snapshots
+//===----------------------------------------------------------------------===//
+
+DeviceLoad load(double Outstanding, double Rate, double Solo) {
+  DeviceLoad L;
+  L.OutstandingCost = Outstanding;
+  L.ServiceRate = Rate;
+  L.SoloDuration = Solo;
+  return L;
+}
+
+TEST(PlacementPolicyTest, RoundRobinCyclesAndResets) {
+  auto P = makePlacementPolicy(PlacementKind::RoundRobin);
+  std::vector<DeviceLoad> Loads(3);
+  PlacementRequest R;
+  EXPECT_EQ(P->place(R, Loads), 0u);
+  EXPECT_EQ(P->place(R, Loads), 1u);
+  EXPECT_EQ(P->place(R, Loads), 2u);
+  EXPECT_EQ(P->place(R, Loads), 0u);
+  // reset() rewinds the rotation — what makes a reused policy object
+  // replay deterministically.
+  P->reset();
+  EXPECT_EQ(P->place(R, Loads), 0u);
+}
+
+TEST(PlacementPolicyTest, LeastLoadedPicksSmallestResidualWork) {
+  auto P = makePlacementPolicy(PlacementKind::LeastLoaded);
+  PlacementRequest R;
+  std::vector<DeviceLoad> Loads = {load(500, 1, 10), load(200, 1, 10),
+                                   load(800, 1, 10)};
+  EXPECT_EQ(P->place(R, Loads), 1u);
+  // Ties go to the lowest index (determinism).
+  Loads[2].OutstandingCost = 200;
+  EXPECT_EQ(P->place(R, Loads), 1u);
+  // Speed-blind by design: a faster device does not win on rate alone.
+  Loads[0].ServiceRate = 100;
+  EXPECT_EQ(P->place(R, Loads), 1u);
+}
+
+TEST(PlacementPolicyTest, HeterogeneityAwareNormalizesByThroughput) {
+  auto P = makePlacementPolicy(PlacementKind::HeterogeneityAware);
+  PlacementRequest R;
+  // Device 0 has twice the backlog but four times the service rate:
+  // its expected completion (1000/4 + 10 = 260) beats device 1's
+  // (500/1 + 10 = 510). Least-loaded would have picked device 1.
+  std::vector<DeviceLoad> Loads = {load(1000, 4, 10), load(500, 1, 10)};
+  EXPECT_EQ(P->place(R, Loads), 0u);
+  auto LL = makePlacementPolicy(PlacementKind::LeastLoaded);
+  EXPECT_EQ(LL->place(R, Loads), 1u);
+  // The request's own solo duration on the device matters too: with
+  // equal backlogs, the device that runs THIS kernel faster wins.
+  Loads = {load(100, 1, 50), load(100, 1, 20)};
+  EXPECT_EQ(P->place(R, Loads), 1u);
+}
+
+TEST(PlacementPolicyTest, NamesAreStable) {
+  for (PlacementKind K :
+       {PlacementKind::RoundRobin, PlacementKind::LeastLoaded,
+        PlacementKind::HeterogeneityAware}) {
+    auto P = makePlacementPolicy(K);
+    EXPECT_STREQ(P->name(), placementName(K));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster replay over a real mixed fleet
+//===----------------------------------------------------------------------===//
+
+class ClusterTest : public ::testing::Test {
+protected:
+  /// One K20m + one AMD device, shared across tests (drivers compile
+  /// the whole suite, so construction is the expensive part).
+  static Fleet &fleet() {
+    static Fleet F = [] {
+      Fleet Built;
+      Built.addDevice(sim::DeviceSpec::nvidiaK20m());
+      Built.addDevice(sim::DeviceSpec::amdR9295X2());
+      return Built;
+    }();
+    return F;
+  }
+
+  static double meanDur() {
+    static double D = fleet().meanSoloDurationAcrossFleet();
+    return D;
+  }
+
+  static std::vector<workloads::TimedRequest> poisson(size_t N,
+                                                      uint64_t Seed) {
+    workloads::TraceOptions TOpts;
+    TOpts.NumRequests = N;
+    TOpts.NumTenants = 4;
+    TOpts.MeanInterarrival = 0.5 * meanDur();
+    TOpts.Seed = Seed;
+    return workloads::poissonTrace(fleet().driver(0).numKernels(),
+                                   TOpts);
+  }
+
+  static ClusterOptions options() {
+    ClusterOptions Opts;
+    Opts.Stream.RoundQuantum = 0.25 * meanDur();
+    return Opts;
+  }
+
+  static void expectIdentical(const ClusterOutcome &A,
+                              const ClusterOutcome &B) {
+    ASSERT_EQ(A.Placement.size(), B.Placement.size());
+    for (size_t I = 0; I != A.Placement.size(); ++I)
+      EXPECT_EQ(A.Placement[I], B.Placement[I]) << "request " << I;
+    ASSERT_EQ(A.Stream.Requests.size(), B.Stream.Requests.size());
+    for (size_t I = 0; I != A.Stream.Requests.size(); ++I) {
+      EXPECT_EQ(A.Stream.Requests[I].ArrivalTime,
+                B.Stream.Requests[I].ArrivalTime) << "request " << I;
+      EXPECT_EQ(A.Stream.Requests[I].StartTime,
+                B.Stream.Requests[I].StartTime) << "request " << I;
+      EXPECT_EQ(A.Stream.Requests[I].EndTime,
+                B.Stream.Requests[I].EndTime) << "request " << I;
+    }
+    EXPECT_EQ(A.Stream.Makespan, B.Stream.Makespan);
+    EXPECT_EQ(A.Stream.Unfairness, B.Stream.Unfairness);
+    ASSERT_EQ(A.Devices.size(), B.Devices.size());
+    for (size_t D = 0; D != A.Devices.size(); ++D) {
+      EXPECT_EQ(A.Devices[D].Requests, B.Devices[D].Requests);
+      EXPECT_EQ(A.Devices[D].BusyTime, B.Devices[D].BusyTime);
+      EXPECT_EQ(A.Devices[D].Rounds, B.Devices[D].Rounds);
+      EXPECT_EQ(A.Devices[D].Deferrals, B.Devices[D].Deferrals);
+    }
+  }
+};
+
+TEST_F(ClusterTest, CompletesEverythingOnMixedFleet) {
+  std::vector<workloads::TimedRequest> Trace = poisson(24, 42);
+  for (PlacementKind K :
+       {PlacementKind::RoundRobin, PlacementKind::LeastLoaded,
+        PlacementKind::HeterogeneityAware}) {
+    auto P = makePlacementPolicy(K);
+    ClusterOutcome O =
+        harness::runCluster(fleet(), *P, Trace, options());
+    ASSERT_EQ(O.Stream.Requests.size(), Trace.size()) << P->name();
+    ASSERT_EQ(O.Placement.size(), Trace.size()) << P->name();
+    size_t PerDevice = 0;
+    for (const harness::ClusterDeviceOutcome &D : O.Devices) {
+      PerDevice += D.Requests;
+      EXPECT_GE(D.Utilization, 0.0);
+      EXPECT_LE(D.Utilization, 1.0 + 1e-9);
+    }
+    EXPECT_EQ(PerDevice, Trace.size()) << P->name();
+    for (const StreamRequestResult &R : O.Stream.Requests) {
+      EXPECT_GE(R.StartTime, R.ArrivalTime - 1e-9)
+          << P->name() << " request " << R.RequestIdx
+          << " started before it arrived";
+      EXPECT_GE(R.EndTime, R.StartTime);
+      EXPECT_GT(R.AloneDuration, 0.0);
+    }
+    for (double S : O.Stream.Slowdowns)
+      EXPECT_GT(S, 0.0);
+  }
+}
+
+TEST_F(ClusterTest, SameInputsAreBitIdentical) {
+  // The cluster determinism contract: same trace + fleet + policy =>
+  // bit-identical per-device histories and placement decisions, even
+  // when the same policy OBJECT is reused (reset() rewinds it).
+  std::vector<workloads::TimedRequest> Trace = poisson(20, 7);
+  for (PlacementKind K :
+       {PlacementKind::RoundRobin, PlacementKind::LeastLoaded,
+        PlacementKind::HeterogeneityAware}) {
+    auto P = makePlacementPolicy(K);
+    ClusterOutcome A = harness::runCluster(fleet(), *P, Trace, options());
+    ClusterOutcome B = harness::runCluster(fleet(), *P, Trace, options());
+    SCOPED_TRACE(P->name());
+    expectIdentical(A, B);
+  }
+}
+
+TEST_F(ClusterTest, SingleDeviceFleetMatchesRunStreamContinuous) {
+  // The degeneration contract behind the whole layer: an equal-weight
+  // single-device fleet is the single-device serving loop — the merged
+  // clock replays runStream's continuous admission bit-for-bit.
+  static Fleet Solo = [] {
+    Fleet F;
+    F.addDevice(sim::DeviceSpec::nvidiaK20m());
+    return F;
+  }();
+  std::vector<workloads::TimedRequest> Trace;
+  {
+    workloads::TraceOptions TOpts;
+    TOpts.NumRequests = 20;
+    TOpts.NumTenants = 3;
+    TOpts.MeanInterarrival = Solo.meanSoloDuration(0);
+    TOpts.Seed = 20260730;
+    Trace = workloads::poissonTrace(Solo.driver(0).numKernels(), TOpts);
+  }
+
+  ClusterOptions COpts;
+  COpts.Stream.RoundQuantum = 0.25 * Solo.meanSoloDuration(0);
+  StreamOptions SOpts = COpts.Stream;
+  SOpts.Admission = StreamOptions::AdmissionMode::Continuous;
+
+  auto P = makePlacementPolicy(PlacementKind::HeterogeneityAware);
+  ClusterOutcome C = harness::runCluster(Solo, *P, Trace, COpts);
+  StreamOutcome S = harness::runStream(
+      Solo.driver(0), SchedulerKind::AccelOSOptimized, Trace, SOpts);
+
+  ASSERT_EQ(C.Stream.Requests.size(), S.Requests.size());
+  for (size_t I = 0; I != S.Requests.size(); ++I) {
+    EXPECT_EQ(C.Stream.Requests[I].ArrivalTime,
+              S.Requests[I].ArrivalTime) << "request " << I;
+    EXPECT_EQ(C.Stream.Requests[I].StartTime, S.Requests[I].StartTime)
+        << "request " << I;
+    EXPECT_EQ(C.Stream.Requests[I].EndTime, S.Requests[I].EndTime)
+        << "request " << I;
+  }
+  EXPECT_EQ(C.Stream.Makespan, S.Makespan);
+  EXPECT_EQ(C.Stream.Unfairness, S.Unfairness);
+  EXPECT_EQ(C.Stream.Rounds, S.Rounds);
+  EXPECT_EQ(C.Stream.Deferrals, S.Deferrals);
+  for (size_t D : C.Placement)
+    EXPECT_EQ(D, 0u);
+}
+
+TEST_F(ClusterTest, SingleDeviceClosedLoopMatchesRunClosedLoop) {
+  // The reactive twin of the open-loop degeneration: on a one-device
+  // fleet, runClusterClosedLoop — adaptive SLO weights included — must
+  // replay runClosedLoop's accelOS continuous schedule bit-for-bit
+  // (same materialization order, same controller observations and
+  // update instants, and the zero-work retire corner skips the SLO
+  // observation in both loops).
+  static Fleet Solo = [] {
+    Fleet F;
+    F.addDevice(sim::DeviceSpec::nvidiaK20m());
+    return F;
+  }();
+  double Dur = Solo.meanSoloDuration(0);
+  std::vector<workloads::ClosedLoopTenant> Tenants(3);
+  Tenants[0] = {0, 10, 1, 0.25 * Dur, 41, {0, 1, 2, 3}};
+  Tenants[1] = {1, 8, 3, 0.05 * Dur, 42, {}};
+  Tenants[2] = {2, 6, 2, 0.50 * Dur, 43, {}};
+  workloads::ClosedLoopScript Script = workloads::closedLoopTrace(
+      Solo.driver(0).numKernels(), Tenants);
+
+  ClusterOptions COpts;
+  COpts.Stream.RoundQuantum = 0.25 * Dur;
+  COpts.Stream.StrictShares = true;
+  COpts.Stream.SloTargets = {{0, Dur}};
+  COpts.Stream.AdaptiveSloWeights = true;
+  COpts.Stream.SloControlInterval = Dur;
+  COpts.Stream.SloTuning.MinSamples = 1;
+
+  auto P = makePlacementPolicy(PlacementKind::LeastLoaded);
+  ClusterOutcome C =
+      harness::runClusterClosedLoop(Solo, *P, Script, COpts);
+  StreamOutcome S = harness::runClosedLoop(
+      Solo.driver(0), SchedulerKind::AccelOSOptimized, Script,
+      COpts.Stream);
+
+  ASSERT_EQ(C.Stream.Requests.size(), S.Requests.size());
+  for (size_t I = 0; I != S.Requests.size(); ++I) {
+    EXPECT_EQ(C.Stream.Requests[I].Tenant, S.Requests[I].Tenant);
+    EXPECT_EQ(C.Stream.Requests[I].ArrivalTime,
+              S.Requests[I].ArrivalTime) << "request " << I;
+    EXPECT_EQ(C.Stream.Requests[I].StartTime, S.Requests[I].StartTime)
+        << "request " << I;
+    EXPECT_EQ(C.Stream.Requests[I].EndTime, S.Requests[I].EndTime)
+        << "request " << I;
+  }
+  EXPECT_EQ(C.Stream.Makespan, S.Makespan);
+  EXPECT_EQ(C.Stream.Rounds, S.Rounds);
+  EXPECT_EQ(C.Stream.Deferrals, S.Deferrals);
+  EXPECT_EQ(C.Stream.WeightUpdates, S.WeightUpdates);
+  EXPECT_EQ(C.Stream.FinalWeights, S.FinalWeights);
+}
+
+TEST_F(ClusterTest, EmptyTraceStillReportsEveryDevice) {
+  // The degenerate no-requests paths keep the Devices-indexed-by-
+  // fleet-position contract: consumers may index per-device results
+  // unconditionally.
+  auto P = makePlacementPolicy(PlacementKind::RoundRobin);
+  ClusterOutcome O = harness::runCluster(fleet(), *P, {}, options());
+  ASSERT_EQ(O.Devices.size(), fleet().size());
+  for (size_t D = 0; D != fleet().size(); ++D) {
+    EXPECT_EQ(O.Devices[D].Name, fleet().device(D).Name);
+    EXPECT_EQ(O.Devices[D].Requests, 0u);
+  }
+  ClusterOutcome OC = harness::runClusterClosedLoop(
+      fleet(), *P, workloads::ClosedLoopScript{}, options());
+  ASSERT_EQ(OC.Devices.size(), fleet().size());
+}
+
+TEST_F(ClusterTest, StickyAffinityKeepsTenantsPut) {
+  std::vector<workloads::TimedRequest> Trace = poisson(24, 11);
+  ClusterOptions Opts = options();
+  Opts.StickyTenantAffinity = true;
+  auto P = makePlacementPolicy(PlacementKind::LeastLoaded);
+  ClusterOutcome O = harness::runCluster(fleet(), *P, Trace, Opts);
+  std::map<int, size_t> Homes;
+  for (size_t I = 0; I != Trace.size(); ++I) {
+    auto [It, New] = Homes.emplace(Trace[I].Tenant, O.Placement[I]);
+    if (!New) {
+      EXPECT_EQ(O.Placement[I], It->second)
+          << "tenant " << Trace[I].Tenant << " migrated at request "
+          << I;
+    }
+  }
+}
+
+TEST_F(ClusterTest, ClosedLoopClusterCompletesScript) {
+  std::vector<workloads::ClosedLoopTenant> Tenants(3);
+  Tenants[0] = {0, 8, 1, 0.25 * meanDur(), 21, {0, 1, 2, 3}};
+  Tenants[1] = {1, 8, 3, 0.05 * meanDur(), 22, {}};
+  Tenants[2] = {2, 6, 2, 0.50 * meanDur(), 23, {}};
+  workloads::ClosedLoopScript Script = workloads::closedLoopTrace(
+      fleet().driver(0).numKernels(), Tenants);
+
+  auto P = makePlacementPolicy(PlacementKind::HeterogeneityAware);
+  ClusterOutcome A =
+      harness::runClusterClosedLoop(fleet(), *P, Script, options());
+  ASSERT_EQ(A.Stream.Requests.size(), Script.totalRequests());
+  for (const StreamRequestResult &R : A.Stream.Requests) {
+    EXPECT_GE(R.StartTime, R.ArrivalTime - 1e-9);
+    EXPECT_GE(R.EndTime, R.StartTime);
+  }
+  // Determinism holds for the reactive loop too.
+  ClusterOutcome B =
+      harness::runClusterClosedLoop(fleet(), *P, Script, options());
+  expectIdentical(A, B);
+}
+
+TEST_F(ClusterTest, AdaptiveSloWeightsPropagateClusterWide) {
+  // One cluster-wide controller: the interactive tenant's aggregate
+  // queueing time across BOTH devices drives one boost, and the
+  // adapted weight must show up in the outcome (and stay within the
+  // bounded-fairness envelope).
+  std::vector<workloads::ClosedLoopTenant> Tenants(3);
+  Tenants[0] = {0, 10, 1, 0.25 * meanDur(), 31, {0, 1, 2, 3}};
+  Tenants[1] = {1, 10, 4, 0.02 * meanDur(), 32, {}};
+  Tenants[2] = {2, 10, 4, 0.02 * meanDur(), 33, {}};
+  workloads::ClosedLoopScript Script = workloads::closedLoopTrace(
+      fleet().driver(0).numKernels(), Tenants);
+
+  ClusterOptions Opts = options();
+  Opts.Stream.StrictShares = true;
+  Opts.Stream.SloTargets = {{0, 0.5 * meanDur()}};
+  Opts.Stream.AdaptiveSloWeights = true;
+  Opts.Stream.SloControlInterval = meanDur();
+  Opts.Stream.SloTuning.MinSamples = 1;
+
+  auto P = makePlacementPolicy(PlacementKind::RoundRobin);
+  ClusterOutcome O =
+      harness::runClusterClosedLoop(fleet(), *P, Script, Opts);
+  ASSERT_EQ(O.Stream.FinalWeights.count(0), 1u);
+  EXPECT_GE(O.Stream.FinalWeights.at(0), 1.0);
+  EXPECT_LE(O.Stream.FinalWeights.at(0),
+            accelos::SloControllerOptions().MaxBoost);
+}
+
+TEST_F(ClusterTest, FleetMeasuresHeterogeneity) {
+  // The AMD model is the faster device (44 CUs x 160 lanes vs the
+  // K20m's 13 x 192): its mean solo duration is shorter and its
+  // measured service rate higher — the signal heterogeneity-aware
+  // placement normalizes by.
+  EXPECT_LT(fleet().meanSoloDuration(1), fleet().meanSoloDuration(0));
+  EXPECT_GT(fleet().serviceRate(1), fleet().serviceRate(0));
+}
+
+} // namespace

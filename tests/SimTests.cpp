@@ -54,6 +54,41 @@ TEST(DeviceSpecTest, DerivedTotals) {
   EXPECT_EQ(D.totalWGSlots(), 13u * 16u);
 }
 
+TEST(DeviceSpecTest, NvidiaK20mFactoryFieldsPinned) {
+  // Field-level pins for the factory: the fleet layer builds mixed
+  // clusters out of these specs, so a silent parameter drift would
+  // shift every placement and bench number downstream. These mirror
+  // the paper's Sec. 7.1 platform (13 SMX Kepler).
+  DeviceSpec D = DeviceSpec::nvidiaK20m();
+  EXPECT_EQ(D.Name, "NVIDIA Tesla K20m (simulated)");
+  EXPECT_EQ(D.NumCUs, 13u);
+  EXPECT_EQ(D.MaxThreadsPerCU, 2048u);
+  EXPECT_EQ(D.MaxWGsPerCU, 16u);
+  EXPECT_EQ(D.LocalMemPerCU, 48u << 10);
+  EXPECT_EQ(D.RegsPerCU, 65536u);
+  EXPECT_EQ(D.GlobalMemBytes, 5ull << 30);
+  EXPECT_EQ(D.LanesPerCU, 192u);
+  EXPECT_DOUBLE_EQ(D.WGDispatchCycles, 200.0);
+  EXPECT_DOUBLE_EQ(D.DequeueCycles, 140.0);
+  EXPECT_EQ(D.Admission, KernelAdmissionKind::GreedyTail);
+}
+
+TEST(DeviceSpecTest, AmdR9295X2FactoryFieldsPinned) {
+  // One Hawaii GPU of the R9 295X2 (44 GCN CUs).
+  DeviceSpec D = DeviceSpec::amdR9295X2();
+  EXPECT_EQ(D.Name, "AMD R9 295X2 (simulated, one Hawaii GPU)");
+  EXPECT_EQ(D.NumCUs, 44u);
+  EXPECT_EQ(D.MaxThreadsPerCU, 2560u);
+  EXPECT_EQ(D.MaxWGsPerCU, 40u);
+  EXPECT_EQ(D.LocalMemPerCU, 64u << 10);
+  EXPECT_EQ(D.RegsPerCU, 65536u);
+  EXPECT_EQ(D.GlobalMemBytes, 4ull << 30);
+  EXPECT_EQ(D.LanesPerCU, 160u);
+  EXPECT_DOUBLE_EQ(D.WGDispatchCycles, 250.0);
+  EXPECT_DOUBLE_EQ(D.DequeueCycles, 180.0);
+  EXPECT_EQ(D.Admission, KernelAdmissionKind::ExclusiveUnlessFits);
+}
+
 TEST(DeviceSpecTest, PlatformsDiffer) {
   DeviceSpec N = DeviceSpec::nvidiaK20m();
   DeviceSpec A = DeviceSpec::amdR9295X2();

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for the streaming serving benchmark.
+"""Bench-regression gate for the serving benchmarks.
 
-Compares a freshly produced BENCH_streaming.json against the committed
-baseline (bench/baselines/BENCH_streaming.baseline.json) and exits
-non-zero when any scheme on any platform regressed by more than the
-threshold (default 10%) on a lower-is-better serving metric:
+Compares a freshly produced bench JSON (BENCH_streaming.json or
+BENCH_closed_loop.json) against the committed baseline under
+bench/baselines/ and exits non-zero when any scheme on any platform
+regressed by more than the threshold (default 10%) on a gated serving
+metric. Gated metrics are direction-aware per bench:
 
-  * whole-trace unfairness,
-  * peak windowed unfairness,
-  * mean queueing delay,
-  * p95 queueing delay.
+  serve_streaming (lower is better):
+    * whole-trace unfairness,
+    * peak windowed unfairness,
+    * mean queueing delay,
+    * p95 queueing delay.
+
+  serve_closed_loop:
+    * SLO attainment (higher is better),
+    * goodput (higher is better),
+    * whole-trace unfairness (lower is better).
 
 The simulation is deterministic, so on an unchanged scheduler the two
 files agree bit-for-bit; the threshold only leaves room for intentional
@@ -18,26 +25,52 @@ beyond the threshold are reported (not failed) as a nudge to refresh
 the baseline so future regressions are judged from the better level.
 
 Usage:
-  check_bench.py CURRENT BASELINE [--threshold 0.10]
+  check_bench.py CURRENT [BASELINE] [--threshold 0.10]
   check_bench.py --self-test
+
+When BASELINE is omitted it is inferred from CURRENT's "bench" field.
+--self-test exercises the gate against every committed baseline: an
+identical run must pass, synthetic regressions in both directions must
+be rejected, and in-threshold drift must be tolerated.
 """
 
 import argparse
 import copy
 import json
+import os
 import sys
 
-# (json-path-in-scheme, label) of every gated metric.
-METRICS = [
-    (("unfairness",), "unfairness"),
-    (("peak_windowed_unfairness",), "peak windowed unfairness"),
-    (("queue_delay", "mean"), "mean queueing delay"),
-    (("queue_delay", "p95"), "p95 queueing delay"),
-]
+# Per-bench gate tables: (json-path-in-scheme, label, direction,
+# abs_epsilon). Direction "lower" fails when the value grows past the
+# threshold, "higher" when it shrinks past it. abs_epsilon is the
+# change below which a delta is noise for that metric — goodput is a
+# per-cycle rate around 1e-8, so it needs a far smaller floor than the
+# default 1e-6.
+METRICS = {
+    "serve_streaming": [
+        (("unfairness",), "unfairness", "lower", 1e-6),
+        (("peak_windowed_unfairness",), "peak windowed unfairness",
+         "lower", 1e-6),
+        (("queue_delay", "mean"), "mean queueing delay", "lower", 1e-6),
+        (("queue_delay", "p95"), "p95 queueing delay", "lower", 1e-6),
+    ],
+    "serve_closed_loop": [
+        (("slo_attainment",), "SLO attainment", "higher", 1e-6),
+        (("goodput",), "goodput", "higher", 1e-12),
+        (("unfairness",), "unfairness", "lower", 1e-6),
+    ],
+}
 
-# Regressions smaller than this absolute delta never fail: a ratio on a
-# near-zero metric is noise, not a regression.
-ABS_EPSILON = 1e-6
+BASELINE_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "bench", "baselines")
+BASELINES = {
+    "serve_streaming": "BENCH_streaming.baseline.json",
+    "serve_closed_loop": "BENCH_closed_loop.baseline.json",
+}
+
+
+def baseline_path(bench):
+    return os.path.normpath(os.path.join(BASELINE_DIR, BASELINES[bench]))
 
 
 def metric_value(scheme, path):
@@ -51,6 +84,16 @@ def compare(current, baseline, threshold):
     """Returns (failures, improvements) as lists of report lines."""
     failures = []
     improvements = []
+    bench = current.get("bench")
+    if bench != baseline.get("bench"):
+        failures.append(
+            f"bench mismatch: current {bench!r} vs baseline "
+            f"{baseline.get('bench')!r}")
+        return failures, improvements
+    metrics = METRICS.get(bench)
+    if metrics is None:
+        failures.append(f"no gate table for bench {bench!r}")
+        return failures, improvements
     # Coverage must be symmetric: a platform/scheme that vanished from
     # the current run silently escapes every metric check otherwise.
     cur_platforms = {p["name"]: p for p in current["platforms"]}
@@ -80,85 +123,144 @@ def compare(current, baseline, threshold):
                     f"{plat['name']}: scheme {scheme['name']!r} missing "
                     "from baseline")
                 continue
-            for path, label in METRICS:
+            for path, label, direction, eps in metrics:
                 cur = metric_value(scheme, path)
                 base = metric_value(base_scheme, path)
                 where = f"{plat['name']} / {scheme['name']}: {label}"
-                if cur - base <= ABS_EPSILON:
-                    if base > ABS_EPSILON and cur < base * (1 - threshold):
+                # Orient so "worse" is always a positive delta.
+                worse = cur - base if direction == "lower" else base - cur
+                if worse <= eps:
+                    better = base - cur if direction == "lower" else cur - base
+                    if base > eps and better > base * threshold:
                         improvements.append(
                             f"{where} improved {base:.4g} -> {cur:.4g}; "
                             "consider refreshing the baseline")
                     continue
-                if base <= ABS_EPSILON or cur > base * (1 + threshold):
+                if base <= eps or worse > base * threshold:
+                    rel = (f"{'+' if cur >= base else ''}"
+                           f"{100 * (cur - base) / base:.1f}%"
+                           if base > 0 else "from zero")
                     failures.append(
                         f"{where} regressed {base:.4g} -> {cur:.4g} "
-                        f"(+{100 * (cur - base) / base:.1f}%, limit "
-                        f"{100 * threshold:.0f}%)")
+                        f"({rel}, limit {100 * threshold:.0f}%)")
     return failures, improvements
 
 
-def self_test(baseline_path, threshold):
-    with open(baseline_path) as f:
+def self_test_one(bench, path, threshold):
+    with open(path) as f:
         baseline = json.load(f)
+    metrics = METRICS[bench]
 
     # An identical run must pass.
     failures, _ = compare(baseline, baseline, threshold)
     if failures:
-        print("self-test FAILED: identical files reported regressions:")
+        print(f"self-test FAILED ({bench}): identical files reported "
+              "regressions:")
         for line in failures:
             print(" ", line)
         return 1
 
-    # A synthetic regression beyond the threshold must be rejected.
+    # A synthetic regression beyond the threshold must be rejected for
+    # every gated metric, in its own "worse" direction.
     regressed = copy.deepcopy(baseline)
     scheme = regressed["platforms"][0]["schemes"][0]
-    scheme["queue_delay"]["mean"] *= 1 + threshold + 0.05
-    scheme["unfairness"] *= 1 + threshold + 0.05
+    for mpath, _, direction, _ in metrics:
+        node = scheme
+        for key in mpath[:-1]:
+            node = node[key]
+        factor = 1 + threshold + 0.05
+        if direction == "higher":
+            factor = 1 / factor
+        node[mpath[-1]] *= factor
     failures, _ = compare(regressed, baseline, threshold)
-    if len(failures) != 2:
-        print("self-test FAILED: synthetic regression not detected "
-              f"(got {len(failures)} failures, expected 2)")
+    if len(failures) != len(metrics):
+        print(f"self-test FAILED ({bench}): synthetic regression not "
+              f"fully detected (got {len(failures)} failures, expected "
+              f"{len(metrics)})")
+        for line in failures:
+            print(" ", line)
+        return 1
+
+    # A zero-valued baseline metric must be reported, not crash the
+    # percent formatting.
+    zeroed = copy.deepcopy(baseline)
+    current = copy.deepcopy(baseline)
+    mpath0, _, direction0, _ = metrics[0]
+    for blob, value in ((zeroed, 0.0), (current, 5.0)):
+        node = blob["platforms"][0]["schemes"][0]
+        for key in mpath0[:-1]:
+            node = node[key]
+        node[mpath0[-1]] = value if direction0 == "lower" else 5.0 - value
+    failures, _ = compare(current, zeroed, threshold)
+    if len(failures) != 1:
+        print(f"self-test FAILED ({bench}): zero-baseline regression "
+              f"not reported (got {len(failures)} failures, expected 1)")
         return 1
 
     # A regression inside the threshold must pass.
     tolerated = copy.deepcopy(baseline)
     scheme = tolerated["platforms"][0]["schemes"][0]
-    scheme["queue_delay"]["p95"] *= 1 + threshold / 2
+    mpath, _, direction, _ = metrics[0]
+    node = scheme
+    for key in mpath[:-1]:
+        node = node[key]
+    factor = 1 + threshold / 2
+    if direction == "higher":
+        factor = 1 / factor
+    node[mpath[-1]] *= factor
     failures, _ = compare(tolerated, baseline, threshold)
     if failures:
-        print("self-test FAILED: in-threshold drift rejected:")
+        print(f"self-test FAILED ({bench}): in-threshold drift rejected:")
         for line in failures:
             print(" ", line)
         return 1
 
-    print("self-test passed: gate accepts identical runs, tolerates "
-          f"<{100 * threshold:.0f}% drift, rejects larger regressions")
+    print(f"self-test passed ({bench}): gate accepts identical runs, "
+          f"tolerates <{100 * threshold:.0f}% drift, rejects larger "
+          "regressions in both directions")
     return 0
+
+
+def self_test(threshold):
+    status = 0
+    for bench in sorted(BASELINES):
+        status |= self_test_one(bench, baseline_path(bench), threshold)
+    return status
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("current", nargs="?",
-                        help="freshly produced BENCH_streaming.json")
+                        help="freshly produced bench JSON")
     parser.add_argument("baseline", nargs="?",
-                        default="bench/baselines/"
-                                "BENCH_streaming.baseline.json")
+                        help="baseline JSON (default: inferred from the "
+                             "current file's \"bench\" field)")
     parser.add_argument("--threshold", type=float, default=0.10,
                         help="allowed relative regression (default 0.10)")
     parser.add_argument("--self-test", action="store_true",
-                        help="verify the gate detects a synthetic "
-                             "regression against the committed baseline")
+                        help="verify the gate detects synthetic "
+                             "regressions against every committed "
+                             "baseline")
     args = parser.parse_args()
 
     if args.self_test:
-        return self_test(args.baseline, args.threshold)
+        if args.current or args.baseline:
+            parser.error("--self-test always runs against the committed "
+                         "baselines; it takes no positional arguments")
+        return self_test(args.threshold)
 
     if not args.current:
         parser.error("CURRENT json required unless --self-test")
     with open(args.current) as f:
         current = json.load(f)
-    with open(args.baseline) as f:
+    baseline_file = args.baseline
+    if baseline_file is None:
+        bench = current.get("bench")
+        if bench not in BASELINES:
+            parser.error(f"cannot infer a baseline for bench {bench!r}; "
+                         "pass BASELINE explicitly")
+        baseline_file = baseline_path(bench)
+    with open(baseline_file) as f:
         baseline = json.load(f)
 
     failures, improvements = compare(current, baseline, args.threshold)
@@ -170,7 +272,7 @@ def main():
             print(" ", line)
         return 1
     print(f"bench regression gate passed: {args.current} within "
-          f"{100 * args.threshold:.0f}% of {args.baseline}")
+          f"{100 * args.threshold:.0f}% of {baseline_file}")
     return 0
 
 
