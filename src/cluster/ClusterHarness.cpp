@@ -8,6 +8,7 @@
 
 #include "accelos/Scheduler.h"
 #include "harness/ReplayDetail.h"
+#include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <cassert>
@@ -87,8 +88,7 @@ public:
       Loads[D].OutstandingCost = Devices[D].OutstandingCost;
       Loads[D].OutstandingRequests = Devices[D].OutstandingRequests;
       Loads[D].ServiceRate = Fleet.serviceRate(D);
-      Loads[D].SoloDuration = Fleet.driver(D).isolatedDuration(
-          SchedulerKind::Baseline, KernelIdx);
+      Loads[D].SoloDuration = soloEstimate(D, KernelIdx);
     }
     cluster::PlacementRequest Req;
     Req.Tenant = Tenant;
@@ -198,6 +198,28 @@ private:
     detail::submitRequest(*Devices[D].Sched, RS, Idx);
   }
 
+  /// The solo-duration estimate the placement policy sees for kernel
+  /// \p KernelIdx on device \p D, per ClusterOptions::SoloEstimate.
+  double soloEstimate(size_t D, size_t KernelIdx) {
+    switch (Opts.SoloEstimate) {
+    case SoloEstimateKind::Oracle:
+      return Fleet.driver(D).isolatedDuration(SchedulerKind::Baseline,
+                                              KernelIdx);
+    case SoloEstimateKind::Blind:
+      return Fleet.meanSoloDuration(D);
+    case SoloEstimateKind::StaticPrior: {
+      double Prior = Fleet.driver(D).priorSoloDuration(KernelIdx);
+      auto It = Observed.find({D, KernelIdx});
+      if (It == Observed.end())
+        return Prior;
+      const SoloObservation &O = It->second;
+      return (Prior * Opts.PriorObservationWeight + O.Sum) /
+             (Opts.PriorObservationWeight + static_cast<double>(O.Count));
+    }
+    }
+    accel_unreachable("bad solo estimate kind");
+  }
+
   /// Re-measures request \p Idx's remaining cost after a completion
   /// event and returns the drained work to the device's outstanding
   /// tally (the placement policies' residual-work term).
@@ -228,6 +250,17 @@ private:
   void finish(size_t Idx, double At) {
     --Devices[DeviceOf[Idx]].OutstandingRequests;
     ++Completed;
+    if (Opts.SoloEstimate == SoloEstimateKind::StaticPrior) {
+      // The measured service span (first slice start to last slice
+      // end) is the online observation the analysis prior blends into.
+      // It over-reads under contention, which is the safe direction: a
+      // busy device looks slower, never faster.
+      const StreamRequestResult &RR = Out.Stream.Requests[Idx];
+      SoloObservation &O =
+          Observed[{DeviceOf[Idx], RS.Trace[Idx].KernelIdx}];
+      O.Sum += RR.EndTime - RR.StartTime;
+      ++O.Count;
+    }
     if (Ctl)
       Ctl->observe(RS.Trace[Idx].Tenant,
                    Out.Stream.Requests[Idx].queueingExcess());
@@ -244,6 +277,13 @@ private:
   std::map<int, size_t> Affinity; ///< Tenant -> device (sticky mode).
   std::vector<size_t> DeviceOf;   ///< Parallel to RS.Trace.
   std::vector<double> Accounted;  ///< Remaining cost counted per request.
+  /// Measured service spans per (device, kernel), for StaticPrior
+  /// blending.
+  struct SoloObservation {
+    double Sum = 0;
+    size_t Count = 0;
+  };
+  std::map<std::pair<size_t, size_t>, SoloObservation> Observed;
 };
 
 /// Keeps the Devices-indexed-by-fleet-position contract on the

@@ -74,6 +74,25 @@ struct ClusterOutcome {
   std::vector<size_t> Placement;
 };
 
+/// Where the per-request solo-duration estimate the placement policies
+/// see (DeviceLoad::SoloDuration) comes from. The interesting case is
+/// cold start: a kernel the fleet has never executed.
+enum class SoloEstimateKind {
+  /// Measured isolated duration, even for kernels that have never run —
+  /// an oracle no real serving system has on first contact. The
+  /// historical (and still default) behavior.
+  Oracle,
+  /// No per-kernel knowledge at all: every request is assumed to take
+  /// the device's suite-mean solo duration. What a prior-less system
+  /// is reduced to before its first measurement.
+  Blind,
+  /// Cold-start prior from the KIR static cost analysis
+  /// (harness::ExperimentDriver::priorSoloDuration), blending into the
+  /// measured mean service span as completions of the same kernel on
+  /// the same device accumulate.
+  StaticPrior,
+};
+
 /// Cluster replay knobs: the single-device streaming options (weights,
 /// quantum, SLO targets/adaptation, strict shares, issue-capacity
 /// clamp) apply per device; Admission is ignored — the cluster always
@@ -87,6 +106,12 @@ struct ClusterOptions {
   /// device (cache/session locality); the policy only decides each
   /// tenant's first placement.
   bool StickyTenantAffinity = false;
+  /// Source of the solo-duration estimates placement decisions use.
+  SoloEstimateKind SoloEstimate = SoloEstimateKind::Oracle;
+  /// In StaticPrior mode, how many observations the analysis prior
+  /// counts as when blending with measured service spans:
+  /// estimate = (Prior * Weight + sum(observed)) / (Weight + count).
+  double PriorObservationWeight = 1.0;
 };
 
 /// Replays the open-loop \p Trace across \p Fleet under \p Policy.

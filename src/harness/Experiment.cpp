@@ -19,6 +19,7 @@
 #include "passes/Inliner.h"
 #include "passes/Pass.h"
 #include "passes/RegisterEstimator.h"
+#include "workloads/StaticPrior.h"
 
 #include <cstdlib>
 
@@ -197,6 +198,22 @@ double ExperimentDriver::isolatedDuration(SchedulerKind Kind, size_t Idx) {
       Engine.run(std::move(buildRounds(Kind, Solo).front()));
   double D = R.Kernels[0].duration();
   IsolatedCache.emplace(Key, D);
+  return D;
+}
+
+double ExperimentDriver::priorSoloDuration(size_t Idx) {
+  auto It = PriorSoloCache.find(Idx);
+  if (It != PriorSoloCache.end())
+    return It->second;
+
+  const CompiledKernel &CK = Kernels[Idx];
+  const workloads::StaticPrior &P = workloads::staticCostPrior(*CK.Spec);
+  sim::KernelLaunchDesc L = baselineDesc(Idx, 0);
+  L.StaticCosts.assign(CK.WGCosts.size(), P.MeanWGCycles);
+  sim::Engine Engine(Spec);
+  sim::SimResult R = Engine.run({std::move(L)});
+  double D = R.Kernels[0].duration();
+  PriorSoloCache.emplace(Idx, D);
   return D;
 }
 

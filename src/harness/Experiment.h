@@ -82,6 +82,12 @@ public:
   /// Duration of kernel \p Idx running alone under \p Kind (cached).
   double isolatedDuration(SchedulerKind Kind, size_t Idx);
 
+  /// Predicted solo duration of kernel \p Idx before it has ever run:
+  /// the same engine math as isolatedDuration, but with every
+  /// work-group cost replaced by the static analysis prior
+  /// (workloads::staticCostPrior). Cached.
+  double priorSoloDuration(size_t Idx);
+
   /// Builds the launch descriptor of suite kernel \p Idx as the
   /// standard OpenCL stack would submit it (also used by the streaming
   /// harness's FIFO baseline).
@@ -110,6 +116,7 @@ private:
   sim::DeviceSpec Spec;
   std::vector<CompiledKernel> Kernels;
   std::map<std::pair<int, size_t>, double> IsolatedCache;
+  std::map<size_t, double> PriorSoloCache;
 };
 
 /// \returns the bench scale factor from ACCELOS_REPRO_SCALE (default 1).

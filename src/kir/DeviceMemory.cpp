@@ -95,14 +95,20 @@ void DeviceMemory::writeU64(uint64_t Addr, uint64_t Value) {
   std::memcpy(Storage.data() + Addr, &Value, 8);
 }
 
-int64_t DeviceMemory::atomicAddI64(uint64_t Addr, int64_t Delta) {
+Expected<int64_t> DeviceMemory::atomicAddI64(uint64_t Addr, int64_t Delta) {
+  if (Addr % 8 != 0)
+    return makeError("unaligned i64 atomic at device address " +
+                     std::to_string(Addr) + " (requires 8-byte alignment)");
   int64_t Old = static_cast<int64_t>(readU64(Addr));
   writeU64(Addr, static_cast<uint64_t>(Old + Delta));
   return Old;
 }
 
-int32_t DeviceMemory::atomicRmwI32(uint64_t Addr, int32_t Operand,
-                                   int32_t (*Op)(int32_t, int32_t)) {
+Expected<int32_t> DeviceMemory::atomicRmwI32(uint64_t Addr, int32_t Operand,
+                                             int32_t (*Op)(int32_t, int32_t)) {
+  if (Addr % 4 != 0)
+    return makeError("unaligned i32 atomic at device address " +
+                     std::to_string(Addr) + " (requires 4-byte alignment)");
   int32_t Old = static_cast<int32_t>(readU32(Addr));
   writeU32(Addr, static_cast<uint32_t>(Op(Old, Operand)));
   return Old;

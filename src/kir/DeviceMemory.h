@@ -57,12 +57,16 @@ public:
   uint64_t readU64(uint64_t Addr) const;
   void writeU64(uint64_t Addr, uint64_t Value);
 
-  /// Fetch-add on an i64 cell; \returns the previous value.
-  int64_t atomicAddI64(uint64_t Addr, int64_t Delta);
+  /// Fetch-add on an i64 cell; \returns the previous value, or a
+  /// diagnostic when \p Addr is not 8-byte aligned (real devices fault
+  /// or silently tear on unaligned atomics — neither is acceptable in
+  /// a simulator).
+  Expected<int64_t> atomicAddI64(uint64_t Addr, int64_t Delta);
 
-  /// Fetch-op on an i32 cell; \returns the previous value.
-  int32_t atomicRmwI32(uint64_t Addr, int32_t Operand,
-                       int32_t (*Op)(int32_t, int32_t));
+  /// Fetch-op on an i32 cell; \returns the previous value, or a
+  /// diagnostic when \p Addr is not 4-byte aligned.
+  Expected<int32_t> atomicRmwI32(uint64_t Addr, int32_t Operand,
+                                 int32_t (*Op)(int32_t, int32_t));
 
   /// Bulk host<->device transfer helpers (used by the OpenCL layer).
   void copyIn(uint64_t Addr, const void *Src, uint64_t Size);

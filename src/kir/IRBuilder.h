@@ -31,6 +31,11 @@ public:
   void setInsertPoint(BasicBlock *Block) { BB = Block; }
   BasicBlock *insertBlock() const { return BB; }
 
+  /// Source line stamped onto subsequently inserted instructions
+  /// (0 disables stamping).
+  void setCurrentLine(unsigned Line) { CurLine = Line; }
+  unsigned currentLine() const { return CurLine; }
+
   /// Creates a block in the current function without moving the
   /// insertion point.
   BasicBlock *createBlock(const std::string &Name) {
@@ -149,11 +154,14 @@ private:
     assert(!BB->terminator() && "inserting into terminated block");
     if (!Name.empty())
       Inst->setName(Name);
+    if (CurLine)
+      Inst->setLine(CurLine);
     return BB->append(std::move(Inst));
   }
 
   Function *F;
   BasicBlock *BB;
+  unsigned CurLine = 0;
 };
 
 } // namespace kir

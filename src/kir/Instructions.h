@@ -74,6 +74,12 @@ public:
     return IKind == InstKind::Br || IKind == InstKind::Ret;
   }
 
+  /// Source line this instruction was lowered from (0 = unknown). Set
+  /// by the MiniCL code generator so analysis diagnostics can point at
+  /// the offending source statement.
+  unsigned line() const { return Line; }
+  void setLine(unsigned L) { Line = L; }
+
   static bool classof(const Value *V) {
     return V->valueKind() == ValueKind::Instruction;
   }
@@ -87,6 +93,7 @@ private:
   InstKind IKind;
   std::vector<Value *> Operands;
   BasicBlock *Parent = nullptr;
+  unsigned Line = 0;
 };
 
 /// Two's-complement and IEEE binary operators.

@@ -487,6 +487,7 @@ SuspendKind Machine::execInst(Group &G, WorkItem &WI, Frame &Fr,
 
   case InstKind::Load: {
     uint64_t Out;
+    ++Stats.MemoryOps;
     if (!loadScalar(G, WI, opVal(Fr, FI.Ops[0]), I.type().kind(), Out))
       return SuspendKind::Trap;
     SetDst(Out);
@@ -496,6 +497,7 @@ SuspendKind Machine::execInst(Group &G, WorkItem &WI, Frame &Fr,
   case InstKind::Store: {
     const auto &S = cast<StoreInst>(I);
     Type::Kind Kind = S.value()->type().kind();
+    ++Stats.MemoryOps;
     if (!storeScalar(G, WI, opVal(Fr, FI.Ops[0]), Kind,
                      opVal(Fr, FI.Ops[1])))
       return SuspendKind::Trap;
@@ -562,21 +564,27 @@ SuspendKind Machine::execInst(Group &G, WorkItem &WI, Frame &Fr,
       WI.AtBarrier = true;
       return SuspendKind::Barrier;
     case BuiltinKind::Sqrt:
+      ++Stats.MathOps;
       SetDst(fromF32(std::sqrt(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Rsqrt:
+      ++Stats.MathOps;
       SetDst(fromF32(1.0f / std::sqrt(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Sin:
+      ++Stats.MathOps;
       SetDst(fromF32(std::sin(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Cos:
+      ++Stats.MathOps;
       SetDst(fromF32(std::cos(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Exp:
+      ++Stats.MathOps;
       SetDst(fromF32(std::exp(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Log:
+      ++Stats.MathOps;
       SetDst(fromF32(std::log(asF32(opVal(Fr, FI.Ops[0])))));
       return SuspendKind::Done;
     case BuiltinKind::Fabs:
@@ -675,7 +683,11 @@ SuspendKind Machine::execInst(Group &G, WorkItem &WI, Frame &Fr,
           static_cast<int64_t>(GlobalMem.readU64(Rt + 8 * RTW_TotalGroups));
       int64_t Batch =
           static_cast<int64_t>(GlobalMem.readU64(Rt + 8 * RTW_Batch));
-      int64_t Old = GlobalMem.atomicAddI64(Rt + 8 * RTW_Next, Batch);
+      Expected<int64_t> OldOrErr =
+          GlobalMem.atomicAddI64(Rt + 8 * RTW_Next, Batch);
+      if (!OldOrErr)
+        return trap("rt_sched_wgroup: " + OldOrErr.message());
+      int64_t Old = *OldOrErr;
       ++Stats.AtomicOps;
       int64_t Status, Base = 0, End = 0;
       if (Old >= Total) {

@@ -57,6 +57,12 @@ struct ExecStats {
   uint64_t InstsExecuted = 0;
   uint64_t AtomicOps = 0;
   uint64_t Barriers = 0;
+  /// Dynamic load + store count (all address spaces). Together with
+  /// MathOps this gives the measured counterpart of the static cost
+  /// prior's instruction-mix estimate.
+  uint64_t MemoryOps = 0;
+  /// Dynamic sqrt/rsqrt/sin/cos/exp/log builtin count.
+  uint64_t MathOps = 0;
   /// Dynamic instruction count per physical work-group (for observing
   /// the load balance that software scheduling produces).
   std::vector<uint64_t> GroupInsts;

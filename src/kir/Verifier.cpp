@@ -7,6 +7,8 @@
 #include "kir/Verifier.h"
 
 #include "kir/Module.h"
+#include "kir/analysis/Cfg.h"
+#include "kir/analysis/Uniformity.h"
 
 #include <set>
 #include <string>
@@ -307,9 +309,37 @@ Error kir::verifyFunction(const Function &F) {
   return FunctionVerifier(F).run();
 }
 
+Error kir::verifyFunction(const Function &F, const VerifierOptions &Opts) {
+  if (Error E = FunctionVerifier(F).run())
+    return E;
+  if (Opts.RejectDivergentBarriers && !F.isDeclaration()) {
+    analysis::Cfg G(F);
+    analysis::UniformityAnalysis UA(G);
+    const auto &Bad = UA.divergentBarriers();
+    if (!Bad.empty()) {
+      const analysis::DivergentBarrier &DB = Bad.front();
+      std::string Msg = "verifier: function '" + F.name() +
+                        "': barrier in block '" +
+                        DB.Barrier->parent()->name() +
+                        "' under work-item-divergent control flow";
+      if (DB.Barrier->line())
+        Msg += " (line " + std::to_string(DB.Barrier->line()) + ")";
+      return Error::failure(Msg);
+    }
+  }
+  return Error::success();
+}
+
 Error kir::verifyModule(const Module &M) {
   for (const auto &F : M.functions())
     if (Error E = verifyFunction(*F))
+      return E;
+  return Error::success();
+}
+
+Error kir::verifyModule(const Module &M, const VerifierOptions &Opts) {
+  for (const auto &F : M.functions())
+    if (Error E = verifyFunction(*F, Opts))
       return E;
   return Error::success();
 }

@@ -23,12 +23,23 @@ namespace kir {
 class Module;
 class Function;
 
+/// Optional strictness knobs layered on top of the structural checks.
+struct VerifierOptions {
+  /// Reject barriers that the uniformity analysis places under
+  /// work-item-divergent control flow (a deadlock on real devices).
+  /// Off by default: the dataflow analysis is conservative, and legacy
+  /// callers only expect structural validation.
+  bool RejectDivergentBarriers = false;
+};
+
 /// Checks one function. \returns a failure describing the first broken
 /// invariant, or success.
 Error verifyFunction(const Function &F);
+Error verifyFunction(const Function &F, const VerifierOptions &Opts);
 
 /// Checks every function in \p M.
 Error verifyModule(const Module &M);
+Error verifyModule(const Module &M, const VerifierOptions &Opts);
 
 } // namespace kir
 } // namespace accel

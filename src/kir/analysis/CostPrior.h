@@ -1,0 +1,118 @@
+//===- kir/analysis/CostPrior.h - Static work estimation --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static per-work-item work estimate from weighted instruction
+/// counts, loop nesting and derivable trip-count bounds. Memory
+/// operations are classified with the uniformity analysis (uniform
+/// broadcast / coalesced id-affine / data-dependent gather) because
+/// access pattern, not instruction count, dominates accelerator cost.
+/// The estimate seeds workloads::CostProfile so the schedulers have a
+/// solo-duration prior for kernels they have never executed (the
+/// ROADMAP's cold-start hole); it is a prior, not a promise, and blends
+/// away as measurements arrive.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_COSTPRIOR_H
+#define ACCEL_KIR_ANALYSIS_COSTPRIOR_H
+
+#include "kir/analysis/Lint.h"
+
+#include <vector>
+
+namespace accel {
+namespace kir {
+namespace analysis {
+
+class Cfg;
+class IntervalAnalysis;
+class UniformityAnalysis;
+
+/// Tunable weights, in the synthetic thread-cycle unit the workload
+/// suite's cost profiles use. Calibrated against the Parboil-like
+/// suite (tests/AnalysisTests.cpp keeps every kernel within 3x).
+struct CostWeights {
+  double Alu = 1.0;
+  double MathTrans = 2000.0; ///< sin/cos/exp/log (polynomial expansion).
+  double MathDiv = 40.0;     ///< div/rem/sqrt by a non-constant.
+  double PrivateMem = 1.0;   ///< Alloca traffic (register-like).
+  double LocalMem = 4.0;     ///< Work-group scratchpad access.
+  /// Latency-bound load of a shared table: every lane waits on the same
+  /// DRAM line, so nothing amortises the round trip.
+  double GlobalUniform = 400.0;
+  /// Id-affine streaming access: one line serves the whole work group,
+  /// so latency amortises across the lanes.
+  double GlobalCoalesced = 300.0;
+  double GlobalGather = 850.0; ///< Data-dependent scatter/gather.
+  /// Access whose index is wrapped by a small constant modulus/mask:
+  /// the working set fits in cache, so reuse makes it nearly free.
+  double CacheResident = 40.0;
+  /// Global stores cost this fraction of the matching load class
+  /// (write-combining hides the latency half).
+  double StoreFactor = 0.5;
+  double AtomicGlobal = 900.0;
+  double AtomicLocal = 700.0; ///< Scratchpad atomics still serialise.
+  double BarrierCost = 40.0;
+  double CallOverhead = 20.0; ///< Added on top of the callee's body.
+  /// Default trip counts by loop-bound provenance when no numeric bound
+  /// is derivable. Deliberately small: under-estimating an unknown loop
+  /// biases the cold-start scheduler toward trying the kernel early,
+  /// and the prior self-corrects after the first measurement.
+  double TripArgument = 8.0; ///< Bound chases to a kernel argument.
+  double TripWorkItem = 8.0; ///< Bound derived from work-item ids.
+  double TripData = 3.0;     ///< Bound loaded from memory.
+  double TripFallback = 16.0; ///< Structure unrecognised (diagnosed).
+  /// Assumed work-group size for get_local_size()-strided loops.
+  double StrideWGSize = 128.0;
+  /// Floor per work item: launch, drain and fixed-issue overhead that
+  /// even a two-instruction kernel pays.
+  double MinPerItem = 1100.0;
+  double MaxTripCount = 1u << 20; ///< Clamp for derived trip counts.
+  /// Largest modulus/mask constant still considered cache-resident.
+  double CacheWindow = 65536.0;
+};
+
+/// How a loop's iteration bound was established.
+enum class TripBoundKind {
+  Exact,    ///< Derived numerically from init/bound/step intervals.
+  Argument, ///< Bound flows from a kernel argument; default used.
+  WorkItem, ///< Bound flows from work-item ids; default used.
+  Data,     ///< Bound loaded from global/local memory; default used.
+  Fallback  ///< No recognisable induction; fallback (diagnosed).
+};
+
+/// \returns a short printable name for \p K ("exact", "argument", ...).
+const char *tripBoundKindName(TripBoundKind K);
+
+/// Per-loop summary, index-aligned with Cfg::loops().
+struct LoopTripInfo {
+  TripBoundKind BoundKind = TripBoundKind::Fallback;
+  double Trips = 1.0; ///< Estimated iterations per entry.
+  unsigned Line = 0;  ///< Source line of the loop header, when known.
+};
+
+/// The static work estimate for one function.
+struct CostEstimate {
+  /// Estimated thread-cycles executed by one work item.
+  double PerItemCycles = 0.0;
+  /// True when any loop needed the fallback trip count.
+  bool UsedFallback = false;
+  std::vector<LoopTripInfo> LoopInfo;
+};
+
+/// Estimates \p G's function. Appends a CostFallback diagnostic per
+/// unanalysable loop to \p Diags when non-null.
+CostEstimate estimateCost(const Cfg &G, const UniformityAnalysis &UA,
+                          const IntervalAnalysis &IA,
+                          const CostWeights &W = CostWeights(),
+                          std::vector<Diagnostic> *Diags = nullptr);
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_COSTPRIOR_H

@@ -1,0 +1,99 @@
+//===- kir/analysis/Dataflow.h - Forward dataflow driver --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A generic forward dataflow fixpoint driver over a Cfg. A pass
+/// supplies a Domain describing its lattice:
+///
+///   struct Domain {
+///     using State = ...;                    // one lattice element
+///     State boundary();                     // entry-block input
+///     State top();                          // identity of meet
+///     // Joins Incoming into S; returns true when S changed. Called at
+///     // control-flow merges; on the Nth visit of a loop header the
+///     // driver passes Widen = true so unstable domains can jump to a
+///     // fixed point instead of climbing forever.
+///     bool meetInto(State &S, const State &Incoming, bool Widen);
+///     State transfer(unsigned BlockId, const State &In);
+///   };
+///
+/// The driver iterates the reachable blocks in reverse postorder until
+/// no input changes, and exposes the per-block input states. Unreachable
+/// blocks keep top() as their input.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_DATAFLOW_H
+#define ACCEL_KIR_ANALYSIS_DATAFLOW_H
+
+#include "kir/analysis/Cfg.h"
+
+#include <vector>
+
+namespace accel {
+namespace kir {
+namespace analysis {
+
+template <typename Domain> class ForwardDataflow {
+public:
+  using State = typename Domain::State;
+
+  ForwardDataflow(const Cfg &G, Domain &D) : G(G), D(D) {}
+
+  /// Runs to fixpoint. \p WidenAfter bounds how many times a loop
+  /// header may refine before meetInto is asked to widen.
+  void run(unsigned WidenAfter = 2) {
+    unsigned N = G.numBlocks();
+    In.clear();
+    Out.clear();
+    In.reserve(N);
+    Out.reserve(N);
+    for (unsigned B = 0; B != N; ++B) {
+      In.push_back(D.top());
+      Out.push_back(D.top());
+    }
+    if (N == 0)
+      return;
+    In[0] = D.boundary();
+
+    std::vector<unsigned> Visits(N, 0);
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (unsigned B : G.reversePostOrder()) {
+        // Recompute the input from predecessor outputs.
+        bool InChanged = false;
+        bool Widen =
+            G.loopDepth(B) > 0 && Visits[B] >= WidenAfter;
+        for (unsigned P : G.predecessors(B))
+          InChanged |= D.meetInto(In[B], Out[P], Widen);
+        ++Visits[B];
+        if (!InChanged && Visits[B] > 1)
+          continue;
+        State NewOut = D.transfer(B, In[B]);
+        if (Visits[B] == 1 || !(NewOut == Out[B])) {
+          Out[B] = std::move(NewOut);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  const State &input(unsigned BlockId) const { return In[BlockId]; }
+  const State &output(unsigned BlockId) const { return Out[BlockId]; }
+
+private:
+  const Cfg &G;
+  Domain &D;
+  std::vector<State> In;
+  std::vector<State> Out;
+};
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_DATAFLOW_H

@@ -1,0 +1,318 @@
+//===- kir/analysis/Intervals.cpp - Integer range analysis ------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/analysis/Intervals.h"
+
+#include "kir/Module.h"
+#include "kir/analysis/Dataflow.h"
+
+#include <algorithm>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::kir::analysis;
+
+//===----------------------------------------------------------------------===//
+// Interval arithmetic
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Saturating addition treating the INT64 extremes as infinities.
+int64_t satAdd(int64_t A, int64_t B) {
+  if (A == Interval::NegInf || B == Interval::NegInf)
+    return Interval::NegInf;
+  if (A == Interval::PosInf || B == Interval::PosInf)
+    return Interval::PosInf;
+  int64_t R;
+  if (__builtin_add_overflow(A, B, &R))
+    return A > 0 ? Interval::PosInf : Interval::NegInf;
+  return R;
+}
+
+int64_t satMul(int64_t A, int64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  bool Neg = (A < 0) != (B < 0);
+  if (A == Interval::NegInf || A == Interval::PosInf ||
+      B == Interval::NegInf || B == Interval::PosInf)
+    return Neg ? Interval::NegInf : Interval::PosInf;
+  int64_t R;
+  if (__builtin_mul_overflow(A, B, &R))
+    return Neg ? Interval::NegInf : Interval::PosInf;
+  return R;
+}
+
+} // namespace
+
+Interval Interval::add(const Interval &O) const {
+  return {satAdd(Lo, O.Lo), satAdd(Hi, O.Hi)};
+}
+
+Interval Interval::sub(const Interval &O) const {
+  int64_t NegHi = O.Hi == PosInf ? NegInf : (O.Hi == NegInf ? PosInf : -O.Hi);
+  int64_t NegLo = O.Lo == NegInf ? PosInf : (O.Lo == PosInf ? NegInf : -O.Lo);
+  return {satAdd(Lo, NegHi), satAdd(Hi, NegLo)};
+}
+
+Interval Interval::mul(const Interval &O) const {
+  int64_t C[4] = {satMul(Lo, O.Lo), satMul(Lo, O.Hi), satMul(Hi, O.Lo),
+                  satMul(Hi, O.Hi)};
+  return {*std::min_element(C, C + 4), *std::max_element(C, C + 4)};
+}
+
+//===----------------------------------------------------------------------===//
+// SSA expression evaluation
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// \returns the alloca behind \p Ptr when it is a plain single-slot
+/// integer alloca reference (no gep displacement), else null.
+const AllocaInst *directIntAlloca(const Value *Ptr) {
+  const auto *A = dyn_cast<AllocaInst>(Ptr);
+  if (!A || A->count() != 1)
+    return nullptr;
+  if (A->elemKind() != Type::Kind::I32 && A->elemKind() != Type::Kind::I64)
+    return nullptr;
+  return A;
+}
+
+Interval evalImpl(const Value *V, const AllocaState &S, unsigned Depth) {
+  if (Depth > 32)
+    return Interval::full();
+
+  if (const auto *C = dyn_cast<Constant>(V)) {
+    if (C->type().isInt() || C->type().isBool())
+      return Interval::constant(C->intValue());
+    return Interval::full();
+  }
+
+  const auto *I = dyn_cast<Instruction>(V);
+  if (!I)
+    return Interval::full(); // Arguments and anything else: unknown.
+
+  switch (I->instKind()) {
+  case InstKind::Binary: {
+    const auto &B = cast<BinaryInst>(*I);
+    Interval L = evalImpl(B.lhs(), S, Depth + 1);
+    Interval R = evalImpl(B.rhs(), S, Depth + 1);
+    switch (B.op()) {
+    case BinOpKind::Add:
+      return L.add(R);
+    case BinOpKind::Sub:
+      return L.sub(R);
+    case BinOpKind::Mul:
+      return L.mul(R);
+    case BinOpKind::SDiv:
+      // Only the easy, common shape: non-negative dividend, positive
+      // constant divisor.
+      if (R.isConstant() && R.Lo > 0 && L.Lo >= 0)
+        return {L.Lo / R.Lo,
+                L.Hi == Interval::PosInf ? Interval::PosInf : L.Hi / R.Lo};
+      return Interval::full();
+    case BinOpKind::SRem:
+      // Remainder keeps the dividend's sign; for a non-negative
+      // dividend and positive constant divisor the result is
+      // [0, divisor-1].
+      if (R.isConstant() && R.Lo > 0 && L.Lo >= 0)
+        return {0, R.Lo - 1};
+      return Interval::full();
+    case BinOpKind::And:
+      if (R.isConstant() && R.Lo >= 0)
+        return {0, R.Lo};
+      if (L.isConstant() && L.Lo >= 0)
+        return {0, L.Lo};
+      return Interval::full();
+    case BinOpKind::Shl:
+      if (R.isConstant() && R.Lo >= 0 && R.Lo < 62)
+        return L.mul(Interval::constant(int64_t(1) << R.Lo));
+      return Interval::full();
+    case BinOpKind::AShr:
+      if (R.isConstant() && R.Lo >= 0 && R.Lo < 62 && L.Lo >= 0)
+        return {L.Lo >> R.Lo,
+                L.Hi == Interval::PosInf ? Interval::PosInf : L.Hi >> R.Lo};
+      return Interval::full();
+    default:
+      return Interval::full();
+    }
+  }
+  case InstKind::Cast: {
+    const auto &C = cast<CastInst>(*I);
+    Interval Src = evalImpl(C.src(), S, Depth + 1);
+    switch (C.castKind()) {
+    case CastKind::SExt:
+      return Src;
+    case CastKind::ZExtBool:
+      return {std::max<int64_t>(Src.Lo, 0), std::min<int64_t>(Src.Hi, 1)};
+    case CastKind::Trunc:
+      // Exact when the value provably fits in i32.
+      if (Src.Lo >= INT32_MIN && Src.Hi <= INT32_MAX)
+        return Src;
+      return Interval::full();
+    default:
+      return Interval::full();
+    }
+  }
+  case InstKind::Select: {
+    const auto &Sel = cast<SelectInst>(*I);
+    return evalImpl(Sel.trueValue(), S, Depth + 1)
+        .hull(evalImpl(Sel.falseValue(), S, Depth + 1));
+  }
+  case InstKind::Load: {
+    if (const AllocaInst *A = directIntAlloca(cast<LoadInst>(*I).pointer())) {
+      auto It = S.find(A);
+      if (It != S.end())
+        return It->second;
+    }
+    return Interval::full();
+  }
+  case InstKind::Builtin: {
+    const auto &B = cast<BuiltinInst>(*I);
+    switch (B.builtinKind()) {
+    case BuiltinKind::GetGlobalId:
+    case BuiltinKind::GetLocalId:
+    case BuiltinKind::GetGroupId:
+    case BuiltinKind::RtGlobalId:
+    case BuiltinKind::RtGroupId:
+      return Interval::nonNegative();
+    case BuiltinKind::GetGlobalSize:
+    case BuiltinKind::GetLocalSize:
+    case BuiltinKind::GetNumGroups:
+    case BuiltinKind::GetWorkDim:
+    case BuiltinKind::RtGlobalSize:
+    case BuiltinKind::RtNumGroups:
+      return {1, Interval::PosInf};
+    case BuiltinKind::IAbs:
+      return Interval::nonNegative();
+    case BuiltinKind::IMin: {
+      Interval L = evalImpl(B.operand(0), S, Depth + 1);
+      Interval R = evalImpl(B.operand(1), S, Depth + 1);
+      return {std::min(L.Lo, R.Lo), std::min(L.Hi, R.Hi)};
+    }
+    case BuiltinKind::IMax: {
+      Interval L = evalImpl(B.operand(0), S, Depth + 1);
+      Interval R = evalImpl(B.operand(1), S, Depth + 1);
+      return {std::max(L.Lo, R.Lo), std::max(L.Hi, R.Hi)};
+    }
+    default:
+      return Interval::full();
+    }
+  }
+  default:
+    return Interval::full();
+  }
+}
+
+} // namespace
+
+Interval analysis::evalValue(const Value *V, const AllocaState &S) {
+  return evalImpl(V, S, 0);
+}
+
+//===----------------------------------------------------------------------===//
+// Flow-sensitive dataflow over alloca contents
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Applies one instruction's effect on the alloca state.
+void applyInst(const Instruction *I, AllocaState &S) {
+  if (const auto *St = dyn_cast<StoreInst>(I)) {
+    if (const AllocaInst *A = directIntAlloca(St->pointer())) {
+      S[A] = evalValue(St->value(), S);
+      return;
+    }
+    // A store through a gep of an alloca may hit any slot; drop what we
+    // know about that alloca.
+    const Value *P = St->pointer();
+    while (const auto *G = dyn_cast<GepInst>(P))
+      P = G->pointer();
+    if (const auto *A = dyn_cast<AllocaInst>(P))
+      S[A] = Interval::full();
+    return;
+  }
+  if (const auto *C = dyn_cast<CallInst>(I)) {
+    // An alloca whose address escapes into the callee may be rewritten.
+    for (const Value *Op : C->operands()) {
+      const Value *P = Op;
+      while (const auto *G = dyn_cast<GepInst>(P))
+        P = G->pointer();
+      if (const auto *A = dyn_cast<AllocaInst>(P))
+        S[A] = Interval::full();
+    }
+  }
+}
+
+struct IntervalDomain {
+  using State = AllocaState;
+
+  State boundary() { return {}; }
+  State top() { return {}; }
+
+  bool meetInto(State &S, const State &Incoming, bool Widen) {
+    bool Changed = false;
+    for (const auto &[A, IV] : Incoming) {
+      auto It = S.find(A);
+      if (It == S.end()) {
+        S.emplace(A, IV);
+        Changed = true;
+        continue;
+      }
+      Interval H = It->second.hull(IV);
+      if (H != It->second) {
+        // Widening: a bound still growing after the grace iterations
+        // jumps straight to the corresponding infinity.
+        if (Widen) {
+          if (H.Lo < It->second.Lo)
+            H.Lo = Interval::NegInf;
+          if (H.Hi > It->second.Hi)
+            H.Hi = Interval::PosInf;
+        }
+        It->second = H;
+        Changed = true;
+      }
+    }
+    return Changed;
+  }
+
+  State transfer(unsigned BlockId, const State &In) {
+    State S = In;
+    const BasicBlock *BB = G.block(BlockId);
+    for (const auto &I : BB->instructions())
+      applyInst(I.get(), S);
+    return S;
+  }
+
+  const Cfg &G;
+};
+
+} // namespace
+
+IntervalAnalysis::IntervalAnalysis(const Cfg &Graph) : G(Graph) {
+  IntervalDomain D{G};
+  ForwardDataflow<IntervalDomain> DF(G, D);
+  DF.run();
+  In.reserve(G.numBlocks());
+  for (unsigned B = 0; B != G.numBlocks(); ++B)
+    In.push_back(DF.input(B));
+}
+
+AllocaState IntervalAnalysis::stateBefore(const Instruction *I) const {
+  const BasicBlock *BB = I->parent();
+  AllocaState S = In[G.id(BB)];
+  for (const auto &Inst : BB->instructions()) {
+    if (Inst.get() == I)
+      break;
+    applyInst(Inst.get(), S);
+  }
+  return S;
+}
+
+Interval IntervalAnalysis::valueBefore(const Instruction *I,
+                                       const Value *V) const {
+  return evalValue(V, stateBefore(I));
+}

@@ -1,0 +1,105 @@
+//===- kir/analysis/Intervals.h - Integer range analysis --------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interval (value-range) analysis over KIR integers. Because KIR has no
+/// phis, all cross-block integer flow goes through single-slot private
+/// allocas; the flow-sensitive part of the analysis is therefore a
+/// forward dataflow whose state maps each such alloca to the interval
+/// of values it may hold. SSA expressions are evaluated on demand
+/// against that state. Used by the RT-window safety lint (gep offset
+/// bounds) and by the static cost prior (trip-count bounds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_INTERVALS_H
+#define ACCEL_KIR_ANALYSIS_INTERVALS_H
+
+#include "kir/analysis/Cfg.h"
+
+#include <cstdint>
+#include <map>
+
+namespace accel {
+namespace kir {
+
+class Instruction;
+class Value;
+
+namespace analysis {
+
+/// A closed integer interval [Lo, Hi] with saturating arithmetic; the
+/// INT64 extremes act as -inf / +inf.
+struct Interval {
+  static constexpr int64_t NegInf = INT64_MIN;
+  static constexpr int64_t PosInf = INT64_MAX;
+
+  int64_t Lo = NegInf;
+  int64_t Hi = PosInf;
+
+  static Interval full() { return {}; }
+  static Interval constant(int64_t C) { return {C, C}; }
+  static Interval range(int64_t Lo, int64_t Hi) { return {Lo, Hi}; }
+  static Interval nonNegative() { return {0, PosInf}; }
+
+  bool isFull() const { return Lo == NegInf && Hi == PosInf; }
+  bool isConstant() const { return Lo == Hi; }
+  bool hasLowerBound() const { return Lo != NegInf; }
+  bool hasUpperBound() const { return Hi != PosInf; }
+
+  /// \returns true when this interval and [OtherLo, OtherHi] share at
+  /// least one point.
+  bool mayIntersect(int64_t OtherLo, int64_t OtherHi) const {
+    return Lo <= OtherHi && OtherLo <= Hi;
+  }
+
+  /// Smallest interval containing both.
+  Interval hull(const Interval &O) const {
+    return {Lo < O.Lo ? Lo : O.Lo, Hi > O.Hi ? Hi : O.Hi};
+  }
+
+  Interval add(const Interval &O) const;
+  Interval sub(const Interval &O) const;
+  Interval mul(const Interval &O) const;
+
+  bool operator==(const Interval &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+  bool operator!=(const Interval &O) const { return !(*this == O); }
+};
+
+/// Alloca-content state: keys are single-slot integer AllocaInst.
+using AllocaState = std::map<const Instruction *, Interval>;
+
+/// Evaluates the SSA expression \p V to an interval, reading alloca
+/// contents from \p S. Unknown constructs evaluate to the full range.
+Interval evalValue(const Value *V, const AllocaState &S);
+
+/// Flow-sensitive interval analysis of one function (via its Cfg).
+class IntervalAnalysis {
+public:
+  explicit IntervalAnalysis(const Cfg &G);
+
+  /// Alloca state on entry to block \p B.
+  const AllocaState &blockInput(unsigned B) const { return In[B]; }
+
+  /// Alloca state immediately before \p I executes (replays the
+  /// block's transfer up to \p I).
+  AllocaState stateBefore(const Instruction *I) const;
+
+  /// Interval of \p V at the program point just before \p I.
+  Interval valueBefore(const Instruction *I, const Value *V) const;
+
+private:
+  const Cfg &G;
+  std::vector<AllocaState> In;
+};
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_INTERVALS_H

@@ -1,0 +1,78 @@
+//===- kir/analysis/Lint.h - Analysis diagnostics and driver ----*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module-level lint driver: runs every analysis pass (uniformity /
+/// barrier divergence, RT-window safety, static cost) over each function
+/// of a module and collects human-readable diagnostics with source
+/// locations. Consumed by the kir-lint CLI, the MiniCL frontend's lint
+/// entry point, and the strict Verifier mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_LINT_H
+#define ACCEL_KIR_ANALYSIS_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace accel {
+namespace kir {
+
+class Function;
+class Module;
+
+namespace analysis {
+
+/// One finding of an analysis pass.
+struct Diagnostic {
+  enum class Kind {
+    DivergentBarrier, ///< Barrier under work-item-divergent control.
+    RtWindowWrite,    ///< Possible write into the reserved RT window.
+    CostFallback      ///< Trip count underivable; cost uses a fallback.
+  };
+
+  Kind DiagKind = Kind::DivergentBarrier;
+  std::string FunctionName;
+  std::string BlockName;
+  unsigned Line = 0; ///< MiniCL source line (0 = unknown).
+  std::string Message;
+
+  /// "<function>:<line>: [<pass>] <message>" (line omitted when 0).
+  std::string str() const;
+};
+
+/// \returns the short pass tag for \p K ("divergence", "rt-window",
+/// "cost").
+const char *diagnosticKindName(Diagnostic::Kind K);
+
+struct LintOptions {
+  bool CheckDivergence = true;
+  bool CheckRtWindow = true;
+  bool CheckCost = true;
+};
+
+/// Runs all enabled passes over every function with a body in \p M.
+std::vector<Diagnostic> lintModule(const Module &M,
+                                   const LintOptions &Opts = LintOptions());
+
+/// Runs all enabled passes over one function. \p IsSchedulingKernel
+/// selects the RT-window rule set (the generated scheduling preamble
+/// must touch *only* the runtime window; user code must never touch
+/// it).
+std::vector<Diagnostic> lintFunction(const Function &F,
+                                     bool IsSchedulingKernel,
+                                     const LintOptions &Opts = LintOptions());
+
+/// \returns true when \p F is a transform-generated scheduling kernel
+/// inside \p M (its demoted computation twin "<name>__comp" exists).
+bool isSchedulingKernel(const Module &M, const Function &F);
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_LINT_H

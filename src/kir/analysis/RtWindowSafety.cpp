@@ -1,0 +1,155 @@
+//===- kir/analysis/RtWindowSafety.cpp - RT window write safety -------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/analysis/RtWindowSafety.h"
+
+#include "kir/Module.h"
+#include "kir/RtLayout.h"
+#include "kir/analysis/Cfg.h"
+#include "kir/analysis/Intervals.h"
+
+#include <string>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::kir::analysis;
+
+namespace {
+
+/// The reserved window an argument protects, in pointee elements.
+struct Window {
+  const Argument *Arg = nullptr;
+  int64_t Words = 0;
+  const char *Label = "";
+};
+
+/// Finds the protected runtime-window arguments of \p F by the
+/// transform's naming convention: "rt" is the global i64* Virtual
+/// NDRange descriptor, "sd" the local i64* scheduling descriptor.
+void findWindows(const Function &F, std::vector<Window> &Out) {
+  for (unsigned I = 0; I != F.numArguments(); ++I) {
+    const Argument *A = F.argument(I);
+    const Type &Ty = A->type();
+    if (!Ty.isPtr() || Ty.elemKind() != Type::Kind::I64)
+      continue;
+    if (A->name() == "rt" && Ty.addrSpace() == AddrSpaceKind::Global)
+      Out.push_back({A, static_cast<int64_t>(rtlayout::RTW_WordCount), "rt"});
+    else if (A->name() == "sd" && Ty.addrSpace() == AddrSpaceKind::Local)
+      Out.push_back({A, static_cast<int64_t>(rtlayout::SDW_WordCount), "sd"});
+  }
+}
+
+/// Chases the gep chain of \p Ptr, accumulating the element-offset
+/// interval at program point \p At; \returns the base pointer.
+const Value *baseAndOffset(const Value *Ptr, const Instruction *At,
+                           const IntervalAnalysis &IA, Interval &Offset) {
+  Offset = Interval::constant(0);
+  while (const auto *G = dyn_cast<GepInst>(Ptr)) {
+    Offset = Offset.add(IA.valueBefore(At, G->index()));
+    Ptr = G->pointer();
+  }
+  return Ptr;
+}
+
+const Window *windowFor(const Value *Base, const std::vector<Window> &Ws) {
+  for (const Window &W : Ws)
+    if (W.Arg == Base)
+      return &W;
+  return nullptr;
+}
+
+Diagnostic makeDiag(const Instruction *I, std::string Message) {
+  Diagnostic D;
+  D.DiagKind = Diagnostic::Kind::RtWindowWrite;
+  D.FunctionName = I->parent()->parent()->name();
+  D.BlockName = I->parent()->name();
+  D.Line = I->line();
+  D.Message = std::move(Message);
+  return D;
+}
+
+std::string rangeStr(const Interval &IV) {
+  std::string Lo = IV.hasLowerBound() ? std::to_string(IV.Lo) : "-inf";
+  std::string Hi = IV.hasUpperBound() ? std::to_string(IV.Hi) : "+inf";
+  return "[" + Lo + ", " + Hi + "]";
+}
+
+/// \returns true for the i32 atomic builtins (operand 0 is the target
+/// pointer).
+bool isAtomicBuiltin(BuiltinKind BK) {
+  switch (BK) {
+  case BuiltinKind::AtomicAdd:
+  case BuiltinKind::AtomicSub:
+  case BuiltinKind::AtomicMin:
+  case BuiltinKind::AtomicMax:
+  case BuiltinKind::AtomicXchg:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void analysis::checkRtWindowSafety(const Cfg &G, const IntervalAnalysis &IA,
+                                   bool IsSchedulingKernel,
+                                   std::vector<Diagnostic> &Out) {
+  const Function &F = G.function();
+  std::vector<Window> Windows;
+  findWindows(F, Windows);
+  if (Windows.empty() && !IsSchedulingKernel)
+    return; // No protected window in scope: nothing to prove.
+
+  auto CheckWrite = [&](const Instruction *I, const Value *Ptr,
+                        const char *What) {
+    if (!Ptr->type().isPtr())
+      return;
+    AddrSpaceKind AS = Ptr->type().addrSpace();
+    if (AS == AddrSpaceKind::Private)
+      return; // Per-work-item scratch is always fair game.
+    Interval Offset;
+    const Value *Base = baseAndOffset(Ptr, I, IA, Offset);
+    const Window *W = windowFor(Base, Windows);
+
+    if (!IsSchedulingKernel) {
+      // User code: flag any write that may land inside a window.
+      if (W && Offset.mayIntersect(0, W->Words - 1))
+        Out.push_back(makeDiag(
+            I, std::string(What) + " may clobber reserved runtime window '" +
+                   W->Label + "' (word offset " + rangeStr(Offset) +
+                   " overlaps [0, " + std::to_string(W->Words - 1) + "])"));
+      return;
+    }
+
+    // Scheduling preamble: every non-private write must provably stay
+    // inside its window.
+    if (!W) {
+      Out.push_back(makeDiag(
+          I, std::string(What) +
+                 " in scheduling kernel targets memory outside the "
+                 "runtime window"));
+      return;
+    }
+    if (!Offset.hasLowerBound() || !Offset.hasUpperBound() || Offset.Lo < 0 ||
+        Offset.Hi >= W->Words)
+      Out.push_back(makeDiag(
+          I, std::string(What) + " in scheduling kernel may escape window '" +
+                 W->Label + "' (word offset " + rangeStr(Offset) +
+                 " not within [0, " + std::to_string(W->Words - 1) + "])"));
+  };
+
+  for (unsigned B : G.reversePostOrder()) {
+    for (const auto &IPtr : G.block(B)->instructions()) {
+      const Instruction *I = IPtr.get();
+      if (const auto *St = dyn_cast<StoreInst>(I)) {
+        CheckWrite(I, St->pointer(), "store");
+      } else if (const auto *Bi = dyn_cast<BuiltinInst>(I)) {
+        if (isAtomicBuiltin(Bi->builtinKind()))
+          CheckWrite(I, Bi->operand(0), "atomic");
+      }
+    }
+  }
+}

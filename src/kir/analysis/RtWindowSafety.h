@@ -1,0 +1,43 @@
+//===- kir/analysis/RtWindowSafety.h - RT window write safety ---*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Proves, via interval analysis over address arithmetic, that user
+/// code never writes the reserved RtLayout runtime window (the Virtual
+/// NDRange descriptor behind the "rt" argument and the scheduling
+/// descriptor behind "sd"), and that a transform-generated scheduling
+/// kernel's own stores touch *only* that window (or private memory).
+/// This turns the paper's instrumentation-safety argument (Sec. 6.3)
+/// from a code-generation convention into a checked invariant.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_RTWINDOWSAFETY_H
+#define ACCEL_KIR_ANALYSIS_RTWINDOWSAFETY_H
+
+#include "kir/analysis/Lint.h"
+
+#include <vector>
+
+namespace accel {
+namespace kir {
+namespace analysis {
+
+class Cfg;
+class IntervalAnalysis;
+
+/// Appends RT-window findings for the function behind \p G to \p Out.
+/// \p IsSchedulingKernel flips from the user rule ("never write the
+/// window") to the preamble rule ("write nothing but the window").
+void checkRtWindowSafety(const Cfg &G, const IntervalAnalysis &IA,
+                         bool IsSchedulingKernel,
+                         std::vector<Diagnostic> &Out);
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_RTWINDOWSAFETY_H

@@ -1,0 +1,223 @@
+//===- kir/analysis/Uniformity.cpp - Work-item divergence -------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/analysis/Uniformity.h"
+
+#include "kir/Module.h"
+
+#include <map>
+
+using namespace accel;
+using namespace accel::kir;
+using namespace accel::kir::analysis;
+
+namespace {
+
+/// \returns true for builtins whose result is inherently per-work-item.
+bool isDivergentSourceBuiltin(BuiltinKind BK) {
+  switch (BK) {
+  case BuiltinKind::GetGlobalId:
+  case BuiltinKind::GetLocalId:
+  case BuiltinKind::RtGlobalId:
+  case BuiltinKind::RtIsMaster:
+  // Atomics return the pre-op value, which differs per work item even
+  // with uniform operands.
+  case BuiltinKind::AtomicAdd:
+  case BuiltinKind::AtomicSub:
+  case BuiltinKind::AtomicMin:
+  case BuiltinKind::AtomicMax:
+  case BuiltinKind::AtomicXchg:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Chases gep chains to the underlying base pointer.
+const Value *basePointer(const Value *Ptr) {
+  while (const auto *G = dyn_cast<GepInst>(Ptr))
+    Ptr = G->pointer();
+  return Ptr;
+}
+
+/// Memoized per-callee summaries, computed over the call DAG (the
+/// frontend rejects recursion; a cycle met anyway reports true to stay
+/// conservative).
+class CalleeSummaries {
+public:
+  /// Does \p F transitively produce work-item-dependent values?
+  bool usesWorkItemState(const Function *F) {
+    return query(F, UsesIds, [this](const Instruction *I) {
+      if (const auto *B = dyn_cast<BuiltinInst>(I))
+        return isDivergentSourceBuiltin(B->builtinKind());
+      return false;
+    });
+  }
+
+  /// Does \p F transitively contain a Barrier?
+  bool containsBarrier(const Function *F) {
+    return query(F, HasBarrier, [](const Instruction *I) {
+      if (const auto *B = dyn_cast<BuiltinInst>(I))
+        return B->builtinKind() == BuiltinKind::Barrier;
+      return false;
+    });
+  }
+
+private:
+  template <typename Pred>
+  bool query(const Function *F, std::map<const Function *, bool> &Memo,
+             Pred &&Matches) {
+    auto It = Memo.find(F);
+    if (It != Memo.end())
+      return It->second;
+    Memo[F] = true; // Cycle guard: assume the worst while visiting.
+    bool Result = false;
+    for (const auto &BB : F->blocks()) {
+      for (const auto &I : BB->instructions()) {
+        if (Matches(I.get())) {
+          Result = true;
+          break;
+        }
+        if (const auto *C = dyn_cast<CallInst>(I.get()))
+          if (C->callee() && query(C->callee(), Memo, Matches)) {
+            Result = true;
+            break;
+          }
+      }
+      if (Result)
+        break;
+    }
+    Memo[F] = Result;
+    return Result;
+  }
+
+  std::map<const Function *, bool> UsesIds;
+  std::map<const Function *, bool> HasBarrier;
+};
+
+} // namespace
+
+UniformityAnalysis::UniformityAnalysis(const Cfg &Graph) : G(Graph) {
+  DivergentBlock.assign(G.numBlocks(), false);
+  Witness.assign(G.numBlocks(), nullptr);
+  run();
+}
+
+bool UniformityAnalysis::isDivergent(const Value *V) const {
+  return DivergentValues.count(V) != 0;
+}
+
+void UniformityAnalysis::run() {
+  CalleeSummaries Summaries;
+
+  auto AnyOperandDivergent = [&](const Instruction *I) {
+    for (const Value *Op : I->operands())
+      if (DivergentValues.count(Op))
+        return true;
+    return false;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+
+    // Data flow: one RPO sweep marking newly divergent values/allocas.
+    for (unsigned B : G.reversePostOrder()) {
+      for (const auto &IPtr : G.block(B)->instructions()) {
+        const Instruction *I = IPtr.get();
+        bool Div = false;
+        switch (I->instKind()) {
+        case InstKind::Builtin: {
+          const auto &Bi = cast<BuiltinInst>(*I);
+          Div = isDivergentSourceBuiltin(Bi.builtinKind()) ||
+                (!Bi.type().isVoid() && AnyOperandDivergent(I));
+          break;
+        }
+        case InstKind::Load: {
+          const auto &L = cast<LoadInst>(*I);
+          Div = DivergentValues.count(L.pointer()) != 0;
+          // Private memory is per-work-item: its content is divergent
+          // when the alloca ever received a divergent store. Local and
+          // global memory are shared per work group, so a load from a
+          // uniform address yields a uniform value.
+          if (!Div)
+            if (const auto *A = dyn_cast<AllocaInst>(basePointer(L.pointer())))
+              Div = DivergentAllocas.count(A) != 0;
+          break;
+        }
+        case InstKind::Store: {
+          const auto &St = cast<StoreInst>(*I);
+          if (const auto *A = dyn_cast<AllocaInst>(basePointer(St.pointer()))) {
+            bool DivStore = DivergentValues.count(St.value()) != 0 ||
+                            DivergentValues.count(St.pointer()) != 0 ||
+                            DivergentBlock[B];
+            if (DivStore && DivergentAllocas.insert(A).second)
+              Changed = true;
+          }
+          continue; // Stores produce no value.
+        }
+        case InstKind::Call: {
+          const auto &C = cast<CallInst>(*I);
+          Div = AnyOperandDivergent(I) ||
+                (C.callee() && Summaries.usesWorkItemState(C.callee()));
+          // A divergent call context can also write through pointer
+          // arguments; treat alloca arguments as divergently stored.
+          if (DivergentBlock[B] || Div)
+            for (const Value *Op : I->operands())
+              if (const auto *A = dyn_cast<AllocaInst>(basePointer(Op)))
+                if (DivergentAllocas.insert(A).second)
+                  Changed = true;
+          break;
+        }
+        case InstKind::Alloca:
+        case InstKind::LocalAddr:
+          // The handle itself is the same variable in every work item.
+          Div = false;
+          break;
+        case InstKind::Br:
+        case InstKind::Ret:
+          continue;
+        default:
+          Div = AnyOperandDivergent(I);
+          break;
+        }
+        if (Div && DivergentValues.insert(I).second)
+          Changed = true;
+      }
+    }
+
+    // Control flow: blocks inside the influence region of a divergent
+    // conditional branch execute divergently.
+    for (unsigned B : G.reversePostOrder()) {
+      const auto *Br = dyn_cast_or_null<BrInst>(G.block(B)->terminator());
+      if (!Br || !Br->isConditional() || !DivergentValues.count(Br->cond()))
+        continue;
+      for (unsigned R : G.influenceRegion(B)) {
+        if (!DivergentBlock[R]) {
+          DivergentBlock[R] = true;
+          Witness[R] = Br;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  // Collect the divergent barriers.
+  for (unsigned B : G.reversePostOrder()) {
+    if (!DivergentBlock[B])
+      continue;
+    for (const auto &IPtr : G.block(B)->instructions()) {
+      const Instruction *I = IPtr.get();
+      if (const auto *Bi = dyn_cast<BuiltinInst>(I)) {
+        if (Bi->builtinKind() == BuiltinKind::Barrier)
+          Barriers.push_back({I, Witness[B]});
+      } else if (const auto *C = dyn_cast<CallInst>(I)) {
+        if (C->callee() && Summaries.containsBarrier(C->callee()))
+          Barriers.push_back({I, Witness[B]});
+      }
+    }
+  }
+}

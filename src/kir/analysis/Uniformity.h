@@ -1,0 +1,75 @@
+//===- kir/analysis/Uniformity.h - Work-item divergence ---------*- C++-*-===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Uniformity (divergence) analysis: which values differ between the
+/// work items of one work group, and which blocks execute under
+/// work-item-divergent control flow. The lattice per value is
+/// {Uniform < Divergent}; divergence springs from the work-item id
+/// builtins and propagates through data flow (including the private
+/// allocas MiniCL uses for cross-block values) and through control
+/// dependence (a store executed under a divergent branch makes its
+/// target divergent). The headline client is the divergent-barrier
+/// lint: a Barrier inside the influence region of a divergent branch
+/// can deadlock the work group (the paper's persistent-thread transform
+/// must exclude exactly this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef ACCEL_KIR_ANALYSIS_UNIFORMITY_H
+#define ACCEL_KIR_ANALYSIS_UNIFORMITY_H
+
+#include "kir/analysis/Cfg.h"
+
+#include <set>
+#include <vector>
+
+namespace accel {
+namespace kir {
+
+class Instruction;
+class Value;
+
+namespace analysis {
+
+/// A Barrier (or a call that reaches one) found under divergent control.
+struct DivergentBarrier {
+  const Instruction *Barrier = nullptr; ///< The offending instruction.
+  const Instruction *Branch = nullptr;  ///< The divergent branch above it.
+};
+
+class UniformityAnalysis {
+public:
+  explicit UniformityAnalysis(const Cfg &G);
+
+  /// \returns true when \p V may differ between work items of one
+  /// work group.
+  bool isDivergent(const Value *V) const;
+
+  /// \returns true when block \p B executes under divergent control.
+  bool isDivergentBlock(unsigned B) const { return DivergentBlock[B]; }
+
+  /// Barriers reachable under divergent control, in block order.
+  const std::vector<DivergentBarrier> &divergentBarriers() const {
+    return Barriers;
+  }
+
+private:
+  void run();
+
+  const Cfg &G;
+  std::set<const Value *> DivergentValues;
+  std::set<const Instruction *> DivergentAllocas;
+  std::vector<bool> DivergentBlock;
+  std::vector<const Instruction *> Witness;
+  std::vector<DivergentBarrier> Barriers;
+};
+
+} // namespace analysis
+} // namespace kir
+} // namespace accel
+
+#endif // ACCEL_KIR_ANALYSIS_UNIFORMITY_H

@@ -228,6 +228,7 @@ Error FunctionCodeGen::run() {
 
 Error FunctionCodeGen::emitStmt(const Stmt *S) {
   ensureBlock();
+  B.setCurrentLine(S->line());
   switch (S->stmtKind()) {
   case StmtKind::Block: {
     pushScope();

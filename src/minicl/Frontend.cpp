@@ -100,3 +100,16 @@ minicl::compileSource(const std::string &ModuleName,
     return RetT(std::move(E));
   return M;
 }
+
+Expected<CompiledWithLints>
+minicl::compileSourceWithLints(const std::string &ModuleName,
+                               std::string_view Source,
+                               const kir::analysis::LintOptions &Opts) {
+  Expected<std::unique_ptr<kir::Module>> M = compileSource(ModuleName, Source);
+  if (!M)
+    return Expected<CompiledWithLints>(M.takeError());
+  CompiledWithLints Result;
+  Result.Module = M.take();
+  Result.Lints = kir::analysis::lintModule(*Result.Module, Opts);
+  return Result;
+}

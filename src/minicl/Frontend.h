@@ -14,11 +14,13 @@
 #ifndef ACCEL_MINICL_FRONTEND_H
 #define ACCEL_MINICL_FRONTEND_H
 
+#include "kir/analysis/Lint.h"
 #include "support/Error.h"
 
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace accel {
 
@@ -32,6 +34,21 @@ namespace minicl {
 /// Rejects recursive call graphs (as OpenCL does).
 Expected<std::unique_ptr<kir::Module>>
 compileSource(const std::string &ModuleName, std::string_view Source);
+
+/// A compiled module together with the analysis findings over it.
+struct CompiledWithLints {
+  std::unique_ptr<kir::Module> Module;
+  std::vector<kir::analysis::Diagnostic> Lints;
+};
+
+/// Like compileSource, but additionally runs the kir analysis passes
+/// (barrier divergence, RT-window safety, cost fallbacks) and returns
+/// their diagnostics alongside the module. Lints never fail the
+/// compile; callers decide how strict to be.
+Expected<CompiledWithLints>
+compileSourceWithLints(const std::string &ModuleName, std::string_view Source,
+                       const kir::analysis::LintOptions &Opts =
+                           kir::analysis::LintOptions());
 
 } // namespace minicl
 } // namespace accel

@@ -255,6 +255,28 @@ TEST(InterpTest, GroupCountsReported) {
   EXPECT_GT(Stats.InstsExecuted, 0u);
 }
 
+TEST(InterpTest, MemoryAndMathOpsCounted) {
+  // The measured counterpart of the static cost prior's instruction
+  // mix: every work item does one sqrt, one global load, and one
+  // global store (plus private alloca traffic).
+  auto M = compileOrDie(R"(
+    kernel void k(global float* d) {
+      long g = get_global_id(0);
+      d[g] = sqrt(d[g]);
+    }
+  )");
+  KernelHarness H;
+  uint64_t PD = H.allocF32(std::vector<float>(32, 4.0f));
+  auto Stats = H.run1D(*M, "k", {PD}, 32, 8);
+  EXPECT_EQ(Stats.MathOps, 32u);
+  // At least the explicit global load + store per work item; private
+  // slots add more on top.
+  EXPECT_GE(Stats.MemoryOps, 64u);
+  auto Out = H.readF32(PD, 32);
+  for (float V : Out)
+    EXPECT_FLOAT_EQ(V, 2.0f);
+}
+
 TEST(InterpTest, OutOfBoundsTraps) {
   auto M = compileOrDie(R"(
     kernel void k(global float* d) {

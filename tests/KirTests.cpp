@@ -259,8 +259,44 @@ TEST(DeviceMemoryTest, AtomicAdd) {
   DeviceMemory Mem(4096);
   uint64_t A = cantFail(Mem.allocate(8));
   Mem.writeU64(A, 10);
-  EXPECT_EQ(Mem.atomicAddI64(A, 5), 10);
+  EXPECT_EQ(cantFail(Mem.atomicAddI64(A, 5)), 10);
   EXPECT_EQ(Mem.readU64(A), 15u);
+}
+
+TEST(DeviceMemoryTest, AtomicRmwI32) {
+  DeviceMemory Mem(4096);
+  uint64_t A = cantFail(Mem.allocate(8));
+  Mem.writeU32(A, 7);
+  Expected<int32_t> Old = Mem.atomicRmwI32(
+      A, 3, +[](int32_t L, int32_t R) { return L < R ? L : R; });
+  ASSERT_TRUE(static_cast<bool>(Old));
+  EXPECT_EQ(*Old, 7);
+  EXPECT_EQ(Mem.readU32(A), 3u);
+  // 4-byte alignment suffices for i32 atomics.
+  Mem.writeU32(A + 4, 1);
+  EXPECT_EQ(cantFail(Mem.atomicRmwI32(
+                A + 4, 2, +[](int32_t L, int32_t R) { return L + R; })),
+            1);
+}
+
+TEST(DeviceMemoryTest, UnalignedAtomicsAreRejected) {
+  DeviceMemory Mem(4096);
+  uint64_t A = cantFail(Mem.allocate(16));
+  // i64 atomics need 8-byte alignment: +4 is aligned for i32 but not
+  // for i64, and +1 is aligned for nothing.
+  for (uint64_t Off : {1u, 4u}) {
+    Expected<int64_t> R = Mem.atomicAddI64(A + Off, 1);
+    ASSERT_FALSE(static_cast<bool>(R));
+    EXPECT_NE(R.message().find("unaligned i64 atomic"), std::string::npos);
+    EXPECT_NE(R.message().find("8-byte alignment"), std::string::npos);
+  }
+  Expected<int32_t> R = Mem.atomicRmwI32(
+      A + 2, 1, +[](int32_t L, int32_t R2) { return L + R2; });
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_NE(R.message().find("unaligned i32 atomic"), std::string::npos);
+  // A rejected atomic must not touch the cell.
+  EXPECT_EQ(Mem.readU64(A), 0u);
+  EXPECT_EQ(Mem.readU64(A + 8), 0u);
 }
 
 TEST(DeviceMemoryTest, FreshAllocationIsZeroed) {

@@ -1,0 +1,11 @@
+// Negative lint fixture: a barrier under work-item-divergent control
+// flow. Only the work items with gid < n reach the barrier, so a work
+// group straddling n deadlocks on a real device. kir-lint must flag
+// the barrier on line 8.
+kernel void divergent_barrier(global float* data, int n) {
+  long gid = get_global_id(0);
+  if (gid < (long)n) {
+    barrier();
+    data[gid] = data[gid] * 2.0;
+  }
+}

@@ -1,0 +1,9 @@
+// Negative lint fixture: user code writing into the reserved runtime
+// window. The "rt" global i64 pointer is the accelOS Virtual NDRange
+// descriptor; word 2 is the atomic dequeue cursor, so this store would
+// corrupt the device-side scheduler. kir-lint must flag the store on
+// line 7.
+kernel void rt_window_write(global long* rt, global float* out) {
+  rt[2] = 0;
+  out[get_global_id(0)] = 1.0;
+}

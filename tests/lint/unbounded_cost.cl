@@ -1,0 +1,16 @@
+// Negative lint fixture: a loop whose trip count the cost prior cannot
+// bound. The condition variable i is never updated inside the loop
+// (only j advances), so no induction pattern exists and the estimator
+// must fall back — and say so. kir-lint must emit a cost diagnostic
+// for the loop on line 9.
+kernel void unbounded_cost(global float* out, int n) {
+  int i = 0;
+  int j = 0;
+  while (i < n) {
+    out[j] = 0.0;
+    j = j + 1;
+    if (j >= n) {
+      i = n;
+    }
+  }
+}

@@ -1,0 +1,177 @@
+//===- tools/kir-lint.cpp - Static analysis CLI over KIR --------------------===//
+//
+// Part of the accelOS reproduction (CGO'16, Margiolas & O'Boyle).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the kir analysis passes (barrier divergence, RT-window safety,
+// static cost) over MiniCL sources and prints diagnostics with source
+// locations. Exits non-zero when any diagnostic fires, so the CTest
+// "lint" label gates CI on analysis cleanliness.
+//
+//   kir-lint [options] file.cl...     lint MiniCL source files
+//   kir-lint [options] --suite        lint every built-in suite kernel
+//
+// Options:
+//   --transformed    also lint each module after the accelOS transform
+//   --estimate       print the static cost estimate per kernel
+//   --no-divergence / --no-rt-window / --no-cost   disable one pass
+//
+//===----------------------------------------------------------------------===//
+
+#include "kir/Module.h"
+#include "kir/analysis/Cfg.h"
+#include "kir/analysis/CostPrior.h"
+#include "kir/analysis/Intervals.h"
+#include "kir/analysis/Lint.h"
+#include "kir/analysis/Uniformity.h"
+#include "minicl/Frontend.h"
+#include "passes/AccelOSTransform.h"
+#include "workloads/KernelSpec.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace accel;
+
+namespace {
+
+struct Options {
+  kir::analysis::LintOptions Lint;
+  bool Transformed = false;
+  bool Estimate = false;
+  bool Suite = false;
+  std::vector<std::string> Files;
+};
+
+void printUsage() {
+  std::fprintf(stderr,
+               "usage: kir-lint [--transformed] [--estimate] "
+               "[--no-divergence] [--no-rt-window] [--no-cost] "
+               "(--suite | file.cl...)\n");
+}
+
+/// Lints one module; \returns the number of diagnostics printed.
+size_t lintAndReport(const kir::Module &M, const std::string &Label,
+                     const Options &Opts) {
+  std::vector<kir::analysis::Diagnostic> Diags =
+      kir::analysis::lintModule(M, Opts.Lint);
+  for (const kir::analysis::Diagnostic &D : Diags)
+    std::printf("%s: %s\n", Label.c_str(), D.str().c_str());
+
+  if (Opts.Estimate) {
+    for (const kir::Function *K : M.kernels()) {
+      kir::analysis::Cfg G(*K);
+      kir::analysis::UniformityAnalysis UA(G);
+      kir::analysis::IntervalAnalysis IA(G);
+      kir::analysis::CostEstimate Est =
+          kir::analysis::estimateCost(G, UA, IA);
+      std::printf("%s: kernel '%s': estimated %.0f cycles/work-item%s\n",
+                  Label.c_str(), K->name().c_str(), Est.PerItemCycles,
+                  Est.UsedFallback ? " (fallback trip counts)" : "");
+      for (const kir::analysis::LoopTripInfo &L : Est.LoopInfo)
+        std::printf("%s:   loop at line %u: %.0f trips (%s bound)\n",
+                    Label.c_str(), L.Line, L.Trips,
+                    kir::analysis::tripBoundKindName(L.BoundKind));
+    }
+  }
+  return Diags.size();
+}
+
+/// Compiles and lints one source, optionally re-linting post-transform.
+/// \returns diagnostics found, or -1 on compile failure.
+long lintSource(const std::string &Name, const std::string &Source,
+                const Options &Opts) {
+  Expected<std::unique_ptr<kir::Module>> M =
+      minicl::compileSource(Name, Source);
+  if (!M) {
+    std::fprintf(stderr, "%s: compile error: %s\n", Name.c_str(),
+                 M.message().c_str());
+    return -1;
+  }
+  size_t Count = lintAndReport(**M, Name, Opts);
+
+  if (Opts.Transformed) {
+    passes::AccelOSTransform Transform;
+    if (Error E = Transform.run(**M)) {
+      std::fprintf(stderr, "%s: transform error: %s\n", Name.c_str(),
+                   E.message().c_str());
+      return -1;
+    }
+    Count += lintAndReport(**M, Name + " (transformed)", Opts);
+  }
+  return static_cast<long>(Count);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options Opts;
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--transformed")
+      Opts.Transformed = true;
+    else if (Arg == "--estimate")
+      Opts.Estimate = true;
+    else if (Arg == "--suite")
+      Opts.Suite = true;
+    else if (Arg == "--no-divergence")
+      Opts.Lint.CheckDivergence = false;
+    else if (Arg == "--no-rt-window")
+      Opts.Lint.CheckRtWindow = false;
+    else if (Arg == "--no-cost")
+      Opts.Lint.CheckCost = false;
+    else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "kir-lint: unknown option '%s'\n", Arg.c_str());
+      printUsage();
+      return 2;
+    } else {
+      Opts.Files.push_back(Arg);
+    }
+  }
+  if (!Opts.Suite && Opts.Files.empty()) {
+    printUsage();
+    return 2;
+  }
+
+  long Total = 0;
+  bool HadError = false;
+
+  if (Opts.Suite) {
+    for (const workloads::KernelSpec &Spec : workloads::parboilSuite()) {
+      long N = lintSource(Spec.Id, Spec.Source, Opts);
+      if (N < 0)
+        HadError = true;
+      else
+        Total += N;
+    }
+    std::printf("kir-lint: %zu suite kernels checked, %ld diagnostics\n",
+                workloads::parboilSuite().size(), Total);
+  }
+
+  for (const std::string &Path : Opts.Files) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "kir-lint: cannot open '%s'\n", Path.c_str());
+      HadError = true;
+      continue;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    long N = lintSource(Path, SS.str(), Opts);
+    if (N < 0)
+      HadError = true;
+    else
+      Total += N;
+  }
+
+  if (HadError)
+    return 2;
+  return Total == 0 ? 0 : 1;
+}
