@@ -7,13 +7,15 @@
 /// \file
 /// google-benchmark micro-benchmarks of the accelOS infrastructure
 /// itself: MiniCL JIT compilation (front end + cleanup + scheduling
-/// transform), the Sec. 3 resource solver, and one timing-engine
+/// transform), the Sec. 3 resource solver, one timing-engine
 /// simulation — the host-side costs the paper folds into "negligible
-/// communication overhead".
+/// communication overhead" — and the per-event cost of the serving
+/// admission hot paths (full solve vs incremental vs stride).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "accelos/ResourceSolver.h"
+#include "accelos/Scheduler.h"
 #include "harness/Experiment.h"
 #include "kir/Module.h"
 #include "minicl/Frontend.h"
@@ -24,6 +26,8 @@
 #include "passes/Pass.h"
 
 #include <benchmark/benchmark.h>
+
+#include <deque>
 
 using namespace accel;
 
@@ -80,5 +84,78 @@ static void BM_EnginePairSimulation(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_EnginePairSimulation);
+
+// Steady-state cost of one serving admission event under each of the
+// three hot paths bench/serve_scale replays end to end: preload a
+// saturated revolving population, then measure one
+// complete-oldest -> submit-new -> admit() cycle. The shape pool
+// repeats a handful of kernel shapes across many tenants, matching the
+// serving regime the incremental fast paths and the solver's
+// shape-class machinery are built for.
+namespace {
+
+template <typename Scheduler>
+void runAdmitEvent(benchmark::State &State, Scheduler &S) {
+  uint64_t NextId = 1;
+  std::deque<uint64_t> Landed; // Granted ids, admission order.
+  auto Submit = [&] {
+    uint64_t Id = NextId++;
+    accelos::RoundRequest R;
+    R.Id = Id;
+    R.Demand.WGThreads = 64 << (Id % 3);
+    R.Demand.LocalMemPerWG = 512 * (Id % 4);
+    R.Demand.RegsPerThread = 16 + Id % 5;
+    R.Demand.RequestedWGs = 16;
+    R.Tenant = static_cast<int>(Id % 16);
+    S.submit(R);
+  };
+  auto Admit = [&] {
+    for (const accelos::RoundGrant &G : S.admit())
+      if (G.WGs > 0)
+        Landed.push_back(G.Id);
+  };
+  for (int I = 0; I != 64; ++I)
+    Submit();
+  Admit();
+  for (auto _ : State) {
+    if (!Landed.empty()) {
+      S.complete(Landed.front());
+      Landed.pop_front();
+    }
+    Submit();
+    Admit();
+  }
+  benchmark::DoNotOptimize(NextId);
+}
+
+} // namespace
+
+static void BM_AdmitEventFullSolve(benchmark::State &State) {
+  accelos::ResourceCaps Caps =
+      accelos::ResourceCaps::fromDevice(sim::DeviceSpec::nvidiaK20m());
+  accelos::SolverOptions Opts;
+  Opts.FastSaturation = false; // The pre-optimization reference solve.
+  accelos::SchedulerOptions SchedOpts;
+  SchedOpts.Incremental = false;
+  accelos::ContinuousScheduler S(Caps, Opts, SchedOpts);
+  runAdmitEvent(State, S);
+}
+BENCHMARK(BM_AdmitEventFullSolve);
+
+static void BM_AdmitEventIncremental(benchmark::State &State) {
+  accelos::ResourceCaps Caps =
+      accelos::ResourceCaps::fromDevice(sim::DeviceSpec::nvidiaK20m());
+  accelos::ContinuousScheduler S(Caps);
+  runAdmitEvent(State, S);
+}
+BENCHMARK(BM_AdmitEventIncremental);
+
+static void BM_AdmitEventStride(benchmark::State &State) {
+  accelos::ResourceCaps Caps =
+      accelos::ResourceCaps::fromDevice(sim::DeviceSpec::nvidiaK20m());
+  accelos::StrideScheduler S(Caps);
+  runAdmitEvent(State, S);
+}
+BENCHMARK(BM_AdmitEventStride);
 
 BENCHMARK_MAIN();

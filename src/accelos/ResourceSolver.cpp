@@ -45,9 +45,14 @@ bool fits(const ResourceCaps &Caps, const std::vector<KernelDemand> &Ks,
 std::vector<uint64_t>
 accelos::solveFairShares(const ResourceCaps &Caps,
                          const std::vector<KernelDemand> &Ks,
-                         const SolverOptions &Opts) {
+                         const SolverOptions &Opts, SolveInfo *Info) {
   assert(!Ks.empty() && "solver needs at least one kernel");
   size_t K = Ks.size();
+  if (Info) {
+    Info->Floored.assign(K, false);
+    Info->Saturated.assign(K, false);
+    Info->Clamped = false;
+  }
 
   // Kernels that request no work groups take no share and are excluded
   // from the fairness divisor: an idle tenant must not dilute the
@@ -109,7 +114,9 @@ accelos::solveFairShares(const ResourceCaps &Caps,
   // the most-oversubscribed resource and the floored kernel that
   // contributes most to it, so kernels that are not part of the
   // violation keep their work group.
+  bool Clamped = false;
   while (!fits(Caps, Ks, Shares)) {
+    Clamped = true;
     uint64_t Use[4] = {0, 0, 0, 0};
     for (size_t I = 0; I != K; ++I) {
       ResourceUse U = footprintOf(Ks[I], Shares[I]);
@@ -272,8 +279,19 @@ accelos::solveFairShares(const ResourceCaps &Caps,
     Shares[Victim] = 0;
   }
 
-  if (!Opts.GreedySaturation)
+  std::vector<bool> Saturated(K, false);
+  auto Finish = [&]() {
+    if (Info) {
+      Info->Floored = Floored;
+      Info->Saturated = Saturated;
+      Info->Clamped = Clamped;
+    }
+  };
+
+  if (!Opts.GreedySaturation) {
+    Finish();
     return Shares;
+  }
 
   // Only active kernels' weights matter: a zero-work request neither
   // takes a share nor may its (arbitrary) weight flip the solve onto
@@ -293,22 +311,83 @@ accelos::solveFairShares(const ResourceCaps &Caps,
     }
   }
 
+  // Saturation state for the fast loops: the aggregate footprint of
+  // the current shares, maintained incrementally so each +1 probe is a
+  // four-compare O(1) check instead of the reference loop's O(K)
+  // fits() re-sum. Capacity only shrinks while shares grow, so a
+  // kernel whose probe fails once is saturated for good and drops out
+  // of the sweep — the decision sequence (and hence every share) is
+  // identical to the reference loop, which probes it again each sweep
+  // only to fail again.
+  const uint64_t Cap[4] = {Caps.Threads, Caps.LocalMem, Caps.Regs,
+                           Caps.WGSlots};
+  uint64_t Use[4] = {0, 0, 0, 0};
+  if (Opts.FastSaturation) {
+    for (size_t I = 0; I != K; ++I) {
+      ResourceUse U = footprintOf(Ks[I], Shares[I]);
+      Use[0] += U.Threads;
+      Use[1] += U.LocalMem;
+      Use[2] += U.Regs;
+      Use[3] += U.WGSlots;
+    }
+  }
+  auto ProbeGrow = [&](size_t I) {
+    const KernelDemand &D = Ks[I];
+    const uint64_t PerWG[4] = {D.WGThreads, D.LocalMemPerWG,
+                               D.WGThreads * D.RegsPerThread, 1};
+    for (unsigned Dim = 0; Dim != 4; ++Dim)
+      if (Use[Dim] + PerWG[Dim] > Cap[Dim])
+        return false;
+    for (unsigned Dim = 0; Dim != 4; ++Dim)
+      Use[Dim] += PerWG[Dim];
+    ++Shares[I];
+    return true;
+  };
+
   if (EqualWeights) {
     // Greedy saturation (Sec. 3): grow shares round-robin until no
     // kernel can take another work group.
-    for (bool Progress = true; Progress;) {
-      Progress = false;
+    if (Opts.FastSaturation) {
+      size_t Active = 0;
+      std::vector<bool> Done(K, false);
       for (size_t I = 0; I != K; ++I) {
-        if (Shares[I] >= Ks[I].RequestedWGs)
-          continue;
-        ++Shares[I];
-        if (fits(Caps, Ks, Shares)) {
-          Progress = true;
-        } else {
-          --Shares[I];
+        Done[I] = Shares[I] >= Ks[I].RequestedWGs;
+        if (!Done[I])
+          ++Active;
+      }
+      while (Active) {
+        for (size_t I = 0; I != K; ++I) {
+          if (Done[I])
+            continue;
+          if (ProbeGrow(I)) {
+            if (Shares[I] >= Ks[I].RequestedWGs) {
+              Done[I] = true;
+              --Active;
+            }
+          } else {
+            Done[I] = true;
+            Saturated[I] = true;
+            --Active;
+          }
+        }
+      }
+    } else {
+      for (bool Progress = true; Progress;) {
+        Progress = false;
+        for (size_t I = 0; I != K; ++I) {
+          if (Shares[I] >= Ks[I].RequestedWGs)
+            continue;
+          ++Shares[I];
+          if (fits(Caps, Ks, Shares)) {
+            Progress = true;
+          } else {
+            --Shares[I];
+            Saturated[I] = true;
+          }
         }
       }
     }
+    Finish();
     return Shares;
   }
 
@@ -322,7 +401,6 @@ accelos::solveFairShares(const ResourceCaps &Caps,
   // the result is deterministic), until nothing fits. Equal weights
   // reduce to the round-robin above, which is kept verbatim so the
   // paper-default allocations stay bit-identical.
-  std::vector<bool> Saturated(K, false);
   for (;;) {
     size_t Next = K;
     double NextNorm = 0;
@@ -337,11 +415,424 @@ accelos::solveFairShares(const ResourceCaps &Caps,
     }
     if (Next == K)
       break;
-    ++Shares[Next];
-    if (!fits(Caps, Ks, Shares)) {
-      --Shares[Next];
-      Saturated[Next] = true;
+    if (Opts.FastSaturation) {
+      if (!ProbeGrow(Next))
+        Saturated[Next] = true;
+    } else {
+      ++Shares[Next];
+      if (!fits(Caps, Ks, Shares)) {
+        --Shares[Next];
+        Saturated[Next] = true;
+      }
     }
   }
+  Finish();
   return Shares;
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation-free overload (the admission hot path)
+//===----------------------------------------------------------------------===//
+//
+// Mirrors the allocating solve above decision for decision. Wherever
+// the reference recomputes an O(K) footprint sum (the clamp's fits()
+// checks, the saturation probes), this body compares against the same
+// sums maintained incrementally — exact integer adds and subtracts of
+// the same footprints, so every branch sees the same values. The
+// differential tests and the schedulers' SelfCheck mode assert the
+// share vectors match the reference bit for bit.
+
+void accelos::solveFairShares(const ResourceCaps &Caps,
+                              const std::vector<KernelDemand> &Ks,
+                              const SolverOptions &Opts,
+                              SolverScratch &S,
+                              std::vector<uint64_t> &Shares) {
+  assert(!Ks.empty() && "solver needs at least one kernel");
+  size_t K = Ks.size();
+
+  double TotalWeight = 0;
+  for (const KernelDemand &D : Ks)
+    if (D.RequestedWGs > 0)
+      TotalWeight += D.Weight;
+
+  Shares.assign(K, 0);
+  if (TotalWeight <= 0)
+    return;
+
+  const uint64_t Cap[4] = {Caps.Threads, Caps.LocalMem, Caps.Regs,
+                           Caps.WGSlots};
+  // Aggregate footprint of the current assignment, maintained through
+  // every phase below.
+  uint64_t Use[4] = {0, 0, 0, 0};
+  auto AddShare = [&](size_t I, uint64_t WGs) {
+    const KernelDemand &D = Ks[I];
+    Use[0] += WGs * D.WGThreads;
+    Use[1] += WGs * D.LocalMemPerWG;
+    Use[2] += WGs * D.WGThreads * D.RegsPerThread;
+    Use[3] += WGs;
+  };
+  auto DropShare = [&](size_t I) {
+    const KernelDemand &D = Ks[I];
+    uint64_t WGs = Shares[I];
+    Use[0] -= WGs * D.WGThreads;
+    Use[1] -= WGs * D.LocalMemPerWG;
+    Use[2] -= WGs * D.WGThreads * D.RegsPerThread;
+    Use[3] -= WGs;
+    Shares[I] = 0;
+  };
+  auto FitsAgg = [&]() {
+    return Use[0] <= Cap[0] && Use[1] <= Cap[1] && Use[2] <= Cap[2] &&
+           Use[3] <= Cap[3];
+  };
+
+  S.Floored.assign(K, 0);
+  S.BaseCache.clear();
+  for (size_t I = 0; I != K; ++I) {
+    const KernelDemand &D = Ks[I];
+    if (D.RequestedWGs == 0)
+      continue;
+    assert(D.WGThreads > 0 && "zero-thread work group");
+    double Frac = D.Weight / TotalWeight;
+
+    uint64_t N = 0;
+    bool Fl = false;
+    bool Hit = false;
+    for (const SolverScratch::BaseDiv &C : S.BaseCache)
+      if (C.WGThreads == D.WGThreads &&
+          C.LocalMemPerWG == D.LocalMemPerWG &&
+          C.RegsPerThread == D.RegsPerThread && C.Frac == Frac) {
+        N = C.N;
+        Fl = C.Floored;
+        Hit = true;
+        break;
+      }
+    if (!Hit) {
+      uint64_t X = static_cast<uint64_t>(
+          static_cast<double>(Caps.Threads) * Frac /
+          static_cast<double>(D.WGThreads));
+      uint64_t Y = D.LocalMemPerWG
+                       ? static_cast<uint64_t>(
+                             static_cast<double>(Caps.LocalMem) * Frac /
+                             static_cast<double>(D.LocalMemPerWG))
+                       : UINT64_MAX;
+      uint64_t RegsPerWG = D.WGThreads * D.RegsPerThread;
+      uint64_t Z = RegsPerWG
+                       ? static_cast<uint64_t>(
+                             static_cast<double>(Caps.Regs) * Frac /
+                             static_cast<double>(RegsPerWG))
+                       : UINT64_MAX;
+      uint64_t SlotShare = static_cast<uint64_t>(
+          static_cast<double>(Caps.WGSlots) * Frac);
+
+      N = std::min(std::min(X, Y), std::min(Z, SlotShare));
+      if (N == 0) {
+        N = 1;
+        Fl = true;
+      }
+      if (S.BaseCache.size() < 16)
+        S.BaseCache.push_back(
+            {D.WGThreads, D.LocalMemPerWG, D.RegsPerThread, Frac, N, Fl});
+    }
+    S.Floored[I] = Fl;
+    Shares[I] = std::min(N, D.RequestedWGs);
+    AddShare(I, Shares[I]);
+  }
+
+  // Clamp pass, against the maintained aggregate. Per-candidate "does
+  // reverting this floor alone restore feasibility" is four subtract-
+  // and-compare operations instead of the reference's O(K) fits().
+  while (!FitsAgg()) {
+    unsigned Dim = 0;
+    double WorstRatio = 0;
+    for (unsigned D = 0; D != 4; ++D) {
+      double Ratio = static_cast<double>(Use[D]) /
+                     static_cast<double>(std::max<uint64_t>(Cap[D], 1));
+      if (Ratio > WorstRatio) {
+        WorstRatio = Ratio;
+        Dim = D;
+      }
+    }
+    auto DemandIn = [&](size_t I) -> uint64_t {
+      switch (Dim) {
+      case 0:
+        return Ks[I].WGThreads;
+      case 1:
+        return Ks[I].LocalMemPerWG;
+      case 2:
+        return Ks[I].WGThreads * Ks[I].RegsPerThread;
+      default:
+        return 1;
+      }
+    };
+    auto RestoresSet = [&](std::initializer_list<size_t> Set) {
+      uint64_t Freed[4] = {0, 0, 0, 0};
+      for (size_t I : Set) {
+        ResourceUse U = footprintOf(Ks[I], Shares[I]);
+        Freed[0] += U.Threads;
+        Freed[1] += U.LocalMem;
+        Freed[2] += U.Regs;
+        Freed[3] += U.WGSlots;
+      }
+      for (unsigned D = 0; D != 4; ++D)
+        if (Use[D] - Freed[D] > Cap[D])
+          return false;
+      return true;
+    };
+    size_t Victim = K;
+    bool VictimRestores = false;
+    for (size_t I = 0; I != K; ++I) {
+      if (!S.Floored[I] || Shares[I] == 0)
+        continue;
+      bool Restores = RestoresSet({I});
+      if (Victim == K || (Restores && !VictimRestores) ||
+          (Restores == VictimRestores &&
+           DemandIn(I) >= DemandIn(Victim))) {
+        Victim = I;
+        VictimRestores = Restores;
+      }
+    }
+    if (Victim == K) {
+      double F = 1.0;
+      for (unsigned D = 0; D != 4; ++D)
+        if (Use[D] > Cap[D])
+          F = std::min(F, static_cast<double>(Cap[D]) /
+                              static_cast<double>(Use[D]));
+      bool Any = false;
+      for (size_t I = 0; I != K; ++I) {
+        uint64_t Sh = static_cast<uint64_t>(
+            static_cast<double>(Shares[I]) * F);
+        if (Sh != Shares[I]) {
+          uint64_t Old = Shares[I];
+          DropShare(I);
+          Shares[I] = Sh;
+          AddShare(I, Sh);
+          Any |= Sh != Old;
+        }
+      }
+      if (!Any)
+        break;
+      continue;
+    }
+    if (!VictimRestores) {
+      // The reference's bounded bin-covering search, collapsed onto
+      // shape classes (see SolverScratch::ShapeClass). The reference
+      // replaces its running best only on strictly larger demand, so
+      // its winner is the lexicographically first max-demand restoring
+      // set in scan order; every member of a shape combination shares
+      // one demand and one restores-verdict, so picking the max-demand
+      // restoring combination and re-materializing its lex-first
+      // realization (the required number of smallest candidate indices
+      // per shape, sorted — elementwise minimal) reproduces that
+      // winner exactly.
+      S.Shapes.clear();
+      size_t NumCands = 0;
+      for (size_t I = 0; I != K; ++I) {
+        if (!S.Floored[I] || Shares[I] == 0)
+          continue;
+        assert(Shares[I] == 1 && "floored clamp candidate above one WG");
+        ++NumCands;
+        const KernelDemand &D = Ks[I];
+        SolverScratch::ShapeClass *C = nullptr;
+        for (auto &Sh : S.Shapes)
+          if (Sh.WGThreads == D.WGThreads &&
+              Sh.LocalMemPerWG == D.LocalMemPerWG &&
+              Sh.RegsPerThread == D.RegsPerThread) {
+            C = &Sh;
+            break;
+          }
+        if (!C) {
+          S.Shapes.push_back({});
+          C = &S.Shapes.back();
+          C->WGThreads = D.WGThreads;
+          C->LocalMemPerWG = D.LocalMemPerWG;
+          C->RegsPerThread = D.RegsPerThread;
+          C->Freed[0] = D.WGThreads;
+          C->Freed[1] = D.LocalMemPerWG;
+          C->Freed[2] = D.WGThreads * D.RegsPerThread;
+          C->Freed[3] = 1;
+        }
+        if (C->Count < 3)
+          C->Idx[C->Count] = static_cast<uint32_t>(I);
+        ++C->Count;
+      }
+      auto ShapeDemand =
+          [&](const SolverScratch::ShapeClass &Sh) -> uint64_t {
+        switch (Dim) {
+        case 0:
+          return Sh.WGThreads;
+        case 1:
+          return Sh.LocalMemPerWG;
+        case 2:
+          return Sh.WGThreads * Sh.RegsPerThread;
+        default:
+          return 1;
+        }
+      };
+      auto ComboRestores = [&](const SolverScratch::ShapeClass *const *Set,
+                               size_t N) {
+        uint64_t Freed[4] = {0, 0, 0, 0};
+        for (size_t I = 0; I != N; ++I)
+          for (unsigned D = 0; D != 4; ++D)
+            Freed[D] += Set[I]->Freed[D];
+        for (unsigned D = 0; D != 4; ++D)
+          if (Use[D] - Freed[D] > Cap[D])
+            return false;
+        return true;
+      };
+      auto Materialize = [&](const SolverScratch::ShapeClass *const *Set,
+                             size_t N, uint32_t *Out) {
+        for (size_t A = 0; A != N; ++A) {
+          size_t Taken = 0;
+          for (size_t B = 0; B != A; ++B)
+            if (Set[B] == Set[A])
+              ++Taken;
+          Out[A] = Set[A]->Idx[Taken];
+        }
+        std::sort(Out, Out + N);
+      };
+      auto LexBefore = [](const uint32_t *A, const uint32_t *B, size_t N) {
+        for (size_t I = 0; I != N; ++I)
+          if (A[I] != B[I])
+            return A[I] < B[I];
+        return false;
+      };
+      constexpr size_t PairCap = 256, TripleCap = 48;
+      size_t BestN = 0;
+      uint32_t BestIdx[3] = {0, 0, 0};
+      uint64_t BestDemand = 0;
+      const size_t NumShapes = S.Shapes.size();
+      if (NumCands <= PairCap) {
+        for (size_t X = 0; X != NumShapes; ++X)
+          for (size_t Y = X; Y != NumShapes; ++Y) {
+            const SolverScratch::ShapeClass *Set[2] = {&S.Shapes[X],
+                                                       &S.Shapes[Y]};
+            if (X == Y && Set[0]->Count < 2)
+              continue;
+            if (!ComboRestores(Set, 2))
+              continue;
+            uint64_t D = ShapeDemand(*Set[0]) + ShapeDemand(*Set[1]);
+            if (BestN && D < BestDemand)
+              continue;
+            uint32_t Idx[3];
+            Materialize(Set, 2, Idx);
+            if (!BestN || D > BestDemand || LexBefore(Idx, BestIdx, 2)) {
+              BestN = 2;
+              BestIdx[0] = Idx[0];
+              BestIdx[1] = Idx[1];
+              BestDemand = D;
+            }
+          }
+      }
+      if (!BestN && NumCands <= TripleCap) {
+        for (size_t X = 0; X != NumShapes; ++X)
+          for (size_t Y = X; Y != NumShapes; ++Y)
+            for (size_t Z = Y; Z != NumShapes; ++Z) {
+              const SolverScratch::ShapeClass *Set[3] = {
+                  &S.Shapes[X], &S.Shapes[Y], &S.Shapes[Z]};
+              // Multiplicity check per distinct shape in the combo.
+              bool Realizable = true;
+              for (size_t A = 0; A != 3 && Realizable; ++A) {
+                uint32_t Mult = 0;
+                for (size_t B = 0; B != 3; ++B)
+                  if (Set[B] == Set[A])
+                    ++Mult;
+                Realizable = Set[A]->Count >= Mult;
+              }
+              if (!Realizable)
+                continue;
+              if (!ComboRestores(Set, 3))
+                continue;
+              uint64_t D = ShapeDemand(*Set[0]) + ShapeDemand(*Set[1]) +
+                           ShapeDemand(*Set[2]);
+              if (BestN && D < BestDemand)
+                continue;
+              uint32_t Idx[3];
+              Materialize(Set, 3, Idx);
+              if (!BestN || D > BestDemand ||
+                  LexBefore(Idx, BestIdx, 3)) {
+                BestN = 3;
+                BestIdx[0] = Idx[0];
+                BestIdx[1] = Idx[1];
+                BestIdx[2] = Idx[2];
+                BestDemand = D;
+              }
+            }
+      }
+      if (BestN) {
+        for (size_t I = 0; I != BestN; ++I)
+          DropShare(BestIdx[I]);
+        continue;
+      }
+    }
+    DropShare(Victim);
+  }
+
+  if (!Opts.GreedySaturation)
+    return;
+
+  bool EqualWeights = true;
+  double RefWeight = 0;
+  bool HaveRef = false;
+  for (const KernelDemand &D : Ks) {
+    if (D.RequestedWGs == 0)
+      continue;
+    if (!HaveRef) {
+      RefWeight = D.Weight;
+      HaveRef = true;
+    } else if (D.Weight != RefWeight) {
+      EqualWeights = false;
+      break;
+    }
+  }
+
+  auto ProbeGrow = [&](size_t I) {
+    const KernelDemand &D = Ks[I];
+    const uint64_t PerWG[4] = {D.WGThreads, D.LocalMemPerWG,
+                               D.WGThreads * D.RegsPerThread, 1};
+    for (unsigned Dim = 0; Dim != 4; ++Dim)
+      if (Use[Dim] + PerWG[Dim] > Cap[Dim])
+        return false;
+    for (unsigned Dim = 0; Dim != 4; ++Dim)
+      Use[Dim] += PerWG[Dim];
+    ++Shares[I];
+    return true;
+  };
+
+  if (EqualWeights) {
+    // Round-robin growth with the unsaturated set compacted in place:
+    // each sweep touches only still-active kernels, in index order —
+    // the probe sequence the reference loop produces by scanning and
+    // skipping.
+    S.Active.clear();
+    for (size_t I = 0; I != K; ++I)
+      if (Shares[I] < Ks[I].RequestedWGs)
+        S.Active.push_back(static_cast<uint32_t>(I));
+    while (!S.Active.empty()) {
+      size_t Out = 0;
+      for (uint32_t I : S.Active)
+        if (ProbeGrow(I) && Shares[I] < Ks[I].RequestedWGs)
+          S.Active[Out++] = I;
+      S.Active.resize(Out);
+    }
+    return;
+  }
+
+  S.Saturated.assign(K, 0);
+  for (;;) {
+    size_t Next = K;
+    double NextNorm = 0;
+    for (size_t I = 0; I != K; ++I) {
+      if (S.Saturated[I] || Shares[I] >= Ks[I].RequestedWGs)
+        continue;
+      double Norm = static_cast<double>(Shares[I]) / Ks[I].Weight;
+      if (Next == K || Norm < NextNorm) {
+        Next = I;
+        NextNorm = Norm;
+      }
+    }
+    if (Next == K)
+      break;
+    if (!ProbeGrow(Next))
+      S.Saturated[Next] = 1;
+  }
 }

@@ -75,6 +75,25 @@ inline ResourceUse footprintOf(const KernelDemand &D, uint64_t WGs) {
 /// the ablation study).
 struct SolverOptions {
   bool GreedySaturation = true;
+  /// Run the saturation phase against an incrementally maintained
+  /// aggregate footprint, so each +1 feasibility probe is O(1) instead
+  /// of a full O(K) re-sum, and drop kernels from the sweep permanently
+  /// once a probe fails (aggregate use only grows during saturation, so
+  /// a failed increment can never succeed later). The grown shares are
+  /// bit-identical to the reference loop; disabling this reproduces the
+  /// pre-optimization hot path for differential tests and the
+  /// serve_scale full-solve baseline.
+  bool FastSaturation = true;
+};
+
+/// Structural facts of one solve, exposed for the incremental
+/// scheduling fast paths and their self-checks: which kernels took the
+/// minimum-share floor, which were stopped by capacity during
+/// saturation, and whether the oversubscription clamp had to fire.
+struct SolveInfo {
+  std::vector<bool> Floored;   ///< Base division hit the one-WG floor.
+  std::vector<bool> Saturated; ///< Saturation stopped on capacity.
+  bool Clamped = false;        ///< Floors oversubscribed; clamp ran.
 };
 
 /// Computes the number of physical work groups per kernel. Shares never
@@ -92,7 +111,62 @@ struct SolverOptions {
 /// largest-contributor heuristic fire.
 std::vector<uint64_t> solveFairShares(const ResourceCaps &Caps,
                                       const std::vector<KernelDemand> &Ks,
-                                      const SolverOptions &Opts = {});
+                                      const SolverOptions &Opts = {},
+                                      SolveInfo *Info = nullptr);
+
+/// Reusable working storage for the allocation-free solver overload:
+/// one long-lived instance per scheduler amortizes every per-solve
+/// heap allocation to the high-water mark of the queue.
+struct SolverScratch {
+  std::vector<uint8_t> Floored;
+  std::vector<uint8_t> Saturated;
+  std::vector<uint32_t> Active; ///< Unsaturated sweep list, index order.
+  /// Per-call memo of the Sec. 3 base divisions. Queues at scale repeat
+  /// a few kernel shapes hundreds of times, and the divisions are a
+  /// pure function of (shape, weight fraction) for fixed caps — so
+  /// identical inputs reproduce identical doubles and the cached result
+  /// *is* the computed result. N is the post-floor, pre-request-cap
+  /// share. Bounded small; pathological all-distinct queues fall back
+  /// to computing.
+  struct BaseDiv {
+    uint64_t WGThreads = 0;
+    uint64_t LocalMemPerWG = 0;
+    uint64_t RegsPerThread = 0;
+    double Frac = 0;
+    uint64_t N = 0;
+    bool Floored = false;
+  };
+  std::vector<BaseDiv> BaseCache;
+  /// Clamp-pass shape classes. Every clamp candidate is a floored
+  /// one-work-group share, so its freed footprint and its demand in the
+  /// tie-break dimension are functions of its kernel shape alone; the
+  /// bounded bin-covering search then runs over shape *combinations*
+  /// (S^2 / S^3 for S distinct shapes) instead of candidate subsets
+  /// (C^2 / C^3), with the winning combination re-materialized as its
+  /// lexicographically first concrete candidate set — exactly the set
+  /// the reference scan lands on.
+  struct ShapeClass {
+    uint64_t WGThreads = 0;
+    uint64_t LocalMemPerWG = 0;
+    uint64_t RegsPerThread = 0;
+    uint64_t Freed[4] = {0, 0, 0, 0}; ///< One floored WG's footprint.
+    uint32_t Count = 0;               ///< Candidates of this shape.
+    uint32_t Idx[3] = {0, 0, 0}; ///< Three smallest candidate indices.
+  };
+  std::vector<ShapeClass> Shapes;
+};
+
+/// Allocation-free solve for the admission hot path. Produces the same
+/// share vector as the allocating overload for the same inputs — every
+/// integer comparison is against the same exactly-maintained aggregate
+/// sums the reference recomputes, so the decision sequence is
+/// bit-identical (asserted by the schedulers' SelfCheck mode and the
+/// solver differential tests). Working storage lives in \p Scratch and
+/// the result is written into \p Shares, both reused across calls.
+void solveFairShares(const ResourceCaps &Caps,
+                     const std::vector<KernelDemand> &Ks,
+                     const SolverOptions &Opts, SolverScratch &Scratch,
+                     std::vector<uint64_t> &Shares);
 
 /// Launch-time floor for a solved share. Historically every zero share
 /// was floored to one work group at launch; clamp-shed requests are now

@@ -39,6 +39,44 @@ void subtractFootprint(ResourceCaps &Free, const KernelDemand &D,
   Sub(Free.WGSlots, Use.WGSlots);
 }
 
+/// Exact aggregate-footprint arithmetic for the schedulers' O(1)
+/// residual accounting. Additions and subtractions are symmetric, so a
+/// footprint removed is exactly the footprint that was added.
+void addUse(ResourceUse &A, const ResourceUse &B) {
+  A.Threads += B.Threads;
+  A.LocalMem += B.LocalMem;
+  A.Regs += B.Regs;
+  A.WGSlots += B.WGSlots;
+}
+
+void subUse(ResourceUse &A, const ResourceUse &B) {
+  assert(A.Threads >= B.Threads && A.LocalMem >= B.LocalMem &&
+         A.Regs >= B.Regs && A.WGSlots >= B.WGSlots &&
+         "aggregate footprint accounting went negative");
+  A.Threads -= B.Threads;
+  A.LocalMem -= B.LocalMem;
+  A.Regs -= B.Regs;
+  A.WGSlots -= B.WGSlots;
+}
+
+/// \p Caps minus \p Use, saturating at zero (a solo-rescue grant may
+/// legitimately exceed the device; see ContinuousScheduler::admit).
+ResourceCaps residualOf(const ResourceCaps &Caps, const ResourceUse &Use) {
+  ResourceCaps Free = Caps;
+  auto Sub = [](uint64_t &Cap, uint64_t U) { Cap -= std::min(Cap, U); };
+  Sub(Free.Threads, Use.Threads);
+  Sub(Free.LocalMem, Use.LocalMem);
+  Sub(Free.Regs, Use.Regs);
+  Sub(Free.WGSlots, Use.WGSlots);
+  return Free;
+}
+
+/// A queued request's aggregate footprint at its full size, under the
+/// same zero-thread normalization admit() applies before solving.
+ResourceUse queueFootprint(const KernelDemand &D) {
+  return footprintOf(D, D.WGThreads == 0 ? 0 : D.RequestedWGs);
+}
+
 } // namespace
 
 RoundGrant RoundScheduler::soloGrant(const Entry &E) const {
@@ -56,6 +94,7 @@ std::vector<RoundGrant> RoundScheduler::nextRound() {
   if (Queue.empty())
     return Grants;
   ++Stats.RoundsPlanned;
+  ++Stats.FullSolves; // Round-synchronous planning always solves.
 
   std::vector<KernelDemand> Demands;
   Demands.reserve(Queue.size());
@@ -108,15 +147,24 @@ std::vector<RoundGrant> RoundScheduler::nextRound() {
 //===----------------------------------------------------------------------===//
 
 ResourceCaps ContinuousScheduler::residual() const {
-  ResourceCaps Free = Caps;
-  for (const auto &[Id, F] : Flights)
-    subtractFootprint(Free, F.Demand, F.WGs);
-  return Free;
+  return residualOf(Caps, FlightUse);
+}
+
+void ContinuousScheduler::submit(const RoundRequest &R) {
+  Queue.push_back({R, 0});
+  addUse(QueueUse, queueFootprint(R.Demand));
+  if (R.Demand.RequestedWGs > 0 && R.Demand.WGThreads > 0)
+    MinWGThreads = std::min(MinWGThreads, R.Demand.WGThreads);
 }
 
 void ContinuousScheduler::complete(uint64_t Id) {
-  [[maybe_unused]] size_t Erased = Flights.erase(Id);
-  assert(Erased == 1 && "completing an execution that is not in flight");
+  auto It = Flights.find(Id);
+  assert(It != Flights.end() &&
+         "completing an execution that is not in flight");
+  if (It == Flights.end())
+    return;
+  subUse(FlightUse, footprintOf(It->second.Demand, It->second.WGs));
+  Flights.erase(It);
 }
 
 void ContinuousScheduler::shrink(uint64_t Id, uint64_t WGs) {
@@ -124,21 +172,92 @@ void ContinuousScheduler::shrink(uint64_t Id, uint64_t WGs) {
   assert(It != Flights.end() && "shrinking an execution not in flight");
   assert(WGs > 0 && WGs <= It->second.WGs &&
          "shrink must narrow a grant, not grow it");
+  subUse(FlightUse, footprintOf(It->second.Demand, It->second.WGs - WGs));
   It->second.WGs = WGs;
 }
 
-std::vector<RoundGrant> ContinuousScheduler::admit() {
-  std::vector<RoundGrant> Grants;
-  if (Queue.empty())
-    return Grants;
-  ++Stats.RoundsPlanned;
+void ContinuousScheduler::solveTargets(size_t QueueBase) {
+  if (SchedOpts.Incremental && Opts.GreedySaturation) {
+    // Underload rule: if every in-flight grant plus every queued
+    // request at its full size fits the device in aggregate, then (a)
+    // the base divisions cannot oversubscribe (each is at most the full
+    // request), so the clamp never fires, and (b) greedy saturation —
+    // equal-weight or weighted — grows every share until its request,
+    // since no intermediate step can exceed the fitting aggregate.
+    // The solve's answer is therefore "everyone gets what they asked
+    // for", share for share.
+    ResourceUse Total = FlightUse;
+    addUse(Total, QueueUse);
+    if (Total.Threads <= Caps.Threads && Total.LocalMem <= Caps.LocalMem &&
+        Total.Regs <= Caps.Regs && Total.WGSlots <= Caps.WGSlots) {
+      ++Stats.FastPasses;
+      Shares.assign(QueueBase + Queue.size(), 0);
+      for (size_t I = 0; I != Queue.size(); ++I) {
+        const KernelDemand &D = Queue[I].R.Demand;
+        Shares[QueueBase + I] = D.WGThreads == 0 ? 0 : D.RequestedWGs;
+      }
+#ifndef NDEBUG
+      if (SchedOpts.SelfCheck) {
+        Demands.clear();
+        for (const auto &[Id, F] : Flights) {
+          KernelDemand D = F.Demand;
+          D.RequestedWGs = F.WGs;
+          Demands.push_back(D);
+        }
+        for (const Entry &E : Queue) {
+          KernelDemand D = E.R.Demand;
+          if (D.WGThreads == 0)
+            D.RequestedWGs = 0;
+          Demands.push_back(D);
+        }
+        std::vector<uint64_t> Ref = solveFairShares(Caps, Demands, Opts);
+        for (size_t I = 0; I != Queue.size(); ++I)
+          assert(Shares[QueueBase + I] == Ref[QueueBase + I] &&
+                 "underload fast path diverged from the full solve");
+      }
+#endif
+      return;
+    }
+    // No-capacity rule: the device is occupied and not one work group
+    // of any work-carrying queued request fits the residual, so every
+    // grant below clamps to zero whatever the solver would say — and
+    // with flights present the solo rescue cannot fire either. (With
+    // an *empty* device the full path must run: work conservation may
+    // force an over-sized grant through.) Shares do not need to match
+    // the solve here, only the grants do; the zero vector yields the
+    // same min(target, maxFitting) == 0 for every entry.
+    if (!Flights.empty()) {
+      ResourceCaps Free = residual();
+      bool AnyFits = false;
+      // Every work-carrying request needs at least one slot and
+      // MinWGThreads threads, so a residual below both bounds rules
+      // out every fit without the per-entry divisions.
+      if (Free.WGSlots != 0 && Free.Threads >= MinWGThreads)
+        for (const Entry &E : Queue) {
+          const KernelDemand &D = E.R.Demand;
+          if (D.RequestedWGs == 0 || D.WGThreads == 0)
+            continue;
+          if (maxFitting(Free, D) > 0) {
+            AnyFits = true;
+            break;
+          }
+        }
+      if (!AnyFits) {
+        ++Stats.FastPasses;
+        Shares.assign(QueueBase + Queue.size(), 0);
+        return;
+      }
+    }
+  }
 
-  // Fair-share targets over everything active. In-flight executions
-  // keep their grants (no preemption) but stay in the divisor, capped
-  // at what they actually occupy, so a pending request's target is the
-  // share it deserves *next to* the current residents.
-  std::vector<KernelDemand> Demands;
-  Demands.reserve(Flights.size() + Queue.size());
+  // Full solve: fair-share targets over everything active. In-flight
+  // executions keep their grants (no preemption) but stay in the
+  // divisor, capped at what they actually occupy, so a pending
+  // request's target is the share it deserves *next to* the current
+  // residents.
+  ++Stats.FullSolves;
+  Demands.clear();
+  Demands.reserve(QueueBase + Queue.size());
   for (const auto &[Id, F] : Flights) {
     KernelDemand D = F.Demand;
     D.RequestedWGs = F.WGs;
@@ -152,10 +271,33 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
       D.RequestedWGs = 0;
     Demands.push_back(D);
   }
-  std::vector<uint64_t> Shares = solveFairShares(Caps, Demands, Opts);
+  if (!SchedOpts.Incremental) {
+    // Reference mode: the pre-optimization hot path, verbatim — a
+    // fresh allocating solve every pass (serve_scale's full-solve
+    // baseline).
+    Shares = solveFairShares(Caps, Demands, Opts);
+    return;
+  }
+  solveFairShares(Caps, Demands, Opts, Scratch, Shares);
+#ifndef NDEBUG
+  if (SchedOpts.SelfCheck) {
+    std::vector<uint64_t> Ref = solveFairShares(Caps, Demands, Opts);
+    assert(Ref == Shares &&
+           "allocation-free solve diverged from the reference solve");
+  }
+#endif
+}
+
+const std::vector<RoundGrant> &ContinuousScheduler::admit() {
+  Grants.clear();
+  if (Queue.empty())
+    return Grants;
+  ++Stats.RoundsPlanned;
+
   // Queue entries follow the in-flight block in the solve; grants below
   // grow Flights, so the offset must be pinned here.
   const size_t QueueBase = Flights.size();
+  solveTargets(QueueBase);
 
   // Admission order. The paper-default equal-weight discipline is plain
   // FIFO (kept verbatim: bit-identical). With non-equal weights, FIFO
@@ -165,7 +307,7 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
   // FIFO among equal weights. A starving request (DeferCount at the
   // MaxDeferrals bound) goes first regardless of weight, so weighted
   // priority cannot bypass anyone indefinitely.
-  std::vector<size_t> Order(Queue.size());
+  Order.resize(Queue.size());
   for (size_t I = 0; I != Order.size(); ++I)
     Order[I] = I;
   // Mixed-weight detection over work-carrying entries only: zero-work
@@ -197,7 +339,31 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
                      });
 
   ResourceCaps Free = residual();
-  std::deque<Entry> Kept;
+  // Residual-exhaustion bound: every work-carrying demand needs at
+  // least one slot and at least MinWGThreads threads, so once Free
+  // drops below either, maxFitting() is zero for the rest of the pass
+  // and its divisions are skipped.
+  auto Exhausted = [&]() {
+    return Free.WGSlots == 0 || Free.Threads < MinWGThreads;
+  };
+  // Lazy kept-queue materialization (equal weights only: weighted
+  // priority reorders the queue through Kept, so it always copies).
+  // Most admission passes at scale remove nothing — every entry stays
+  // queued — and for those the queue already *is* its kept-set. Kept
+  // is built only at the first removal (a grant or a trivial zero-work
+  // completion): until then every processed entry was kept, in queue
+  // order, which is exactly what the catch-up copy reconstructs.
+  bool Copied = MixedWeights;
+  if (Copied)
+    Kept.clear();
+  auto EnsureCopied = [&](size_t OI) {
+    if (Copied)
+      return;
+    Kept.clear();
+    for (size_t J = 0; J != OI; ++J)
+      Kept.push_back(Queue[J]);
+    Copied = true;
+  };
   // Everyone still in Kept when a later grant lands was overtaken; each
   // is charged at most one deferral per pass.
   size_t ChargedUpTo = 0;
@@ -207,14 +373,20 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
     Entry &E = Queue[Order[OI]];
     uint64_t Target = Shares[QueueBase + Order[OI]];
     // Zero-work (or degenerate zero-thread) requests complete
-    // trivially: zero work groups, no flight, no capacity.
+    // trivially: zero work groups, no flight, no capacity. (Their
+    // queueFootprint is all-zero, so QueueUse needs no update.)
     if (E.R.Demand.RequestedWGs == 0 || E.R.Demand.WGThreads == 0) {
+      EnsureCopied(OI);
       Grants.push_back({E.R.Id, 0});
       continue;
     }
     uint64_t WGs = 0;
     if (!Blocked) {
-      WGs = std::min(Target, maxFitting(Free, E.R.Demand));
+      // min(0, fit) needs no division, and an exhausted residual fits
+      // nothing; both skips leave WGs at the zero the full expression
+      // would have produced.
+      if (Target != 0 && !Exhausted())
+        WGs = std::min(Target, maxFitting(Free, E.R.Demand));
       if (WGs == 0 && Flights.empty() && !AnyCapacityGrant) {
         // Work conservation: an idle device never refuses its oldest
         // request. Mirror the round scheduler's solo grant (launchWGs
@@ -227,9 +399,11 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
     if (WGs == 0) {
       if (E.DeferCount >= MaxDeferrals)
         Blocked = true; // Starving: hold every younger request back.
-      Kept.push_back(E);
+      if (Copied)
+        Kept.push_back(E);
       continue;
     }
+    EnsureCopied(OI);
     // FIFO order: everyone still in Kept when this (younger) grant
     // lands was overtaken. Under weighted priority the grants land
     // FIRST (heaviest served before anyone is kept), so this loop
@@ -246,6 +420,8 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
     assert(!Flights.count(E.R.Id) &&
            "request admitted while already in flight");
     Flights[E.R.Id] = {E.R.Demand, WGs};
+    addUse(FlightUse, footprintOf(E.R.Demand, WGs));
+    subUse(QueueUse, queueFootprint(E.R.Demand));
     subtractFootprint(Free, E.R.Demand, WGs);
     AnyCapacityGrant = true;
   }
@@ -262,7 +438,148 @@ std::vector<RoundGrant> ContinuousScheduler::admit() {
         ++Stats.Deferrals;
       }
 
-  Queue = std::move(Kept);
+  // A pass that removed nothing left the queue untouched (and charged
+  // nothing — deferrals only land alongside grants), so there is
+  // nothing to swap back in.
+  if (Copied)
+    Queue.swap(Kept); // swap, not move: both deques keep their capacity.
+  return Grants;
+}
+
+//===----------------------------------------------------------------------===//
+// StrideScheduler
+//===----------------------------------------------------------------------===//
+
+void StrideScheduler::submit(const RoundRequest &R) {
+  TenantState &T = Tenants[R.Tenant];
+  double Tickets = R.Demand.Weight > 0 ? R.Demand.Weight : 1.0;
+  if (Tickets != T.Tickets) {
+    T.Tickets = Tickets;
+    T.Stride = Stride1 / Tickets;
+  }
+  if (T.Queue.empty()) {
+    // Re-entry rule: an idle tenant joins at the global pass (or its
+    // own, if ahead), so sleeping never banks scheduling credit.
+    T.Pass = std::max(T.Pass, GlobalPass);
+    Ready.insert({T.Pass, R.Tenant});
+  }
+  T.Queue.push_back({R, 0});
+  ++Pending;
+}
+
+void StrideScheduler::complete(uint64_t Id) {
+  auto It = Flights.find(Id);
+  assert(It != Flights.end() &&
+         "completing an execution that is not in flight");
+  if (It == Flights.end())
+    return;
+  subUse(FlightUse, footprintOf(It->second.Demand, It->second.WGs));
+  Flights.erase(It);
+}
+
+void StrideScheduler::shrink(uint64_t Id, uint64_t WGs) {
+  auto It = Flights.find(Id);
+  assert(It != Flights.end() && "shrinking an execution not in flight");
+  assert(WGs > 0 && WGs <= It->second.WGs &&
+         "shrink must narrow a grant, not grow it");
+  subUse(FlightUse, footprintOf(It->second.Demand, It->second.WGs - WGs));
+  It->second.WGs = WGs;
+}
+
+void StrideScheduler::clear() {
+  for (auto &[Tid, T] : Tenants)
+    T.Queue.clear();
+  Ready.clear();
+  Pending = 0;
+}
+
+const std::vector<RoundGrant> &StrideScheduler::admit() {
+  Grants.clear();
+  if (Pending == 0)
+    return Grants;
+  ++Stats.RoundsPlanned;
+  ++Stats.FastPasses; // Stride never solves; every pass is a fast pass.
+
+  ResourceCaps Free = residualOf(Caps, FlightUse);
+  const ResourceCaps PassFree = Free;
+  const uint64_t ActiveAtStart = Ready.size();
+  Skipped.clear();
+  bool Blocked = false;
+  bool AnyCapacityGrant = false;
+  while (!Ready.empty() && !Blocked) {
+    auto It = Ready.begin();
+    const double Pass = It->first;
+    const int Tid = It->second;
+    TenantState &T = Tenants[Tid];
+    Entry &E = T.Queue.front();
+    const KernelDemand &D = E.R.Demand;
+    // Zero-work (or degenerate zero-thread) requests complete
+    // trivially and consume no pass credit.
+    if (D.RequestedWGs == 0 || D.WGThreads == 0) {
+      Grants.push_back({E.R.Id, 0});
+      T.Queue.pop_front();
+      --Pending;
+      if (T.Queue.empty())
+        Ready.erase(It);
+      continue;
+    }
+    uint64_t WGs = std::min(D.RequestedWGs, maxFitting(Free, D));
+    if (WGs > 0 && ActiveAtStart > 1) {
+      // Equal split of the pass's starting residual across the tenants
+      // waiting at pass start: space is shared concurrently; the
+      // weights bind through pick frequency, not share size.
+      ResourceCaps Split{PassFree.Threads / ActiveAtStart,
+                         PassFree.LocalMem / ActiveAtStart,
+                         PassFree.Regs / ActiveAtStart,
+                         PassFree.WGSlots / ActiveAtStart};
+      WGs = std::min(WGs, std::max<uint64_t>(maxFitting(Split, D), 1));
+    } else if (WGs == 0 && Flights.empty() && !AnyCapacityGrant) {
+      // Work conservation: an idle device never refuses its
+      // minimum-pass request, even one whose single work group exceeds
+      // the device (serialized downstream, like the solo rescues of
+      // the fair-share schedulers).
+      WGs = launchWGs(std::min(D.RequestedWGs, maxFitting(Caps, D)));
+      ++Stats.SoloRescues;
+    }
+    if (WGs == 0) {
+      // Does not fit: bypass this tenant for the rest of the pass. A
+      // starving head (MaxDeferrals bypasses) blocks every
+      // higher-pass grant until capacity drains back.
+      if (E.DeferCount >= MaxDeferrals)
+        Blocked = true;
+      Skipped.push_back(Tid);
+      Ready.erase(It);
+      continue;
+    }
+    Grants.push_back({E.R.Id, WGs});
+    assert(!Flights.count(E.R.Id) &&
+           "request admitted while already in flight");
+    Flights[E.R.Id] = {D, WGs};
+    addUse(FlightUse, footprintOf(D, WGs));
+    subtractFootprint(Free, D, WGs);
+    AnyCapacityGrant = true;
+    T.Queue.pop_front();
+    --Pending;
+    // Advance the clock: the tenant pays one stride per granted
+    // request, and the global pass tracks the service frontier.
+    GlobalPass = std::max(GlobalPass, Pass);
+    Ready.erase(It);
+    T.Pass = Pass + T.Stride;
+    if (!T.Queue.empty())
+      Ready.insert({T.Pass, Tid});
+  }
+  // Re-arm the bypassed tenants (their pass values are unchanged, so
+  // they only sink in the pick order while others advance); each
+  // bypassed head is charged one deferral per pass that granted
+  // capacity over it.
+  for (int Tid : Skipped) {
+    TenantState &T = Tenants[Tid];
+    if (AnyCapacityGrant) {
+      ++T.Queue.front().DeferCount;
+      ++Stats.Deferrals;
+    }
+    Ready.insert({T.Pass, Tid});
+  }
   return Grants;
 }
 

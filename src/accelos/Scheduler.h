@@ -42,6 +42,8 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace accel {
@@ -51,6 +53,11 @@ namespace accelos {
 struct RoundRequest {
   uint64_t Id = 0; ///< Caller-owned handle, returned in the grant.
   KernelDemand Demand;
+  /// Submitting tenant. The fair-share schedulers ignore it (weights
+  /// arrive per-request in Demand.Weight); the stride scheduler charges
+  /// this tenant's pass counter for every grant. Last so the
+  /// widespread {Id, Demand} aggregate initialization keeps working.
+  int Tenant = 0;
 };
 
 /// A share grant for one member of a scheduling round.
@@ -75,6 +82,14 @@ struct SchedulerStats {
   /// Times an anti-starvation escape engaged: solo rounds for
   /// RoundScheduler, forced idle-device grants for ContinuousScheduler.
   uint64_t SoloRescues = 0;
+  /// Scheduling decisions that invoked solveFairShares. For
+  /// ContinuousScheduler this is the fallback-to-full-solve counter of
+  /// the incremental machinery: RoundsPlanned == FullSolves + FastPasses.
+  uint64_t FullSolves = 0;
+  /// Scheduling decisions served without a solve: ContinuousScheduler
+  /// admission passes resolved by a structural fast path (underloaded
+  /// device, or zero residual capacity), and every StrideScheduler pass.
+  uint64_t FastPasses = 0;
 };
 
 /// Round-synchronous fair-share scheduler over one device's capacity.
@@ -117,6 +132,20 @@ private:
   SchedulerStats Stats;
 };
 
+/// Tuning of the ContinuousScheduler's incremental-solving machinery.
+struct SchedulerOptions {
+  /// Serve admission passes through the structural fast paths when they
+  /// apply (see ContinuousScheduler). Grants are bit-identical either
+  /// way; disabling forces a full solve at every event — the
+  /// pre-optimization hot path, kept as the speedup baseline of
+  /// bench/serve_scale and the reference side of differential tests.
+  bool Incremental = true;
+  /// Debug/test mode: every fast-path pass also runs the full solve and
+  /// asserts the fast path reproduced its shares exactly (debug builds;
+  /// compiles away under NDEBUG).
+  bool SelfCheck = false;
+};
+
 /// Event-driven fair-share scheduler: the continuous-admission growth
 /// of RoundScheduler. Instead of waiting for a whole round to complete,
 /// the caller reports individual completions (complete()) and asks for
@@ -136,17 +165,37 @@ private:
 /// request admitted past it) MaxDeferrals times blocks all younger
 /// admissions until capacity drains enough to admit it — bounded
 /// bypassing, in place of RoundScheduler's solo rounds.
+///
+/// Incremental solving: the serving hot path calls admit() at *every*
+/// arrival/completion event, and most events do not change the solve's
+/// structure. Two structural rules recognize those events in O(queue)
+/// without invoking the solver, feeding the exact shares the solver
+/// would have produced into the unchanged grant loop (so the grant
+/// history is bit-identical by construction):
+///
+///  - underload: the aggregate footprint of every in-flight grant plus
+///    every queued request at its full size fits the device, so
+///    saturation would grow each share to its request anyway;
+///  - no residual capacity: the device is occupied and not one work
+///    group of any queued request fits the residual, so every grant
+///    would be clamped to zero no matter what the solver said.
+///
+/// Everything else falls back to a full solveFairShares;
+/// stats().FullSolves / FastPasses count the split, and
+/// SchedulerOptions::SelfCheck re-derives every fast-path result with a
+/// fresh solve and asserts equality (debug builds).
 class ContinuousScheduler {
 public:
   /// A request overtaken this many times blocks younger admissions.
   static constexpr uint32_t MaxDeferrals = RoundScheduler::MaxDeferrals;
 
   explicit ContinuousScheduler(const ResourceCaps &Caps,
-                               SolverOptions Opts = {})
-      : Caps(Caps), Opts(Opts) {}
+                               SolverOptions Opts = {},
+                               SchedulerOptions SchedOpts = {})
+      : Caps(Caps), Opts(Opts), SchedOpts(SchedOpts) {}
 
   /// Queues a request (an arrival event; call admit() to act on it).
-  void submit(const RoundRequest &R) { Queue.push_back({R, 0}); }
+  void submit(const RoundRequest &R);
 
   /// Marks the in-flight execution \p Id complete, returning its
   /// capacity to the pool (a completion event; call admit() next).
@@ -171,15 +220,23 @@ public:
   /// groups and leave the queue immediately. An idle device never
   /// refuses its oldest request (work conservation), even when the
   /// clamp shed it.
-  std::vector<RoundGrant> admit();
+  ///
+  /// The returned reference is into a buffer reused by the next admit()
+  /// call — consume (or copy) it before then.
+  const std::vector<RoundGrant> &admit();
 
   size_t pending() const { return Queue.size(); }
   size_t inFlight() const { return Flights.size(); }
   const SchedulerStats &stats() const { return Stats; }
+  /// stats() under the name the serving harness reports it as.
+  const SchedulerStats &schedulerStats() const { return Stats; }
 
   /// Drops every pending request (error recovery); in-flight
   /// executions are unaffected.
-  void clear() { Queue.clear(); }
+  void clear() {
+    Queue.clear();
+    QueueUse = ResourceUse{};
+  }
 
 private:
   struct Entry {
@@ -193,14 +250,136 @@ private:
     uint64_t WGs = 0;
   };
 
-  /// Device capacity minus every in-flight footprint.
+  /// Device capacity minus every in-flight footprint (O(1): maintained
+  /// as the FlightUse aggregate, not re-summed).
   ResourceCaps residual() const;
+
+  /// Computes fair-share targets for the queue tail of the current
+  /// admission pass into Shares (offset by QueueBase), via a structural
+  /// fast path when one applies, else a full solve.
+  void solveTargets(size_t QueueBase);
 
   ResourceCaps Caps;
   SolverOptions Opts;
+  SchedulerOptions SchedOpts;
   std::deque<Entry> Queue;
   std::map<uint64_t, Flight> Flights; ///< Keyed by request Id.
+  /// Aggregate footprint of every in-flight grant; kept in sync by
+  /// admit()/shrink()/complete().
+  ResourceUse FlightUse;
+  /// Aggregate footprint of every queued request at its full
+  /// (zero-thread-normalized) size; kept in sync by submit()/admit().
+  ResourceUse QueueUse;
   SchedulerStats Stats;
+  /// Scratch reused across admission passes (allocation-free steady
+  /// state on the serving hot path).
+  std::vector<RoundGrant> Grants;
+  std::vector<KernelDemand> Demands;
+  std::vector<uint64_t> Shares;
+  std::vector<size_t> Order;
+  std::deque<Entry> Kept;
+  /// Working storage for the allocation-free solver overload, used on
+  /// full solves when SchedOpts.Incremental is set.
+  SolverScratch Scratch;
+  /// Monotonic lower bound on the WGThreads of every work-carrying
+  /// request ever submitted; lets hot paths prove "nothing can fit the
+  /// residual" in O(1) (a fit needs at least one slot and at least
+  /// MinWGThreads threads). Never reset — a lower bound stays valid.
+  uint64_t MinWGThreads = UINT64_MAX;
+};
+
+/// Deterministic proportional-share admission without the solver:
+/// stride scheduling (Waldspurger/Weihl; CS140 chap9) over the tenant
+/// weight vector, as a cheap approximate alternative to the exact
+/// fair-share solve. Each tenant holds tickets equal to its current
+/// request weight and a stride inversely proportional to them; every
+/// admission pass repeatedly picks the minimum-pass tenant from an
+/// ordered index (O(log n) per pick), grants its oldest request as many
+/// work groups as fit the residual capacity (capped at an equal split
+/// of the pass's starting residual when several tenants are waiting, so
+/// space is shared while the weights act through pick frequency), and
+/// advances that tenant's pass by its stride. Weights therefore bind
+/// over *time* — a weight-2 tenant is picked twice as often — rather
+/// than through per-event share re-solving.
+///
+/// Interface-compatible with ContinuousScheduler (submit / admit /
+/// shrink / complete / stats), so the serving loop and benches drive
+/// either through the same template code. Fairness is approximate:
+/// serve_scale gates its peak windowed unfairness within 2x of the
+/// exact solver's while admission passes stay O(grants * log tenants).
+///
+/// Anti-starvation mirrors ContinuousScheduler: a tenant head bypassed
+/// MaxDeferrals times blocks younger grants for the rest of the pass; a
+/// lagging tenant's frozen pass value also sinks it to the front of the
+/// pick order, so bypassing is doubly bounded. New or reactivated
+/// tenants join at max(own pass, global pass) — the standard stride
+/// re-entry rule — so sleeping never banks credit.
+class StrideScheduler {
+public:
+  static constexpr uint32_t MaxDeferrals = RoundScheduler::MaxDeferrals;
+  /// Stride numerator (stride = Stride1 / tickets, in doubles — exact
+  /// for every power-of-two-free weight ratio that matters here, and
+  /// deterministic regardless).
+  static constexpr double Stride1 = 1 << 20;
+
+  explicit StrideScheduler(const ResourceCaps &Caps) : Caps(Caps) {}
+
+  /// Queues a request under R.Tenant's account (an arrival event). The
+  /// tenant's tickets are refreshed from R.Demand.Weight, so adaptive
+  /// weight changes take effect on the next submission.
+  void submit(const RoundRequest &R);
+
+  /// Marks the in-flight execution \p Id complete, returning its
+  /// capacity to the pool.
+  void complete(uint64_t Id);
+
+  /// Narrows the reserved footprint of in-flight execution \p Id (see
+  /// ContinuousScheduler::shrink).
+  void shrink(uint64_t Id, uint64_t WGs);
+
+  /// Plans admissions for the current event (see class comment). The
+  /// returned reference is into a buffer reused by the next call.
+  const std::vector<RoundGrant> &admit();
+
+  size_t pending() const { return Pending; }
+  size_t inFlight() const { return Flights.size(); }
+  const SchedulerStats &stats() const { return Stats; }
+  const SchedulerStats &schedulerStats() const { return Stats; }
+
+  /// Drops every pending request (error recovery); in-flight
+  /// executions keep their grants, tenants keep their pass values.
+  void clear();
+
+private:
+  struct Entry {
+    RoundRequest R;
+    uint32_t DeferCount = 0;
+  };
+  struct Flight {
+    KernelDemand Demand;
+    uint64_t WGs = 0;
+  };
+  struct TenantState {
+    double Tickets = 1.0;
+    double Stride = Stride1;
+    double Pass = 0;
+    std::deque<Entry> Queue;
+  };
+
+  ResourceCaps Caps;
+  std::map<int, TenantState> Tenants;
+  /// (Pass, tenant) of every tenant with queued work — the min-pass
+  /// pick index.
+  std::set<std::pair<double, int>> Ready;
+  std::map<uint64_t, Flight> Flights; ///< Keyed by request Id.
+  ResourceUse FlightUse;
+  /// High-water mark of granted passes; re-entry level for idle
+  /// tenants.
+  double GlobalPass = 0;
+  size_t Pending = 0;
+  SchedulerStats Stats;
+  std::vector<RoundGrant> Grants;  ///< Reused across passes.
+  std::vector<int> Skipped;        ///< Pass-local scratch.
 };
 
 /// Tuning of the SLO weight controller. Like AdaptivePolicy.h's batch

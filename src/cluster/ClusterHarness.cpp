@@ -59,7 +59,8 @@ public:
       Devices[D].Session.emplace(Fleet.device(D));
       Devices[D].Sched.emplace(
           detail::capsFor(Fleet.device(D), Opts.Stream),
-          detail::solverOptsFor(Opts.Stream));
+          detail::solverOptsFor(Opts.Stream),
+          detail::schedOptsFor(Opts.Stream));
     }
     if (Opts.Stream.AdaptiveSloWeights) {
       assert(Opts.Stream.SloControlInterval > 0 &&

@@ -62,6 +62,14 @@ public:
   std::vector<workloads::TimedRequest> Trace;
   std::vector<LiveRequest> Live;
 
+  /// Scratch buffers for the steady-state serving loops: admissionPass
+  /// refills LaunchBuf and hands it to EngineSession::admitFrom, and
+  /// the replay loops read completions through advanceTo(T,
+  /// CompletionBuf) — one allocation per high-water mark instead of
+  /// one per event.
+  std::vector<sim::KernelLaunchDesc> LaunchBuf;
+  std::vector<sim::KernelExecResult> CompletionBuf;
+
   /// Routes tenant-weight lookups through the SLO controller for the
   /// rest of the run (adaptive closed loop); new and requeued
   /// submissions then pick up whatever the control law last decided.
@@ -147,20 +155,24 @@ public:
                                  CK.Spec->WGSize,
                                  CK.Spec->IssueEfficiency,
                                  Opts.RoundQuantum);
-    std::vector<double> Slice(
-        CK.WGCosts.begin() + static_cast<ptrdiff_t>(LR.Cursor),
-        CK.WGCosts.begin() + static_cast<ptrdiff_t>(End));
-    for (double C : Slice)
-      RemainingCostOf[Idx] -= C;
+    for (size_t G = LR.Cursor; G != End; ++G)
+      RemainingCostOf[Idx] -= CK.WGCosts[G];
+    // The slice is a *view* into the compiled kernel's cost array (the
+    // driver outlives the replay), not a copy: high-rate replays build
+    // one of these per grant, and the copy was the dominant per-event
+    // allocation.
+    const size_t SliceLen = End - LR.Cursor;
+    L.ViewCosts = CK.WGCosts.data();
+    L.ViewBegin = LR.Cursor;
+    L.ViewEnd = End;
     LR.Cursor = End;
     L.PhysicalWGs = std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1),
-                                       Slice.size());
+                                       SliceLen);
     // Re-cap the dequeue batch against the slice, not the full range:
     // every granted physical WG must still be able to dequeue at least
     // one batch of this launch's work.
-    L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, Slice.size(),
+    L.Batch = accelos::cappedBatchFor(Mode, CK.InstCount, SliceLen,
                                       L.PhysicalWGs);
-    L.VirtualCosts = std::move(Slice);
     L.ArrivalTime = Arrival;
     return L;
   }
@@ -209,10 +221,15 @@ private:
 
 /// Queues request \p Idx — with its current remaining demand and
 /// tenant weight — on \p Sched (an arrival or slice-requeue event).
-inline void submitRequest(accelos::ContinuousScheduler &Sched,
-                          const ReplayState &RS, size_t Idx) {
+/// Templated over the scheduler so the stride admission mode
+/// (accelos::StrideScheduler, which charges the request's tenant pass
+/// counter) shares the replay loops with the exact solver.
+template <typename SchedulerT>
+inline void submitRequest(SchedulerT &Sched, const ReplayState &RS,
+                          size_t Idx) {
   accelos::RoundRequest R;
   R.Id = Idx;
+  R.Tenant = RS.Trace[Idx].Tenant;
   R.Demand = RS.demandOf(Idx);
   Sched.submit(R);
 }
@@ -228,12 +245,12 @@ inline void submitRequest(accelos::ContinuousScheduler &Sched,
 /// capacity (a tail slice shrinking its reservation) and must re-run
 /// at this same instant; each re-pass needs a fresh shrink, so the
 /// caller's loop terminates.
-template <typename RetireFn>
-inline bool admissionPass(accelos::ContinuousScheduler &Sched,
-                          sim::EngineSession &Session, ReplayState &RS,
-                          double T, RetireFn &&RetireZeroWork) {
+template <typename SchedulerT, typename RetireFn>
+inline bool admissionPass(SchedulerT &Sched, sim::EngineSession &Session,
+                          ReplayState &RS, double T,
+                          RetireFn &&RetireZeroWork) {
   bool Repass = false;
-  std::vector<sim::KernelLaunchDesc> Launches;
+  RS.LaunchBuf.clear();
   for (const accelos::RoundGrant &G : Sched.admit()) {
     size_t Idx = static_cast<size_t>(G.Id);
     if (RS.remainingGroups(Idx) == 0) {
@@ -249,10 +266,10 @@ inline bool admissionPass(accelos::ContinuousScheduler &Sched,
       Sched.shrink(G.Id, L.PhysicalWGs);
       Repass = true;
     }
-    Launches.push_back(std::move(L));
+    RS.LaunchBuf.push_back(std::move(L));
   }
-  if (!Launches.empty())
-    Session.admit(std::move(Launches));
+  if (!RS.LaunchBuf.empty())
+    Session.admitFrom(RS.LaunchBuf);
   return Repass;
 }
 
@@ -264,11 +281,25 @@ inline accelos::SchedulingMode modeFor(SchedulerKind Kind) {
 
 /// The solver options the continuous scheduler runs under:
 /// StreamOptions::StrictShares turns greedy saturation off so admission
-/// targets are pure weighted entitlements.
+/// targets are pure weighted entitlements, and FullSolveReference pins
+/// the solver to its reference (pre-fast-path) saturation loop.
 inline accelos::SolverOptions solverOptsFor(const StreamOptions &Opts) {
   accelos::SolverOptions SOpts;
   SOpts.GreedySaturation = !Opts.StrictShares;
+  SOpts.FastSaturation = !Opts.FullSolveReference;
   return SOpts;
+}
+
+/// The scheduler options the continuous scheduler runs under:
+/// FullSolveReference disables the incremental fast paths (every
+/// admission pass runs a full share solve — the measurement baseline),
+/// and SelfCheckIncremental cross-checks every fast pass against a
+/// fresh full solve in debug builds.
+inline accelos::SchedulerOptions schedOptsFor(const StreamOptions &Opts) {
+  accelos::SchedulerOptions SO;
+  SO.Incremental = !Opts.FullSolveReference;
+  SO.SelfCheck = Opts.SelfCheckIncremental;
+  return SO;
 }
 
 /// The capacity the continuous scheduler shares out: the device caps,

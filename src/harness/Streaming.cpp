@@ -65,6 +65,83 @@ StreamOutcome::queueingExcessByTenant() const {
   return Out;
 }
 
+namespace {
+
+/// The arrival-aware continuous replay loop, shared by the exact
+/// (accelos::ContinuousScheduler) and stride (accelos::StrideScheduler)
+/// admission modes: ONE persistent engine session, an admission pass at
+/// every arrival/completion event, sliced requests requeued at the
+/// event that completed them.
+template <typename SchedulerT>
+void replayContinuous(SchedulerT &Sched, const sim::DeviceSpec &Spec,
+                      ReplayState &RS,
+                      const std::vector<workloads::TimedRequest> &Trace,
+                      StreamOutcome &Out) {
+  sim::EngineSession Session(Spec);
+  size_t NextArrival = 0;
+  size_t Completed = 0;
+
+  // An admission pass can only grant something new after an arrival
+  // or a completion changed the queue or the residual capacity;
+  // engine-internal events (work-group legs, dequeues) free nothing
+  // the scheduler can see, so re-solving there would be wasted work.
+  bool NeedAdmit = true;
+  while (Completed != Trace.size()) {
+    double T = Session.now();
+    // Arrival events at or before the current time enter the queue.
+    while (NextArrival != Trace.size() &&
+           Trace[NextArrival].ArrivalTime <= T) {
+      detail::submitRequest(Sched, RS, NextArrival++);
+      NeedAdmit = true;
+    }
+
+    // Admission event: fill whatever residual capacity the in-flight
+    // grants leave (re-passing while a pass itself freed capacity).
+    while (NeedAdmit)
+      NeedAdmit = detail::admissionPass(Sched, Session, RS, T,
+                                        [&](size_t) { ++Completed; });
+
+    // Advance to the next event: a completion inside the session or
+    // the next trace arrival, whichever comes first.
+    double NextEvent = Session.nextEventTime();
+    double NextTrace = NextArrival != Trace.size()
+                           ? Trace[NextArrival].ArrivalTime
+                           : -1;
+    assert((NextEvent >= 0 || NextTrace >= 0) && "requests lost");
+    double Target = NextEvent;
+    if (Target < 0 || (NextTrace >= 0 && NextTrace < Target))
+      Target = NextTrace;
+    Session.advanceTo(std::max(Target, T), RS.CompletionBuf);
+    for (const sim::KernelExecResult &K : RS.CompletionBuf) {
+      size_t Idx = static_cast<size_t>(K.AppId);
+      LiveRequest &LR = RS.Live[Idx];
+      if (!LR.Started) {
+        LR.Started = true;
+        LR.Start = K.StartTime;
+      }
+      LR.End = K.EndTime;
+      Sched.complete(Idx);
+      NeedAdmit = true;
+      ++Out.EngineCompletions;
+      if (RS.remainingGroups(Idx) != 0) {
+        // Sliced: requeue the remainder; it re-enters the fair-share
+        // solve at this very event.
+        detail::submitRequest(Sched, RS, Idx);
+      } else {
+        Out.Requests[Idx].StartTime = LR.Start;
+        Out.Requests[Idx].EndTime = LR.End;
+        ++Completed;
+      }
+    }
+  }
+  Out.Rounds = Sched.stats().RoundsPlanned;
+  Out.Deferrals = Sched.stats().Deferrals;
+  Out.FullSolves = Sched.schedulerStats().FullSolves;
+  Out.FastPasses = Sched.schedulerStats().FastPasses;
+}
+
+} // namespace
+
 size_t harness::quantumSliceEnd(const std::vector<double> &WGCosts,
                                 size_t Cursor, uint64_t GrantWGs,
                                 uint64_t WGThreads,
@@ -126,73 +203,23 @@ StreamOutcome harness::runStream(
     }
     Out.Rounds = 1;
   } else if (IsAccelOS &&
-             Opts.Admission == StreamOptions::AdmissionMode::Continuous) {
+             Opts.Admission != StreamOptions::AdmissionMode::RoundSync) {
     // Continuous admission: ONE persistent engine session. The
     // scheduler reacts to every arrival and completion event,
     // immediately filling the residual capacity left by in-flight
     // grants with newly arrived (or requeued sliced) kernels — no
     // round boundary, so a request never waits out the makespan of a
-    // round it just missed.
-    accelos::ContinuousScheduler Sched(capsFor(Spec, Opts),
-                                       solverOptsFor(Opts));
-    sim::EngineSession Session(Spec);
-    size_t NextArrival = 0;
-    size_t Completed = 0;
-
-    // An admission pass can only grant something new after an arrival
-    // or a completion changed the queue or the residual capacity;
-    // engine-internal events (work-group legs, dequeues) free nothing
-    // the scheduler can see, so re-solving there would be wasted work.
-    bool NeedAdmit = true;
-    while (Completed != Trace.size()) {
-      double T = Session.now();
-      // Arrival events at or before the current time enter the queue.
-      while (NextArrival != Trace.size() &&
-             Trace[NextArrival].ArrivalTime <= T) {
-        detail::submitRequest(Sched, RS, NextArrival++);
-        NeedAdmit = true;
-      }
-
-      // Admission event: fill whatever residual capacity the in-flight
-      // grants leave (re-passing while a pass itself freed capacity).
-      while (NeedAdmit)
-        NeedAdmit = detail::admissionPass(
-            Sched, Session, RS, T, [&](size_t) { ++Completed; });
-
-      // Advance to the next event: a completion inside the session or
-      // the next trace arrival, whichever comes first.
-      double NextEvent = Session.nextEventTime();
-      double NextTrace = NextArrival != Trace.size()
-                             ? Trace[NextArrival].ArrivalTime
-                             : -1;
-      assert((NextEvent >= 0 || NextTrace >= 0) && "requests lost");
-      double Target = NextEvent;
-      if (Target < 0 || (NextTrace >= 0 && NextTrace < Target))
-        Target = NextTrace;
-      for (const sim::KernelExecResult &K :
-           Session.advanceTo(std::max(Target, T))) {
-        size_t Idx = static_cast<size_t>(K.AppId);
-        LiveRequest &LR = RS.Live[Idx];
-        if (!LR.Started) {
-          LR.Started = true;
-          LR.Start = K.StartTime;
-        }
-        LR.End = K.EndTime;
-        Sched.complete(Idx);
-        NeedAdmit = true;
-        if (RS.remainingGroups(Idx) != 0) {
-          // Sliced: requeue the remainder; it re-enters the fair-share
-          // solve at this very event.
-          detail::submitRequest(Sched, RS, Idx);
-        } else {
-          Out.Requests[Idx].StartTime = LR.Start;
-          Out.Requests[Idx].EndTime = LR.End;
-          ++Completed;
-        }
-      }
+    // round it just missed. The stride mode swaps the exact fair-share
+    // solve for pass/stride tenant counters inside the same loop.
+    if (Opts.Admission == StreamOptions::AdmissionMode::Stride) {
+      accelos::StrideScheduler Sched(capsFor(Spec, Opts));
+      replayContinuous(Sched, Spec, RS, Trace, Out);
+    } else {
+      accelos::ContinuousScheduler Sched(capsFor(Spec, Opts),
+                                         solverOptsFor(Opts),
+                                         detail::schedOptsFor(Opts));
+      replayContinuous(Sched, Spec, RS, Trace, Out);
     }
-    Out.Rounds = Sched.stats().RoundsPlanned;
-    Out.Deferrals = Sched.stats().Deferrals;
   } else {
     // Round-synchronous serving loop: requests arriving mid-round wait
     // for the completion boundary, where the plan sees the grown queue.
@@ -391,7 +418,8 @@ StreamOutcome harness::runClosedLoop(
     }
 
     accelos::ContinuousScheduler Sched(capsFor(Spec, Opts),
-                                       solverOptsFor(Opts));
+                                       solverOptsFor(Opts),
+                                       detail::schedOptsFor(Opts));
     sim::EngineSession Session(Spec);
 
     bool NeedAdmit = true;
@@ -419,8 +447,8 @@ StreamOutcome harness::runClosedLoop(
       double Target = NextEvent;
       if (Target < 0 || (NextIssue >= 0 && NextIssue < Target))
         Target = NextIssue;
-      for (const sim::KernelExecResult &K :
-           Session.advanceTo(std::max(Target, T))) {
+      Session.advanceTo(std::max(Target, T), RS.CompletionBuf);
+      for (const sim::KernelExecResult &K : RS.CompletionBuf) {
         size_t Idx = static_cast<size_t>(K.AppId);
         LiveRequest &LR = RS.Live[Idx];
         if (!LR.Started) {
@@ -430,6 +458,7 @@ StreamOutcome harness::runClosedLoop(
         LR.End = K.EndTime;
         Sched.complete(Idx);
         NeedAdmit = true;
+        ++Out.EngineCompletions;
         if (RS.remainingGroups(Idx) != 0) {
           detail::submitRequest(Sched, RS, Idx);
         } else {
@@ -449,6 +478,8 @@ StreamOutcome harness::runClosedLoop(
     }
     Out.Rounds = Sched.stats().RoundsPlanned;
     Out.Deferrals = Sched.stats().Deferrals;
+    Out.FullSolves = Sched.schedulerStats().FullSolves;
+    Out.FastPasses = Sched.schedulerStats().FastPasses;
   }
 
   assert(RS.Trace.size() == Total && "script not fully replayed");

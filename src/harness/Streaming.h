@@ -109,6 +109,16 @@ struct StreamOutcome {
   /// admission passes for Continuous.
   size_t Rounds = 0;
   uint64_t Deferrals = 0; ///< Scheduler deferrals (accelOS only).
+  /// Admission passes that ran a full fair-share solve vs the
+  /// incremental/stride fast path (continuous accelOS only; the
+  /// fallback-to-full-solve counter). Rounds == FullSolves + FastPasses
+  /// on those paths.
+  uint64_t FullSolves = 0;
+  uint64_t FastPasses = 0;
+  /// Engine completion events delivered to the replay loop (slice
+  /// completions included) — with arrivals and admission passes, the
+  /// event count bench/serve_scale normalizes wall-clock by.
+  uint64_t EngineCompletions = 0;
 
   /// Effective per-tenant weights when the run ended: the static
   /// StreamOptions::Weights, overlaid with the SLO controller's final
@@ -142,6 +152,12 @@ struct StreamOptions {
     RoundSync,
     /// Event-driven admission into one persistent engine session.
     Continuous,
+    /// Event-driven admission through accelos::StrideScheduler:
+    /// pass/stride tenant counters replace the fair-share solve at
+    /// every admission event. Approximate weighted fairness at a
+    /// per-event cost that is O(log tenants) instead of a solver run —
+    /// the high-rate serving mode benchmarked by bench/serve_scale.
+    Stride,
   };
 
   /// Per-tenant sharing weights (absent tenants weigh 1.0); only
@@ -199,6 +215,18 @@ struct StreamOptions {
   /// Entitlements sum to (nearly) the full capacity, so under load the
   /// device stays as busy as before; what changes is who occupies it.
   bool StrictShares = false;
+  /// Measurement baseline for the incremental-admission fast paths
+  /// (continuous accelOS only): run every admission pass through a
+  /// full share solve with the solver's reference saturation loop —
+  /// the exact pre-optimization hot path. Grant histories are
+  /// bit-identical to the default either way (the fast paths are
+  /// exactness-preserving); what changes is the events/sec
+  /// bench/serve_scale measures.
+  bool FullSolveReference = false;
+  /// Debug-build cross-check (continuous accelOS only): every
+  /// incremental fast pass re-runs the full solve and asserts the
+  /// shares are bit-identical. No effect in release builds.
+  bool SelfCheckIncremental = false;
 };
 
 /// Degenerate-latency threshold, as a fraction of the request's

@@ -104,13 +104,22 @@ double metrics::worstNormalizedTurnaround(
 
 double metrics::latencyPercentile(std::vector<double> Values, double Pct) {
   assert(!Values.empty() && "percentile of an empty set");
-  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
   std::sort(Values.begin(), Values.end());
-  double Rank = Pct / 100.0 * static_cast<double>(Values.size() - 1);
+  return sortedPercentile(Values, Pct);
+}
+
+double metrics::sortedPercentile(const std::vector<double> &SortedValues,
+                                 double Pct) {
+  assert(!SortedValues.empty() && "percentile of an empty set");
+  assert(Pct >= 0.0 && Pct <= 100.0 && "percentile out of range");
+  assert(std::is_sorted(SortedValues.begin(), SortedValues.end()) &&
+         "sortedPercentile input is not sorted");
+  double Rank =
+      Pct / 100.0 * static_cast<double>(SortedValues.size() - 1);
   size_t Lo = static_cast<size_t>(Rank);
-  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  size_t Hi = std::min(Lo + 1, SortedValues.size() - 1);
   double Frac = Rank - static_cast<double>(Lo);
-  return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+  return SortedValues[Lo] + Frac * (SortedValues[Hi] - SortedValues[Lo]);
 }
 
 double metrics::mean(const std::vector<double> &Values) {
@@ -137,49 +146,63 @@ double metrics::goodput(const std::vector<double> &Values, double Target,
          static_cast<double>(Values.size()) / Makespan;
 }
 
+metrics::WindowedUnfairnessAccumulator::WindowedUnfairnessAccumulator(
+    double WindowLength)
+    : WindowLength(WindowLength) {
+  assert(WindowLength > 0 && "non-positive window length");
+}
+
+void metrics::WindowedUnfairnessAccumulator::add(double Time,
+                                                 double Value) {
+  assert(Value > 0 && "non-positive sample value");
+  size_t W = static_cast<size_t>(Time / WindowLength);
+  if (W >= Count.size()) {
+    Min.resize(W + 1, 0);
+    Max.resize(W + 1, 0);
+    Count.resize(W + 1, 0);
+  }
+  if (Count[W] == 0) {
+    Min[W] = Max[W] = Value;
+  } else {
+    Min[W] = std::min(Min[W], Value);
+    Max[W] = std::max(Max[W], Value);
+  }
+  ++Count[W];
+}
+
+std::vector<double>
+metrics::WindowedUnfairnessAccumulator::windows() const {
+  // Windows holding fewer than two samples report 1: a lone request
+  // cannot be treated unfairly relative to its window.
+  std::vector<double> Out;
+  Out.reserve(Count.size());
+  for (size_t W = 0; W != Count.size(); ++W)
+    Out.push_back(Count[W] < 2 ? 1.0 : Max[W] / Min[W]);
+  return Out;
+}
+
+double metrics::WindowedUnfairnessAccumulator::peak() const {
+  double Peak = 1.0;
+  for (size_t W = 0; W != Count.size(); ++W)
+    if (Count[W] >= 2)
+      Peak = std::max(Peak, Max[W] / Min[W]);
+  return Peak;
+}
+
 std::vector<double>
 metrics::windowedUnfairness(const std::vector<TimedSample> &Samples,
                             double WindowLength) {
-  assert(WindowLength > 0 && "non-positive window length");
-  std::vector<double> Out;
-  if (Samples.empty())
-    return Out;
-
-  double MaxTime = 0;
+  WindowedUnfairnessAccumulator Acc(WindowLength);
   for (const TimedSample &S : Samples)
-    MaxTime = std::max(MaxTime, S.Time);
-  size_t NumWindows =
-      static_cast<size_t>(MaxTime / WindowLength) + 1;
-
-  // Per-window extrema; count tracks whether the window has enough
-  // samples for a meaningful ratio.
-  std::vector<double> Min(NumWindows, 0), Max(NumWindows, 0);
-  std::vector<size_t> Count(NumWindows, 0);
-  for (const TimedSample &S : Samples) {
-    size_t W = std::min(static_cast<size_t>(S.Time / WindowLength),
-                        NumWindows - 1);
-    assert(S.Value > 0 && "non-positive sample value");
-    if (Count[W] == 0) {
-      Min[W] = Max[W] = S.Value;
-    } else {
-      Min[W] = std::min(Min[W], S.Value);
-      Max[W] = std::max(Max[W], S.Value);
-    }
-    ++Count[W];
-  }
-
-  Out.reserve(NumWindows);
-  for (size_t W = 0; W != NumWindows; ++W)
-    Out.push_back(Count[W] < 2 ? 1.0 : Max[W] / Min[W]);
-  return Out;
+    Acc.add(S);
+  return Acc.windows();
 }
 
 double
 metrics::peakWindowedUnfairness(const std::vector<TimedSample> &Samples,
                                 double WindowLength) {
-  std::vector<double> Windows = windowedUnfairness(Samples, WindowLength);
-  double Peak = 1.0;
-  for (double U : Windows)
-    Peak = std::max(Peak, U);
-  return Peak;
+  WindowedUnfairnessAccumulator Acc(WindowLength);
+  for (const TimedSample &S : Samples)
+    Acc.add(S);
+  return Acc.peak();
 }

@@ -59,6 +59,14 @@ double worstNormalizedTurnaround(const std::vector<double> &Slowdowns);
 /// p99 in the streaming evaluation.
 double latencyPercentile(std::vector<double> Values, double Pct);
 
+/// latencyPercentile over a \p SortedValues vector that is already
+/// sorted ascending (and non-empty): O(1) per query. Callers reading
+/// several percentiles of a large sample set — serve_scale
+/// post-processes 10^5+ latencies — sort once and query through this
+/// instead of paying latencyPercentile's copy + sort per percentile.
+double sortedPercentile(const std::vector<double> &SortedValues,
+                        double Pct);
+
 /// Arithmetic mean of \p Values (0 for an empty set) — the companion
 /// aggregate to latencyPercentile for latency/queue-delay reporting.
 double mean(const std::vector<double> &Values);
@@ -83,6 +91,36 @@ std::vector<double> windowedUnfairness(
 /// windows) — transient unfairness that whole-trace averages hide.
 double peakWindowedUnfairness(const std::vector<TimedSample> &Samples,
                               double WindowLength);
+
+/// Streaming form of windowedUnfairness/peakWindowedUnfairness: feed
+/// samples one at a time (any order) in amortized O(1) each, then read
+/// the per-window ratios or the peak without ever materializing the
+/// sample history. A serving bench that accumulates completions as
+/// they happen post-processes n requests in O(n + windows) instead of
+/// buffering all n TimedSamples and rescanning them; both free
+/// functions above are thin wrappers over this class, so the values
+/// are identical by construction.
+class WindowedUnfairnessAccumulator {
+public:
+  explicit WindowedUnfairnessAccumulator(double WindowLength);
+
+  /// Records one sample; windows grow on demand to cover \p Time.
+  void add(double Time, double Value);
+  void add(const TimedSample &S) { add(S.Time, S.Value); }
+
+  /// Per-window unfairness so far — windowedUnfairness of the samples
+  /// fed in (empty when none were).
+  std::vector<double> windows() const;
+
+  /// The worst window so far (1 when empty) — peakWindowedUnfairness
+  /// of the samples fed in.
+  double peak() const;
+
+private:
+  double WindowLength;
+  std::vector<double> Min, Max; ///< Per-window extrema.
+  std::vector<size_t> Count;    ///< Per-window sample counts.
+};
 
 /// SLO attainment: the fraction of \p Values at or below \p Target
 /// (e.g. per-request queueing delays against a tenant's latency

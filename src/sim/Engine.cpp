@@ -21,11 +21,14 @@ using namespace accel;
 using namespace accel::sim;
 
 double KernelLaunchDesc::totalWork() const {
-  const std::vector<double> &Costs =
-      Mode == ModeKind::Static ? StaticCosts : VirtualCosts;
   double Sum = 0;
-  for (double C : Costs)
-    Sum += C;
+  if (Mode == ModeKind::Static) {
+    for (double C : StaticCosts)
+      Sum += C;
+  } else {
+    for (uint64_t I = 0, N = numVirtualGroups(); I != N; ++I)
+      Sum += virtualCost(I);
+  }
   return Sum;
 }
 
@@ -49,10 +52,12 @@ public:
     CUs.resize(Spec.NumCUs);
   }
 
-  void admit(std::vector<KernelLaunchDesc> Launches);
+  void admit(std::vector<KernelLaunchDesc> &Launches);
   double now() const { return Now; }
   double nextEventTime();
   std::vector<KernelExecResult> advanceTo(double T);
+  void advanceTo(double T, std::vector<KernelExecResult> &Out);
+  void advanceCore(double T);
   std::vector<KernelExecResult> drain();
   size_t inFlight() const { return States.size() - FinishedCount; }
   std::vector<KernelExecResult> history() const;
@@ -153,13 +158,6 @@ private:
   /// [0, DonePrefix) is entirely finished and can be skipped, which
   /// keeps a long-lived session's per-event work proportional to the
   /// *active* launches, not everything ever admitted.
-  bool allEarlierComplete(size_t Pos) const {
-    for (size_t P = DonePrefix; P < Pos; ++P)
-      if (!States[QueueOrder[P]].Finished)
-        return false;
-    return true;
-  }
-
   bool sharesMergeGroupWithEarlier(size_t Pos) const {
     const LaunchState &L = States[QueueOrder[Pos]];
     if (L.Desc.MergeGroup < 0)
@@ -186,17 +184,20 @@ private:
   }
 
   /// May the launch at queue position \p Pos begin dispatching under
-  /// the device's admission policy?
-  bool canStart(size_t Pos) const {
-    if (Pos == 0 || allEarlierComplete(Pos))
+  /// the device's admission policy? The two window facts — is every
+  /// earlier active launch finished / past dispatch — are maintained
+  /// incrementally by dispatchAll's scan, so each check is O(1) where
+  /// the original rescanned [DonePrefix, Pos) per launch.
+  bool canStart(size_t Pos, bool EarlierFinished,
+                bool EarlierDispatched) const {
+    if (Pos == 0 || EarlierFinished)
       return true;
     if (sharesMergeGroupWithEarlier(Pos))
       return true;
     // All earlier launches must at least have drained their pending
     // queues (WG-granular FIFO; the finished prefix trivially has).
-    for (size_t P = DonePrefix; P < Pos; ++P)
-      if (!States[QueueOrder[P]].dispatchDone())
-        return false;
+    if (!EarlierDispatched)
+      return false;
     if (Spec.Admission == KernelAdmissionKind::GreedyTail)
       return true;
     // ExclusiveUnlessFits: the whole remaining footprint must fit in
@@ -235,10 +236,10 @@ private:
     const KernelLaunchDesc &D = L.Desc;
     double Cost = Spec.DequeueCycles * static_cast<double>(D.WGThreads);
     ++L.Dequeues;
-    uint64_t N = std::min<uint64_t>(D.Batch,
-                                    D.VirtualCosts.size() - L.QueueCursor);
+    uint64_t N = std::min<uint64_t>(
+        D.Batch, D.numVirtualGroups() - L.QueueCursor);
     for (uint64_t I = 0; I != N; ++I)
-      Cost += D.VirtualCosts[L.QueueCursor + I];
+      Cost += D.virtualCost(L.QueueCursor + I);
     L.QueueCursor += N;
     return Cost;
   }
@@ -312,20 +313,27 @@ private:
            States[QueueOrder[DonePrefix]].Finished)
       ++DonePrefix;
     std::set<int> GroupsDone;
+    // Window facts over the scanned prefix [DonePrefix, Pos), carried
+    // forward as the scan advances (see canStart).
+    bool EarlierFinished = true;
+    bool EarlierDispatched = true;
     for (size_t Pos = DonePrefix; Pos != ArrivedCount; ++Pos) {
       size_t Li = QueueOrder[Pos];
       LaunchState &L = States[Li];
-      if (L.dispatchDone())
+      if (L.dispatchDone()) {
+        EarlierFinished &= L.Finished;
         continue;
+      }
       // Admission check applies to merged batches through their first
       // pending member: later batches queue behind earlier ones.
-      if (!L.Started && !canStart(Pos))
+      if (!L.Started && !canStart(Pos, EarlierFinished, EarlierDispatched))
         break;
       if (L.Desc.MergeGroup >= 0) {
         if (GroupsDone.insert(L.Desc.MergeGroup).second)
           dispatchMergeGroup(L.Desc.MergeGroup, Now);
         if (!L.dispatchDone())
           break; // Batch still has pending work; later batches wait.
+        EarlierFinished &= L.Finished;
         continue;
       }
       while (!L.dispatchDone())
@@ -333,6 +341,7 @@ private:
           break;
       if (!L.dispatchDone())
         break; // This launch's head WG is stuck; strict FIFO behind it.
+      EarlierFinished &= L.Finished;
     }
   }
 
@@ -358,6 +367,10 @@ private:
       // (StaticCosts must stay: numPhysicalWGs() is its size.)
       L.Desc.VirtualCosts.clear();
       L.Desc.VirtualCosts.shrink_to_fit();
+      // View-mode launches drop their borrowed window too, so a
+      // finished record never holds a pointer into caller memory.
+      L.Desc.ViewCosts = nullptr;
+      L.Desc.ViewBegin = L.Desc.ViewEnd = 0;
     }
   }
 
@@ -418,7 +431,9 @@ private:
   std::vector<KernelExecResult> Completed;
 };
 
-void SessionState::admit(std::vector<KernelLaunchDesc> Launches) {
+// Moves the launches out of \p Launches and clears it, so both public
+// admit flavours (by-value and buffer-reusing) share one body.
+void SessionState::admit(std::vector<KernelLaunchDesc> &Launches) {
   if (Launches.empty())
     return;
   bool AnyDue = false;
@@ -454,6 +469,7 @@ void SessionState::admit(std::vector<KernelLaunchDesc> Launches) {
                      return States[A].Desc.ArrivalTime <
                             States[B].Desc.ArrivalTime;
                    });
+  Launches.clear();
   if (AnyDue) {
     admitArrivals(Now);
     Dirty.clear();
@@ -473,7 +489,7 @@ double SessionState::nextEventTime() {
   return T;
 }
 
-std::vector<KernelExecResult> SessionState::advanceTo(double T) {
+void SessionState::advanceCore(double T) {
   for (;;) {
     purgeStaleHeap();
     bool HaveArrival = ArrivedCount != QueueOrder.size();
@@ -541,7 +557,7 @@ std::vector<KernelExecResult> SessionState::advanceTo(double T) {
         continue;
       LaunchState &L = States[R.Launch];
       if (L.Desc.Mode == KernelLaunchDesc::ModeKind::WorkQueue &&
-          L.QueueCursor < L.Desc.VirtualCosts.size()) {
+          L.QueueCursor < L.Desc.numVirtualGroups()) {
         // Dequeue the next batch and keep running.
         R.Remaining = takeBatch(L);
         Changed = true;
@@ -566,9 +582,21 @@ std::vector<KernelExecResult> SessionState::advanceTo(double T) {
     }
   }
   Now = std::max(Now, T);
+}
+
+std::vector<KernelExecResult> SessionState::advanceTo(double T) {
+  advanceCore(T);
   std::vector<KernelExecResult> Out;
   Out.swap(Completed);
   return Out;
+}
+
+void SessionState::advanceTo(double T, std::vector<KernelExecResult> &Out) {
+  advanceCore(T);
+  Out.clear();
+  for (KernelExecResult &K : Completed)
+    Out.push_back(std::move(K));
+  Completed.clear();
 }
 
 std::vector<KernelExecResult> SessionState::drain() {
@@ -608,7 +636,11 @@ EngineSession::EngineSession(EngineSession &&) noexcept = default;
 EngineSession &EngineSession::operator=(EngineSession &&) noexcept = default;
 
 void EngineSession::admit(std::vector<KernelLaunchDesc> Launches) {
-  State->admit(std::move(Launches));
+  State->admit(Launches);
+}
+
+void EngineSession::admitFrom(std::vector<KernelLaunchDesc> &Launches) {
+  State->admit(Launches);
 }
 
 double EngineSession::now() const { return State->now(); }
@@ -617,6 +649,11 @@ double EngineSession::nextEventTime() { return State->nextEventTime(); }
 
 std::vector<KernelExecResult> EngineSession::advanceTo(double T) {
   return State->advanceTo(T);
+}
+
+void EngineSession::advanceTo(double T,
+                              std::vector<KernelExecResult> &Out) {
+  State->advanceTo(T, Out);
 }
 
 std::vector<KernelExecResult> EngineSession::drain() {

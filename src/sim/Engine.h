@@ -81,6 +81,25 @@ struct KernelLaunchDesc {
   uint64_t PhysicalWGs = 0;
   uint64_t Batch = 1;
 
+  /// WorkQueue fast path for high-rate serving replays: a non-owning
+  /// [ViewBegin, ViewEnd) window into a per-virtual-group cost array
+  /// owned by the caller (e.g. the compiled kernel's WGCosts), used in
+  /// place of copying the window into VirtualCosts. The array must
+  /// outlive the launch's completion. Null (the default) keeps the
+  /// owned-vector representation.
+  const double *ViewCosts = nullptr;
+  uint64_t ViewBegin = 0;
+  uint64_t ViewEnd = 0;
+
+  /// Virtual-group count under either representation.
+  uint64_t numVirtualGroups() const {
+    return ViewCosts ? ViewEnd - ViewBegin : VirtualCosts.size();
+  }
+  /// Cost of virtual group \p I under either representation.
+  double virtualCost(uint64_t I) const {
+    return ViewCosts ? ViewCosts[ViewBegin + I] : VirtualCosts[I];
+  }
+
   /// Launches sharing a merge group dispatch without head-of-line
   /// blocking between each other (the Elastic Kernels merged batch).
   /// -1 means "own group" (default FIFO semantics).
@@ -161,6 +180,11 @@ public:
   /// order). Zero-work launches complete immediately at their arrival.
   void admit(std::vector<KernelLaunchDesc> Launches);
 
+  /// Buffer-reusing admit: moves the launches out of \p Launches and
+  /// clears it, retaining its capacity, so a steady-state serving loop
+  /// refills one scratch vector instead of allocating per event.
+  void admitFrom(std::vector<KernelLaunchDesc> &Launches);
+
   /// Current simulation time: advances monotonically via advanceTo.
   double now() const;
 
@@ -173,6 +197,10 @@ public:
   /// sets now() to at least \p T. \returns the launches that completed
   /// in the window, in completion order.
   std::vector<KernelExecResult> advanceTo(double T);
+
+  /// Buffer-reusing advanceTo: replaces the contents of \p Out with the
+  /// window's completions (capacity retained across calls).
+  void advanceTo(double T, std::vector<KernelExecResult> &Out);
 
   /// Runs every admitted launch to completion (the batch semantics).
   /// \returns the completions, in completion order.

@@ -1233,4 +1233,257 @@ TEST(WeightedSaturationTest, SaturationPreservesWeightRatios) {
   EXPECT_EQ(Shares[0] + Shares[1], Caps.WGSlots);
 }
 
+//===----------------------------------------------------------------------===//
+// Incremental admission (serve_scale hot path)
+//===----------------------------------------------------------------------===//
+
+TEST(SolverInvariantTest, ScratchOverloadMatchesAllocatingSolve) {
+  // The allocation-free overload and the FastSaturation loop both claim
+  // bit-identical shares; sweep randomized demand sets through every
+  // option combination and hold them to it. Half the trials draw
+  // demands from a four-shape pool (many repeats, heavy floors), the
+  // regime the clamp's shape-class search and the base-division memo
+  // are built for.
+  SplitMix64 Rng(0x5C2A7C4);
+  ResourceCaps Caps = tinyCaps();
+  KernelDemand Pool[4] = {demand(512, 16384, 64, 50),
+                          demand(256, 8192, 32, 20),
+                          demand(64, 0, 16, 8),
+                          demand(128, 4096, 0, 12)};
+  SolverScratch Scratch;
+  std::vector<uint64_t> Shares;
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    size_t K = 1 + Rng.nextBelow(16);
+    bool Pooled = Trial % 2 == 0;
+    std::vector<KernelDemand> Ks;
+    for (size_t I = 0; I != K; ++I) {
+      KernelDemand D;
+      if (Pooled) {
+        D = Pool[Rng.nextBelow(4)];
+      } else {
+        D.WGThreads = 32ull << Rng.nextBelow(5);
+        D.LocalMemPerWG = Rng.nextBelow(5) * 8192;
+        D.RegsPerThread = Rng.nextBelow(128);
+        D.RequestedWGs = Rng.nextBelow(4) == 0 ? 0 : 1 + Rng.nextBelow(256);
+      }
+      if (Rng.nextBelow(3) == 0)
+        D.Weight = Rng.nextDoubleInRange(0.25, 8.0);
+      Ks.push_back(D);
+    }
+    for (bool Greedy : {false, true}) {
+      SolverOptions Ref;
+      Ref.GreedySaturation = Greedy;
+      Ref.FastSaturation = false;
+      auto Expected = solveFairShares(Caps, Ks, Ref);
+      for (bool Fast : {false, true}) {
+        SolverOptions Opts = Ref;
+        Opts.FastSaturation = Fast;
+        EXPECT_EQ(solveFairShares(Caps, Ks, Opts), Expected)
+            << "trial " << Trial << " greedy " << Greedy << " fast "
+            << Fast;
+        solveFairShares(Caps, Ks, Opts, Scratch, Shares);
+        EXPECT_EQ(Shares, Expected)
+            << "trial " << Trial << " greedy " << Greedy << " fast "
+            << Fast << " (scratch)";
+      }
+    }
+  }
+}
+
+TEST(ContinuousSchedulerTest, IncrementalMatchesFullSolveOnEventSoup) {
+  // The tentpole property: drive the incremental scheduler and the
+  // pre-optimization full-solve reference through an identical
+  // randomized arrival/completion soup (shape pool, mixed weights,
+  // zero-work requests) and require every admission pass's grants to be
+  // bit-identical, with the fast-path/fallback split visible in the
+  // stats. A SelfCheck instance rides along so debug builds also
+  // exercise the internal re-solve assertion.
+  SplitMix64 Rng(0xD15C0);
+  ResourceCaps Caps = tinyCaps();
+  SolverOptions FullOpts;
+  FullOpts.FastSaturation = false;
+  SchedulerOptions FullSched;
+  FullSched.Incremental = false;
+  ContinuousScheduler Full(Caps, FullOpts, FullSched);
+  ContinuousScheduler Inc(Caps);
+  SchedulerOptions CheckedSched;
+  CheckedSched.SelfCheck = true;
+  ContinuousScheduler Checked(Caps, {}, CheckedSched);
+
+  std::vector<uint64_t> InFlight;
+  uint64_t NextId = 1;
+  for (int Event = 0; Event != 600; ++Event) {
+    if (!InFlight.empty() && Rng.nextBelow(3) == 0) {
+      size_t Pick = Rng.nextBelow(InFlight.size());
+      uint64_t Id = InFlight[Pick];
+      InFlight.erase(InFlight.begin() + Pick);
+      Full.complete(Id);
+      Inc.complete(Id);
+      Checked.complete(Id);
+    } else {
+      RoundRequest R;
+      R.Id = NextId++;
+      R.Demand.WGThreads = 32ull << Rng.nextBelow(4);
+      R.Demand.LocalMemPerWG = Rng.nextBelow(4) * 4096;
+      R.Demand.RegsPerThread = Rng.nextBelow(64);
+      R.Demand.RequestedWGs =
+          Rng.nextBelow(5) == 0 ? 0 : 1 + Rng.nextBelow(8);
+      if (Rng.nextBelow(4) == 0)
+        R.Demand.Weight = 1ull << Rng.nextBelow(3);
+      R.Tenant = static_cast<int>(Rng.nextBelow(6));
+      Full.submit(R);
+      Inc.submit(R);
+      Checked.submit(R);
+    }
+    const std::vector<RoundGrant> &A = Full.admit();
+    const std::vector<RoundGrant> &B = Inc.admit();
+    const std::vector<RoundGrant> &C = Checked.admit();
+    ASSERT_EQ(B.size(), A.size()) << "event " << Event;
+    ASSERT_EQ(C.size(), A.size()) << "event " << Event;
+    for (size_t I = 0; I != A.size(); ++I) {
+      EXPECT_EQ(B[I].Id, A[I].Id) << "event " << Event;
+      EXPECT_EQ(B[I].WGs, A[I].WGs) << "event " << Event;
+      EXPECT_EQ(C[I].Id, A[I].Id) << "event " << Event;
+      EXPECT_EQ(C[I].WGs, A[I].WGs) << "event " << Event;
+    }
+    for (const RoundGrant &G : A)
+      if (G.WGs > 0)
+        InFlight.push_back(G.Id);
+  }
+
+  const SchedulerStats &FS = Full.schedulerStats();
+  const SchedulerStats &IS = Inc.schedulerStats();
+  // The reference never fast-passes; the incremental path splits its
+  // passes between fast paths and full-solve fallbacks, and takes at
+  // least some of each on a soup this varied.
+  EXPECT_EQ(FS.FastPasses, 0u);
+  EXPECT_EQ(FS.RoundsPlanned, FS.FullSolves);
+  EXPECT_EQ(IS.RoundsPlanned, FS.RoundsPlanned);
+  EXPECT_EQ(IS.RoundsPlanned, IS.FullSolves + IS.FastPasses);
+  EXPECT_GT(IS.FastPasses, 0u);
+  EXPECT_LT(IS.FullSolves, IS.RoundsPlanned);
+  EXPECT_EQ(IS.Deferrals, FS.Deferrals);
+  EXPECT_EQ(IS.SoloRescues, FS.SoloRescues);
+}
+
+//===----------------------------------------------------------------------===//
+// Stride scheduler (approximate weighted admission)
+//===----------------------------------------------------------------------===//
+
+/// A device that serves exactly one single-WG request at a time: every
+/// admission pass grants one request, so grant order *is* pick order.
+ResourceCaps oneSlotCaps() {
+  ResourceCaps C;
+  C.Threads = 64;
+  C.LocalMem = 1 << 20;
+  C.Regs = 1 << 20;
+  C.WGSlots = 1;
+  return C;
+}
+
+TEST(StrideSchedulerTest, PickFrequencyTracksTicketRatio) {
+  // Weights bind over time: with deep backlogs and tickets 3:1, the
+  // heavy tenant must be picked three times as often — the stride
+  // invariant the serve_scale fairness gate rests on.
+  StrideScheduler S(oneSlotCaps());
+  std::map<uint64_t, int> TenantOf;
+  uint64_t NextId = 1;
+  for (int I = 0; I != 40; ++I) {
+    for (int T : {0, 1}) {
+      RoundRequest R;
+      R.Id = NextId++;
+      R.Demand = demand(64, 0, 0, 1);
+      R.Demand.Weight = T == 0 ? 3.0 : 1.0;
+      R.Tenant = T;
+      TenantOf[R.Id] = T;
+      S.submit(R);
+    }
+  }
+  int Count[2] = {0, 0};
+  for (int Pass = 0; Pass != 40; ++Pass) {
+    const std::vector<RoundGrant> &G = S.admit();
+    ASSERT_EQ(G.size(), 1u) << "pass " << Pass;
+    ++Count[TenantOf[G.front().Id]];
+    S.complete(G.front().Id);
+  }
+  EXPECT_GE(Count[0], 29);
+  EXPECT_LE(Count[0], 31);
+  EXPECT_EQ(Count[0] + Count[1], 40);
+  // Every stride pass is a fast pass; the solver never runs.
+  EXPECT_EQ(S.stats().FullSolves, 0u);
+  EXPECT_EQ(S.stats().FastPasses, 40u);
+}
+
+TEST(StrideSchedulerTest, DeterministicReplay) {
+  // Two schedulers fed the identical sequence make identical picks —
+  // the determinism serve_scale's grant-history comparison needs.
+  StrideScheduler A(oneSlotCaps());
+  StrideScheduler B(oneSlotCaps());
+  SplitMix64 Rng(0x57121DE);
+  uint64_t NextId = 1;
+  std::vector<uint64_t> InFlight;
+  for (int Event = 0; Event != 200; ++Event) {
+    if (!InFlight.empty() && Rng.nextBelow(2) == 0) {
+      uint64_t Id = InFlight.front();
+      InFlight.erase(InFlight.begin());
+      A.complete(Id);
+      B.complete(Id);
+    } else {
+      RoundRequest R;
+      R.Id = NextId++;
+      R.Demand = demand(64, 0, 0, 1);
+      R.Demand.Weight = 1.0 + Rng.nextBelow(4);
+      R.Tenant = static_cast<int>(Rng.nextBelow(8));
+      A.submit(R);
+      B.submit(R);
+    }
+    const std::vector<RoundGrant> &GA = A.admit();
+    const std::vector<RoundGrant> &GB = B.admit();
+    ASSERT_EQ(GA.size(), GB.size()) << "event " << Event;
+    for (size_t I = 0; I != GA.size(); ++I) {
+      EXPECT_EQ(GA[I].Id, GB[I].Id) << "event " << Event;
+      EXPECT_EQ(GA[I].WGs, GB[I].WGs) << "event " << Event;
+    }
+    for (const RoundGrant &G : GA)
+      if (G.WGs > 0)
+        InFlight.push_back(G.Id);
+  }
+}
+
+TEST(StrideSchedulerTest, ReEntryDoesNotBankCredit) {
+  // A tenant that slept through ten grants rejoins at the global pass,
+  // not its own stale one: it must share from now on instead of
+  // draining a banked backlog of "owed" picks.
+  StrideScheduler S(oneSlotCaps());
+  std::map<uint64_t, int> TenantOf;
+  uint64_t NextId = 1;
+  auto Submit = [&](int Tenant) {
+    RoundRequest R;
+    R.Id = NextId++;
+    R.Demand = demand(64, 0, 0, 1);
+    R.Tenant = Tenant;
+    TenantOf[R.Id] = Tenant;
+    S.submit(R);
+  };
+  for (int I = 0; I != 20; ++I)
+    Submit(0);
+  for (int Pass = 0; Pass != 10; ++Pass) {
+    const std::vector<RoundGrant> &G = S.admit();
+    ASSERT_EQ(G.size(), 1u);
+    S.complete(G.front().Id);
+  }
+  for (int I = 0; I != 10; ++I)
+    Submit(1);
+  int LateTenantGrants = 0;
+  for (int Pass = 0; Pass != 8; ++Pass) {
+    const std::vector<RoundGrant> &G = S.admit();
+    ASSERT_EQ(G.size(), 1u);
+    LateTenantGrants += TenantOf[G.front().Id] == 1;
+    S.complete(G.front().Id);
+  }
+  // Equal weights from here on: roughly alternating, never a monopoly.
+  EXPECT_GE(LateTenantGrants, 3);
+  EXPECT_LE(LateTenantGrants, 5);
+}
+
 } // namespace

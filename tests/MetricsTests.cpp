@@ -8,6 +8,8 @@
 
 #include "gtest/gtest.h"
 
+#include <algorithm>
+
 using namespace accel;
 using namespace accel::metrics;
 
@@ -156,6 +158,45 @@ TEST(WindowedUnfairnessTest, PeakExposesTransientUnfairness) {
   EXPECT_DOUBLE_EQ(peakWindowedUnfairness(S, 10.0), 4.0);
   std::vector<double> W = windowedUnfairness(S, 10.0);
   EXPECT_DOUBLE_EQ(W[0], 1.0); // two equal samples
+}
+
+TEST(PercentileTest, SortedQueryMatchesLatencyPercentile) {
+  std::vector<double> V = {5.0, 1.0, 9.0, 3.0, 7.0, 2.0};
+  std::vector<double> Sorted = V;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (double P : {0.0, 10.0, 25.0, 50.0, 90.0, 95.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(sortedPercentile(Sorted, P), latencyPercentile(V, P));
+  EXPECT_DOUBLE_EQ(sortedPercentile({7.0}, 50.0), 7.0);
+}
+
+TEST(WindowedUnfairnessTest, AccumulatorMatchesBatchFunctions) {
+  // The streaming accumulator must reproduce the batch functions on
+  // the same samples — including empty middle windows and a lone
+  // trailing sample — regardless of feed order.
+  std::vector<TimedSample> S = {
+      {1.0, 3.0}, {2.0, 3.0}, {11.0, 2.0}, {12.0, 8.0}, {13.0, 4.0},
+      {38.0, 5.0}};
+  WindowedUnfairnessAccumulator InOrder(10.0);
+  for (const TimedSample &Sample : S)
+    InOrder.add(Sample);
+  EXPECT_EQ(InOrder.windows(), windowedUnfairness(S, 10.0));
+  EXPECT_DOUBLE_EQ(InOrder.peak(), peakWindowedUnfairness(S, 10.0));
+
+  WindowedUnfairnessAccumulator Reversed(10.0);
+  for (size_t I = S.size(); I != 0; --I)
+    Reversed.add(S[I - 1]);
+  EXPECT_EQ(Reversed.windows(), InOrder.windows());
+  EXPECT_DOUBLE_EQ(Reversed.peak(), InOrder.peak());
+}
+
+TEST(WindowedUnfairnessTest, AccumulatorEmptyAndSingle) {
+  WindowedUnfairnessAccumulator A(10.0);
+  EXPECT_TRUE(A.windows().empty());
+  EXPECT_DOUBLE_EQ(A.peak(), 1.0);
+  A.add(3.0, 5.0);
+  ASSERT_EQ(A.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(A.windows()[0], 1.0); // A lone sample is fair.
+  EXPECT_DOUBLE_EQ(A.peak(), 1.0);
 }
 
 TEST(SloMetricsTest, AttainmentIsFractionAtOrBelowTarget) {
