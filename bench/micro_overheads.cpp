@@ -14,6 +14,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "accelos/ProxyCL.h"
 #include "accelos/ResourceSolver.h"
 #include "accelos/Scheduler.h"
 #include "harness/Experiment.h"
@@ -28,6 +29,8 @@
 #include <benchmark/benchmark.h>
 
 #include <deque>
+#include <memory>
+#include <vector>
 
 using namespace accel;
 
@@ -157,5 +160,81 @@ static void BM_AdmitEventStride(benchmark::State &State) {
   runAdmitEvent(State, S);
 }
 BENCHMARK(BM_AdmitEventStride);
+
+// End-to-end client cost of the async Runtime API: one
+// submit() -> wait() cycle through ProxyCL, covering arrival
+// validation, continuous admission, the functional execution and the
+// timing-slice pump. The MT variant drives the same shared runtime
+// from 4 producer threads (each with its own app/kernel/buffer),
+// measuring the mutex-serialized submission path under contention.
+namespace {
+
+struct SubmitFixture {
+  std::unique_ptr<ocl::Device> Dev;
+  accelos::Runtime RT;
+  struct App {
+    std::unique_ptr<accelos::ProxyCL> Proxy;
+    std::unique_ptr<ocl::Kernel> K;
+    std::unique_ptr<ocl::Buffer> B;
+  };
+  std::vector<App> Apps;
+
+  explicit SubmitFixture(int NumApps)
+      : Dev(ocl::Platform::createNvidiaK20m()), RT(*Dev) {
+    const char *Source = R"(
+      kernel void axpy(global float* d, float a) {
+        long gid = get_global_id(0);
+        d[gid] = d[gid] * a + 1.0f;
+      }
+    )";
+    constexpr int N = 256;
+    for (int I = 0; I != NumApps; ++I) {
+      App A;
+      A.Proxy = std::make_unique<accelos::ProxyCL>(RT, I + 1);
+      ocl::Program *P = cantFail(A.Proxy->createProgram(Source));
+      A.K = std::make_unique<ocl::Kernel>(
+          cantFail(A.Proxy->createKernel(*P, "axpy")));
+      A.B = std::make_unique<ocl::Buffer>(
+          cantFail(A.Proxy->createBuffer(N * 4)));
+      cantFail(
+          A.Proxy->setKernelArg(*A.K, 0, ocl::KernelArg::buffer(*A.B)));
+      cantFail(A.Proxy->setKernelArg(*A.K, 1,
+                                     ocl::KernelArg::scalarF32(2.0f)));
+      Apps.push_back(std::move(A));
+    }
+  }
+};
+
+kir::NDRangeCfg submitRange() {
+  kir::NDRangeCfg R;
+  R.GlobalSize[0] = 256;
+  R.LocalSize[0] = 64;
+  return R;
+}
+
+} // namespace
+
+static void BM_SubmitToCompletion(benchmark::State &State) {
+  static SubmitFixture F(1);
+  kir::NDRangeCfg Range = submitRange();
+  for (auto _ : State) {
+    auto H = cantFail(F.Apps[0].Proxy->submitNDRange(*F.Apps[0].K, Range));
+    auto E = cantFail(H.wait());
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_SubmitToCompletion);
+
+static void BM_SubmitToCompletionMT(benchmark::State &State) {
+  static SubmitFixture F(4);
+  kir::NDRangeCfg Range = submitRange();
+  auto &A = F.Apps[State.thread_index() % F.Apps.size()];
+  for (auto _ : State) {
+    auto H = cantFail(A.Proxy->submitNDRange(*A.K, Range));
+    auto E = cantFail(H.wait());
+    benchmark::DoNotOptimize(E);
+  }
+}
+BENCHMARK(BM_SubmitToCompletionMT)->Threads(4);
 
 BENCHMARK_MAIN();

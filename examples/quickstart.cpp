@@ -57,22 +57,34 @@ int main() {
   kir::NDRangeCfg Range;
   Range.GlobalSize[0] = N;
   Range.LocalSize[0] = 128;
-  cantFail(App.enqueueNDRange(K, Range));
 
-  // The runtime sizes the round (here K = 1 request) and executes.
-  auto Execs = cantFail(AccelOS.flushRound());
+  // Async submission: the request is admitted continuously (no round
+  // barrier), the handle exposes wait(), and the callback fires when
+  // the execution retires.
+  bool CallbackFired = false;
+  accelos::RequestHandle H = cantFail(App.submitNDRange(
+      K, Range, [&](const accelos::ScheduledExecution &E) {
+        CallbackFired = true;
+        OS << "completion callback: request " << E.RequestId
+           << " retired at t=" << static_cast<uint64_t>(E.EndTime)
+           << " cycles\n";
+      }));
+  accelos::ScheduledExecution Exec = cantFail(H.wait());
 
   cantFail(BY.read(Y.data(), N * 4));
-  bool Ok = true;
+  bool Ok = CallbackFired;
   for (int I = 0; I < N; ++I)
     Ok &= Y[I] == 2.0f * I + 1.0f;
 
   OS << "saxpy over " << N << " elements: " << (Ok ? "PASSED" : "FAILED")
      << "\n";
-  OS << "scheduled with " << Execs[0].PhysicalWGs
-     << " physical work groups for " << Execs[0].OriginalWGs
-     << " virtual groups (batch " << Execs[0].Batch << ")\n";
-  OS << "device-side dequeue operations: " << Execs[0].Stats.AtomicOps
+  OS << "scheduled with " << Exec.PhysicalWGs
+     << " physical work groups for " << Exec.OriginalWGs
+     << " virtual groups (batch " << Exec.Batch << ")\n";
+  OS << "queueing delay " << static_cast<uint64_t>(Exec.queueDelay())
+     << " cycles, turnaround " << static_cast<uint64_t>(Exec.turnaround())
+     << " cycles\n";
+  OS << "device-side dequeue operations: " << Exec.Stats.AtomicOps
      << "\n";
   OS << "FSM: " << AccelOS.stats().ProgramsJitted << " program(s) JIT'd, "
      << AccelOS.stats().KernelsScheduled << " kernel(s) scheduled, "

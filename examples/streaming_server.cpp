@@ -7,10 +7,11 @@
 /// \file
 /// The event-driven serving story: two tenants submit kernels *over
 /// time* rather than in one batch. The functional view drives the real
-/// runtime — requests accumulate in the RoundScheduler's queue, each
-/// flush drains it round by round, and a 3:1 sharing weight skews the
-/// per-round work-group allocation. The timing view replays a seeded
-/// Poisson arrival trace through the streaming harness twice — once
+/// runtime's continuous admission — each submitNDRange is an arrival
+/// event admitted into the residual device capacity, completion
+/// callbacks report retirements, and a 3:1 sharing weight skews the
+/// work-group allocation. The timing view replays a seeded Poisson
+/// arrival trace through the streaming harness twice — once
 /// round-synchronous, once with arrival-aware continuous admission —
 /// and shows both the premium tenant's latency percentiles pulling
 /// ahead of the basic tenant's under the same weights and the queueing
@@ -64,9 +65,20 @@ int main() {
   Range.GlobalSize[0] = N;
   Range.LocalSize[0] = 64;
 
-  // Two submission bursts: each tenant enqueues one kernel per burst,
-  // the server flushes between them — the scheduler's queue drains and
-  // refills as tenants come back with more work.
+  // A completion callback plays the server's response path: every
+  // retirement is reported as it happens, on the thread driving the
+  // runtime pump.
+  uint64_t Retired = 0;
+  AccelOS.onCompletion([&](const accelos::ScheduledExecution &E) {
+    ++Retired;
+    OS << "  [t=" << static_cast<uint64_t>(E.EndTime) << "] app "
+       << E.AppId << " retired request " << E.RequestId << "\n";
+  });
+
+  // Two submission bursts: each tenant submits one kernel per burst
+  // asynchronously — every submit is an arrival event admitted into
+  // the residual capacity, no round barrier — and the server drains
+  // between bursts as tenants come back with more work.
   for (int Burst = 0; Burst != 2; ++Burst) {
     for (Tenant &T : Tenants) {
       ocl::Kernel K = cantFail(T.App->createKernel(*T.P, "axpy"));
@@ -78,17 +90,19 @@ int main() {
           T.App->setKernelArg(K, 1, ocl::KernelArg::scalarF32(2.0f)));
       T.Ks.push_back(std::move(K));
       T.Bs.push_back(std::move(B));
-      cantFail(T.App->enqueueNDRange(T.Ks.back(), Range));
+      cantFail(T.App->submitNDRange(T.Ks.back(), Range));
     }
-    auto Execs = cantFail(AccelOS.flushRound());
+    auto Execs = cantFail(AccelOS.drain());
     OS << "burst " << Burst << ": " << Execs.size()
        << " executions\n";
     for (const auto &E : Execs)
-      OS << "  round " << E.Round << ": app " << E.AppId << " got "
-         << E.PhysicalWGs << "/" << E.OriginalWGs
-         << " work groups (weight "
+      OS << "  admitted t=" << static_cast<uint64_t>(E.AdmitTime)
+         << ", finished t=" << static_cast<uint64_t>(E.EndTime)
+         << ": app " << E.AppId << " got " << E.PhysicalWGs << "/"
+         << E.OriginalWGs << " work groups (weight "
          << (E.AppId == 1 ? "3.0" : "1.0") << ")\n";
   }
+  OS << "callbacks observed " << Retired << " retirements\n";
   std::vector<float> OutV(N);
   cantFail(Tenants[0].Bs[0].read(OutV.data(), N * 4));
   OS << "result check (1*2+1): " << OutV[0] << "\n\n";

@@ -12,6 +12,12 @@
 /// and the example shows the work-group allocation and resulting
 /// dequeue counts shifting proportionally.
 ///
+/// This example deliberately runs the legacy round-synchronous
+/// admission path (RuntimeOptions::Admission::RoundSync): requests park
+/// in the round queue until flushRound() drains them round by round —
+/// the compat mode kept for code written against the pre-continuous
+/// API. The other examples show the default continuous/async path.
+///
 //===----------------------------------------------------------------------===//
 
 #include "accelos/ProxyCL.h"
@@ -40,7 +46,10 @@ int main() {
                         "basic WGs", "ratio"});
   for (double Weight : {1.0, 2.0, 3.0, 4.0}) {
     auto Device = ocl::Platform::createNvidiaK20m();
-    accelos::Runtime AccelOS(*Device);
+    accelos::RuntimeOptions ROpts;
+    ROpts.Mode = accelos::RuntimeOptions::Admission::RoundSync;
+    accelos::Runtime AccelOS(*Device, accelos::SchedulingMode::Optimized,
+                             ROpts);
     AccelOS.setAppWeight(/*AppId=*/1, Weight);
 
     accelos::ProxyCL Premium(AccelOS, 1), Basic(AccelOS, 2);

@@ -86,6 +86,28 @@ public:
     return RT->enqueueKernel(AppId, K, Range);
   }
 
+  /// The async form of enqueueNDRange (Arax-style client API): the
+  /// request is admitted as an arrival event, the returned handle
+  /// exposes status()/wait(), and \p Cb (optional) fires on completion.
+  /// Safe to call from this application's own producer thread — each
+  /// ProxyCL owns its channel counters, and the runtime's submission
+  /// path is mutex-guarded.
+  Expected<RequestHandle> submitNDRange(ocl::Kernel &K,
+                                        const kir::NDRangeCfg &Range,
+                                        CompletionCallback Cb = nullptr) {
+    send(sizeof(Range));
+    return RT->submit(AppId, K, Range, std::move(Cb));
+  }
+
+  /// submitNDRange with an explicit arrival time (scripted traces).
+  Expected<RequestHandle> submitNDRangeAt(ocl::Kernel &K,
+                                          const kir::NDRangeCfg &Range,
+                                          double At,
+                                          CompletionCallback Cb = nullptr) {
+    send(sizeof(Range));
+    return RT->submitAt(AppId, K, Range, At, std::move(Cb));
+  }
+
 private:
   void send(uint64_t Payload) {
     ++Stats.Messages;

@@ -6,9 +6,14 @@
 
 #include "accelos/Runtime.h"
 
+#include "accelos/AdmissionLoop.h"
 #include "accelos/VirtualNDRange.h"
-#include "kir/RtLayout.h"
 #include "kir/Module.h"
+#include "kir/RtLayout.h"
+#include "kir/analysis/Cfg.h"
+#include "kir/analysis/CostPrior.h"
+#include "kir/analysis/Intervals.h"
+#include "kir/analysis/Uniformity.h"
 #include "passes/ConstantFold.h"
 #include "passes/DCE.h"
 #include "passes/Inliner.h"
@@ -44,6 +49,14 @@ void MemoryManager::released(int AppId, uint64_t Size) {
   // Optimistically resume everyone; their next allocation re-checks.
   Paused.clear();
 }
+
+//===----------------------------------------------------------------------===//
+// RequestHandle
+//===----------------------------------------------------------------------===//
+
+RequestStatus RequestHandle::status() const { return RT->status(Id); }
+bool RequestHandle::done() const { return RT->done(Id); }
+Expected<ScheduledExecution> RequestHandle::wait() { return RT->wait(Id); }
 
 //===----------------------------------------------------------------------===//
 // Runtime: JIT path (FSM (a))
@@ -90,40 +103,57 @@ Runtime::kernelInfo(const ocl::Program *Prog,
 }
 
 //===----------------------------------------------------------------------===//
-// Runtime: Kernel Scheduler (FSM (b))
+// Runtime: request submission (FSM (b))
 //===----------------------------------------------------------------------===//
 
-Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
-                             const kir::NDRangeCfg &Range) {
+double Runtime::perItemCyclesLocked(const passes::TransformedKernelInfo *Info,
+                                    kir::Function *Comp) {
+  auto It = PerItemOf.find(Info);
+  if (It != PerItemOf.end())
+    return It->second;
+  // Static cost prior (kir/analysis): the per-work-item cycle estimate
+  // that prices this kernel's virtual groups in the timing simulation —
+  // the same prior the cold-start scheduler uses.
+  kir::analysis::Cfg G(*Comp);
+  kir::analysis::UniformityAnalysis UA(G);
+  kir::analysis::IntervalAnalysis IA(G);
+  kir::analysis::CostEstimate Est = kir::analysis::estimateCost(G, UA, IA);
+  PerItemOf[Info] = Est.PerItemCycles;
+  return Est.PerItemCycles;
+}
+
+Expected<uint64_t> Runtime::validateLocked(int AppId, ocl::Kernel &K,
+                                           const kir::NDRangeCfg &Range,
+                                           double At, CompletionCallback Cb) {
   ++Stats.KernelsScheduled;
   if (Memory.isPaused(AppId))
-    return makeError("application " + std::to_string(AppId) +
-                     " is paused for memory pressure");
+    return Expected<uint64_t>(
+        makeError("application " + std::to_string(AppId) +
+                  " is paused for memory pressure"));
   const passes::TransformedKernelInfo *Info =
       kernelInfo(&K.program(), K.name());
   if (Info == nullptr)
-    return makeError("kernel '" + K.name() +
-                     "' was not compiled through accelOS");
+    return Expected<uint64_t>(makeError(
+        "kernel '" + K.name() + "' was not compiled through accelOS"));
   for (unsigned D = 0; D != 3; ++D) {
     if (Range.LocalSize[D] == 0)
-      return makeError("zero local size");
+      return Expected<uint64_t>(makeError("zero local size"));
     if (Range.GlobalSize[D] % Range.LocalSize[D] != 0)
-      return makeError("global size not divisible by local size");
+      return Expected<uint64_t>(
+          makeError("global size not divisible by local size"));
   }
 
-  PendingExecution P;
-  P.AppId = AppId;
-  P.Kernel = &K;
-  P.Range = Range;
-  uint64_t Id = NextRequestId++;
-  Pending.emplace(Id, P);
-
-  // The Sec. 3 demand terms of this request, captured at the arrival
+  // The Sec. 3 demand terms and timing costs, captured at the arrival
   // boundary.
   kir::Function *Comp =
       K.program().module()->getFunction(Info->ComputeFnName);
-  RoundRequest R;
-  R.Id = Id;
+  uint64_t Id = NextRequestId++;
+  RequestState R;
+  R.AppId = AppId;
+  R.Kernel = &K;
+  R.Range = Range;
+  R.Info = Info;
+  R.InstCount = Info->ComputeInstCount;
   R.Demand.WGThreads = Range.workGroupSize();
   R.Demand.LocalMemPerWG =
       Info->LocalMemBytes + kir::rtlayout::schedDescBytes();
@@ -131,84 +161,456 @@ Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
   R.Demand.RequestedWGs = Range.totalGroups();
   auto WIt = Weights.find(AppId);
   R.Demand.Weight = WIt == Weights.end() ? 1.0 : WIt->second;
-  Sched.submit(R);
+  double WGCost = perItemCyclesLocked(Info, Comp) *
+                  static_cast<double>(R.Demand.WGThreads);
+  R.WGCosts.assign(Range.totalGroups(), WGCost);
+  R.Cb = std::move(Cb);
+  R.Exec.KernelName = K.name();
+  R.Exec.AppId = AppId;
+  R.Exec.RequestId = Id;
+  R.Exec.ArrivalTime = At;
+  R.Exec.OriginalWGs = Range.totalGroups();
+  Requests.emplace(Id, std::move(R));
+  StatusOf.push_back(static_cast<uint8_t>(RequestStatus::Queued));
+  Arrivals.push({At, Id});
+  return Expected<uint64_t>(std::move(Id));
+}
+
+Expected<RequestHandle> Runtime::submit(int AppId, ocl::Kernel &K,
+                                        const kir::NDRangeCfg &Range,
+                                        CompletionCallback Cb) {
+  std::lock_guard<std::mutex> L(Mu);
+  Expected<uint64_t> Id =
+      validateLocked(AppId, K, Range, Session.now(), std::move(Cb));
+  if (!Id)
+    return Expected<RequestHandle>(Id.takeError());
+  return Expected<RequestHandle>(RequestHandle(this, *Id));
+}
+
+Expected<RequestHandle> Runtime::submitAt(int AppId, ocl::Kernel &K,
+                                          const kir::NDRangeCfg &Range,
+                                          double At, CompletionCallback Cb) {
+  std::lock_guard<std::mutex> L(Mu);
+  double Now = Session.now();
+  Expected<uint64_t> Id =
+      validateLocked(AppId, K, Range, At < Now ? Now : At, std::move(Cb));
+  if (!Id)
+    return Expected<RequestHandle>(Id.takeError());
+  return Expected<RequestHandle>(RequestHandle(this, *Id));
+}
+
+Error Runtime::enqueueKernel(int AppId, ocl::Kernel &K,
+                             const kir::NDRangeCfg &Range) {
+  Expected<RequestHandle> H = submit(AppId, K, Range);
+  if (!H)
+    return H.takeError();
   return Error::success();
 }
 
-Expected<std::vector<ScheduledExecution>> Runtime::flushRound() {
-  using RetT = Expected<std::vector<ScheduledExecution>>;
-  std::vector<ScheduledExecution> Results;
+void Runtime::onCompletion(CompletionCallback Cb) {
+  std::lock_guard<std::mutex> L(Mu);
+  GlobalCbs.push_back(std::move(Cb));
+}
 
-  // On any execution error the whole flush is abandoned: pending
-  // requests are dropped so the runtime returns to a clean state.
-  auto Abandon = [&] {
-    Sched.clear();
-    Pending.clear();
-  };
+Expected<KernelCostModel> Runtime::costModel(ocl::Kernel &K,
+                                             const kir::NDRangeCfg &Range) {
+  std::lock_guard<std::mutex> L(Mu);
+  const passes::TransformedKernelInfo *Info =
+      kernelInfo(&K.program(), K.name());
+  if (Info == nullptr)
+    return Expected<KernelCostModel>(makeError(
+        "kernel '" + K.name() + "' was not compiled through accelOS"));
+  kir::Function *Comp =
+      K.program().module()->getFunction(Info->ComputeFnName);
+  KernelCostModel M;
+  M.Demand.WGThreads = Range.workGroupSize();
+  M.Demand.LocalMemPerWG =
+      Info->LocalMemBytes + kir::rtlayout::schedDescBytes();
+  M.Demand.RegsPerThread = passes::estimateRegisters(*Comp);
+  M.Demand.RequestedWGs = Range.totalGroups();
+  M.Demand.Weight = 1.0;
+  M.WGCost = perItemCyclesLocked(Info, Comp) *
+             static_cast<double>(M.Demand.WGThreads);
+  M.ComputeInstCount = Info->ComputeInstCount;
+  return Expected<KernelCostModel>(std::move(M));
+}
 
-  for (uint64_t RoundIdx = 0; Sched.pending() != 0; ++RoundIdx) {
-    // Completion boundary: the previous round fully retired, so the
-    // shares are re-solved over everything now pending (dynamic K) —
-    // including requests the clamp deferred out of earlier rounds.
-    std::vector<RoundGrant> Grants = Sched.nextRound();
-    for (const RoundGrant &G : Grants) {
-      const PendingExecution &P = Pending.at(G.Id);
-      uint64_t PhysWGs = G.WGs;
-      const passes::TransformedKernelInfo *Info =
-          kernelInfo(&P.Kernel->program(), P.Kernel->name());
+//===----------------------------------------------------------------------===//
+// Runtime: observability
+//===----------------------------------------------------------------------===//
 
-      uint64_t Batch = cappedBatchFor(Mode, Info->ComputeInstCount,
-                                      P.Range.totalGroups(), PhysWGs);
-      Expected<uint64_t> Rt =
-          writeVirtualNDRange(Dev->memory(), P.Range, Batch);
-      if (!Rt) {
-        Abandon();
-        return RetT(Rt.takeError());
-      }
+RequestStatus Runtime::status(uint64_t Id) const {
+  std::lock_guard<std::mutex> L(Mu);
+  if (Id >= StatusOf.size())
+    return RequestStatus::Queued;
+  return static_cast<RequestStatus>(StatusOf[Id]);
+}
 
-      // Alter the global size to the reduced number of work groups; the
-      // work-group size and dimensionality are preserved (Sec. 5). The
-      // reduced physical groups are laid out along dimension 0.
-      kir::NDRangeCfg Reduced;
-      Reduced.WorkDim = P.Range.WorkDim;
-      for (unsigned D = 0; D != 3; ++D) {
-        Reduced.LocalSize[D] = P.Range.LocalSize[D];
-        Reduced.GlobalSize[D] = P.Range.LocalSize[D];
-      }
-      Reduced.GlobalSize[0] = PhysWGs * P.Range.LocalSize[0];
+size_t Runtime::pendingRequests() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Requests.size();
+}
 
-      // The scheduling kernel takes the original arguments plus rt.
-      unsigned RtArgIndex = P.Kernel->function()->numArguments() - 1;
-      if (Error E = P.Kernel->setArg(RtArgIndex,
-                                     ocl::KernelArg::scalarI64(
-                                         static_cast<int64_t>(*Rt)))) {
-        Abandon();
-        return RetT(std::move(E));
-      }
-      Expected<std::vector<uint64_t>> Args = P.Kernel->packedArgs();
-      if (!Args) {
-        Abandon();
-        return RetT(Args.takeError());
-      }
-      Expected<kir::ExecStats> Stats =
-          Dev->interpreter().run(*P.Kernel->function(), *Args, Reduced);
-      releaseVirtualNDRange(Dev->memory(), *Rt);
-      if (!Stats) {
-        Abandon();
-        return RetT(Stats.takeError());
-      }
+double Runtime::now() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Session.now();
+}
 
-      ScheduledExecution R;
-      R.KernelName = P.Kernel->name();
-      R.AppId = P.AppId;
-      R.Round = RoundIdx;
-      R.PhysicalWGs = PhysWGs;
-      R.OriginalWGs = P.Range.totalGroups();
-      R.Batch = Batch;
-      R.Stats = Stats.take();
-      Results.push_back(std::move(R));
-      Pending.erase(G.Id);
+const SchedulerStats &Runtime::schedulerStats() const {
+  switch (Opts.Mode) {
+  case RuntimeOptions::Admission::RoundSync:
+    return RoundSched.stats();
+  case RuntimeOptions::Admission::Stride:
+    return StrideSched.stats();
+  case RuntimeOptions::Admission::Continuous:
+    break;
+  }
+  return ContSched.stats();
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime: the pump
+//===----------------------------------------------------------------------===//
+
+Error Runtime::runFunctionalLocked(RequestState &R, uint64_t GrantWGs) {
+  uint64_t Batch =
+      cappedBatchFor(Mode, R.InstCount, R.Range.totalGroups(), GrantWGs);
+  R.Exec.Batch = Batch;
+  Expected<uint64_t> Rt = writeVirtualNDRange(Dev->memory(), R.Range, Batch);
+  if (!Rt)
+    return Rt.takeError();
+
+  // Alter the global size to the reduced number of work groups; the
+  // work-group size and dimensionality are preserved (Sec. 5). The
+  // reduced physical groups are laid out along dimension 0.
+  kir::NDRangeCfg Reduced;
+  Reduced.WorkDim = R.Range.WorkDim;
+  for (unsigned D = 0; D != 3; ++D) {
+    Reduced.LocalSize[D] = R.Range.LocalSize[D];
+    Reduced.GlobalSize[D] = R.Range.LocalSize[D];
+  }
+  Reduced.GlobalSize[0] = GrantWGs * R.Range.LocalSize[0];
+
+  // The scheduling kernel takes the original arguments plus rt.
+  unsigned RtArgIndex = R.Kernel->function()->numArguments() - 1;
+  if (Error E = R.Kernel->setArg(
+          RtArgIndex,
+          ocl::KernelArg::scalarI64(static_cast<int64_t>(*Rt)))) {
+    releaseVirtualNDRange(Dev->memory(), *Rt);
+    return E;
+  }
+  Expected<std::vector<uint64_t>> Args = R.Kernel->packedArgs();
+  if (!Args) {
+    releaseVirtualNDRange(Dev->memory(), *Rt);
+    return Args.takeError();
+  }
+  Expected<kir::ExecStats> ES =
+      Dev->interpreter().run(*R.Kernel->function(), *Args, Reduced);
+  releaseVirtualNDRange(Dev->memory(), *Rt);
+  if (!ES)
+    return ES.takeError();
+  R.Exec.Stats = ES.take();
+  return Error::success();
+}
+
+Runtime::GrantOutcome Runtime::buildGrantLocked(uint64_t Id, uint64_t WGs,
+                                                double T,
+                                                bool SliceByQuantum) {
+  GrantOutcome O;
+  if (Opts.RecordGrantHistory)
+    GrantLog.push_back({Id, WGs});
+  RequestState &R = Requests.at(Id);
+  if (!R.Started) {
+    R.Started = true;
+    StatusOf[Id] = static_cast<uint8_t>(RequestStatus::Running);
+    ReportQueue.push_back(Id);
+    R.Exec.AdmitTime = T;
+    R.Exec.PhysicalWGs = WGs;
+    if (R.WGCosts.empty()) {
+      // Zero-work request: retires at the admission boundary.
+      R.Exec.StartTime = T;
+      R.Exec.EndTime = T;
+      finalizeLocked(Id);
+      return O;
+    }
+    // Functional execution happens once, at the first grant, over the
+    // whole virtual range — exactly the legacy flush's execution; the
+    // later slices only refine the timing dimension.
+    if (Error E = runFunctionalLocked(R, WGs)) {
+      std::string Msg = E.message();
+      O.Failed = true;
+      failLocked(Id, std::move(Msg));
+      return O;
     }
   }
-  return Results;
+
+  // Timing slice over [Cursor, End) of the virtual range.
+  size_t End = SliceByQuantum
+                   ? quantumSliceEnd(R.WGCosts, R.Cursor, WGs,
+                                     R.Demand.WGThreads, 1.0,
+                                     Opts.SliceQuantum)
+                   : R.WGCosts.size();
+  sim::KernelLaunchDesc L;
+  L.Name = R.Exec.KernelName;
+  L.AppId = static_cast<int>(Id); // request-id channel through the sim
+  L.ArrivalTime = T;
+  L.WGThreads = R.Demand.WGThreads;
+  L.LocalMemPerWG = R.Demand.LocalMemPerWG;
+  L.RegsPerThread = R.Demand.RegsPerThread;
+  L.IssueEfficiency = 1.0;
+  L.Mode = sim::KernelLaunchDesc::ModeKind::WorkQueue;
+  L.ViewCosts = R.WGCosts.data();
+  L.ViewBegin = R.Cursor;
+  L.ViewEnd = End;
+  uint64_t SliceLen = End - R.Cursor;
+  L.PhysicalWGs =
+      std::min<uint64_t>(std::max<uint64_t>(WGs, 1), SliceLen);
+  L.Batch = cappedBatchFor(Mode, R.InstCount, SliceLen, L.PhysicalWGs);
+  R.Cursor = End;
+  ++R.Exec.Slices;
+  O.Launch.emplace(std::move(L));
+  return O;
+}
+
+template <typename SchedulerT>
+void Runtime::resubmitLocked(SchedulerT &Sched, uint64_t Id) {
+  RequestState &R = Requests.at(Id);
+  RoundRequest RR;
+  RR.Id = Id;
+  RR.Tenant = R.AppId;
+  RR.Demand = R.Demand;
+  RR.Demand.RequestedWGs = R.WGCosts.size() - R.Cursor;
+  // A sliced remainder re-reads the application weight, so adaptive
+  // weight changes act on in-progress work; the initial submission
+  // keeps the weight captured at the arrival boundary.
+  if (R.Started) {
+    auto WIt = Weights.find(R.AppId);
+    RR.Demand.Weight = WIt == Weights.end() ? 1.0 : WIt->second;
+  }
+  Sched.submit(RR);
+}
+
+template <typename SchedulerT>
+bool Runtime::admissionPassLocked(SchedulerT &Sched, double T) {
+  bool Freed = false;
+  bool Repass = runAdmissionPass(
+      Sched, Session, LaunchBuf,
+      [&](uint64_t Id,
+          uint64_t WGs) -> std::optional<sim::KernelLaunchDesc> {
+        GrantOutcome O = buildGrantLocked(Id, WGs, T,
+                                          /*SliceByQuantum=*/true);
+        if (O.Failed) {
+          // The failed grant holds an in-flight reservation in the
+          // scheduler's books; release it so waiters can take it.
+          Sched.complete(Id);
+          Freed = true;
+        }
+        return std::move(O.Launch);
+      },
+      [&](uint64_t) {});
+  return Repass || Freed;
+}
+
+bool Runtime::advanceLocked() {
+  double T = Session.now();
+  if (Arrivals.empty())
+    return Session.advanceNextEvent(CompletionBuf);
+  double NextArr = Arrivals.top().first;
+  double NextEvt = Session.nextEventTime();
+  double Target = NextEvt < 0 ? NextArr : std::min(NextEvt, NextArr);
+  Session.advanceTo(std::max(Target, T), CompletionBuf);
+  return true;
+}
+
+bool Runtime::recordCompletionLocked(const sim::KernelExecResult &K) {
+  uint64_t Id = static_cast<uint64_t>(K.AppId);
+  RequestState &R = Requests.at(Id);
+  if (!R.StartSeen) {
+    R.StartSeen = true;
+    R.Exec.StartTime = K.StartTime;
+  }
+  R.Exec.EndTime = K.EndTime;
+  return R.Cursor < R.WGCosts.size();
+}
+
+template <typename SchedulerT>
+bool Runtime::contStepLocked(SchedulerT &Sched) {
+  double T = Session.now();
+  // Arrival events due now join the queue before admission runs, so
+  // same-instant arrivals are solved together (harness semantics).
+  while (!Arrivals.empty() && Arrivals.top().first <= T) {
+    uint64_t Id = Arrivals.top().second;
+    Arrivals.pop();
+    resubmitLocked(Sched, Id);
+    NeedAdmit = true;
+  }
+  while (NeedAdmit)
+    NeedAdmit = admissionPassLocked(Sched, T);
+  if (!advanceLocked())
+    return false;
+  for (const sim::KernelExecResult &K : CompletionBuf) {
+    uint64_t Id = static_cast<uint64_t>(K.AppId);
+    Sched.complete(Id);
+    NeedAdmit = true;
+    if (recordCompletionLocked(K))
+      resubmitLocked(Sched, Id); // remaining slices re-enter the queue
+    else
+      finalizeLocked(Id);
+  }
+  return true;
+}
+
+bool Runtime::roundStepLocked() {
+  double T = Session.now();
+  while (!Arrivals.empty() && Arrivals.top().first <= T) {
+    uint64_t Id = Arrivals.top().second;
+    Arrivals.pop();
+    resubmitLocked(RoundSched, Id);
+  }
+  if (Session.inFlight() == 0 && RoundSched.pending() != 0) {
+    // Completion barrier: plan the next round. Rounds are planned
+    // back-to-back over whatever is pending at each barrier, so the
+    // nextRound() call sequence — and the grant history — matches the
+    // legacy flushRound loop bit for bit.
+    std::vector<RoundGrant> Grants = RoundSched.nextRound();
+    LaunchBuf.clear();
+    for (const RoundGrant &G : Grants) {
+      GrantOutcome O =
+          buildGrantLocked(G.Id, G.WGs, T, /*SliceByQuantum=*/false);
+      if (O.Launch)
+        LaunchBuf.push_back(std::move(*O.Launch));
+    }
+    if (!LaunchBuf.empty())
+      Session.admitFrom(LaunchBuf);
+    return true;
+  }
+  if (!advanceLocked())
+    return false;
+  for (const sim::KernelExecResult &K : CompletionBuf) {
+    // Round grants launch their whole remaining range in one slice, so
+    // every completion retires its request.
+    recordCompletionLocked(K);
+    finalizeLocked(static_cast<uint64_t>(K.AppId));
+  }
+  return true;
+}
+
+bool Runtime::stepLocked() {
+  switch (Opts.Mode) {
+  case RuntimeOptions::Admission::RoundSync:
+    return roundStepLocked();
+  case RuntimeOptions::Admission::Stride:
+    return contStepLocked(StrideSched);
+  case RuntimeOptions::Admission::Continuous:
+    break;
+  }
+  return contStepLocked(ContSched);
+}
+
+void Runtime::finalizeLocked(uint64_t Id) {
+  auto It = Requests.find(Id);
+  FinishedRecord Rec;
+  Rec.Exec = std::move(It->second.Exec);
+  CompletionCallback Cb = std::move(It->second.Cb);
+  Requests.erase(It);
+  StatusOf[Id] = static_cast<uint8_t>(RequestStatus::Completed);
+  if (Cb || !GlobalCbs.empty()) {
+    // Callback dispatch is deferred to the pump-driving thread, which
+    // fires it after releasing the runtime lock (re-entrancy safe).
+    std::vector<CompletionCallback> Gl = GlobalCbs;
+    PendingCallbacks.push_back(
+        [Cb = std::move(Cb), Gl = std::move(Gl), E = Rec.Exec]() {
+          if (Cb)
+            Cb(E);
+          for (const CompletionCallback &G : Gl)
+            G(E);
+        });
+  }
+  Finished.emplace(Id, std::move(Rec));
+}
+
+void Runtime::failLocked(uint64_t Id, std::string Msg) {
+  auto It = Requests.find(Id);
+  FinishedRecord Rec;
+  Rec.Exec = std::move(It->second.Exec);
+  Rec.Error = std::move(Msg);
+  Requests.erase(It);
+  StatusOf[Id] = static_cast<uint8_t>(RequestStatus::Failed);
+  Finished.emplace(Id, std::move(Rec));
+}
+
+//===----------------------------------------------------------------------===//
+// Runtime: waiting side
+//===----------------------------------------------------------------------===//
+
+Expected<ScheduledExecution> Runtime::wait(uint64_t Id) {
+  for (;;) {
+    std::vector<std::function<void()>> Cbs;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      auto It = Finished.find(Id);
+      if (It != Finished.end()) {
+        FinishedRecord Rec = std::move(It->second);
+        Finished.erase(It);
+        if (!Rec.Error.empty())
+          return Expected<ScheduledExecution>(makeError(Rec.Error));
+        return Expected<ScheduledExecution>(std::move(Rec.Exec));
+      }
+      if (Id >= NextRequestId)
+        return Expected<ScheduledExecution>(
+            makeError("unknown request " + std::to_string(Id)));
+      RequestStatus S = static_cast<RequestStatus>(StatusOf[Id]);
+      if (S == RequestStatus::Completed || S == RequestStatus::Failed)
+        return Expected<ScheduledExecution>(
+            makeError("request " + std::to_string(Id) +
+                      ": result already consumed"));
+      bool Progress = stepLocked();
+      Cbs.swap(PendingCallbacks);
+      if (!Progress && Cbs.empty() && Finished.count(Id) == 0)
+        return Expected<ScheduledExecution>(
+            makeError("request " + std::to_string(Id) +
+                      " cannot complete: runtime is idle"));
+    }
+    for (std::function<void()> &F : Cbs)
+      F();
+  }
+}
+
+Expected<std::vector<ScheduledExecution>> Runtime::drain() {
+  for (;;) {
+    std::vector<std::function<void()>> Cbs;
+    bool Progress;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Progress = stepLocked();
+      Cbs.swap(PendingCallbacks);
+    }
+    for (std::function<void()> &F : Cbs)
+      F();
+    // Break only when the pump is idle AND no callbacks fired — a
+    // callback may have submitted follow-up work.
+    if (!Progress && Cbs.empty())
+      break;
+  }
+
+  std::lock_guard<std::mutex> L(Mu);
+  std::vector<ScheduledExecution> Out;
+  std::string FirstError;
+  for (uint64_t Id : ReportQueue) {
+    auto It = Finished.find(Id);
+    if (It == Finished.end())
+      continue; // Consumed by wait().
+    if (!It->second.Error.empty()) {
+      if (FirstError.empty())
+        FirstError = It->second.Error;
+    } else {
+      Out.push_back(std::move(It->second.Exec));
+    }
+    Finished.erase(It);
+  }
+  ReportQueue.clear();
+  if (!FirstError.empty())
+    return Expected<std::vector<ScheduledExecution>>(
+        makeError(FirstError));
+  return Expected<std::vector<ScheduledExecution>>(std::move(Out));
 }

@@ -24,11 +24,13 @@
 #ifndef ACCEL_HARNESS_REPLAYDETAIL_H
 #define ACCEL_HARNESS_REPLAYDETAIL_H
 
+#include "accelos/AdmissionLoop.h"
 #include "accelos/ResourceSolver.h"
 #include "accelos/Scheduler.h"
 #include "harness/Streaming.h"
 
 #include <algorithm>
+#include <optional>
 #include <queue>
 #include <utility>
 #include <vector>
@@ -245,32 +247,27 @@ inline void submitRequest(SchedulerT &Sched, const ReplayState &RS,
 /// capacity (a tail slice shrinking its reservation) and must re-run
 /// at this same instant; each re-pass needs a fresh shrink, so the
 /// caller's loop terminates.
+///
+/// The pass structure itself (grant -> slice -> shrink -> admitFrom)
+/// lives in accelos::runAdmissionPass, shared with the functional
+/// Runtime's continuous pump; this wrapper binds it to ReplayState's
+/// request bookkeeping.
 template <typename SchedulerT, typename RetireFn>
 inline bool admissionPass(SchedulerT &Sched, sim::EngineSession &Session,
                           ReplayState &RS, double T,
                           RetireFn &&RetireZeroWork) {
-  bool Repass = false;
-  RS.LaunchBuf.clear();
-  for (const accelos::RoundGrant &G : Sched.admit()) {
-    size_t Idx = static_cast<size_t>(G.Id);
-    if (RS.remainingGroups(Idx) == 0) {
-      RS.completeZeroWork(Idx, T);
-      RetireZeroWork(Idx);
-      continue;
-    }
-    sim::KernelLaunchDesc L = RS.makeSliceLaunch(Idx, G.WGs, T);
-    // A tail slice runs fewer physical WGs than granted; return the
-    // unused reservation and re-admit at this same instant so waiting
-    // requests can take it.
-    if (L.PhysicalWGs < G.WGs) {
-      Sched.shrink(G.Id, L.PhysicalWGs);
-      Repass = true;
-    }
-    RS.LaunchBuf.push_back(std::move(L));
-  }
-  if (!RS.LaunchBuf.empty())
-    Session.admitFrom(RS.LaunchBuf);
-  return Repass;
+  return accelos::runAdmissionPass(
+      Sched, Session, RS.LaunchBuf,
+      [&](uint64_t Id,
+          uint64_t WGs) -> std::optional<sim::KernelLaunchDesc> {
+        size_t Idx = static_cast<size_t>(Id);
+        if (RS.remainingGroups(Idx) == 0) {
+          RS.completeZeroWork(Idx, T);
+          return std::nullopt;
+        }
+        return RS.makeSliceLaunch(Idx, WGs, T);
+      },
+      [&](uint64_t Id) { RetireZeroWork(static_cast<size_t>(Id)); });
 }
 
 inline accelos::SchedulingMode modeFor(SchedulerKind Kind) {

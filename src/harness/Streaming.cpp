@@ -142,30 +142,6 @@ void replayContinuous(SchedulerT &Sched, const sim::DeviceSpec &Spec,
 
 } // namespace
 
-size_t harness::quantumSliceEnd(const std::vector<double> &WGCosts,
-                                size_t Cursor, uint64_t GrantWGs,
-                                uint64_t WGThreads,
-                                double IssueEfficiency, double Quantum) {
-  size_t End = WGCosts.size();
-  assert(Cursor <= End && "slice cursor past the virtual range");
-  if (Quantum <= 0 || Cursor == End)
-    return End;
-  // The budget approximates the thread-cycles retired in one quantum by
-  // the workers that will actually run: the grant capped to the
-  // remaining virtual groups. Budgeting the uncapped grant would let a
-  // tail slice (fewer groups left than granted workers) overrun the
-  // quantum.
-  uint64_t Workers =
-      std::min<uint64_t>(std::max<uint64_t>(GrantWGs, 1), End - Cursor);
-  double Budget = Quantum * static_cast<double>(Workers) *
-                  static_cast<double>(WGThreads) * IssueEfficiency;
-  double Cost = 0;
-  size_t Take = Cursor;
-  while (Take != End && (Take == Cursor || Cost < Budget))
-    Cost += WGCosts[Take++];
-  return Take;
-}
-
 StreamOutcome harness::runStream(
     ExperimentDriver &Driver, SchedulerKind Kind,
     const std::vector<workloads::TimedRequest> &Trace,

@@ -56,6 +56,7 @@
 #ifndef ACCEL_HARNESS_STREAMING_H
 #define ACCEL_HARNESS_STREAMING_H
 
+#include "accelos/AdmissionLoop.h"
 #include "accelos/Scheduler.h"
 #include "harness/Experiment.h"
 #include "metrics/Metrics.h"
@@ -250,15 +251,17 @@ inline double streamSlowdown(double Latency, double AloneDuration) {
 }
 
 /// Computes the end of the quantum-bounded slice [Cursor, End) of a
-/// virtual work range. The thread-cycle budget is derived from the
-/// physical work groups that will actually run — \p GrantWGs capped to
-/// the remaining virtual groups — so tail slices (fewer groups left
-/// than granted workers) do not overrun the quantum the way a budget
-/// computed from the uncapped grant would. Always takes at least one
-/// group; \p Quantum <= 0 disables slicing (returns the full range).
-size_t quantumSliceEnd(const std::vector<double> &WGCosts, size_t Cursor,
-                       uint64_t GrantWGs, uint64_t WGThreads,
-                       double IssueEfficiency, double Quantum);
+/// virtual work range. Forwards to accelos::quantumSliceEnd — the
+/// implementation moved next to the shared admission pass when the
+/// functional Runtime adopted the continuous stack; this alias keeps
+/// the harness-side callers (and tests) source-compatible.
+inline size_t quantumSliceEnd(const std::vector<double> &WGCosts,
+                              size_t Cursor, uint64_t GrantWGs,
+                              uint64_t WGThreads, double IssueEfficiency,
+                              double Quantum) {
+  return accelos::quantumSliceEnd(WGCosts, Cursor, GrantWGs, WGThreads,
+                                  IssueEfficiency, Quantum);
+}
 
 /// Replays \p Trace under \p Kind on \p Driver's device.
 StreamOutcome runStream(ExperimentDriver &Driver, SchedulerKind Kind,

@@ -656,6 +656,16 @@ void EngineSession::advanceTo(double T,
   State->advanceTo(T, Out);
 }
 
+bool EngineSession::advanceNextEvent(std::vector<KernelExecResult> &Out) {
+  double T = State->nextEventTime();
+  if (T < 0) {
+    Out.clear();
+    return false;
+  }
+  State->advanceTo(T, Out);
+  return true;
+}
+
 std::vector<KernelExecResult> EngineSession::drain() {
   return State->drain();
 }

@@ -202,6 +202,13 @@ public:
   /// window's completions (capacity retained across calls).
   void advanceTo(double T, std::vector<KernelExecResult> &Out);
 
+  /// Advances the simulation to exactly the next pending event and
+  /// replaces \p Out with the completions at that instant. \returns
+  /// false (clearing \p Out) when the session is idle — the host-driven
+  /// pump's "nothing left to wait for" signal when it has no arrivals
+  /// of its own scheduled.
+  bool advanceNextEvent(std::vector<KernelExecResult> &Out);
+
   /// Runs every admitted launch to completion (the batch semantics).
   /// \returns the completions, in completion order.
   std::vector<KernelExecResult> drain();

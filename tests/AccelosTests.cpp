@@ -930,13 +930,17 @@ TEST(RuntimeTest, OversubscribedFlushDefersToLaterRounds) {
   // A 256-thread device where three 128-thread tenants cannot co-exist:
   // the flush must split into rounds (two tenants, then the deferred
   // one re-solved with K = 1) — never floor a zero share onto the full
-  // device — while every tenant's results stay correct.
+  // device — while every tenant's results stay correct. Runs the legacy
+  // RoundSync admission, whose grant history must match the
+  // pre-continuous flushRound loop.
   sim::DeviceSpec Spec = sim::DeviceSpec::nvidiaK20m();
   Spec.NumCUs = 1;
   Spec.MaxThreadsPerCU = 256;
   Spec.MaxWGsPerCU = 8;
   ocl::Device Dev(Spec);
-  Runtime RT(Dev);
+  RuntimeOptions ROpts;
+  ROpts.Mode = RuntimeOptions::Admission::RoundSync;
+  Runtime RT(Dev, SchedulingMode::Optimized, ROpts);
 
   constexpr int NumApps = 3;
   constexpr int N = 256;
@@ -987,9 +991,18 @@ TEST(RuntimeTest, OversubscribedFlushDefersToLaterRounds) {
 
   // Two rounds: the first grants the two requests that fit, the third
   // is deferred and re-solved alone (K = 1 -> both its work groups).
-  EXPECT_EQ((*Execs)[0].Round, 0u);
-  EXPECT_EQ((*Execs)[1].Round, 0u);
-  EXPECT_EQ((*Execs)[2].Round, 1u);
+  // Round membership now shows up as event times: the deferred request
+  // is admitted at the second round's barrier, after the first round's
+  // grants have fully retired.
+  EXPECT_EQ((*Execs)[0].AdmitTime, (*Execs)[1].AdmitTime);
+  EXPECT_GT((*Execs)[2].AdmitTime, (*Execs)[0].AdmitTime);
+  EXPECT_GE((*Execs)[2].StartTime, (*Execs)[0].EndTime);
+  EXPECT_GE((*Execs)[2].StartTime, (*Execs)[1].EndTime);
+  for (const ScheduledExecution &E : *Execs) {
+    EXPECT_LE(E.ArrivalTime, E.AdmitTime);
+    EXPECT_LE(E.AdmitTime, E.StartTime);
+    EXPECT_LT(E.StartTime, E.EndTime);
+  }
   EXPECT_EQ((*Execs)[2].PhysicalWGs, 2u);
   for (const ScheduledExecution &E : *Execs)
     EXPECT_GE(E.PhysicalWGs, 1u) << "no kernel may be starved";
