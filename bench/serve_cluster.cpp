@@ -26,7 +26,11 @@
 ///  - every policy must complete the full trace with every request
 ///    placed inside the fleet.
 ///
-/// The numbers are emitted machine-readably to BENCH_cluster.json so
+/// A closed-loop section replays a reactive multi-tenant script (with
+/// the cluster-wide adaptive SLO controller) through the unified
+/// runClusterReplay entry point, so both workload shapes land in one
+/// report. The numbers are emitted machine-readably to
+/// BENCH_cluster.json ("schemes" open loop, "closed_loop" reactive) so
 /// CI can track the fleet trajectory alongside the single-device
 /// benches.
 ///
@@ -58,19 +62,8 @@ struct PolicyResult {
   std::vector<double> Latencies;
 };
 
-PolicyResult runPolicy(Fleet &F, PlacementKind Kind,
-                       const std::vector<workloads::TimedRequest> &Trace,
-                       const harness::ClusterOptions &Opts,
-                       double WindowLength, bool Sticky = false) {
-  PolicyResult R;
-  std::unique_ptr<PlacementPolicy> P = makePlacementPolicy(Kind);
-  R.Name = P->name();
-  harness::ClusterOptions Run = Opts;
-  if (Sticky) {
-    Run.StickyTenantAffinity = true;
-    R.Name += "+sticky";
-  }
-  R.Outcome = harness::runCluster(F, *P, Trace, Run);
+/// Fills the derived reporting metrics from R.Outcome.
+void fillDerived(PolicyResult &R, double WindowLength) {
   std::vector<metrics::TimedSample> Samples;
   for (size_t I = 0; I != R.Outcome.Stream.Requests.size(); ++I)
     Samples.push_back({R.Outcome.Stream.Requests[I].EndTime,
@@ -89,6 +82,38 @@ PolicyResult runPolicy(Fleet &F, PlacementKind Kind,
   for (const harness::StreamRequestResult &Req :
        R.Outcome.Stream.Requests)
     R.Latencies.push_back(Req.latency());
+}
+
+PolicyResult runPolicy(Fleet &F, PlacementKind Kind,
+                       const std::vector<workloads::TimedRequest> &Trace,
+                       const harness::ClusterOptions &Opts,
+                       double WindowLength, bool Sticky = false) {
+  PolicyResult R;
+  std::unique_ptr<PlacementPolicy> P = makePlacementPolicy(Kind);
+  R.Name = P->name();
+  harness::ClusterOptions Run = Opts;
+  if (Sticky) {
+    Run.StickyTenantAffinity = true;
+    R.Name += "+sticky";
+  }
+  R.Outcome = harness::runCluster(F, *P, Trace, Run);
+  fillDerived(R, WindowLength);
+  return R;
+}
+
+/// Closed-loop twin of runPolicy through the unified replay entry
+/// point: the script's tenants re-issue on completion plus think time,
+/// so the offered load tracks what the placement actually achieves.
+PolicyResult runClosedPolicy(Fleet &F, PlacementKind Kind,
+                             const workloads::ClosedLoopScript &Script,
+                             const harness::ClusterOptions &Opts,
+                             double WindowLength) {
+  PolicyResult R;
+  std::unique_ptr<PlacementPolicy> P = makePlacementPolicy(Kind);
+  R.Name = P->name();
+  R.Outcome = harness::runClusterReplay(
+      F, *P, harness::ClusterWorkload::closedLoop(Script), Opts);
+  fillDerived(R, WindowLength);
   return R;
 }
 
@@ -207,7 +232,47 @@ int main() {
   OS.printFixed(HA.PeakWindowed, 2);
   OS << " vs ";
   OS.printFixed(RR.PeakWindowed, 2);
-  OS << "\n\n";
+  OS << "\n";
+
+  // Closed-loop section: the same fleet under a reactive multi-tenant
+  // script (issue-on-completion plus think time) with the cluster-wide
+  // adaptive SLO controller riding along, replayed through the unified
+  // runClusterReplay entry point.
+  size_t PerTenant = NumRequests / NumTenants;
+  std::vector<workloads::ClosedLoopTenant> Tenants(NumTenants);
+  Tenants[0] = {0, PerTenant, 1, 0.25 * MeanDur, 71, {0, 1, 2, 3}};
+  Tenants[1] = {1, PerTenant, 3, 0.05 * MeanDur, 72, {}};
+  Tenants[2] = {2, PerTenant, 2, 0.50 * MeanDur, 73, {}};
+  Tenants[3] = {3, PerTenant, 1, 0.10 * MeanDur, 74, {}};
+  workloads::ClosedLoopScript Script =
+      workloads::closedLoopTrace(F.driver(0).numKernels(), Tenants);
+  harness::ClusterOptions CLOpts = Opts;
+  CLOpts.Stream.StrictShares = true;
+  CLOpts.Stream.SloTargets = {{0, 0.5 * MeanDur}};
+  CLOpts.Stream.AdaptiveSloWeights = true;
+  CLOpts.Stream.SloControlInterval = MeanDur;
+  CLOpts.Stream.SloTuning.MinSamples = 1;
+  std::vector<PolicyResult> Closed;
+  Closed.push_back(runClosedPolicy(F, PlacementKind::LeastLoaded, Script,
+                                   CLOpts, MeanDur));
+  Closed.push_back(runClosedPolicy(F, PlacementKind::HeterogeneityAware,
+                                   Script, CLOpts, MeanDur));
+
+  OS << "\nClosed loop (" << Script.totalRequests() << " requests, "
+     << NumTenants << " tenants, adaptive SLO weights):\n";
+  harness::TextTable TC({"Policy", "Makespan", "Unfairness",
+                         "Qtime mean/p95", "Latency p50/p95",
+                         "Util[0]/Util[1]"});
+  for (const PolicyResult &R : Closed)
+    TC.addRow({R.Name, fmt(R.Outcome.Stream.Makespan / MeanDur),
+               fmt(R.Outcome.Stream.Unfairness),
+               fmt(R.QueueMean) + " / " + fmt(R.QueueP95),
+               fmt(metrics::latencyPercentile(R.Latencies, 50)) + " / " +
+                   fmt(metrics::latencyPercentile(R.Latencies, 95)),
+               fmt(R.Outcome.Devices[0].Utilization) + " / " +
+                   fmt(R.Outcome.Devices[1].Utilization)});
+  TC.print(OS);
+  OS << "\n";
 
   std::FILE *JsonFile = std::fopen("BENCH_cluster.json", "w");
   if (!JsonFile) {
@@ -225,6 +290,9 @@ int main() {
   Json << "],\n  \"schemes\": [\n";
   for (size_t I = 0; I != Results.size(); ++I)
     jsonPolicy(Json, Results[I], I + 1 == Results.size());
+  Json << "  ],\n  \"closed_loop\": [\n";
+  for (size_t I = 0; I != Closed.size(); ++I)
+    jsonPolicy(Json, Closed[I], I + 1 == Closed.size());
   Json << "  ]\n}\n";
   std::fclose(JsonFile);
   OS << "wrote BENCH_cluster.json\n";
@@ -234,6 +302,14 @@ int main() {
     if (R.Outcome.Stream.Requests.size() != Trace.size() ||
         R.Outcome.Placement.size() != Trace.size()) {
       OS << "ERROR: " << R.Name << " lost requests\n";
+      Exit = 1;
+    }
+  }
+  for (const PolicyResult &R : Closed) {
+    if (R.Outcome.Stream.Requests.size() != Script.totalRequests() ||
+        !R.Outcome.LostRequests.empty()) {
+      OS << "ERROR: closed-loop " << R.Name
+         << " did not drain the script\n";
       Exit = 1;
     }
   }

@@ -30,6 +30,7 @@
 #include "harness/Streaming.h"
 
 #include <algorithm>
+#include <cassert>
 #include <optional>
 #include <queue>
 #include <utility>
@@ -177,6 +178,45 @@ public:
                                       L.PhysicalWGs);
     L.ArrivalTime = Arrival;
     return L;
+  }
+
+  /// Fail-stop rollback of request \p Idx's in-flight slice, whose view
+  /// began at virtual group \p Begin: the device died mid-slice, the
+  /// partial execution is discarded, and the slice's groups re-enter
+  /// the remaining range (and its cost) so a re-placement serves them
+  /// again. The request has at most one slice in flight, so Begin is
+  /// exactly where its cursor must return to.
+  void rollbackSlice(size_t Idx, size_t Begin) {
+    const CompiledKernel &CK =
+        driverOf(Idx).kernel(Trace[Idx].KernelIdx);
+    LiveRequest &LR = Live[Idx];
+    assert(Begin <= LR.Cursor && "rollback past the slice start");
+    for (size_t G = Begin; G != LR.Cursor; ++G)
+      RemainingCostOf[Idx] += CK.WGCosts[G];
+    LR.Cursor = Begin;
+  }
+
+  /// Re-binds request \p Idx to device view \p D (failover after a
+  /// device loss, or a quantum-boundary migration) carrying the slice
+  /// cursor over: a kernel's virtual-group decomposition is derived
+  /// from its KernelSpec alone (workloads::generateWGCosts), so it is
+  /// identical on every device and the remaining range keeps its
+  /// meaning. The remaining cost and the isolated baseline — and with
+  /// it the request's slowdown/queueing-excess normalization — are
+  /// re-measured on the device that will serve the remainder.
+  void rehome(size_t Idx, ExperimentDriver &D) {
+    const workloads::TimedRequest &Req = Trace[Idx];
+    const CompiledKernel &CK = D.kernel(Req.KernelIdx);
+    assert(CK.WGCosts.size() ==
+               driverOf(Idx).kernel(Req.KernelIdx).WGCosts.size() &&
+           "virtual-range shape differs across devices");
+    Drivers[Idx] = &D;
+    double Cost = 0;
+    for (size_t G = Live[Idx].Cursor; G != CK.WGCosts.size(); ++G)
+      Cost += CK.WGCosts[G];
+    RemainingCostOf[Idx] = Cost;
+    Out.Requests[Idx].AloneDuration =
+        D.isolatedDuration(SchedulerKind::Baseline, Req.KernelIdx);
   }
 
   /// Retires a request that has no (remaining) work at time \p T: it

@@ -59,6 +59,7 @@ public:
   void advanceTo(double T, std::vector<KernelExecResult> &Out);
   void advanceCore(double T);
   std::vector<KernelExecResult> drain();
+  std::vector<KernelLaunchDesc> cancelAll();
   size_t inFlight() const { return States.size() - FinishedCount; }
   std::vector<KernelExecResult> history() const;
 
@@ -617,6 +618,52 @@ std::vector<KernelExecResult> SessionState::drain() {
   return Out;
 }
 
+// Fail-stop device loss: every launch that has not yet delivered its
+// completion is torn out of the machine — resident work groups are
+// evicted mid-leg (their partial progress is discarded with them),
+// queued and not-yet-arrived launches are dropped — and the cancelled
+// descriptors come back in queue order so the caller can rebuild the
+// work elsewhere. Already-delivered completions, the pending Completed
+// buffer, per-launch history records, and the clock are untouched, so
+// the session stays usable if the device later rejoins the fleet.
+std::vector<KernelLaunchDesc> SessionState::cancelAll() {
+  std::vector<KernelLaunchDesc> Out;
+  for (size_t Pos = 0; Pos != QueueOrder.size(); ++Pos) {
+    LaunchState &L = States[QueueOrder[Pos]];
+    // Finished launches in the arrived prefix have already pushed their
+    // completion record. A Finished launch *past* the prefix is a
+    // zero-work launch whose completion was never delivered: it is
+    // cancelled like any pending launch.
+    bool Delivered = L.Finished && Pos < ArrivedCount;
+    if (Delivered)
+      continue;
+    Out.push_back(std::move(L.Desc));
+    // The moved-from descriptor keeps its scalar fields for history();
+    // scrub the borrowed view so the record never dangles.
+    L.Desc.ViewCosts = nullptr;
+    L.Desc.ViewBegin = L.Desc.ViewEnd = 0;
+    L.LiveWGs = 0;
+    if (!L.Finished) {
+      L.Finished = true;
+      L.End = Now;
+    }
+    ++FinishedCount;
+  }
+  for (CUState &CU : CUs) {
+    CU.Residents.clear();
+    CU.UsedThreads = CU.UsedLocal = CU.UsedRegs = 0;
+    CU.SumWeights = 0;
+    CU.LastUpdate = Now;
+    ++CU.Epoch; // Invalidates this CU's queued heap entries.
+  }
+  ArrivedCount = QueueOrder.size();
+  DonePrefix = ArrivedCount;
+  Heap = {};
+  Dirty.clear();
+  assert(inFlight() == 0 && "cancelAll left launches in flight");
+  return Out;
+}
+
 std::vector<KernelExecResult> SessionState::history() const {
   std::vector<KernelExecResult> Out;
   Out.reserve(States.size());
@@ -668,6 +715,10 @@ bool EngineSession::advanceNextEvent(std::vector<KernelExecResult> &Out) {
 
 std::vector<KernelExecResult> EngineSession::drain() {
   return State->drain();
+}
+
+std::vector<KernelLaunchDesc> EngineSession::cancelAll() {
+  return State->cancelAll();
 }
 
 size_t EngineSession::inFlight() const { return State->inFlight(); }

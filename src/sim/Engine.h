@@ -213,6 +213,16 @@ public:
   /// \returns the completions, in completion order.
   std::vector<KernelExecResult> drain();
 
+  /// Fail-stop cancellation (the device died under its work): removes
+  /// every launch that has not yet delivered a completion — resident
+  /// work groups are evicted mid-leg and their partial progress is
+  /// discarded, queued and not-yet-arrived launches are dropped — and
+  /// \returns the cancelled descriptors in queue order so the caller
+  /// can rebuild the work elsewhere. Completions already recorded, the
+  /// per-launch history, and the clock survive: the session stays
+  /// usable, e.g. for a failed device rejoining the fleet later.
+  std::vector<KernelLaunchDesc> cancelAll();
+
   /// Launches admitted but not yet finished.
   size_t inFlight() const;
 

@@ -25,6 +25,13 @@ metric. Gated metrics are direction-aware per bench:
       ratio),
     * whole-trace and peak windowed unfairness (lower is better).
 
+  serve_resilience (all lower is better):
+    * lost requests (absolute floor 0.5: losing even one request from
+      the zero baseline fails),
+    * fleet recovery time after the scripted failure,
+    * p95 queueing excess over the outage-window arrivals,
+    * whole-trace unfairness.
+
 The simulation is deterministic, so on an unchanged scheduler the two
 files agree bit-for-bit; the threshold only leaves room for intentional
 small trade-offs and cross-compiler floating-point drift. Improvements
@@ -82,6 +89,16 @@ METRICS = {
         (("peak_windowed_unfairness",), "peak windowed unfairness",
          "lower", 1e-6),
     ],
+    "serve_resilience": [
+        # The committed baseline is 0 for every scheme: any loss at all
+        # is a regression "from zero" (the 0.5 floor keeps integer
+        # counts crisp).
+        (("lost_requests",), "lost requests", "lower", 0.5),
+        (("recovery_time",), "fleet recovery time", "lower", 1e-6),
+        (("outage_queue_p95",), "outage-window p95 queueing excess",
+         "lower", 1e-6),
+        (("unfairness",), "unfairness", "lower", 1e-6),
+    ],
 }
 
 BASELINE_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
@@ -90,6 +107,7 @@ BASELINES = {
     "serve_streaming": "BENCH_streaming.baseline.json",
     "serve_closed_loop": "BENCH_closed_loop.baseline.json",
     "serve_scale": "BENCH_scale.baseline.json",
+    "serve_resilience": "BENCH_resilience.baseline.json",
 }
 
 
@@ -203,7 +221,14 @@ def self_test_one(bench, path, threshold):
         factor = 1 + limit + 0.05
         if direction == "higher":
             factor = 1 - limit - 0.05
-        node[mpath[-1]] *= factor
+        if node[mpath[-1]] == 0 and direction == "lower":
+            # A zero baseline cannot regress multiplicatively (e.g.
+            # lost_requests = 0): nudge it past the absolute-noise
+            # floor instead, the "from zero" failure path.
+            eps = entry[3]
+            node[mpath[-1]] = 2 * eps + 1.0
+        else:
+            node[mpath[-1]] *= factor
     failures, _ = compare(regressed, baseline, threshold)
     if len(failures) != len(metrics):
         print(f"self-test FAILED ({bench}): synthetic regression not "
